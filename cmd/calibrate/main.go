@@ -1,0 +1,103 @@
+// Command calibrate runs the paper's Figure 1 power-model learning process on
+// a simulated processor and writes the learned energy profile to a JSON file.
+//
+// Usage:
+//
+//	calibrate -spec i3-2120 -out model.json
+//	calibrate -spec core2duo-e6600 -quick -selection spearman
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powerapi/internal/calibration"
+	"powerapi/internal/cpu"
+	"powerapi/internal/hpc"
+	"powerapi/internal/machine"
+	"powerapi/internal/report"
+	"powerapi/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	var (
+		specName  = fs.String("spec", "i3-2120", "processor to profile (see -list)")
+		list      = fs.Bool("list", false, "list available processor specs and exit")
+		out       = fs.String("out", "model.json", "output path for the learned model (JSON)")
+		quick     = fs.Bool("quick", false, "use the reduced calibration sweep")
+		selection = fs.String("selection", "paper", "counter selection: paper, pearson or spearman")
+		topK      = fs.Int("topk", 3, "number of counters kept by pearson/spearman selection")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		table := report.NewTable("Available processor specs", "Name", "Description")
+		for name, spec := range cpu.Catalog() {
+			table.AddRow(name, spec.String())
+		}
+		return table.Render(os.Stdout)
+	}
+	spec, err := cpu.LookupSpec(*specName)
+	if err != nil {
+		return err
+	}
+	opts := calibration.DefaultOptions()
+	if *quick {
+		opts = calibration.QuickOptions()
+	}
+	switch *selection {
+	case "paper":
+		opts.FixedEvents = hpc.PaperEvents()
+	case "pearson":
+		opts.SelectionMethod = stats.MethodPearson
+		opts.TopK = *topK
+	case "spearman":
+		opts.SelectionMethod = stats.MethodSpearman
+		opts.TopK = *topK
+	default:
+		return fmt.Errorf("unknown selection strategy %q", *selection)
+	}
+
+	cfg := machine.DefaultConfig()
+	cfg.Spec = spec
+	cal, err := calibration.New(cfg, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Learning the energy profile of %s (%d frequencies, %d repetitions)...\n",
+		spec.String(), len(spec.FrequenciesMHz()), opts.Repetitions)
+	powerModel, calReport, err := cal.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nIdle power constant: %.2f W\n", calReport.IdleWatts)
+	fmt.Printf("Selected counters (%s): %v\n", calReport.SelectionMethod, calReport.SelectedNames)
+	fmt.Printf("Calibration samples: %d (%.0f simulated seconds)\n\n",
+		calReport.TotalSamples, calReport.SimulatedSeconds)
+	fmt.Println(powerModel.Equation())
+
+	fits := report.NewTable("Per-frequency fit", "Frequency (MHz)", "R2", "Samples")
+	for _, fit := range calReport.PerFrequency {
+		fits.AddRow(fmt.Sprintf("%d", fit.FrequencyMHz), fmt.Sprintf("%.3f", fit.R2), fmt.Sprintf("%d", fit.Samples))
+	}
+	if err := fits.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if err := powerModel.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("\nModel written to %s\n", *out)
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-spec", "not-a-cpu"}); err == nil {
+		t.Fatal("unknown spec should fail")
+	}
+	if err := run([]string{"-selection", "bogus"}); err == nil {
+		t.Fatal("unknown selection strategy should fail")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+func TestRunQuickCalibrationWritesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is too slow for -short")
+	}
+	out := filepath.Join(t.TempDir(), "model.json")
+	if err := run([]string{"-quick", "-spec", "core2duo-e6600", "-out", out}); err != nil {
+		t.Fatalf("quick calibration failed: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+// recorded results).
+//
+// Usage:
+//
+//	experiments -run all -quick
+//	experiments -run fig3 -csv figure3.csv
+//	experiments -run table1|model|fig3|comparison|ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"powerapi/internal/experiments"
+	"powerapi/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		which   = fs.String("run", "all", "experiment to run: all, table1, model, fig3, comparison, ablation")
+		quick   = fs.Bool("quick", false, "use the reduced experiment scale")
+		csvPath = fs.String("csv", "", "write the Figure 3 time series to this CSV file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+
+	selected := strings.ToLower(*which)
+	runAll := selected == "all"
+
+	if runAll || selected == "table1" {
+		if err := runTable1(scale); err != nil {
+			return err
+		}
+	}
+
+	var fig3 *experiments.Figure3Result
+	if runAll || selected == "model" || selected == "fig3" || selected == "comparison" {
+		modelRes, err := runModel(scale, runAll || selected == "model")
+		if err != nil {
+			return err
+		}
+		if runAll || selected == "fig3" || selected == "comparison" {
+			res, err := runFigure3(scale, modelRes, *csvPath)
+			if err != nil {
+				return err
+			}
+			fig3 = res
+		}
+	}
+
+	if runAll || selected == "comparison" {
+		if err := runComparison(scale, fig3); err != nil {
+			return err
+		}
+	}
+
+	if runAll || selected == "ablation" {
+		if err := runAblation(scale); err != nil {
+			return err
+		}
+	}
+
+	if !runAll {
+		switch selected {
+		case "table1", "model", "fig3", "comparison", "ablation":
+		default:
+			return fmt.Errorf("unknown experiment %q", *which)
+		}
+	}
+	return nil
+}
+
+func runTable1(scale experiments.Scale) error {
+	res, err := experiments.Table1(scale.Spec)
+	if err != nil {
+		return err
+	}
+	if err := res.Table().Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runModel(scale experiments.Scale, printDetail bool) (*experiments.ModelResult, error) {
+	fmt.Println("Running the Figure 1 calibration sweep...")
+	res, err := experiments.LearnModel(scale)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println()
+	fmt.Println("Learned power model (paper's §4 equations):")
+	fmt.Println(res.Equation)
+	if printDetail {
+		if err := res.Table().Render(os.Stdout); err != nil {
+			return nil, err
+		}
+		cmpTable := report.NewTable("Top-frequency coefficients vs paper",
+			"Counter", "Learned (W per event/s)", "Paper", "Ratio")
+		for _, c := range res.Comparisons {
+			cmpTable.AddRow(c.Event,
+				fmt.Sprintf("%.3g", c.LearnedWatts),
+				fmt.Sprintf("%.3g", c.PaperWatts),
+				fmt.Sprintf("%.2fx", c.Ratio))
+		}
+		if err := cmpTable.Render(os.Stdout); err != nil {
+			return nil, err
+		}
+		fmt.Println()
+	}
+	return &res, nil
+}
+
+func runFigure3(scale experiments.Scale, modelRes *experiments.ModelResult, csvPath string) (*experiments.Figure3Result, error) {
+	fmt.Println("Running the Figure 3 SPECjbb evaluation...")
+	res, err := experiments.Figure3(scale, modelRes.Model)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Table().Render(os.Stdout); err != nil {
+		return nil, err
+	}
+	measured := make([]float64, len(res.Points))
+	estimated := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		measured[i] = p.Measured
+		estimated[i] = p.Estimated
+	}
+	fmt.Println()
+	fmt.Println("PowerSpy :", report.Sparkline(measured, 80))
+	fmt.Println("PowerAPI :", report.Sparkline(estimated, 80))
+	fmt.Println()
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return nil, fmt.Errorf("create %s: %w", csvPath, err)
+		}
+		defer f.Close()
+		if err := report.WriteTimeSeriesCSV(f, res.Points); err != nil {
+			return nil, err
+		}
+		fmt.Printf("Figure 3 series written to %s\n\n", csvPath)
+	}
+	return &res, nil
+}
+
+func runComparison(scale experiments.Scale, fig3 *experiments.Figure3Result) error {
+	fmt.Println("Running the Section 4 comparison...")
+	res, err := experiments.Comparison(scale, fig3)
+	if err != nil {
+		return err
+	}
+	if err := res.Table().Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runAblation(scale experiments.Scale) error {
+	fmt.Println("Running the counter-selection ablation...")
+	res, err := experiments.Ablation(scale)
+	if err != nil {
+		return err
+	}
+	if err := res.Table().Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}

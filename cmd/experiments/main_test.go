@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "bogus", "-quick"}); err == nil {
+		t.Fatal("unknown experiment name should fail")
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+func TestRunTable1Only(t *testing.T) {
+	if err := run([]string{"-run", "table1", "-quick"}); err != nil {
+		t.Fatalf("table1 experiment failed: %v", err)
+	}
+}

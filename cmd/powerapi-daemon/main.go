@@ -1,0 +1,159 @@
+// Command powerapi-daemon runs the PowerAPI middleware against a simulated
+// host: it spawns a mix of workloads, attaches the Sensor → Formula →
+// Aggregator → Reporter pipeline to every process and prints per-process
+// power estimations in real time, the way the real PowerAPI daemon reports
+// the consumption of PIDs.
+//
+// Usage:
+//
+//	powerapi-daemon -duration 60s -interval 1s
+//	powerapi-daemon -model model.json -spec i3-2120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"powerapi/internal/advisor"
+	"powerapi/internal/calibration"
+	"powerapi/internal/core"
+	"powerapi/internal/cpu"
+	"powerapi/internal/hpc"
+	"powerapi/internal/machine"
+	"powerapi/internal/model"
+	"powerapi/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "powerapi-daemon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("powerapi-daemon", flag.ContinueOnError)
+	var (
+		specName  = fs.String("spec", "i3-2120", "processor to simulate")
+		modelPath = fs.String("model", "", "learned power model (JSON); empty runs a quick calibration first")
+		duration  = fs.Duration("duration", 30*time.Second, "simulated monitoring duration")
+		interval  = fs.Duration("interval", time.Second, "sampling interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := cpu.LookupSpec(*specName)
+	if err != nil {
+		return err
+	}
+
+	powerModel, err := loadOrCalibrate(*modelPath, spec)
+	if err != nil {
+		return err
+	}
+
+	cfg := machine.DefaultConfig()
+	cfg.Spec = spec
+	m, err := machine.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// A representative mix of tenants: a memory-heavy service, a CPU-bound
+	// batch job, a bursty cron-like task and an idle shell.
+	type tenant struct {
+		name string
+		gen  func() (workload.Generator, error)
+	}
+	tenants := []tenant{
+		{name: "web-backend", gen: func() (workload.Generator, error) { return workload.MemoryStress(0.7, 0) }},
+		{name: "batch-encoder", gen: func() (workload.Generator, error) { return workload.CPUStress(0.9, 0) }},
+		{name: "cron-task", gen: func() (workload.Generator, error) {
+			return workload.NewBurst("cron-task", workload.CPUBoundProfile().Demand(0.8), 10*time.Second, 0.3, 0)
+		}},
+		{name: "idle-shell", gen: func() (workload.Generator, error) { return workload.Idle(0), nil }},
+	}
+	names := make(map[int]string, len(tenants))
+	for _, tn := range tenants {
+		gen, err := tn.gen()
+		if err != nil {
+			return err
+		}
+		p, err := m.Spawn(gen)
+		if err != nil {
+			return err
+		}
+		names[p.PID()] = tn.name
+	}
+
+	api, err := core.New(m, powerModel)
+	if err != nil {
+		return err
+	}
+	defer api.Shutdown()
+	if err := api.AttachAllRunnable(); err != nil {
+		return err
+	}
+
+	adv, err := advisor.New(advisor.DefaultThresholds())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Monitoring %d processes on %s for %v (sampling every %v)\n\n",
+		len(names), spec.String(), *duration, *interval)
+	fmt.Printf("%-10s %-14s %10s %12s\n", "TIME", "PROCESS", "PID", "POWER (W)")
+	_, err = api.RunMonitored(*duration, *interval, func(r core.AggregatedReport) {
+		if obsErr := adv.ObserveReport(r, *interval); obsErr != nil {
+			fmt.Fprintln(os.Stderr, "powerapi-daemon: advisor:", obsErr)
+		}
+		pids := make([]int, 0, len(r.PerPID))
+		for pid := range r.PerPID {
+			pids = append(pids, pid)
+		}
+		sort.Slice(pids, func(i, j int) bool { return r.PerPID[pids[i]] > r.PerPID[pids[j]] })
+		for _, pid := range pids {
+			fmt.Printf("%-10s %-14s %10d %12.2f\n",
+				r.Timestamp.Truncate(time.Second), names[pid], pid, r.PerPID[pid])
+		}
+		fmt.Printf("%-10s %-14s %10s %12.2f  (idle %.2f + active %.2f)\n\n",
+			r.Timestamp.Truncate(time.Second), "TOTAL", "-", r.TotalWatts, r.IdleWatts, r.ActiveWatts)
+	})
+	if err != nil {
+		return err
+	}
+
+	findings := adv.Findings()
+	if len(findings) == 0 {
+		fmt.Println("Advisor: no energy leaks detected over this run.")
+		return nil
+	}
+	fmt.Println("Advisor findings (largest consumers and suspected energy leaks):")
+	for _, f := range findings {
+		fmt.Printf("  [%s] %s (%s)\n", f.Severity, f.Message, names[f.PID])
+	}
+	return nil
+}
+
+func loadOrCalibrate(path string, spec cpu.Spec) (*model.CPUPowerModel, error) {
+	if path != "" {
+		return model.LoadFile(path)
+	}
+	fmt.Println("No model provided: running a quick calibration first (use cmd/calibrate for the full sweep).")
+	opts := calibration.QuickOptions()
+	opts.FixedEvents = hpc.PaperEvents()
+	cfg := machine.DefaultConfig()
+	cfg.Spec = spec
+	cal, err := calibration.New(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	powerModel, _, err := cal.Run()
+	if err != nil {
+		return nil, err
+	}
+	return powerModel, nil
+}

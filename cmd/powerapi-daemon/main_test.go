@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-spec", "not-a-cpu"}); err == nil {
+		t.Fatal("unknown spec should fail")
+	}
+	if err := run([]string{"-model", "/does/not/exist.json"}); err == nil {
+		t.Fatal("missing model file should fail")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+func TestRunShortMonitoringSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick calibration plus monitoring is too slow for -short")
+	}
+	if err := run([]string{"-duration", "3s", "-interval", "1s"}); err != nil {
+		t.Fatalf("daemon run failed: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package powerapi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadeReportersAndEnergyAccounting(t *testing.T) {
+	cfg := DefaultMachineConfig()
+	cfg.Governor = GovernorPerformance
+	host, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, _ := MemoryStress(0.9, 0)
+	light, _ := CPUStress(0.2, 0)
+	p1, _ := host.Spawn(heavy)
+	p2, _ := host.Spawn(light)
+
+	var csvBuf, jsonBuf strings.Builder
+	csvOpt, err := WithCSVReporter(&csvBuf, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonOpt, err := WithJSONReporter(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, energyOpt := WithEnergyAccounting()
+
+	monitor, err := NewMonitor(host, PaperReferenceModel(),
+		WithProcessNameGrouping(host), csvOpt, jsonOpt, energyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := monitor.Attach(p1.PID(), p2.PID()); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := monitor.RunMonitored(4*time.Second, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor.Shutdown()
+
+	if len(reports) != 4 {
+		t.Fatalf("got %d reports, want 4", len(reports))
+	}
+	last := reports[len(reports)-1]
+	if len(last.PerGroup) == 0 {
+		t.Fatal("grouping dimension missing from reports")
+	}
+	if !strings.Contains(csvBuf.String(), "seconds,pid,group,watts,total_watts") {
+		t.Fatal("csv reporter produced no header")
+	}
+	if strings.Count(jsonBuf.String(), "\n") != 4 {
+		t.Fatalf("json reporter wrote %d lines, want 4", strings.Count(jsonBuf.String(), "\n"))
+	}
+	energy := acc.EnergyByPID()
+	if energy[p1.PID()] <= energy[p2.PID()] {
+		t.Fatalf("heavy process energy (%.1f J) should exceed light process (%.1f J)",
+			energy[p1.PID()], energy[p2.PID()])
+	}
+	if _, err := WithCSVReporter(nil, host); err == nil {
+		t.Fatal("nil writer should fail")
+	}
+	if _, err := WithJSONReporter(nil); err == nil {
+		t.Fatal("nil writer should fail")
+	}
+}
+
+func TestFacadeAdvisorFindsEnergyLeaks(t *testing.T) {
+	cfg := DefaultMachineConfig()
+	cfg.Governor = GovernorPerformance
+	host, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog, _ := MemoryStress(1.0, 0)
+	idle, _ := CPUStress(0.05, 0)
+	p1, _ := host.Spawn(hog)
+	p2, _ := host.Spawn(idle)
+
+	monitor, err := NewMonitor(host, PaperReferenceModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer monitor.Shutdown()
+	if err := monitor.Attach(p1.PID(), p2.PID()); err != nil {
+		t.Fatal(err)
+	}
+	adv, err := NewAdvisor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = monitor.RunMonitored(5*time.Second, time.Second, func(r MonitorReport) {
+		if err := adv.ObserveReport(r, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranking := adv.Ranking()
+	if len(ranking) != 2 {
+		t.Fatalf("ranking has %d entries, want 2", len(ranking))
+	}
+	if ranking[0].PID != p1.PID() {
+		t.Fatalf("largest consumer should be the memory hog, got pid %d", ranking[0].PID)
+	}
+	findings := adv.Findings()
+	var topConsumer bool
+	for _, f := range findings {
+		if f.PID == p1.PID() && f.Rule == "top-consumer" {
+			topConsumer = true
+		}
+	}
+	if !topConsumer {
+		t.Fatalf("memory hog not identified as top consumer: %+v", findings)
+	}
+}

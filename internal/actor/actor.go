@@ -1,0 +1,280 @@
+// Package actor provides the lightweight actor runtime PowerAPI is built on.
+// The paper's implementation relies on Akka actors ("an actor is a
+// lightweight entity that runs concurrently and processes messages using an
+// event-driven model"); this package reproduces the properties the paper
+// depends on — concurrent actors with private state, asynchronous mailboxes,
+// and a publish/subscribe event bus connecting the Sensor, Formula,
+// Aggregator and Reporter components — using plain goroutines and channels.
+package actor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Message is any value exchanged between actors.
+type Message any
+
+// ErrStopped is returned when sending to an actor or system that has been
+// shut down.
+var ErrStopped = errors.New("actor: stopped")
+
+// Behavior processes the messages of one actor. Receive is always invoked
+// from a single goroutine, so the behaviour may keep unguarded private state.
+type Behavior interface {
+	Receive(ctx *Context, msg Message)
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(ctx *Context, msg Message)
+
+// Receive implements Behavior.
+func (f BehaviorFunc) Receive(ctx *Context, msg Message) { f(ctx, msg) }
+
+// Context is handed to a behaviour on every message.
+type Context struct {
+	system *System
+	self   *Ref
+}
+
+// Self returns the reference of the actor processing the message.
+func (c *Context) Self() *Ref { return c.self }
+
+// System returns the actor system.
+func (c *Context) System() *System { return c.system }
+
+// Publish publishes a message on the system's event bus.
+func (c *Context) Publish(topic string, msg Message) int {
+	return c.system.Bus().Publish(topic, msg)
+}
+
+// Ref addresses one actor.
+type Ref struct {
+	name    string
+	mailbox chan Message
+
+	mu      sync.Mutex
+	stopped bool
+	senders sync.WaitGroup
+	done    chan struct{}
+}
+
+// Name returns the actor's name.
+func (r *Ref) Name() string { return r.name }
+
+// Tell enqueues a message in the actor's mailbox. It blocks when the mailbox
+// is full (backpressure) and returns ErrStopped once the actor has been shut
+// down.
+func (r *Ref) Tell(msg Message) error {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return fmt.Errorf("tell %s: %w", r.name, ErrStopped)
+	}
+	// Register as an in-flight sender before releasing the lock so stop()
+	// cannot close the mailbox while the send below is pending.
+	r.senders.Add(1)
+	r.mu.Unlock()
+	defer r.senders.Done()
+	r.mailbox <- msg
+	return nil
+}
+
+// stop marks the actor stopped so no further Tell can enqueue work, waits for
+// in-flight sends to land, then closes the mailbox so the actor drains and
+// exits.
+func (r *Ref) stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	// The actor goroutine keeps consuming until the mailbox is closed, so
+	// pending senders are guaranteed to make progress.
+	r.senders.Wait()
+	close(r.mailbox)
+}
+
+// System owns a set of actors and their event bus.
+type System struct {
+	name string
+	bus  *EventBus
+
+	mu      sync.Mutex
+	actors  map[string]*Ref
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// NewSystem creates an actor system.
+func NewSystem(name string) *System {
+	return &System{
+		name:   name,
+		bus:    newEventBus(),
+		actors: make(map[string]*Ref),
+	}
+}
+
+// Name returns the system name.
+func (s *System) Name() string { return s.name }
+
+// Bus returns the system's event bus.
+func (s *System) Bus() *EventBus { return s.bus }
+
+// DefaultMailboxSize is used when Spawn is given a non-positive mailbox size.
+// PowerAPI pipelines monitor many processes per tick; a small buffer absorbs
+// the resulting bursts without blocking the Sensor.
+const DefaultMailboxSize = 256
+
+// Spawn starts a new actor. Names must be unique within the system.
+func (s *System) Spawn(name string, behavior Behavior, mailboxSize int) (*Ref, error) {
+	if name == "" {
+		return nil, errors.New("actor: spawn needs a name")
+	}
+	if behavior == nil {
+		return nil, errors.New("actor: spawn needs a behavior")
+	}
+	if mailboxSize <= 0 {
+		mailboxSize = DefaultMailboxSize
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return nil, fmt.Errorf("spawn %s: %w", name, ErrStopped)
+	}
+	if _, exists := s.actors[name]; exists {
+		return nil, fmt.Errorf("actor: actor %q already exists", name)
+	}
+	ref := &Ref{
+		name:    name,
+		mailbox: make(chan Message, mailboxSize),
+		done:    make(chan struct{}),
+	}
+	s.actors[name] = ref
+	ctx := &Context{system: s, self: ref}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(ref.done)
+		for msg := range ref.mailbox {
+			behavior.Receive(ctx, msg)
+		}
+	}()
+	return ref, nil
+}
+
+// Lookup returns the actor with the given name.
+func (s *System) Lookup(name string) (*Ref, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref, ok := s.actors[name]
+	if !ok {
+		return nil, fmt.Errorf("actor: no actor named %q", name)
+	}
+	return ref, nil
+}
+
+// ActorNames returns the names of all spawned actors, sorted.
+func (s *System) ActorNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.actors))
+	for name := range s.actors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Shutdown stops every actor and waits for their mailboxes to drain. It is
+// idempotent.
+func (s *System) Shutdown() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopped = true
+	refs := make([]*Ref, 0, len(s.actors))
+	for _, ref := range s.actors {
+		refs = append(refs, ref)
+	}
+	s.mu.Unlock()
+
+	for _, ref := range refs {
+		ref.stop()
+	}
+	s.wg.Wait()
+}
+
+// EventBus is a topic-based publish/subscribe router between actors: the
+// "event bus" of the paper's Figure 2 through which Sensor messages reach the
+// Formula and power estimations reach the Aggregator and Reporter.
+type EventBus struct {
+	mu     sync.RWMutex
+	topics map[string][]*Ref
+}
+
+func newEventBus() *EventBus {
+	return &EventBus{topics: make(map[string][]*Ref)}
+}
+
+// Subscribe registers ref to receive every message published on topic.
+func (b *EventBus) Subscribe(topic string, ref *Ref) error {
+	if topic == "" {
+		return errors.New("actor: empty topic")
+	}
+	if ref == nil {
+		return errors.New("actor: nil subscriber")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, existing := range b.topics[topic] {
+		if existing == ref {
+			return nil
+		}
+	}
+	b.topics[topic] = append(b.topics[topic], ref)
+	return nil
+}
+
+// Unsubscribe removes ref from topic.
+func (b *EventBus) Unsubscribe(topic string, ref *Ref) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := b.topics[topic]
+	for i, existing := range subs {
+		if existing == ref {
+			b.topics[topic] = append(subs[:i:i], subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Publish delivers msg to every subscriber of topic and returns the number of
+// actors the message was delivered to. Subscribers that have been stopped are
+// skipped.
+func (b *EventBus) Publish(topic string, msg Message) int {
+	b.mu.RLock()
+	subs := append([]*Ref(nil), b.topics[topic]...)
+	b.mu.RUnlock()
+	delivered := 0
+	for _, ref := range subs {
+		if err := ref.Tell(msg); err == nil {
+			delivered++
+		}
+	}
+	return delivered
+}
+
+// Subscribers returns how many actors listen on topic.
+func (b *EventBus) Subscribers(topic string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.topics[topic])
+}

@@ -1,0 +1,264 @@
+package actor
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collector is a behaviour that records every message it receives.
+type collector struct {
+	mu   sync.Mutex
+	msgs []Message
+	wg   *sync.WaitGroup
+}
+
+func (c *collector) Receive(_ *Context, msg Message) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, msg)
+	c.mu.Unlock()
+	if c.wg != nil {
+		c.wg.Done()
+	}
+}
+
+func (c *collector) messages() []Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Message(nil), c.msgs...)
+}
+
+func TestSpawnValidation(t *testing.T) {
+	s := NewSystem("test")
+	defer s.Shutdown()
+	if _, err := s.Spawn("", BehaviorFunc(func(*Context, Message) {}), 0); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := s.Spawn("a", nil, 0); err == nil {
+		t.Fatal("nil behavior should fail")
+	}
+	if _, err := s.Spawn("a", BehaviorFunc(func(*Context, Message) {}), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Spawn("a", BehaviorFunc(func(*Context, Message) {}), 0); err == nil {
+		t.Fatal("duplicate name should fail")
+	}
+}
+
+func TestTellDeliversInOrder(t *testing.T) {
+	s := NewSystem("test")
+	defer s.Shutdown()
+	var wg sync.WaitGroup
+	wg.Add(100)
+	c := &collector{wg: &wg}
+	ref, err := s.Spawn("collector", c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := ref.Tell(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	msgs := c.messages()
+	if len(msgs) != 100 {
+		t.Fatalf("received %d messages, want 100", len(msgs))
+	}
+	for i, m := range msgs {
+		if m != i {
+			t.Fatalf("message %d = %v, want %d (FIFO order violated)", i, m, i)
+		}
+	}
+}
+
+func TestShutdownDrainsMailboxes(t *testing.T) {
+	s := NewSystem("test")
+	var processed atomic.Int64
+	ref, err := s.Spawn("slow", BehaviorFunc(func(_ *Context, _ Message) {
+		time.Sleep(time.Millisecond)
+		processed.Add(1)
+	}), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := ref.Tell(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Shutdown()
+	if got := processed.Load(); got != n {
+		t.Fatalf("processed %d messages before shutdown returned, want %d", got, n)
+	}
+	// After shutdown every Tell fails with ErrStopped.
+	if err := ref.Tell("late"); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Tell after shutdown = %v, want ErrStopped", err)
+	}
+	// Shutdown is idempotent.
+	s.Shutdown()
+	// Spawning after shutdown fails.
+	if _, err := s.Spawn("x", BehaviorFunc(func(*Context, Message) {}), 0); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Spawn after shutdown = %v, want ErrStopped", err)
+	}
+}
+
+func TestLookupAndActorNames(t *testing.T) {
+	s := NewSystem("test")
+	defer s.Shutdown()
+	_, _ = s.Spawn("b", BehaviorFunc(func(*Context, Message) {}), 0)
+	_, _ = s.Spawn("a", BehaviorFunc(func(*Context, Message) {}), 0)
+	names := s.ActorNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("ActorNames = %v", names)
+	}
+	if _, err := s.Lookup("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lookup("zzz"); err == nil {
+		t.Fatal("lookup of unknown actor should fail")
+	}
+	if s.Name() != "test" {
+		t.Fatalf("Name() = %q", s.Name())
+	}
+}
+
+func TestEventBusPublishSubscribe(t *testing.T) {
+	s := NewSystem("test")
+	defer s.Shutdown()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	c1 := &collector{wg: &wg}
+	c2 := &collector{wg: &wg}
+	r1, _ := s.Spawn("sub1", c1, 0)
+	r2, _ := s.Spawn("sub2", c2, 0)
+	if err := s.Bus().Subscribe("power", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bus().Subscribe("power", r2); err != nil {
+		t.Fatal(err)
+	}
+	// Subscribing twice is a no-op.
+	if err := s.Bus().Subscribe("power", r1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Bus().Subscribers("power"); got != 2 {
+		t.Fatalf("Subscribers = %d, want 2", got)
+	}
+	if delivered := s.Bus().Publish("power", "hello"); delivered != 2 {
+		t.Fatalf("Publish delivered to %d actors, want 2", delivered)
+	}
+	wg.Wait()
+	if len(c1.messages()) != 1 || len(c2.messages()) != 1 {
+		t.Fatal("both subscribers should have received the message")
+	}
+	// Publishing on an unknown topic delivers to nobody.
+	if delivered := s.Bus().Publish("unknown", "x"); delivered != 0 {
+		t.Fatalf("Publish on unknown topic delivered to %d actors", delivered)
+	}
+}
+
+func TestEventBusSubscribeValidation(t *testing.T) {
+	s := NewSystem("test")
+	defer s.Shutdown()
+	ref, _ := s.Spawn("a", BehaviorFunc(func(*Context, Message) {}), 0)
+	if err := s.Bus().Subscribe("", ref); err == nil {
+		t.Fatal("empty topic should fail")
+	}
+	if err := s.Bus().Subscribe("t", nil); err == nil {
+		t.Fatal("nil subscriber should fail")
+	}
+}
+
+func TestEventBusUnsubscribe(t *testing.T) {
+	s := NewSystem("test")
+	defer s.Shutdown()
+	c := &collector{}
+	ref, _ := s.Spawn("sub", c, 0)
+	_ = s.Bus().Subscribe("topic", ref)
+	s.Bus().Unsubscribe("topic", ref)
+	if got := s.Bus().Subscribers("topic"); got != 0 {
+		t.Fatalf("Subscribers after unsubscribe = %d", got)
+	}
+	if delivered := s.Bus().Publish("topic", "x"); delivered != 0 {
+		t.Fatalf("Publish after unsubscribe delivered to %d actors", delivered)
+	}
+	// Unsubscribing an actor that is not subscribed is a no-op.
+	s.Bus().Unsubscribe("topic", ref)
+}
+
+func TestContextPublishPipeline(t *testing.T) {
+	// A two-stage pipeline: "doubler" doubles integers and republishes them
+	// on another topic consumed by a collector, mimicking the
+	// Sensor -> Formula -> Aggregator flow.
+	s := NewSystem("pipeline")
+	defer s.Shutdown()
+	var wg sync.WaitGroup
+	wg.Add(5)
+	sink := &collector{wg: &wg}
+	sinkRef, _ := s.Spawn("sink", sink, 0)
+	_ = s.Bus().Subscribe("stage2", sinkRef)
+
+	doubler, _ := s.Spawn("doubler", BehaviorFunc(func(ctx *Context, msg Message) {
+		if v, ok := msg.(int); ok {
+			ctx.Publish("stage2", v*2)
+		}
+	}), 0)
+	_ = s.Bus().Subscribe("stage1", doubler)
+
+	for i := 1; i <= 5; i++ {
+		s.Bus().Publish("stage1", i)
+	}
+	wg.Wait()
+	got := sink.messages()
+	sum := 0
+	for _, m := range got {
+		v, ok := m.(int)
+		if !ok {
+			t.Fatalf("unexpected message type %T", m)
+		}
+		sum += v
+	}
+	if sum != 2*(1+2+3+4+5) {
+		t.Fatalf("pipeline sum = %d, want 30", sum)
+	}
+}
+
+func TestPublishSkipsStoppedSubscribers(t *testing.T) {
+	s := NewSystem("test")
+	c := &collector{}
+	ref, _ := s.Spawn("sub", c, 0)
+	_ = s.Bus().Subscribe("topic", ref)
+	s.Shutdown()
+	if delivered := s.Bus().Publish("topic", "x"); delivered != 0 {
+		t.Fatalf("Publish delivered to stopped actor: %d", delivered)
+	}
+}
+
+func TestConcurrentTell(t *testing.T) {
+	s := NewSystem("test")
+	var count atomic.Int64
+	ref, _ := s.Spawn("counter", BehaviorFunc(func(_ *Context, _ Message) {
+		count.Add(1)
+	}), 128)
+	var wg sync.WaitGroup
+	const senders = 8
+	const perSender = 500
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				_ = ref.Tell(j)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Shutdown()
+	if got := count.Load(); got != senders*perSender {
+		t.Fatalf("processed %d messages, want %d", got, senders*perSender)
+	}
+}

@@ -1,0 +1,295 @@
+// Package advisor analyses the power estimations produced by the PowerAPI
+// pipeline and turns them into actionable findings — the thesis goal the
+// paper states as "identify clearly the energy leaks for optimizing
+// automatically the power consumed by software". It implements the
+// software-side counterpart of the paper's motivation section: spot the
+// largest power consumers, flag energy-inefficient behaviour (high power per
+// unit of useful work, busy-waiting, poor cache behaviour) and suggest
+// scheduling or DVFS reactions.
+package advisor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"powerapi/internal/core"
+	"powerapi/internal/hpc"
+)
+
+// Severity classifies a finding.
+type Severity int
+
+// Severities, ordered by increasing urgency.
+const (
+	// SeverityInfo is an observation, not a problem.
+	SeverityInfo Severity = iota + 1
+	// SeverityAdvisory is a probable inefficiency worth investigating.
+	SeverityAdvisory
+	// SeverityCritical is a clear energy leak.
+	SeverityCritical
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityAdvisory:
+		return "advisory"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Finding is one piece of advice about a monitored process.
+type Finding struct {
+	PID      int      `json:"pid"`
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+	// Watts is the average active power of the process over the analysis
+	// window.
+	Watts float64 `json:"watts"`
+}
+
+// ProcessSample is one per-process observation fed to the advisor: the power
+// estimate of one monitoring round together with the counter deltas it was
+// derived from.
+type ProcessSample struct {
+	PID    int
+	Watts  float64
+	Window time.Duration
+	Deltas hpc.Counts
+}
+
+// Thresholds tunes the advisor's rules.
+type Thresholds struct {
+	// TopConsumerShare flags processes drawing at least this share of the
+	// total active power (0.5 = half the active power of the machine).
+	TopConsumerShare float64
+	// EnergyPerInstructionNJ flags processes whose average energy per
+	// retired instruction exceeds this many nanojoules (memory-bound,
+	// cache-thrashing behaviour).
+	EnergyPerInstructionNJ float64
+	// CacheMissRatio flags processes whose LLC miss ratio exceeds this
+	// value.
+	CacheMissRatio float64
+	// IdleWatts flags near-idle processes that still draw this much power
+	// (busy-waiting / polling suspects).
+	IdleWatts float64
+	// IdleIPC is the instruction-per-cycle ceiling below which a process
+	// drawing IdleWatts is considered a busy-waiter.
+	IdleIPC float64
+}
+
+// DefaultThresholds returns conservative defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		TopConsumerShare:       0.5,
+		EnergyPerInstructionNJ: 8,
+		CacheMissRatio:         0.35,
+		IdleWatts:              2,
+		IdleIPC:                0.25,
+	}
+}
+
+// Validate checks the thresholds.
+func (t Thresholds) Validate() error {
+	switch {
+	case t.TopConsumerShare <= 0 || t.TopConsumerShare > 1:
+		return fmt.Errorf("advisor: top consumer share %v out of (0,1]", t.TopConsumerShare)
+	case t.EnergyPerInstructionNJ <= 0:
+		return errors.New("advisor: energy per instruction threshold must be positive")
+	case t.CacheMissRatio <= 0 || t.CacheMissRatio > 1:
+		return fmt.Errorf("advisor: cache miss ratio %v out of (0,1]", t.CacheMissRatio)
+	case t.IdleWatts < 0:
+		return errors.New("advisor: idle watts threshold must be non-negative")
+	case t.IdleIPC <= 0:
+		return errors.New("advisor: idle IPC threshold must be positive")
+	}
+	return nil
+}
+
+// Advisor accumulates monitoring rounds and produces findings on demand.
+type Advisor struct {
+	thresholds Thresholds
+
+	totalActiveWattsSeconds float64
+	perPID                  map[int]*accumulator
+}
+
+type accumulator struct {
+	wattsSeconds float64
+	seconds      float64
+	instructions float64
+	cycles       float64
+	cacheRefs    float64
+	cacheMisses  float64
+}
+
+// New creates an advisor with the given thresholds.
+func New(thresholds Thresholds) (*Advisor, error) {
+	if err := thresholds.Validate(); err != nil {
+		return nil, err
+	}
+	return &Advisor{
+		thresholds: thresholds,
+		perPID:     make(map[int]*accumulator),
+	}, nil
+}
+
+// Observe feeds one per-process sample to the advisor.
+func (a *Advisor) Observe(sample ProcessSample) error {
+	if sample.Window <= 0 {
+		return fmt.Errorf("advisor: non-positive window %v", sample.Window)
+	}
+	if sample.Watts < 0 {
+		return fmt.Errorf("advisor: negative power %v", sample.Watts)
+	}
+	acc, ok := a.perPID[sample.PID]
+	if !ok {
+		acc = &accumulator{}
+		a.perPID[sample.PID] = acc
+	}
+	seconds := sample.Window.Seconds()
+	acc.wattsSeconds += sample.Watts * seconds
+	acc.seconds += seconds
+	acc.instructions += float64(sample.Deltas.Get(hpc.Instructions))
+	acc.cycles += float64(sample.Deltas.Get(hpc.Cycles))
+	acc.cacheRefs += float64(sample.Deltas.Get(hpc.CacheReferences))
+	acc.cacheMisses += float64(sample.Deltas.Get(hpc.CacheMisses))
+	a.totalActiveWattsSeconds += sample.Watts * seconds
+	return nil
+}
+
+// ObserveReport feeds a whole PowerAPI aggregated report (power only — the
+// caller should prefer Observe when counter deltas are available, which
+// enables the micro-architectural rules).
+func (a *Advisor) ObserveReport(report core.AggregatedReport, window time.Duration) error {
+	for pid, watts := range report.PerPID {
+		if err := a.Observe(ProcessSample{PID: pid, Watts: watts, Window: window}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeanWatts returns the average active power of a process over everything
+// observed so far.
+func (a *Advisor) MeanWatts(pid int) float64 {
+	acc, ok := a.perPID[pid]
+	if !ok || acc.seconds == 0 {
+		return 0
+	}
+	return acc.wattsSeconds / acc.seconds
+}
+
+// Findings analyses everything observed so far and returns the findings,
+// most severe first (ties broken by descending power).
+func (a *Advisor) Findings() []Finding {
+	var out []Finding
+	for pid, acc := range a.perPID {
+		if acc.seconds == 0 {
+			continue
+		}
+		meanWatts := acc.wattsSeconds / acc.seconds
+
+		if a.totalActiveWattsSeconds > 0 {
+			share := acc.wattsSeconds / a.totalActiveWattsSeconds
+			if share >= a.thresholds.TopConsumerShare {
+				out = append(out, Finding{
+					PID:      pid,
+					Rule:     "top-consumer",
+					Severity: SeverityAdvisory,
+					Watts:    meanWatts,
+					Message: fmt.Sprintf("process %d draws %.0f%% of the active power (%.1f W average); "+
+						"it is the primary optimisation target", pid, share*100, meanWatts),
+				})
+			}
+		}
+
+		if acc.instructions > 0 {
+			energyNJ := acc.wattsSeconds / acc.instructions * 1e9
+			if energyNJ >= a.thresholds.EnergyPerInstructionNJ {
+				out = append(out, Finding{
+					PID:      pid,
+					Rule:     "high-energy-per-instruction",
+					Severity: SeverityCritical,
+					Watts:    meanWatts,
+					Message: fmt.Sprintf("process %d spends %.1f nJ per instruction (threshold %.1f): "+
+						"memory-bound behaviour; improve locality or co-locate with compute-bound work",
+						pid, energyNJ, a.thresholds.EnergyPerInstructionNJ),
+				})
+			}
+		}
+
+		if acc.cacheRefs > 0 {
+			missRatio := acc.cacheMisses / acc.cacheRefs
+			if missRatio >= a.thresholds.CacheMissRatio {
+				out = append(out, Finding{
+					PID:      pid,
+					Rule:     "cache-thrashing",
+					Severity: SeverityAdvisory,
+					Watts:    meanWatts,
+					Message: fmt.Sprintf("process %d misses the last-level cache on %.0f%% of its references; "+
+						"cache misses dominate the power model, so reducing the working set saves energy",
+						pid, missRatio*100),
+				})
+			}
+		}
+
+		if acc.cycles > 0 {
+			ipc := acc.instructions / acc.cycles
+			if meanWatts >= a.thresholds.IdleWatts && ipc <= a.thresholds.IdleIPC {
+				out = append(out, Finding{
+					PID:      pid,
+					Rule:     "busy-waiting",
+					Severity: SeverityCritical,
+					Watts:    meanWatts,
+					Message: fmt.Sprintf("process %d burns %.1f W at an IPC of %.2f: it keeps cores out of "+
+						"C-states without retiring work; replace polling with blocking waits", pid, meanWatts, ipc),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		if out[i].Watts != out[j].Watts {
+			return out[i].Watts > out[j].Watts
+		}
+		return out[i].PID < out[j].PID
+	})
+	return out
+}
+
+// Ranking returns the monitored PIDs ordered by descending average power —
+// "identify the largest power consumers", the paper's first requirement for
+// informed scheduling decisions.
+func (a *Advisor) Ranking() []Finding {
+	out := make([]Finding, 0, len(a.perPID))
+	for pid, acc := range a.perPID {
+		if acc.seconds == 0 {
+			continue
+		}
+		out = append(out, Finding{
+			PID:      pid,
+			Rule:     "ranking",
+			Severity: SeverityInfo,
+			Watts:    acc.wattsSeconds / acc.seconds,
+			Message:  fmt.Sprintf("process %d averages %.2f W", pid, acc.wattsSeconds/acc.seconds),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Watts != out[j].Watts {
+			return out[i].Watts > out[j].Watts
+		}
+		return out[i].PID < out[j].PID
+	})
+	return out
+}

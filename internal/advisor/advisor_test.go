@@ -1,0 +1,199 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"powerapi/internal/core"
+	"powerapi/internal/hpc"
+)
+
+func TestThresholdsValidate(t *testing.T) {
+	if err := DefaultThresholds().Validate(); err != nil {
+		t.Fatalf("default thresholds invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Thresholds)
+	}{
+		{name: "zero share", mutate: func(th *Thresholds) { th.TopConsumerShare = 0 }},
+		{name: "share above 1", mutate: func(th *Thresholds) { th.TopConsumerShare = 1.5 }},
+		{name: "zero energy", mutate: func(th *Thresholds) { th.EnergyPerInstructionNJ = 0 }},
+		{name: "zero miss ratio", mutate: func(th *Thresholds) { th.CacheMissRatio = 0 }},
+		{name: "negative idle watts", mutate: func(th *Thresholds) { th.IdleWatts = -1 }},
+		{name: "zero idle ipc", mutate: func(th *Thresholds) { th.IdleIPC = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			th := DefaultThresholds()
+			tt.mutate(&th)
+			if err := th.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+			if _, err := New(th); err == nil {
+				t.Fatal("New should reject invalid thresholds")
+			}
+		})
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	a, err := New(DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(ProcessSample{PID: 1, Watts: 1, Window: 0}); err == nil {
+		t.Fatal("zero window should fail")
+	}
+	if err := a.Observe(ProcessSample{PID: 1, Watts: -1, Window: time.Second}); err == nil {
+		t.Fatal("negative power should fail")
+	}
+}
+
+func TestTopConsumerFinding(t *testing.T) {
+	a, _ := New(DefaultThresholds())
+	for i := 0; i < 10; i++ {
+		_ = a.Observe(ProcessSample{PID: 1, Watts: 20, Window: time.Second})
+		_ = a.Observe(ProcessSample{PID: 2, Watts: 2, Window: time.Second})
+	}
+	findings := a.Findings()
+	var found bool
+	for _, f := range findings {
+		if f.PID == 1 && f.Rule == "top-consumer" {
+			found = true
+			if !strings.Contains(f.Message, "primary optimisation target") {
+				t.Fatalf("unexpected message %q", f.Message)
+			}
+		}
+		if f.PID == 2 && f.Rule == "top-consumer" {
+			t.Fatal("small consumer must not be flagged as top consumer")
+		}
+	}
+	if !found {
+		t.Fatalf("dominant consumer not flagged: %+v", findings)
+	}
+	if a.MeanWatts(1) != 20 || a.MeanWatts(2) != 2 || a.MeanWatts(99) != 0 {
+		t.Fatal("MeanWatts mismatch")
+	}
+}
+
+func TestEnergyPerInstructionAndCacheFindings(t *testing.T) {
+	a, _ := New(DefaultThresholds())
+	// A memory-thrashing process: 10 W for only 1e8 instructions/s
+	// (100 nJ/instr) with a 50% miss ratio.
+	for i := 0; i < 5; i++ {
+		_ = a.Observe(ProcessSample{
+			PID:    7,
+			Watts:  10,
+			Window: time.Second,
+			Deltas: hpc.Counts{
+				hpc.Instructions:    1e8,
+				hpc.Cycles:          2e8,
+				hpc.CacheReferences: 1e7,
+				hpc.CacheMisses:     5e6,
+			},
+		})
+	}
+	// A healthy compute-bound process: 10 W for 5e9 instructions/s.
+	for i := 0; i < 5; i++ {
+		_ = a.Observe(ProcessSample{
+			PID:    8,
+			Watts:  10,
+			Window: time.Second,
+			Deltas: hpc.Counts{
+				hpc.Instructions:    5e9,
+				hpc.Cycles:          3e9,
+				hpc.CacheReferences: 5e6,
+				hpc.CacheMisses:     1e5,
+			},
+		})
+	}
+	findings := a.Findings()
+	rulesByPID := make(map[int]map[string]bool)
+	for _, f := range findings {
+		if rulesByPID[f.PID] == nil {
+			rulesByPID[f.PID] = make(map[string]bool)
+		}
+		rulesByPID[f.PID][f.Rule] = true
+	}
+	if !rulesByPID[7]["high-energy-per-instruction"] {
+		t.Fatalf("memory-thrashing process not flagged: %+v", findings)
+	}
+	if !rulesByPID[7]["cache-thrashing"] {
+		t.Fatalf("high miss ratio not flagged: %+v", findings)
+	}
+	if rulesByPID[8]["high-energy-per-instruction"] || rulesByPID[8]["cache-thrashing"] {
+		t.Fatalf("healthy process wrongly flagged: %+v", findings)
+	}
+	// Critical findings sort before advisories.
+	if len(findings) > 1 && findings[0].Severity < findings[1].Severity {
+		t.Fatal("findings not sorted by severity")
+	}
+}
+
+func TestBusyWaitingFinding(t *testing.T) {
+	a, _ := New(DefaultThresholds())
+	// Spinning process: 3 W, lots of cycles, almost no instructions retired
+	// per cycle.
+	_ = a.Observe(ProcessSample{
+		PID:    5,
+		Watts:  3,
+		Window: time.Second,
+		Deltas: hpc.Counts{
+			hpc.Instructions: 1e8,
+			hpc.Cycles:       3e9,
+		},
+	})
+	var found bool
+	for _, f := range a.Findings() {
+		if f.PID == 5 && f.Rule == "busy-waiting" {
+			found = true
+			if f.Severity != SeverityCritical {
+				t.Fatalf("busy waiting severity = %v", f.Severity)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("busy-waiting process not flagged")
+	}
+}
+
+func TestObserveReportAndRanking(t *testing.T) {
+	a, _ := New(DefaultThresholds())
+	report := core.AggregatedReport{
+		Timestamp: time.Second,
+		PerPID:    map[int]float64{10: 5, 11: 15, 12: 1},
+	}
+	if err := a.ObserveReport(report, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ranking := a.Ranking()
+	if len(ranking) != 3 {
+		t.Fatalf("ranking has %d entries, want 3", len(ranking))
+	}
+	if ranking[0].PID != 11 || ranking[1].PID != 10 || ranking[2].PID != 12 {
+		t.Fatalf("ranking order wrong: %+v", ranking)
+	}
+	for _, r := range ranking {
+		if r.Severity != SeverityInfo || r.Rule != "ranking" {
+			t.Fatalf("unexpected ranking entry %+v", r)
+		}
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if SeverityInfo.String() != "info" || SeverityAdvisory.String() != "advisory" || SeverityCritical.String() != "critical" {
+		t.Fatal("unexpected severity strings")
+	}
+	if Severity(42).String() == "" {
+		t.Fatal("unknown severity should render")
+	}
+}
+
+func TestNoFindingsWithoutObservations(t *testing.T) {
+	a, _ := New(DefaultThresholds())
+	if len(a.Findings()) != 0 || len(a.Ranking()) != 0 {
+		t.Fatal("advisor with no observations should produce nothing")
+	}
+}

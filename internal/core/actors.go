@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"powerapi/internal/actor"
+	"powerapi/internal/hpc"
+	"powerapi/internal/machine"
+	"powerapi/internal/model"
+)
+
+// sensorBehavior monitors the hardware counters of attached PIDs. All state
+// is owned by the actor goroutine; attach/detach flow through the mailbox.
+type sensorBehavior struct {
+	machine *machine.Machine
+	events  []hpc.Event
+	sets    map[int]*hpc.CounterSet
+}
+
+func newSensorBehavior(m *machine.Machine, events []hpc.Event) *sensorBehavior {
+	return &sensorBehavior{
+		machine: m,
+		events:  events,
+		sets:    make(map[int]*hpc.CounterSet),
+	}
+}
+
+// Receive implements actor.Behavior.
+func (s *sensorBehavior) Receive(ctx *actor.Context, msg actor.Message) {
+	switch m := msg.(type) {
+	case attachRequest:
+		m.Reply <- s.attach(m.PID)
+	case detachRequest:
+		m.Reply <- s.detach(m.PID)
+	case tickRequest:
+		s.tick(ctx, m)
+	default:
+		ctx.Publish(TopicErrors, PipelineError{
+			Stage: "sensor",
+			Err:   fmt.Errorf("core: sensor received unexpected message %T", msg),
+		})
+	}
+}
+
+func (s *sensorBehavior) attach(pid int) error {
+	if _, exists := s.sets[pid]; exists {
+		return nil
+	}
+	if _, err := s.machine.Processes().Get(pid); err != nil {
+		return fmt.Errorf("core: attach: %w", err)
+	}
+	set, err := hpc.OpenCounterSet(s.machine.Registry(), s.events, pid, hpc.AllCPUs)
+	if err != nil {
+		return fmt.Errorf("core: attach pid %d: %w", pid, err)
+	}
+	if err := set.Enable(); err != nil {
+		return fmt.Errorf("core: enable counters for pid %d: %w", pid, err)
+	}
+	s.sets[pid] = set
+	return nil
+}
+
+func (s *sensorBehavior) detach(pid int) error {
+	set, exists := s.sets[pid]
+	if !exists {
+		return fmt.Errorf("core: detach: pid %d is not monitored", pid)
+	}
+	delete(s.sets, pid)
+	if err := set.Close(); err != nil {
+		return fmt.Errorf("core: detach pid %d: %w", pid, err)
+	}
+	return nil
+}
+
+func (s *sensorBehavior) tick(ctx *actor.Context, req tickRequest) {
+	freq := s.machine.DominantFrequencyMHz()
+	targets := len(s.sets)
+	if targets == 0 {
+		// Nothing monitored: publish an empty report directly so the
+		// aggregator still emits a round.
+		ctx.Publish(TopicPowerEstimates, PowerEstimate{
+			Timestamp:    req.Timestamp,
+			PID:          -1,
+			Watts:        0,
+			FrequencyMHz: freq,
+			Targets:      1,
+		})
+		return
+	}
+	for pid, set := range s.sets {
+		deltas, err := set.ReadDelta()
+		if err != nil {
+			ctx.Publish(TopicErrors, PipelineError{
+				Stage: "sensor",
+				Err:   fmt.Errorf("core: read counters for pid %d: %w", pid, err),
+			})
+			deltas = hpc.Counts{}
+		}
+		ctx.Publish(TopicSensorReports, SensorReport{
+			Timestamp:    req.Timestamp,
+			Window:       req.Window,
+			PID:          pid,
+			FrequencyMHz: freq,
+			Deltas:       deltas,
+			Targets:      targets,
+		})
+	}
+}
+
+// formulaBehavior converts sensor reports into power estimations with the
+// learned CPU power model.
+type formulaBehavior struct {
+	model *model.CPUPowerModel
+}
+
+func newFormulaBehavior(m *model.CPUPowerModel) *formulaBehavior {
+	return &formulaBehavior{model: m}
+}
+
+// Receive implements actor.Behavior.
+func (f *formulaBehavior) Receive(ctx *actor.Context, msg actor.Message) {
+	report, ok := msg.(SensorReport)
+	if !ok {
+		ctx.Publish(TopicErrors, PipelineError{
+			Stage: "formula",
+			Err:   fmt.Errorf("core: formula received unexpected message %T", msg),
+		})
+		return
+	}
+	watts, err := f.model.EstimateActiveWatts(report.FrequencyMHz, report.Deltas, report.Window)
+	if err != nil {
+		ctx.Publish(TopicErrors, PipelineError{
+			Stage: "formula",
+			Err:   fmt.Errorf("core: estimate pid %d: %w", report.PID, err),
+		})
+		watts = 0
+	}
+	ctx.Publish(TopicPowerEstimates, PowerEstimate{
+		Timestamp:    report.Timestamp,
+		PID:          report.PID,
+		Watts:        watts,
+		FrequencyMHz: report.FrequencyMHz,
+		Targets:      report.Targets,
+	})
+}
+
+// aggregatorBehavior groups per-process estimations by timestamp and emits
+// one AggregatedReport per sampling round. When a group resolver is
+// configured it additionally aggregates along that dimension (for example the
+// application name), as the paper's Aggregator description allows.
+type aggregatorBehavior struct {
+	idleWatts float64
+	resolve   func(pid int) string
+	pending   map[time.Duration]*AggregatedReport
+	counts    map[time.Duration]int
+}
+
+func newAggregatorBehavior(idleWatts float64, resolve func(pid int) string) *aggregatorBehavior {
+	return &aggregatorBehavior{
+		idleWatts: idleWatts,
+		resolve:   resolve,
+		pending:   make(map[time.Duration]*AggregatedReport),
+		counts:    make(map[time.Duration]int),
+	}
+}
+
+// Receive implements actor.Behavior.
+func (a *aggregatorBehavior) Receive(ctx *actor.Context, msg actor.Message) {
+	est, ok := msg.(PowerEstimate)
+	if !ok {
+		ctx.Publish(TopicErrors, PipelineError{
+			Stage: "aggregator",
+			Err:   fmt.Errorf("core: aggregator received unexpected message %T", msg),
+		})
+		return
+	}
+	report, exists := a.pending[est.Timestamp]
+	if !exists {
+		report = &AggregatedReport{
+			Timestamp: est.Timestamp,
+			IdleWatts: a.idleWatts,
+			PerPID:    make(map[int]float64),
+		}
+		a.pending[est.Timestamp] = report
+	}
+	if est.PID >= 0 {
+		report.PerPID[est.PID] += est.Watts
+		report.ActiveWatts += est.Watts
+		if a.resolve != nil {
+			if report.PerGroup == nil {
+				report.PerGroup = make(map[string]float64)
+			}
+			report.PerGroup[a.resolve(est.PID)] += est.Watts
+		}
+	}
+	a.counts[est.Timestamp]++
+	if a.counts[est.Timestamp] >= est.Targets {
+		report.TotalWatts = report.IdleWatts + report.ActiveWatts
+		ctx.Publish(TopicAggregatedReports, *report)
+		delete(a.pending, est.Timestamp)
+		delete(a.counts, est.Timestamp)
+	}
+}
+
+// reporterBehavior forwards aggregated reports to a delivery function (a
+// channel writer in the facade, a file/console writer in the CLI tools).
+type reporterBehavior struct {
+	deliver func(AggregatedReport)
+}
+
+func newReporterBehavior(deliver func(AggregatedReport)) *reporterBehavior {
+	return &reporterBehavior{deliver: deliver}
+}
+
+// Receive implements actor.Behavior.
+func (r *reporterBehavior) Receive(ctx *actor.Context, msg actor.Message) {
+	report, ok := msg.(AggregatedReport)
+	if !ok {
+		ctx.Publish(TopicErrors, PipelineError{
+			Stage: "reporter",
+			Err:   fmt.Errorf("core: reporter received unexpected message %T", msg),
+		})
+		return
+	}
+	if r.deliver != nil {
+		r.deliver(report)
+	}
+}

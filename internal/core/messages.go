@@ -1,0 +1,112 @@
+// Package core implements PowerAPI itself — the paper's middleware toolkit
+// (Figure 2). Four actor components cooperate over an event bus:
+//
+//	Sensor     monitors the hardware counters of each watched process and
+//	           publishes sensor messages;
+//	Formula    turns sensor messages into power estimations using the learned
+//	           CPU power model;
+//	Aggregator groups the estimations by timestamp (and keeps the per-PID
+//	           breakdown);
+//	Reporter   converts aggregated estimations into a consumable format
+//	           (callback, channel, io.Writer).
+//
+// The package exposes the PowerAPI facade, which wires the pipeline to a
+// simulated machine and drives sampling rounds in simulated time.
+package core
+
+import (
+	"time"
+
+	"powerapi/internal/hpc"
+)
+
+// Topic names of the PowerAPI event bus.
+const (
+	// TopicSensorReports carries SensorReport messages from Sensors to the
+	// Formula.
+	TopicSensorReports = "powerapi.sensor"
+	// TopicPowerEstimates carries PowerEstimate messages from the Formula to
+	// the Aggregator.
+	TopicPowerEstimates = "powerapi.formula"
+	// TopicAggregatedReports carries AggregatedReport messages from the
+	// Aggregator to Reporters.
+	TopicAggregatedReports = "powerapi.reports"
+	// TopicErrors carries pipeline errors.
+	TopicErrors = "powerapi.errors"
+)
+
+// tickRequest asks the Sensor to perform one sampling round.
+type tickRequest struct {
+	// Timestamp is the simulated instant of the round.
+	Timestamp time.Duration
+	// Window is the simulated duration covered since the previous round.
+	Window time.Duration
+}
+
+// attachRequest asks the Sensor to start monitoring a PID.
+type attachRequest struct {
+	PID int
+	// Reply receives nil on success or the error encountered.
+	Reply chan error
+}
+
+// detachRequest asks the Sensor to stop monitoring a PID.
+type detachRequest struct {
+	PID   int
+	Reply chan error
+}
+
+// SensorReport is the message a Sensor publishes for one monitored process
+// during one sampling round.
+type SensorReport struct {
+	// Timestamp is the simulated instant of the round.
+	Timestamp time.Duration `json:"timestamp"`
+	// Window is the duration the deltas were accumulated over.
+	Window time.Duration `json:"window"`
+	// PID identifies the monitored process.
+	PID int `json:"pid"`
+	// FrequencyMHz is the dominant core frequency during the round, used to
+	// select the per-frequency formula.
+	FrequencyMHz int `json:"frequencyMHz"`
+	// Deltas are the hardware-counter increments of the process.
+	Deltas hpc.Counts `json:"-"`
+	// Targets is the number of processes reported in this round, letting the
+	// Aggregator know when a round is complete.
+	Targets int `json:"targets"`
+}
+
+// PowerEstimate is the Formula's output for one process and one round.
+type PowerEstimate struct {
+	Timestamp    time.Duration `json:"timestamp"`
+	PID          int           `json:"pid"`
+	Watts        float64       `json:"watts"`
+	FrequencyMHz int           `json:"frequencyMHz"`
+	Targets      int           `json:"targets"`
+}
+
+// AggregatedReport is the per-round output of the Aggregator: the total
+// machine power estimate plus its per-process breakdown.
+type AggregatedReport struct {
+	// Timestamp is the simulated instant of the round.
+	Timestamp time.Duration `json:"timestamp"`
+	// IdleWatts is the constant part of the model.
+	IdleWatts float64 `json:"idleWatts"`
+	// ActiveWatts is the sum of per-process active power estimations.
+	ActiveWatts float64 `json:"activeWatts"`
+	// TotalWatts is IdleWatts + ActiveWatts, comparable to a wall power
+	// measurement.
+	TotalWatts float64 `json:"totalWatts"`
+	// PerPID is the active power attributed to each monitored process.
+	PerPID map[int]float64 `json:"perPid"`
+	// PerGroup is the active power aggregated by the configured grouping
+	// dimension (application name, tenant, …). Empty when no group resolver
+	// was configured. This is the paper's "aggregates the power estimations
+	// according to a dimension" beyond PID and timestamp.
+	PerGroup map[string]float64 `json:"perGroup,omitempty"`
+}
+
+// PipelineError is published on TopicErrors when a stage fails.
+type PipelineError struct {
+	Stage string
+	Err   error
+}

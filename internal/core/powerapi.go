@@ -1,0 +1,356 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerapi/internal/actor"
+	"powerapi/internal/hpc"
+	"powerapi/internal/machine"
+	"powerapi/internal/model"
+)
+
+// collectTimeout bounds how long a synchronous sampling round may wait for
+// the actor pipeline (wall-clock, not simulated time).
+const collectTimeout = 5 * time.Second
+
+// Option customises a PowerAPI instance.
+type Option func(*options)
+
+type options struct {
+	events         []hpc.Event
+	reportBuffer   int
+	groupResolver  func(pid int) string
+	extraReporters []namedReporter
+}
+
+type namedReporter struct {
+	name    string
+	deliver func(AggregatedReport) error
+}
+
+// WithEvents overrides the hardware events the Sensor monitors (defaults to
+// the events used by the power model).
+func WithEvents(events []hpc.Event) Option {
+	return func(o *options) { o.events = append([]hpc.Event(nil), events...) }
+}
+
+// WithReportBuffer sets the capacity of the Reports channel.
+func WithReportBuffer(n int) Option {
+	return func(o *options) { o.reportBuffer = n }
+}
+
+// WithGroupResolver aggregates power along an extra dimension: the resolver
+// maps a PID to a group label (application, tenant, VM, …) and the
+// Aggregator fills AggregatedReport.PerGroup accordingly.
+func WithGroupResolver(resolve func(pid int) string) Option {
+	return func(o *options) { o.groupResolver = resolve }
+}
+
+// WithProcessNameGrouping aggregates power by process name as known to the
+// monitored machine's process table.
+func WithProcessNameGrouping(m *machine.Machine) Option {
+	return WithGroupResolver(func(pid int) string {
+		p, err := m.Processes().Get(pid)
+		if err != nil {
+			return "unknown"
+		}
+		return p.Name()
+	})
+}
+
+// WithReporter registers an additional Reporter component (CSV, JSON lines,
+// energy accumulator, …) as its own actor subscribed to the aggregated
+// reports topic. Errors returned by the reporter are routed to the pipeline's
+// error topic.
+func WithReporter(name string, deliver func(AggregatedReport) error) Option {
+	return func(o *options) {
+		o.extraReporters = append(o.extraReporters, namedReporter{name: name, deliver: deliver})
+	}
+}
+
+// PowerAPI is the middleware facade: it owns the actor system implementing
+// the Figure 2 pipeline and exposes process-level power monitoring over a
+// simulated machine.
+type PowerAPI struct {
+	machine *machine.Machine
+	model   *model.CPUPowerModel
+	system  *actor.System
+	sensor  *actor.Ref
+
+	reports     chan AggregatedReport
+	errCount    atomic.Int64
+	lastErr     atomic.Value // error
+	mu          sync.Mutex
+	lastCollect time.Duration
+	monitored   map[int]bool
+	closed      bool
+}
+
+// New wires a PowerAPI pipeline onto a machine using the given power model.
+func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*PowerAPI, error) {
+	if m == nil {
+		return nil, errors.New("core: nil machine")
+	}
+	if err := powerModel.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cfg := options{reportBuffer: 64}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if len(cfg.events) == 0 {
+		events, err := powerModel.Events()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		cfg.events = events
+	}
+
+	api := &PowerAPI{
+		machine:     m,
+		model:       powerModel,
+		system:      actor.NewSystem("powerapi"),
+		reports:     make(chan AggregatedReport, cfg.reportBuffer),
+		monitored:   make(map[int]bool),
+		lastCollect: m.Now(),
+	}
+
+	sensor, err := api.system.Spawn("sensor", newSensorBehavior(m, cfg.events), 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	formula, err := api.system.Spawn("formula", newFormulaBehavior(powerModel), 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	aggregator, err := api.system.Spawn("aggregator", newAggregatorBehavior(powerModel.IdleWatts, cfg.groupResolver), 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	reporter, err := api.system.Spawn("reporter", newReporterBehavior(api.deliver), 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	extraRefs := make([]*actor.Ref, 0, len(cfg.extraReporters))
+	for i, extra := range cfg.extraReporters {
+		deliver := extra.deliver
+		ref, err := api.system.Spawn(fmt.Sprintf("reporter-%s-%d", extra.name, i),
+			actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+				r, ok := msg.(AggregatedReport)
+				if !ok {
+					return
+				}
+				if err := deliver(r); err != nil {
+					ctx.Publish(TopicErrors, PipelineError{Stage: "reporter", Err: err})
+				}
+			}), 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		extraRefs = append(extraRefs, ref)
+	}
+	errorSink, err := api.system.Spawn("error-sink", actor.BehaviorFunc(func(_ *actor.Context, msg actor.Message) {
+		if perr, ok := msg.(PipelineError); ok {
+			api.errCount.Add(1)
+			api.lastErr.Store(perr.Err)
+		}
+	}), 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	bus := api.system.Bus()
+	if err := bus.Subscribe(TopicSensorReports, formula); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := bus.Subscribe(TopicPowerEstimates, aggregator); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := bus.Subscribe(TopicAggregatedReports, reporter); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	for _, ref := range extraRefs {
+		if err := bus.Subscribe(TopicAggregatedReports, ref); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if err := bus.Subscribe(TopicErrors, errorSink); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	api.sensor = sensor
+	return api, nil
+}
+
+// deliver pushes a report to the Reports channel, dropping the oldest entry
+// when the consumer lags (monitoring must never block the pipeline).
+func (p *PowerAPI) deliver(report AggregatedReport) {
+	for {
+		select {
+		case p.reports <- report:
+			return
+		default:
+			select {
+			case <-p.reports:
+			default:
+			}
+		}
+	}
+}
+
+// Machine returns the monitored machine.
+func (p *PowerAPI) Machine() *machine.Machine { return p.machine }
+
+// Model returns the power model in use.
+func (p *PowerAPI) Model() *model.CPUPowerModel { return p.model }
+
+// ActorNames lists the pipeline's actors (diagnostics and tests).
+func (p *PowerAPI) ActorNames() []string { return p.system.ActorNames() }
+
+// Reports exposes the asynchronous stream of aggregated reports.
+func (p *PowerAPI) Reports() <-chan AggregatedReport { return p.reports }
+
+// ErrorCount returns the number of pipeline errors observed so far.
+func (p *PowerAPI) ErrorCount() int64 { return p.errCount.Load() }
+
+// LastError returns the most recent pipeline error (nil if none).
+func (p *PowerAPI) LastError() error {
+	if v := p.lastErr.Load(); v != nil {
+		if err, ok := v.(error); ok {
+			return err
+		}
+	}
+	return nil
+}
+
+// Attach starts monitoring the given PIDs.
+func (p *PowerAPI) Attach(pids ...int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("core: powerapi is shut down")
+	}
+	for _, pid := range pids {
+		reply := make(chan error, 1)
+		if err := p.sensor.Tell(attachRequest{PID: pid, Reply: reply}); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if err := <-reply; err != nil {
+			return err
+		}
+		p.monitored[pid] = true
+	}
+	return nil
+}
+
+// Detach stops monitoring a PID.
+func (p *PowerAPI) Detach(pid int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("core: powerapi is shut down")
+	}
+	reply := make(chan error, 1)
+	if err := p.sensor.Tell(detachRequest{PID: pid, Reply: reply}); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := <-reply; err != nil {
+		return err
+	}
+	delete(p.monitored, pid)
+	return nil
+}
+
+// AttachAllRunnable attaches every currently runnable process.
+func (p *PowerAPI) AttachAllRunnable() error {
+	return p.Attach(p.machine.Processes().PIDs()...)
+}
+
+// Monitored returns the PIDs currently monitored.
+func (p *PowerAPI) Monitored() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.monitored))
+	for pid := range p.monitored {
+		out = append(out, pid)
+	}
+	return out
+}
+
+// Collect performs one synchronous sampling round covering the simulated time
+// elapsed since the previous round and returns the aggregated report.
+func (p *PowerAPI) Collect() (AggregatedReport, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return AggregatedReport{}, errors.New("core: powerapi is shut down")
+	}
+	now := p.machine.Now()
+	window := now - p.lastCollect
+	if window <= 0 {
+		p.mu.Unlock()
+		return AggregatedReport{}, fmt.Errorf("core: no simulated time elapsed since the previous collection (now %v)", now)
+	}
+	p.lastCollect = now
+	p.mu.Unlock()
+
+	if err := p.sensor.Tell(tickRequest{Timestamp: now, Window: window}); err != nil {
+		return AggregatedReport{}, fmt.Errorf("core: %w", err)
+	}
+	deadline := time.After(collectTimeout)
+	for {
+		select {
+		case report := <-p.reports:
+			if report.Timestamp == now {
+				return report, nil
+			}
+			// A stale report from an earlier asynchronous round: skip it.
+		case <-deadline:
+			return AggregatedReport{}, fmt.Errorf("core: timed out waiting for the report of round %v", now)
+		}
+	}
+}
+
+// RunMonitored advances the machine in interval-sized steps for the given
+// simulated duration, collecting one report per step. The callback (optional)
+// receives every report as it is produced; all reports are also returned.
+func (p *PowerAPI) RunMonitored(duration, interval time.Duration, onReport func(AggregatedReport)) ([]AggregatedReport, error) {
+	if duration <= 0 || interval <= 0 {
+		return nil, errors.New("core: duration and interval must be positive")
+	}
+	if interval > duration {
+		return nil, errors.New("core: interval exceeds duration")
+	}
+	steps := int(duration / interval)
+	out := make([]AggregatedReport, 0, steps)
+	for i := 0; i < steps; i++ {
+		if _, err := p.machine.Run(interval); err != nil {
+			return out, fmt.Errorf("core: advance machine: %w", err)
+		}
+		report, err := p.Collect()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, report)
+		if onReport != nil {
+			onReport(report)
+		}
+	}
+	return out, nil
+}
+
+// Shutdown stops the actor pipeline. It is idempotent.
+func (p *PowerAPI) Shutdown() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.system.Shutdown()
+}

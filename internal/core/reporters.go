@@ -1,0 +1,190 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file provides ready-made Reporter implementations, fulfilling the
+// paper's description of the Reporter component: "converts the power
+// estimations produced by the library into a suitable format". The facade
+// wires them as additional subscribers of the aggregated-reports topic.
+
+// CSVReporter writes one line per monitored process and round:
+// timestamp_seconds, pid, group, watts, total_watts.
+type CSVReporter struct {
+	mu      sync.Mutex
+	writer  *csv.Writer
+	header  bool
+	resolve func(pid int) string
+}
+
+// NewCSVReporter creates a CSV reporter writing to w. The resolver (optional)
+// maps PIDs to a human-readable group/application name.
+func NewCSVReporter(w io.Writer, resolve func(pid int) string) (*CSVReporter, error) {
+	if w == nil {
+		return nil, fmt.Errorf("core: nil writer")
+	}
+	return &CSVReporter{writer: csv.NewWriter(w), resolve: resolve}, nil
+}
+
+// Report writes the rows of one aggregated report.
+func (r *CSVReporter) Report(report AggregatedReport) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.header {
+		if err := r.writer.Write([]string{"seconds", "pid", "group", "watts", "total_watts"}); err != nil {
+			return fmt.Errorf("core: csv header: %w", err)
+		}
+		r.header = true
+	}
+	pids := make([]int, 0, len(report.PerPID))
+	for pid := range report.PerPID {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		group := ""
+		if r.resolve != nil {
+			group = r.resolve(pid)
+		}
+		row := []string{
+			strconv.FormatFloat(report.Timestamp.Seconds(), 'f', 3, 64),
+			strconv.Itoa(pid),
+			group,
+			strconv.FormatFloat(report.PerPID[pid], 'f', 3, 64),
+			strconv.FormatFloat(report.TotalWatts, 'f', 3, 64),
+		}
+		if err := r.writer.Write(row); err != nil {
+			return fmt.Errorf("core: csv row: %w", err)
+		}
+	}
+	r.writer.Flush()
+	return r.writer.Error()
+}
+
+// JSONLinesReporter writes one JSON object per aggregated report (one line
+// each), the format consumed by log pipelines.
+type JSONLinesReporter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLinesReporter creates a JSON-lines reporter writing to w.
+func NewJSONLinesReporter(w io.Writer) (*JSONLinesReporter, error) {
+	if w == nil {
+		return nil, fmt.Errorf("core: nil writer")
+	}
+	return &JSONLinesReporter{enc: json.NewEncoder(w)}, nil
+}
+
+// jsonReportLine is the serialised form of one aggregated report.
+type jsonReportLine struct {
+	TimestampSeconds float64            `json:"timestampSeconds"`
+	IdleWatts        float64            `json:"idleWatts"`
+	ActiveWatts      float64            `json:"activeWatts"`
+	TotalWatts       float64            `json:"totalWatts"`
+	PerPID           map[string]float64 `json:"perPid"`
+	PerGroup         map[string]float64 `json:"perGroup,omitempty"`
+}
+
+// Report writes one aggregated report as a JSON line.
+func (r *JSONLinesReporter) Report(report AggregatedReport) error {
+	line := jsonReportLine{
+		TimestampSeconds: report.Timestamp.Seconds(),
+		IdleWatts:        report.IdleWatts,
+		ActiveWatts:      report.ActiveWatts,
+		TotalWatts:       report.TotalWatts,
+		PerPID:           make(map[string]float64, len(report.PerPID)),
+		PerGroup:         report.PerGroup,
+	}
+	for pid, watts := range report.PerPID {
+		line.PerPID[strconv.Itoa(pid)] = watts
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(line); err != nil {
+		return fmt.Errorf("core: json report: %w", err)
+	}
+	return nil
+}
+
+// EnergyAccumulator is a Reporter that integrates per-process power over time
+// into per-process (and per-group) energy, the quantity a billing or
+// energy-budgeting system consumes.
+type EnergyAccumulator struct {
+	mu            sync.Mutex
+	lastTimestamp time.Duration
+	started       bool
+	energyByPID   map[int]float64
+	energyByGroup map[string]float64
+	totalEnergy   float64
+}
+
+// NewEnergyAccumulator creates an empty accumulator.
+func NewEnergyAccumulator() *EnergyAccumulator {
+	return &EnergyAccumulator{
+		energyByPID:   make(map[int]float64),
+		energyByGroup: make(map[string]float64),
+	}
+}
+
+// Report integrates one aggregated report.
+func (a *EnergyAccumulator) Report(report AggregatedReport) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.started {
+		a.started = true
+		a.lastTimestamp = report.Timestamp
+		return nil
+	}
+	window := report.Timestamp - a.lastTimestamp
+	if window <= 0 {
+		return fmt.Errorf("core: non-monotonic report timestamps (%v after %v)", report.Timestamp, a.lastTimestamp)
+	}
+	seconds := window.Seconds()
+	for pid, watts := range report.PerPID {
+		a.energyByPID[pid] += watts * seconds
+	}
+	for group, watts := range report.PerGroup {
+		a.energyByGroup[group] += watts * seconds
+	}
+	a.totalEnergy += report.TotalWatts * seconds
+	a.lastTimestamp = report.Timestamp
+	return nil
+}
+
+// EnergyByPID returns a copy of the accumulated per-process energy (joules).
+func (a *EnergyAccumulator) EnergyByPID() map[int]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[int]float64, len(a.energyByPID))
+	for pid, j := range a.energyByPID {
+		out[pid] = j
+	}
+	return out
+}
+
+// EnergyByGroup returns a copy of the accumulated per-group energy (joules).
+func (a *EnergyAccumulator) EnergyByGroup() map[string]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]float64, len(a.energyByGroup))
+	for g, j := range a.energyByGroup {
+		out[g] = j
+	}
+	return out
+}
+
+// TotalEnergyJoules returns the integrated machine energy estimate.
+func (a *EnergyAccumulator) TotalEnergyJoules() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.totalEnergy
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"powerapi/internal/machine"
+	"powerapi/internal/workload"
+)
+
+func sampleReport(ts time.Duration) AggregatedReport {
+	return AggregatedReport{
+		Timestamp:   ts,
+		IdleWatts:   31.5,
+		ActiveWatts: 12,
+		TotalWatts:  43.5,
+		PerPID:      map[int]float64{1001: 8, 1002: 4},
+		PerGroup:    map[string]float64{"web": 8, "batch": 4},
+	}
+}
+
+func TestCSVReporter(t *testing.T) {
+	if _, err := NewCSVReporter(nil, nil); err == nil {
+		t.Fatal("nil writer should fail")
+	}
+	var b strings.Builder
+	r, err := NewCSVReporter(&b, func(pid int) string {
+		if pid == 1001 {
+			return "web"
+		}
+		return "batch"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Report(sampleReport(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Report(sampleReport(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 { // header + 2 pids * 2 rounds
+		t.Fatalf("csv has %d lines, want 5:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "seconds,pid,group,watts,total_watts" {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1001,web,8.000") {
+		t.Fatalf("unexpected first row %q", lines[1])
+	}
+}
+
+func TestJSONLinesReporter(t *testing.T) {
+	if _, err := NewJSONLinesReporter(nil); err == nil {
+		t.Fatal("nil writer should fail")
+	}
+	var b strings.Builder
+	r, err := NewJSONLinesReporter(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Report(sampleReport(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("expected one JSON line, got %q", out)
+	}
+	for _, want := range []string{"\"totalWatts\":43.5", "\"1001\":8", "\"perGroup\"", "\"web\":8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("json line missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestEnergyAccumulator(t *testing.T) {
+	acc := NewEnergyAccumulator()
+	if err := acc.Report(sampleReport(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// First report only anchors the timestamp.
+	if acc.TotalEnergyJoules() != 0 {
+		t.Fatalf("energy after first report = %v, want 0", acc.TotalEnergyJoules())
+	}
+	if err := acc.Report(sampleReport(3 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// 2 seconds at 43.5 W total, 8 W for pid 1001.
+	if got := acc.TotalEnergyJoules(); got != 87 {
+		t.Fatalf("total energy = %v, want 87", got)
+	}
+	if got := acc.EnergyByPID()[1001]; got != 16 {
+		t.Fatalf("pid 1001 energy = %v, want 16", got)
+	}
+	if got := acc.EnergyByGroup()["batch"]; got != 8 {
+		t.Fatalf("batch group energy = %v, want 8", got)
+	}
+	// Non-monotonic timestamps are rejected.
+	if err := acc.Report(sampleReport(2 * time.Second)); err == nil {
+		t.Fatal("non-monotonic report should fail")
+	}
+}
+
+func TestPipelineWithGroupingAndExtraReporters(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.PowerNoiseStdDevWatts = 0
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web, _ := workload.MemoryStress(0.8, 0)
+	batch, _ := workload.CPUStress(0.6, 0)
+	p1, _ := m.Spawn(web)
+	p2, _ := m.Spawn(batch)
+
+	var csvBuf, jsonBuf strings.Builder
+	csvReporter, err := NewCSVReporter(&csvBuf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonReporter, err := NewJSONLinesReporter(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewEnergyAccumulator()
+
+	api, err := New(m, testModel(),
+		WithProcessNameGrouping(m),
+		WithReporter("csv", csvReporter.Report),
+		WithReporter("jsonl", jsonReporter.Report),
+		WithReporter("energy", acc.Report),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Shutdown()
+	if err := api.Attach(p1.PID(), p2.PID()); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := api.RunMonitored(3*time.Second, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := reports[len(reports)-1]
+	if len(last.PerGroup) != 2 {
+		t.Fatalf("PerGroup = %v, want 2 groups", last.PerGroup)
+	}
+	if last.PerGroup[p1.Name()] <= 0 {
+		t.Fatalf("no power attributed to group %q", p1.Name())
+	}
+	// Shut down to flush the extra reporter actors before inspecting output.
+	api.Shutdown()
+	if !strings.Contains(csvBuf.String(), "seconds,pid,group") {
+		t.Fatal("csv reporter produced no output")
+	}
+	if strings.Count(jsonBuf.String(), "\n") != len(reports) {
+		t.Fatalf("json reporter wrote %d lines, want %d", strings.Count(jsonBuf.String(), "\n"), len(reports))
+	}
+	if acc.TotalEnergyJoules() <= 0 {
+		t.Fatal("energy accumulator saw no energy")
+	}
+	if api.ErrorCount() != 0 {
+		t.Fatalf("pipeline errors: %v", api.LastError())
+	}
+}
+
+func TestWithGroupResolverUnknownPID(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := workload.CPUStress(0.5, 0)
+	p, _ := m.Spawn(gen)
+	api, err := New(m, testModel(), WithGroupResolver(func(int) string { return "everything" }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Shutdown()
+	if err := api.Attach(p.PID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	report, err := api.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.PerGroup) != 1 || report.PerGroup["everything"] <= 0 {
+		t.Fatalf("PerGroup = %v", report.PerGroup)
+	}
+}

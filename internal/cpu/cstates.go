@@ -1,0 +1,90 @@
+package cpu
+
+import (
+	"fmt"
+	"time"
+)
+
+// CState is a processor idle state. Deeper states gate more of the core and
+// therefore leak less power, at the price of a longer exit latency — exactly
+// the trade-off the paper's motivation section describes.
+type CState int
+
+// Idle states, shallowest to deepest.
+const (
+	// C0 is the active state (the core is executing instructions).
+	C0 CState = iota
+	// C1 is the halt state entered on short idle periods.
+	C1
+	// C3 gates the core clocks.
+	C3
+	// C6 power-gates the core entirely.
+	C6
+)
+
+// String implements fmt.Stringer.
+func (c CState) String() string {
+	switch c {
+	case C0:
+		return "C0"
+	case C1:
+		return "C1"
+	case C3:
+		return "C3"
+	case C6:
+		return "C6"
+	default:
+		return fmt.Sprintf("CState(%d)", int(c))
+	}
+}
+
+// CStateInfo describes the residency behaviour of an idle state.
+type CStateInfo struct {
+	State CState
+	// PowerFraction is the fraction of the core's idle (C0, clock-running)
+	// power still drawn in this state.
+	PowerFraction float64
+	// ExitLatency is the time needed to resume execution from this state.
+	ExitLatency time.Duration
+	// TargetResidency is the minimum idle period for which entering the
+	// state is worthwhile.
+	TargetResidency time.Duration
+}
+
+// CStateTable returns the idle-state table used by the simulator. When the
+// spec has no C-state support only C0 and C1 (halt) are available and C1
+// saves very little power.
+func CStateTable(spec Spec) []CStateInfo {
+	if !spec.HasCStates {
+		return []CStateInfo{
+			{State: C0, PowerFraction: 1, ExitLatency: 0, TargetResidency: 0},
+			{State: C1, PowerFraction: 0.9, ExitLatency: 2 * time.Microsecond, TargetResidency: 4 * time.Microsecond},
+		}
+	}
+	return []CStateInfo{
+		{State: C0, PowerFraction: 1, ExitLatency: 0, TargetResidency: 0},
+		{State: C1, PowerFraction: 0.55, ExitLatency: 2 * time.Microsecond, TargetResidency: 4 * time.Microsecond},
+		{State: C3, PowerFraction: 0.25, ExitLatency: 80 * time.Microsecond, TargetResidency: 200 * time.Microsecond},
+		{State: C6, PowerFraction: 0.05, ExitLatency: 800 * time.Microsecond, TargetResidency: 2 * time.Millisecond},
+	}
+}
+
+// DeepestUsableCState picks the deepest state whose target residency fits an
+// expected idle period, which is how the menu idle governor behaves.
+func DeepestUsableCState(spec Spec, expectedIdle time.Duration) CStateInfo {
+	table := CStateTable(spec)
+	best := table[0]
+	for _, info := range table {
+		if expectedIdle >= info.TargetResidency {
+			best = info
+		}
+	}
+	return best
+}
+
+// IdlePowerFraction returns the fraction of active idle power drawn by a core
+// that is idle for expectedIdle, accounting for the deepest usable C-state.
+// Cores on specs without C-states barely save anything when idle.
+func IdlePowerFraction(spec Spec, expectedIdle time.Duration) float64 {
+	return DeepestUsableCState(spec, expectedIdle).PowerFraction
+}

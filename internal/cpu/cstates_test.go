@@ -1,0 +1,86 @@
+package cpu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCStateString(t *testing.T) {
+	tests := []struct {
+		state CState
+		want  string
+	}{
+		{C0, "C0"}, {C1, "C1"}, {C3, "C3"}, {C6, "C6"},
+	}
+	for _, tt := range tests {
+		if got := tt.state.String(); got != tt.want {
+			t.Errorf("%v.String() = %q, want %q", tt.state, got, tt.want)
+		}
+	}
+	if CState(42).String() != "CState(42)" {
+		t.Error("unknown state should render as CState(N)")
+	}
+}
+
+func TestCStateTableWithSupport(t *testing.T) {
+	table := CStateTable(IntelCorei3_2120())
+	if len(table) != 4 {
+		t.Fatalf("table has %d states, want 4", len(table))
+	}
+	// Deeper states must draw less power and exit more slowly.
+	for i := 1; i < len(table); i++ {
+		if table[i].PowerFraction >= table[i-1].PowerFraction {
+			t.Fatalf("state %v does not reduce power over %v", table[i].State, table[i-1].State)
+		}
+		if table[i].ExitLatency <= table[i-1].ExitLatency {
+			t.Fatalf("state %v does not increase exit latency over %v", table[i].State, table[i-1].State)
+		}
+	}
+	if table[0].State != C0 || table[0].PowerFraction != 1 {
+		t.Fatal("first state must be C0 at full power")
+	}
+}
+
+func TestCStateTableWithoutSupport(t *testing.T) {
+	spec := IntelCorei3_2120()
+	spec.HasCStates = false
+	table := CStateTable(spec)
+	if len(table) != 2 {
+		t.Fatalf("no-C-state table has %d states, want 2", len(table))
+	}
+	if table[1].PowerFraction < 0.8 {
+		t.Fatalf("halt-only idle saves too much power: %v", table[1].PowerFraction)
+	}
+}
+
+func TestDeepestUsableCState(t *testing.T) {
+	spec := IntelCorei3_2120()
+	tests := []struct {
+		idle time.Duration
+		want CState
+	}{
+		{idle: 0, want: C0},
+		{idle: 5 * time.Microsecond, want: C1},
+		{idle: 500 * time.Microsecond, want: C3},
+		{idle: 10 * time.Millisecond, want: C6},
+	}
+	for _, tt := range tests {
+		if got := DeepestUsableCState(spec, tt.idle).State; got != tt.want {
+			t.Errorf("DeepestUsableCState(%v) = %v, want %v", tt.idle, got, tt.want)
+		}
+	}
+}
+
+func TestIdlePowerFraction(t *testing.T) {
+	spec := IntelCorei3_2120()
+	long := IdlePowerFraction(spec, 50*time.Millisecond)
+	short := IdlePowerFraction(spec, 3*time.Microsecond)
+	if long >= short {
+		t.Fatalf("long idle (%v) should save more power than short idle (%v)", long, short)
+	}
+	noCStates := spec
+	noCStates.HasCStates = false
+	if IdlePowerFraction(noCStates, 50*time.Millisecond) < 0.8 {
+		t.Fatal("spec without C-states should not save deep-idle power")
+	}
+}

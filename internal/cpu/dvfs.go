@@ -1,0 +1,219 @@
+package cpu
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Governor selects the DVFS frequency-scaling policy, mirroring the Linux
+// cpufreq governors.
+type Governor int
+
+// Supported governors.
+const (
+	// GovernorPerformance pins every core at the maximum frequency.
+	GovernorPerformance Governor = iota + 1
+	// GovernorPowersave pins every core at the minimum frequency.
+	GovernorPowersave
+	// GovernorOndemand raises the frequency with utilisation and lowers it
+	// when cores are under-used — the behaviour the paper's motivation
+	// section describes ("reduce the frequency of under-used cores").
+	GovernorOndemand
+	// GovernorUserspace lets the calibration pipeline pin an explicit
+	// frequency, which is how the learning process sweeps the ladder.
+	GovernorUserspace
+)
+
+// String implements fmt.Stringer.
+func (g Governor) String() string {
+	switch g {
+	case GovernorPerformance:
+		return "performance"
+	case GovernorPowersave:
+		return "powersave"
+	case GovernorOndemand:
+		return "ondemand"
+	case GovernorUserspace:
+		return "userspace"
+	default:
+		return fmt.Sprintf("Governor(%d)", int(g))
+	}
+}
+
+// ParseGovernor resolves a cpufreq-style governor name.
+func ParseGovernor(name string) (Governor, error) {
+	switch name {
+	case "performance":
+		return GovernorPerformance, nil
+	case "powersave":
+		return GovernorPowersave, nil
+	case "ondemand":
+		return GovernorOndemand, nil
+	case "userspace":
+		return GovernorUserspace, nil
+	default:
+		return 0, fmt.Errorf("cpu: unknown governor %q", name)
+	}
+}
+
+// ondemand thresholds (fractions of utilisation) mirroring the Linux
+// governor's up/down thresholds.
+const (
+	ondemandUpThreshold   = 0.80
+	ondemandDownThreshold = 0.30
+)
+
+// DVFS manages the per-core frequency of a processor according to the active
+// governor. Frequencies are per physical core (hyperthreads share their
+// core's clock), as on real SpeedStep hardware.
+type DVFS struct {
+	mu        sync.RWMutex
+	spec      Spec
+	ladder    []int
+	governor  Governor
+	coreFreqs []int // index: physical core, value: frequency MHz
+}
+
+// NewDVFS creates the frequency manager for spec with the given governor.
+func NewDVFS(spec Spec, governor Governor) (*DVFS, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if governor < GovernorPerformance || governor > GovernorUserspace {
+		return nil, fmt.Errorf("cpu: invalid governor %v", governor)
+	}
+	d := &DVFS{
+		spec:      spec,
+		ladder:    spec.FrequenciesMHz(),
+		governor:  governor,
+		coreFreqs: make([]int, spec.PhysicalCores()),
+	}
+	initial := spec.BaseFrequencyMHz
+	if governor == GovernorPowersave {
+		initial = d.ladder[0]
+	}
+	if governor == GovernorPerformance {
+		initial = spec.MaxFrequencyMHz()
+	}
+	for i := range d.coreFreqs {
+		d.coreFreqs[i] = initial
+	}
+	return d, nil
+}
+
+// Governor returns the active governor.
+func (d *DVFS) Governor() Governor {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.governor
+}
+
+// SetGovernor switches the scaling policy.
+func (d *DVFS) SetGovernor(g Governor) error {
+	if g < GovernorPerformance || g > GovernorUserspace {
+		return fmt.Errorf("cpu: invalid governor %v", g)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.governor = g
+	switch g {
+	case GovernorPerformance:
+		for i := range d.coreFreqs {
+			d.coreFreqs[i] = d.spec.MaxFrequencyMHz()
+		}
+	case GovernorPowersave:
+		for i := range d.coreFreqs {
+			d.coreFreqs[i] = d.ladder[0]
+		}
+	case GovernorOndemand, GovernorUserspace:
+		// Keep current frequencies; they will adjust on the next tick or
+		// explicit SetFrequency call.
+	}
+	return nil
+}
+
+// Ladder returns the available frequencies in ascending order.
+func (d *DVFS) Ladder() []int {
+	return append([]int(nil), d.ladder...)
+}
+
+// FrequencyOfCore returns the current frequency of a physical core.
+func (d *DVFS) FrequencyOfCore(core int) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if core < 0 || core >= len(d.coreFreqs) {
+		return 0, fmt.Errorf("cpu: unknown core %d", core)
+	}
+	return d.coreFreqs[core], nil
+}
+
+// SetFrequency pins a core to an explicit ladder frequency. Only valid under
+// the userspace governor (mirroring cpufreq's scaling_setspeed).
+func (d *DVFS) SetFrequency(core, freqMHz int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.governor != GovernorUserspace {
+		return fmt.Errorf("cpu: SetFrequency requires the userspace governor, current is %v", d.governor)
+	}
+	if core < 0 || core >= len(d.coreFreqs) {
+		return fmt.Errorf("cpu: unknown core %d", core)
+	}
+	for _, f := range d.ladder {
+		if f == freqMHz {
+			d.coreFreqs[core] = freqMHz
+			return nil
+		}
+	}
+	return fmt.Errorf("cpu: frequency %d MHz is not on the ladder %v", freqMHz, d.ladder)
+}
+
+// SetAllFrequencies pins every core to the same ladder frequency (userspace
+// governor only). This is what the calibration sweep uses.
+func (d *DVFS) SetAllFrequencies(freqMHz int) error {
+	for core := 0; core < len(d.coreFreqs); core++ {
+		if err := d.SetFrequency(core, freqMHz); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Adjust updates a core's frequency from its observed utilisation (a value
+// in [0, 1]) according to the active governor. It returns the frequency in
+// effect after the adjustment.
+func (d *DVFS) Adjust(core int, utilization float64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if core < 0 || core >= len(d.coreFreqs) {
+		return 0, fmt.Errorf("cpu: unknown core %d", core)
+	}
+	switch d.governor {
+	case GovernorPerformance:
+		d.coreFreqs[core] = d.spec.MaxFrequencyMHz()
+	case GovernorPowersave:
+		d.coreFreqs[core] = d.ladder[0]
+	case GovernorUserspace:
+		// Pinned: nothing to do.
+	case GovernorOndemand:
+		current := d.coreFreqs[core]
+		idx := d.ladderIndex(current)
+		switch {
+		case utilization >= ondemandUpThreshold:
+			// Jump straight to the top like the Linux ondemand governor.
+			idx = len(d.ladder) - 1
+		case utilization <= ondemandDownThreshold && idx > 0:
+			idx--
+		}
+		d.coreFreqs[core] = d.ladder[idx]
+	}
+	return d.coreFreqs[core], nil
+}
+
+func (d *DVFS) ladderIndex(freq int) int {
+	for i, f := range d.ladder {
+		if f == freq {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,173 @@
+package cpu
+
+import "testing"
+
+func TestNewDVFSInitialFrequencies(t *testing.T) {
+	spec := IntelCorei3_2120()
+	tests := []struct {
+		name     string
+		governor Governor
+		want     int
+	}{
+		{name: "performance", governor: GovernorPerformance, want: 3300},
+		{name: "powersave", governor: GovernorPowersave, want: 1600},
+		{name: "ondemand", governor: GovernorOndemand, want: 3300},
+		{name: "userspace", governor: GovernorUserspace, want: 3300},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, err := NewDVFS(spec, tt.governor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := d.FrequencyOfCore(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f != tt.want {
+				t.Fatalf("initial frequency = %d, want %d", f, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewDVFSValidation(t *testing.T) {
+	bad := IntelCorei3_2120()
+	bad.TDPWatts = 0
+	if _, err := NewDVFS(bad, GovernorOndemand); err == nil {
+		t.Fatal("invalid spec should fail")
+	}
+	if _, err := NewDVFS(IntelCorei3_2120(), Governor(99)); err == nil {
+		t.Fatal("invalid governor should fail")
+	}
+}
+
+func TestSetFrequencyUserspace(t *testing.T) {
+	d, err := NewDVFS(IntelCorei3_2120(), GovernorUserspace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetFrequency(0, 2000); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := d.FrequencyOfCore(0)
+	if f != 2000 {
+		t.Fatalf("frequency = %d, want 2000", f)
+	}
+	if err := d.SetFrequency(0, 1234); err == nil {
+		t.Fatal("off-ladder frequency should fail")
+	}
+	if err := d.SetFrequency(9, 2000); err == nil {
+		t.Fatal("unknown core should fail")
+	}
+	if err := d.SetAllFrequencies(1600); err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 2; core++ {
+		f, _ := d.FrequencyOfCore(core)
+		if f != 1600 {
+			t.Fatalf("core %d frequency = %d, want 1600", core, f)
+		}
+	}
+}
+
+func TestSetFrequencyRequiresUserspace(t *testing.T) {
+	d, _ := NewDVFS(IntelCorei3_2120(), GovernorOndemand)
+	if err := d.SetFrequency(0, 2000); err == nil {
+		t.Fatal("SetFrequency under ondemand should fail")
+	}
+}
+
+func TestOndemandAdjust(t *testing.T) {
+	d, _ := NewDVFS(IntelCorei3_2120(), GovernorOndemand)
+	// Drive utilisation low: frequency steps down one ladder notch per call.
+	f1, err := d.Adjust(0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 >= 3300 {
+		t.Fatalf("frequency after low utilisation = %d, want below 3300", f1)
+	}
+	for i := 0; i < 50; i++ {
+		_, _ = d.Adjust(0, 0.0)
+	}
+	fMin, _ := d.FrequencyOfCore(0)
+	if fMin != 1600 {
+		t.Fatalf("sustained idle frequency = %d, want 1600", fMin)
+	}
+	// High utilisation jumps straight to max.
+	fMax, _ := d.Adjust(0, 0.95)
+	if fMax != 3300 {
+		t.Fatalf("high utilisation frequency = %d, want 3300", fMax)
+	}
+}
+
+func TestAdjustPinnedGovernors(t *testing.T) {
+	perf, _ := NewDVFS(IntelCorei3_2120(), GovernorPerformance)
+	if f, _ := perf.Adjust(0, 0.0); f != 3300 {
+		t.Fatalf("performance governor moved off max: %d", f)
+	}
+	save, _ := NewDVFS(IntelCorei3_2120(), GovernorPowersave)
+	if f, _ := save.Adjust(0, 1.0); f != 1600 {
+		t.Fatalf("powersave governor moved off min: %d", f)
+	}
+	user, _ := NewDVFS(IntelCorei3_2120(), GovernorUserspace)
+	_ = user.SetFrequency(0, 2400)
+	if f, _ := user.Adjust(0, 1.0); f != 2400 {
+		t.Fatalf("userspace governor moved off pinned frequency: %d", f)
+	}
+}
+
+func TestAdjustUnknownCore(t *testing.T) {
+	d, _ := NewDVFS(IntelCorei3_2120(), GovernorOndemand)
+	if _, err := d.Adjust(5, 0.5); err == nil {
+		t.Fatal("unknown core should fail")
+	}
+	if _, err := d.FrequencyOfCore(-1); err == nil {
+		t.Fatal("negative core should fail")
+	}
+}
+
+func TestSetGovernor(t *testing.T) {
+	d, _ := NewDVFS(IntelCorei3_2120(), GovernorOndemand)
+	if err := d.SetGovernor(GovernorPowersave); err != nil {
+		t.Fatal(err)
+	}
+	if d.Governor() != GovernorPowersave {
+		t.Fatalf("governor = %v, want powersave", d.Governor())
+	}
+	f, _ := d.FrequencyOfCore(0)
+	if f != 1600 {
+		t.Fatalf("powersave switch left frequency at %d", f)
+	}
+	if err := d.SetGovernor(Governor(42)); err == nil {
+		t.Fatal("invalid governor should fail")
+	}
+}
+
+func TestGovernorStringParse(t *testing.T) {
+	for _, g := range []Governor{GovernorPerformance, GovernorPowersave, GovernorOndemand, GovernorUserspace} {
+		parsed, err := ParseGovernor(g.String())
+		if err != nil {
+			t.Fatalf("ParseGovernor(%q): %v", g.String(), err)
+		}
+		if parsed != g {
+			t.Fatalf("round trip %v -> %v", g, parsed)
+		}
+	}
+	if _, err := ParseGovernor("bogus"); err == nil {
+		t.Fatal("unknown governor name should fail")
+	}
+	if Governor(77).String() == "" {
+		t.Fatal("unknown governor should still render")
+	}
+}
+
+func TestLadderIsCopy(t *testing.T) {
+	d, _ := NewDVFS(IntelCorei3_2120(), GovernorOndemand)
+	ladder := d.Ladder()
+	ladder[0] = 1
+	if d.Ladder()[0] == 1 {
+		t.Fatal("Ladder must return a copy")
+	}
+}

@@ -1,0 +1,289 @@
+// Package cpu models the processor the rest of the simulation runs on:
+// static specifications (the paper's Table 1), core/thread topology,
+// SpeedStep-style DVFS frequency ladders and governors, HyperThreading and
+// C-state idle behaviour.
+//
+// The package is purely descriptive and mechanical — it knows nothing about
+// power. Power is derived by the machine engine (internal/machine) so that
+// the calibration pipeline cannot "cheat" by inspecting the CPU model.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Feature flags as rendered in the paper's Table 1.
+const (
+	featureYes = "yes"
+	featureNo  = "no"
+)
+
+// Spec describes a processor family, mirroring the specification rows of the
+// paper's Table 1.
+type Spec struct {
+	Vendor        string `json:"vendor"`
+	Family        string `json:"family"`
+	Model         string `json:"model"`
+	Sockets       int    `json:"sockets"`
+	CoresPerCPU   int    `json:"coresPerCpu"`
+	ThreadsPerCor int    `json:"threadsPerCore"`
+
+	// MinFrequencyMHz and BaseFrequencyMHz bound the SpeedStep ladder.
+	MinFrequencyMHz  int `json:"minFrequencyMHz"`
+	BaseFrequencyMHz int `json:"baseFrequencyMHz"`
+	// FrequencyStepMHz is the DVFS ladder granularity.
+	FrequencyStepMHz int `json:"frequencyStepMHz"`
+	// TurboFrequenciesMHz lists opportunistic frequencies above base (empty
+	// when TurboBoost is absent, as on the paper's i3-2120).
+	TurboFrequenciesMHz []int `json:"turboFrequenciesMHz,omitempty"`
+
+	TDPWatts float64 `json:"tdpWatts"`
+
+	HasDVFS    bool `json:"hasDvfs"`    // SpeedStep
+	HasSMT     bool `json:"hasSmt"`     // HyperThreading
+	HasTurbo   bool `json:"hasTurbo"`   // TurboBoost
+	HasCStates bool `json:"hasCstates"` // idle states
+	HasRAPL    bool `json:"hasRapl"`    // Running Average Power Limit MSRs
+
+	L1DataKBPerCore int `json:"l1DataKbPerCore"`
+	L2KBPerCore     int `json:"l2KbPerCore"`
+	L3KB            int `json:"l3Kb"`
+}
+
+// Validate checks the structural consistency of the spec.
+func (s Spec) Validate() error {
+	switch {
+	case s.Model == "":
+		return errors.New("cpu: spec has no model name")
+	case s.Sockets <= 0:
+		return fmt.Errorf("cpu: spec %s: sockets must be positive", s.Model)
+	case s.CoresPerCPU <= 0:
+		return fmt.Errorf("cpu: spec %s: cores must be positive", s.Model)
+	case s.ThreadsPerCor <= 0:
+		return fmt.Errorf("cpu: spec %s: threads per core must be positive", s.Model)
+	case s.ThreadsPerCor > 1 && !s.HasSMT:
+		return fmt.Errorf("cpu: spec %s: multiple threads per core require SMT", s.Model)
+	case s.BaseFrequencyMHz <= 0:
+		return fmt.Errorf("cpu: spec %s: base frequency must be positive", s.Model)
+	case s.MinFrequencyMHz <= 0 || s.MinFrequencyMHz > s.BaseFrequencyMHz:
+		return fmt.Errorf("cpu: spec %s: min frequency %d out of range", s.Model, s.MinFrequencyMHz)
+	case s.HasDVFS && s.FrequencyStepMHz <= 0:
+		return fmt.Errorf("cpu: spec %s: DVFS requires a positive frequency step", s.Model)
+	case s.TDPWatts <= 0:
+		return fmt.Errorf("cpu: spec %s: TDP must be positive", s.Model)
+	case s.HasTurbo && len(s.TurboFrequenciesMHz) == 0:
+		return fmt.Errorf("cpu: spec %s: TurboBoost requires turbo frequencies", s.Model)
+	case !s.HasTurbo && len(s.TurboFrequenciesMHz) > 0:
+		return fmt.Errorf("cpu: spec %s: turbo frequencies present but TurboBoost disabled", s.Model)
+	}
+	for _, f := range s.TurboFrequenciesMHz {
+		if f <= s.BaseFrequencyMHz {
+			return fmt.Errorf("cpu: spec %s: turbo frequency %d MHz not above base", s.Model, f)
+		}
+	}
+	return nil
+}
+
+// PhysicalCores returns the total number of physical cores.
+func (s Spec) PhysicalCores() int { return s.Sockets * s.CoresPerCPU }
+
+// LogicalCPUs returns the number of schedulable hardware threads.
+func (s Spec) LogicalCPUs() int { return s.PhysicalCores() * s.ThreadsPerCor }
+
+// FrequenciesMHz returns the full DVFS ladder in ascending order, including
+// turbo frequencies when present. Without DVFS the ladder collapses to the
+// base frequency only.
+func (s Spec) FrequenciesMHz() []int {
+	if !s.HasDVFS {
+		ladder := []int{s.BaseFrequencyMHz}
+		ladder = append(ladder, s.TurboFrequenciesMHz...)
+		sort.Ints(ladder)
+		return ladder
+	}
+	var ladder []int
+	for f := s.MinFrequencyMHz; f < s.BaseFrequencyMHz; f += s.FrequencyStepMHz {
+		ladder = append(ladder, f)
+	}
+	ladder = append(ladder, s.BaseFrequencyMHz)
+	ladder = append(ladder, s.TurboFrequenciesMHz...)
+	sort.Ints(ladder)
+	// Deduplicate, the base frequency may coincide with a ladder step.
+	out := ladder[:0]
+	for i, f := range ladder {
+		if i == 0 || f != ladder[i-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MaxFrequencyMHz returns the highest reachable frequency (turbo included).
+func (s Spec) MaxFrequencyMHz() int {
+	freqs := s.FrequenciesMHz()
+	return freqs[len(freqs)-1]
+}
+
+// String identifies the spec.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s %s %s (%d cores / %d threads, %.2f GHz, TDP %gW)",
+		s.Vendor, s.Family, s.Model, s.PhysicalCores(), s.LogicalCPUs(),
+		float64(s.BaseFrequencyMHz)/1000, s.TDPWatts)
+}
+
+// SpecTableRow is one "attribute / value" row of the paper's Table 1.
+type SpecTableRow struct {
+	Attribute string `json:"attribute"`
+	Value     string `json:"value"`
+}
+
+func yesNo(b bool) string {
+	if b {
+		return featureYes
+	}
+	return featureNo
+}
+
+// TableRows renders the spec in the exact shape of the paper's Table 1
+// ("Intel Core i3 2120 specifications").
+func (s Spec) TableRows() []SpecTableRow {
+	return []SpecTableRow{
+		{Attribute: "Vendor", Value: s.Vendor},
+		{Attribute: "Processor", Value: s.Family},
+		{Attribute: "Model", Value: s.Model},
+		{Attribute: "Design", Value: fmt.Sprintf("%d threads", s.LogicalCPUs())},
+		{Attribute: "Frequency", Value: fmt.Sprintf("%.2f GHz", float64(s.BaseFrequencyMHz)/1000)},
+		{Attribute: "TDP", Value: fmt.Sprintf("%g W", s.TDPWatts)},
+		{Attribute: "SpeedStep (DVFS)", Value: yesNo(s.HasDVFS)},
+		{Attribute: "HyperThreading (SMT)", Value: yesNo(s.HasSMT)},
+		{Attribute: "TurboBoost (Overclocking)", Value: yesNo(s.HasTurbo)},
+		{Attribute: "C-states (Idle states)", Value: yesNo(s.HasCStates)},
+		{Attribute: "L1 cache", Value: fmt.Sprintf("%d KB / core", s.L1DataKBPerCore)},
+		{Attribute: "L2 cache", Value: fmt.Sprintf("%d KB / core", s.L2KBPerCore)},
+		{Attribute: "L3 cache", Value: fmt.Sprintf("%d MB", s.L3KB/1024)},
+	}
+}
+
+// IntelCorei3_2120 is the processor used by the paper's preliminary
+// experiment (Table 1): 2 cores / 4 threads at 3.30 GHz, SpeedStep and
+// HyperThreading and C-states but no TurboBoost, 65 W TDP, Sandy Bridge
+// generation (hence RAPL-capable).
+func IntelCorei3_2120() Spec {
+	return Spec{
+		Vendor:           "Intel",
+		Family:           "i3",
+		Model:            "2120",
+		Sockets:          1,
+		CoresPerCPU:      2,
+		ThreadsPerCor:    2,
+		MinFrequencyMHz:  1600,
+		BaseFrequencyMHz: 3300,
+		FrequencyStepMHz: 200,
+		TDPWatts:         65,
+		HasDVFS:          true,
+		HasSMT:           true,
+		HasTurbo:         false,
+		HasCStates:       true,
+		HasRAPL:          true,
+		L1DataKBPerCore:  64,
+		L2KBPerCore:      256,
+		L3KB:             3 * 1024,
+	}
+}
+
+// IntelCore2DuoE6600 approximates the "simple architecture" used by Bertran
+// et al. for their comparator results: two cores, no HyperThreading, no
+// TurboBoost, pre-RAPL generation.
+func IntelCore2DuoE6600() Spec {
+	return Spec{
+		Vendor:           "Intel",
+		Family:           "Core 2 Duo",
+		Model:            "E6600",
+		Sockets:          1,
+		CoresPerCPU:      2,
+		ThreadsPerCor:    1,
+		MinFrequencyMHz:  1600,
+		BaseFrequencyMHz: 2400,
+		FrequencyStepMHz: 400,
+		TDPWatts:         65,
+		HasDVFS:          true,
+		HasSMT:           false,
+		HasTurbo:         false,
+		HasCStates:       true,
+		HasRAPL:          false,
+		L1DataKBPerCore:  32,
+		L2KBPerCore:      2048,
+		L3KB:             0,
+	}
+}
+
+// IntelXeonE5_2650 is a larger server-class part used to exercise the
+// "any modern architecture" claim: 8 cores / 16 threads, TurboBoost, RAPL.
+func IntelXeonE5_2650() Spec {
+	return Spec{
+		Vendor:              "Intel",
+		Family:              "Xeon E5",
+		Model:               "2650",
+		Sockets:             1,
+		CoresPerCPU:         8,
+		ThreadsPerCor:       2,
+		MinFrequencyMHz:     1200,
+		BaseFrequencyMHz:    2000,
+		FrequencyStepMHz:    200,
+		TurboFrequenciesMHz: []int{2400, 2800},
+		TDPWatts:            95,
+		HasDVFS:             true,
+		HasSMT:              true,
+		HasTurbo:            true,
+		HasCStates:          true,
+		HasRAPL:             true,
+		L1DataKBPerCore:     32,
+		L2KBPerCore:         256,
+		L3KB:                20 * 1024,
+	}
+}
+
+// AMDOpteron6172 is a non-Intel part (no SMT, no RAPL) exercising the
+// architecture-independence claim of the paper.
+func AMDOpteron6172() Spec {
+	return Spec{
+		Vendor:           "AMD",
+		Family:           "Opteron",
+		Model:            "6172",
+		Sockets:          1,
+		CoresPerCPU:      12,
+		ThreadsPerCor:    1,
+		MinFrequencyMHz:  800,
+		BaseFrequencyMHz: 2100,
+		FrequencyStepMHz: 300,
+		TDPWatts:         80,
+		HasDVFS:          true,
+		HasSMT:           false,
+		HasTurbo:         false,
+		HasCStates:       true,
+		HasRAPL:          false,
+		L1DataKBPerCore:  64,
+		L2KBPerCore:      512,
+		L3KB:             12 * 1024,
+	}
+}
+
+// Catalog returns every predefined spec keyed by a short identifier.
+func Catalog() map[string]Spec {
+	return map[string]Spec{
+		"i3-2120":        IntelCorei3_2120(),
+		"core2duo-e6600": IntelCore2DuoE6600(),
+		"xeon-e5-2650":   IntelXeonE5_2650(),
+		"opteron-6172":   AMDOpteron6172(),
+	}
+}
+
+// LookupSpec resolves a catalog identifier.
+func LookupSpec(name string) (Spec, error) {
+	spec, ok := Catalog()[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("cpu: unknown spec %q", name)
+	}
+	return spec, nil
+}

@@ -1,0 +1,173 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPredefinedSpecsAreValid(t *testing.T) {
+	for name, spec := range Catalog() {
+		t.Run(name, func(t *testing.T) {
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("spec %s invalid: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestSpecValidateRejectsBadSpecs(t *testing.T) {
+	base := IntelCorei3_2120()
+	tests := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{name: "no model", mutate: func(s *Spec) { s.Model = "" }},
+		{name: "zero sockets", mutate: func(s *Spec) { s.Sockets = 0 }},
+		{name: "zero cores", mutate: func(s *Spec) { s.CoresPerCPU = 0 }},
+		{name: "zero threads", mutate: func(s *Spec) { s.ThreadsPerCor = 0 }},
+		{name: "smt flag mismatch", mutate: func(s *Spec) { s.HasSMT = false }},
+		{name: "zero base freq", mutate: func(s *Spec) { s.BaseFrequencyMHz = 0 }},
+		{name: "min above base", mutate: func(s *Spec) { s.MinFrequencyMHz = 4000 }},
+		{name: "dvfs without step", mutate: func(s *Spec) { s.FrequencyStepMHz = 0 }},
+		{name: "zero tdp", mutate: func(s *Spec) { s.TDPWatts = 0 }},
+		{name: "turbo without freqs", mutate: func(s *Spec) { s.HasTurbo = true }},
+		{name: "turbo freqs without flag", mutate: func(s *Spec) { s.TurboFrequenciesMHz = []int{3500} }},
+		{name: "turbo below base", mutate: func(s *Spec) {
+			s.HasTurbo = true
+			s.TurboFrequenciesMHz = []int{1000}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := base
+			tt.mutate(&spec)
+			if err := spec.Validate(); err == nil {
+				t.Fatalf("expected validation error for %q", tt.name)
+			}
+		})
+	}
+}
+
+func TestI3SpecMatchesTable1(t *testing.T) {
+	spec := IntelCorei3_2120()
+	if spec.LogicalCPUs() != 4 {
+		t.Fatalf("logical cpus = %d, want 4", spec.LogicalCPUs())
+	}
+	if spec.PhysicalCores() != 2 {
+		t.Fatalf("cores = %d, want 2", spec.PhysicalCores())
+	}
+	if spec.BaseFrequencyMHz != 3300 {
+		t.Fatalf("base frequency = %d, want 3300", spec.BaseFrequencyMHz)
+	}
+	if spec.TDPWatts != 65 {
+		t.Fatalf("TDP = %v, want 65", spec.TDPWatts)
+	}
+	if !spec.HasDVFS || !spec.HasSMT || !spec.HasCStates {
+		t.Fatal("i3-2120 must have SpeedStep, HyperThreading and C-states")
+	}
+	if spec.HasTurbo {
+		t.Fatal("i3-2120 must not have TurboBoost")
+	}
+	if spec.L3KB != 3*1024 {
+		t.Fatalf("L3 = %d KB, want 3072", spec.L3KB)
+	}
+}
+
+func TestTableRowsMatchPaperShape(t *testing.T) {
+	rows := IntelCorei3_2120().TableRows()
+	if len(rows) != 13 {
+		t.Fatalf("Table 1 has %d rows, want 13", len(rows))
+	}
+	byAttr := make(map[string]string, len(rows))
+	for _, r := range rows {
+		byAttr[r.Attribute] = r.Value
+	}
+	checks := map[string]string{
+		"Vendor":                    "Intel",
+		"Processor":                 "i3",
+		"Model":                     "2120",
+		"Design":                    "4 threads",
+		"Frequency":                 "3.30 GHz",
+		"TDP":                       "65 W",
+		"SpeedStep (DVFS)":          "yes",
+		"HyperThreading (SMT)":      "yes",
+		"TurboBoost (Overclocking)": "no",
+		"C-states (Idle states)":    "yes",
+		"L1 cache":                  "64 KB / core",
+		"L2 cache":                  "256 KB / core",
+		"L3 cache":                  "3 MB",
+	}
+	for attr, want := range checks {
+		if got := byAttr[attr]; got != want {
+			t.Errorf("Table row %q = %q, want %q", attr, got, want)
+		}
+	}
+}
+
+func TestFrequencyLadder(t *testing.T) {
+	spec := IntelCorei3_2120()
+	ladder := spec.FrequenciesMHz()
+	if ladder[0] != 1600 {
+		t.Fatalf("ladder starts at %d, want 1600", ladder[0])
+	}
+	if ladder[len(ladder)-1] != 3300 {
+		t.Fatalf("ladder ends at %d, want 3300", ladder[len(ladder)-1])
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			t.Fatalf("ladder not strictly increasing: %v", ladder)
+		}
+	}
+	if spec.MaxFrequencyMHz() != 3300 {
+		t.Fatalf("max frequency = %d, want 3300", spec.MaxFrequencyMHz())
+	}
+}
+
+func TestFrequencyLadderWithTurbo(t *testing.T) {
+	spec := IntelXeonE5_2650()
+	ladder := spec.FrequenciesMHz()
+	if spec.MaxFrequencyMHz() != 2800 {
+		t.Fatalf("max = %d, want turbo 2800", spec.MaxFrequencyMHz())
+	}
+	found := false
+	for _, f := range ladder {
+		if f == 2400 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ladder %v missing turbo step 2400", ladder)
+	}
+}
+
+func TestFrequencyLadderNoDVFS(t *testing.T) {
+	spec := IntelCorei3_2120()
+	spec.HasDVFS = false
+	spec.FrequencyStepMHz = 0
+	ladder := spec.FrequenciesMHz()
+	if len(ladder) != 1 || ladder[0] != spec.BaseFrequencyMHz {
+		t.Fatalf("no-DVFS ladder = %v, want just base", ladder)
+	}
+}
+
+func TestLookupSpec(t *testing.T) {
+	spec, err := LookupSpec("i3-2120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Model != "2120" {
+		t.Fatalf("unexpected spec %v", spec.Model)
+	}
+	if _, err := LookupSpec("unknown-cpu"); err == nil {
+		t.Fatal("unknown spec should fail")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := IntelCorei3_2120().String()
+	for _, want := range []string{"Intel", "2120", "2 cores", "4 threads", "3.30 GHz", "65"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}

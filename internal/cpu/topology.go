@@ -1,0 +1,105 @@
+package cpu
+
+import (
+	"fmt"
+)
+
+// LogicalCPU identifies one schedulable hardware thread.
+type LogicalCPU struct {
+	// ID is the OS-visible logical CPU index.
+	ID int `json:"id"`
+	// SocketID is the package the thread belongs to.
+	SocketID int `json:"socketId"`
+	// CoreID is the physical core within the socket.
+	CoreID int `json:"coreId"`
+	// ThreadID is the hyperthread slot within the core (0 or 1 on the
+	// paper's i3-2120).
+	ThreadID int `json:"threadId"`
+}
+
+// Topology enumerates the logical CPUs of a spec, mirroring the layout the
+// Linux kernel would expose under /sys/devices/system/cpu.
+type Topology struct {
+	spec     Spec
+	logical  []LogicalCPU
+	byCore   map[int][]int // physical core index -> logical cpu ids
+	coreOf   map[int]int   // logical cpu id -> physical core index
+	socketOf map[int]int   // logical cpu id -> socket index
+}
+
+// NewTopology builds the topology for spec. Logical CPUs are numbered the
+// way Linux numbers them: first thread of every core, then the second thread
+// of every core (so cpu0/cpu2 share a core on a 2-core/4-thread part).
+func NewTopology(spec Spec) (*Topology, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Topology{
+		spec:     spec,
+		byCore:   make(map[int][]int),
+		coreOf:   make(map[int]int),
+		socketOf: make(map[int]int),
+	}
+	cores := spec.PhysicalCores()
+	id := 0
+	for thread := 0; thread < spec.ThreadsPerCor; thread++ {
+		for core := 0; core < cores; core++ {
+			socket := core / spec.CoresPerCPU
+			lcpu := LogicalCPU{ID: id, SocketID: socket, CoreID: core, ThreadID: thread}
+			t.logical = append(t.logical, lcpu)
+			t.byCore[core] = append(t.byCore[core], id)
+			t.coreOf[id] = core
+			t.socketOf[id] = socket
+			id++
+		}
+	}
+	return t, nil
+}
+
+// Spec returns the spec the topology was built from.
+func (t *Topology) Spec() Spec { return t.spec }
+
+// LogicalCPUs returns every logical CPU in id order.
+func (t *Topology) LogicalCPUs() []LogicalCPU {
+	return append([]LogicalCPU(nil), t.logical...)
+}
+
+// NumLogical returns the number of logical CPUs.
+func (t *Topology) NumLogical() int { return len(t.logical) }
+
+// NumCores returns the number of physical cores.
+func (t *Topology) NumCores() int { return t.spec.PhysicalCores() }
+
+// CoreOf returns the physical core a logical CPU belongs to.
+func (t *Topology) CoreOf(logicalID int) (int, error) {
+	core, ok := t.coreOf[logicalID]
+	if !ok {
+		return 0, fmt.Errorf("cpu: unknown logical cpu %d", logicalID)
+	}
+	return core, nil
+}
+
+// SiblingsOf returns the logical CPUs sharing a physical core with
+// logicalID, excluding logicalID itself.
+func (t *Topology) SiblingsOf(logicalID int) ([]int, error) {
+	core, err := t.CoreOf(logicalID)
+	if err != nil {
+		return nil, err
+	}
+	var siblings []int
+	for _, id := range t.byCore[core] {
+		if id != logicalID {
+			siblings = append(siblings, id)
+		}
+	}
+	return siblings, nil
+}
+
+// ThreadsOfCore returns the logical CPUs of a physical core.
+func (t *Topology) ThreadsOfCore(core int) ([]int, error) {
+	ids, ok := t.byCore[core]
+	if !ok {
+		return nil, fmt.Errorf("cpu: unknown core %d", core)
+	}
+	return append([]int(nil), ids...), nil
+}

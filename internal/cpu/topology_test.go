@@ -1,0 +1,118 @@
+package cpu
+
+import "testing"
+
+func TestNewTopologyI3(t *testing.T) {
+	topo, err := NewTopology(IntelCorei3_2120())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumLogical() != 4 {
+		t.Fatalf("logical cpus = %d, want 4", topo.NumLogical())
+	}
+	if topo.NumCores() != 2 {
+		t.Fatalf("cores = %d, want 2", topo.NumCores())
+	}
+	// Linux-style numbering: cpu0 and cpu2 share core 0.
+	c0, err := topo.CoreOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := topo.CoreOf(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 != c2 {
+		t.Fatalf("cpu0 on core %d, cpu2 on core %d; want same core", c0, c2)
+	}
+	sib, err := topo.SiblingsOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sib) != 1 || sib[0] != 2 {
+		t.Fatalf("SiblingsOf(0) = %v, want [2]", sib)
+	}
+}
+
+func TestNewTopologyInvalidSpec(t *testing.T) {
+	bad := IntelCorei3_2120()
+	bad.Sockets = 0
+	if _, err := NewTopology(bad); err == nil {
+		t.Fatal("invalid spec should be rejected")
+	}
+}
+
+func TestTopologyNoSMT(t *testing.T) {
+	topo, err := NewTopology(IntelCore2DuoE6600())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumLogical() != 2 {
+		t.Fatalf("logical cpus = %d, want 2", topo.NumLogical())
+	}
+	sib, err := topo.SiblingsOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sib) != 0 {
+		t.Fatalf("SiblingsOf(0) = %v, want none without SMT", sib)
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	topo, _ := NewTopology(IntelCorei3_2120())
+	if _, err := topo.CoreOf(99); err == nil {
+		t.Fatal("CoreOf unknown cpu should fail")
+	}
+	if _, err := topo.SiblingsOf(99); err == nil {
+		t.Fatal("SiblingsOf unknown cpu should fail")
+	}
+	if _, err := topo.ThreadsOfCore(99); err == nil {
+		t.Fatal("ThreadsOfCore unknown core should fail")
+	}
+}
+
+func TestTopologyThreadsOfCore(t *testing.T) {
+	topo, _ := NewTopology(IntelCorei3_2120())
+	threads, err := topo.ThreadsOfCore(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(threads) != 2 {
+		t.Fatalf("ThreadsOfCore(1) = %v, want 2 threads", threads)
+	}
+	for _, id := range threads {
+		core, err := topo.CoreOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if core != 1 {
+			t.Fatalf("thread %d maps to core %d, want 1", id, core)
+		}
+	}
+}
+
+func TestTopologyLogicalCPUsCopy(t *testing.T) {
+	topo, _ := NewTopology(IntelCorei3_2120())
+	cpus := topo.LogicalCPUs()
+	cpus[0].ID = 999
+	if topo.LogicalCPUs()[0].ID == 999 {
+		t.Fatal("LogicalCPUs must return a copy")
+	}
+}
+
+func TestTopologyXeonLayout(t *testing.T) {
+	topo, err := NewTopology(IntelXeonE5_2650())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumLogical() != 16 || topo.NumCores() != 8 {
+		t.Fatalf("xeon topology %d logical / %d cores, want 16 / 8", topo.NumLogical(), topo.NumCores())
+	}
+	// All logical cpus must map to a valid core.
+	for _, lc := range topo.LogicalCPUs() {
+		if lc.CoreID < 0 || lc.CoreID >= 8 {
+			t.Fatalf("logical cpu %d has invalid core %d", lc.ID, lc.CoreID)
+		}
+	}
+}

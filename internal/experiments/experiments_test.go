@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"powerapi/internal/cpu"
+	"powerapi/internal/hpc"
+)
+
+func TestScaleValidate(t *testing.T) {
+	if err := DefaultScale().Validate(); err != nil {
+		t.Fatalf("default scale invalid: %v", err)
+	}
+	if err := QuickScale().Validate(); err != nil {
+		t.Fatalf("quick scale invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Scale)
+	}{
+		{name: "bad spec", mutate: func(s *Scale) { s.Spec.TDPWatts = -1 }},
+		{name: "bad calibration", mutate: func(s *Scale) { s.Calibration.Levels = nil }},
+		{name: "bad specjbb", mutate: func(s *Scale) { s.SPECjbb.Steps = 0 }},
+		{name: "zero interval", mutate: func(s *Scale) { s.SampleInterval = 0 }},
+		{name: "eval longer than workload", mutate: func(s *Scale) { s.EvaluationDuration = s.SPECjbb.Duration * 2 }},
+		{name: "zero workers", mutate: func(s *Scale) { s.Workers = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := QuickScale()
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	res, err := Table1(cpu.IntelCorei3_2120())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 13 {
+		t.Fatalf("Table 1 has %d rows, want 13", len(res.Rows))
+	}
+	rendered := res.Table().String()
+	for _, want := range []string{"Intel", "2120", "4 threads", "3.30 GHz", "65 W", "TurboBoost"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("Table 1 rendering missing %q:\n%s", want, rendered)
+		}
+	}
+	bad := cpu.IntelCorei3_2120()
+	bad.Sockets = 0
+	if _, err := Table1(bad); err == nil {
+		t.Fatal("invalid spec should fail")
+	}
+}
+
+func TestLearnModelQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is too slow for -short")
+	}
+	scale := QuickScale()
+	res, err := LearnModel(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Model.Validate(); err != nil {
+		t.Fatalf("learned model invalid: %v", err)
+	}
+	if res.Model.IdleWatts < 28 || res.Model.IdleWatts > 36 {
+		t.Fatalf("idle constant %.2f W outside the expected band around the paper's 31.48 W", res.Model.IdleWatts)
+	}
+	if len(res.Model.Frequencies) != len(scale.Spec.FrequenciesMHz()) {
+		t.Fatalf("model covers %d frequencies, want %d", len(res.Model.Frequencies), len(scale.Spec.FrequenciesMHz()))
+	}
+	if len(res.Comparisons) != 3 {
+		t.Fatalf("expected 3 coefficient comparisons, got %d", len(res.Comparisons))
+	}
+	for _, cmp := range res.Comparisons {
+		if cmp.Ratio < 0.1 || cmp.Ratio > 10 {
+			t.Fatalf("learned coefficient for %s is %.2fx the paper's value, outside [0.1, 10]", cmp.Event, cmp.Ratio)
+		}
+	}
+	if !strings.Contains(res.Equation, "Power =") {
+		t.Fatalf("equation rendering unexpected: %q", res.Equation)
+	}
+	if res.Table().Rows() == 0 {
+		t.Fatal("fit table is empty")
+	}
+}
+
+func TestFigure3QuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation run is too slow for -short")
+	}
+	scale := QuickScale()
+	res, err := Figure3(scale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSamples := int(scale.EvaluationDuration / scale.SampleInterval)
+	if len(res.Points) != wantSamples {
+		t.Fatalf("trace has %d points, want %d", len(res.Points), wantSamples)
+	}
+	for _, p := range res.Points {
+		if p.Measured <= 0 || p.Estimated <= 0 {
+			t.Fatalf("non-positive power at %v: measured %.1f estimated %.1f", p.Time, p.Measured, p.Estimated)
+		}
+	}
+	// The paper reports a 15% median error; the simulated reproduction must
+	// stay in the same qualitative band (single- to low-double-digit
+	// percent), and certainly below 35%.
+	if res.Errors.MedianAPE > 0.35 {
+		t.Fatalf("median error %.1f%% too large", res.Errors.MedianAPE*100)
+	}
+	if res.Errors.MedianAPE <= 0 {
+		t.Fatal("median error should be positive (the estimate is not exact)")
+	}
+	if res.Table().Rows() == 0 {
+		t.Fatal("figure 3 table empty")
+	}
+}
+
+func TestComparisonQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison runs several calibrations; too slow for -short")
+	}
+	scale := QuickScale()
+	scale.EvaluationDuration = 90 * time.Second
+	fig3, err := Figure3(scale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Comparison(scale, &fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("comparison has %d rows, want 5", len(res.Rows))
+	}
+	byModel := make(map[string]ComparisonRow, len(res.Rows))
+	for _, row := range res.Rows {
+		byModel[row.Model] = row
+	}
+	bertran := byModel["Bertran et al. (decomposable, fixed frequency)"]
+	ours := byModel["PowerAPI (3 counters, per-frequency)"]
+	if bertran.MeanError <= 0 {
+		t.Fatal("bertran error missing")
+	}
+	// The qualitative shape of the paper's comparison: the decomposable
+	// model on the simple architecture is more accurate than PowerAPI's
+	// generic-counter model on the SMT machine.
+	if bertran.MeanError >= ours.MeanError {
+		t.Fatalf("expected Bertran (%.1f%%) to beat PowerAPI (%.1f%%) as in the paper",
+			bertran.MeanError*100, ours.MeanError*100)
+	}
+	if bertran.MeanError > 0.15 {
+		t.Fatalf("bertran error %.1f%% too large for a simple architecture", bertran.MeanError*100)
+	}
+	rendered := res.Table().String()
+	for _, want := range []string{"PowerAPI", "Bertran", "CPU-load", "RAPL", "HaPPy"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("comparison table missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestAblationQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs several calibrations; too slow for -short")
+	}
+	scale := QuickScale()
+	scale.EvaluationDuration = 60 * time.Second
+	scale.SPECjbb.Duration = 80 * time.Second
+	res, err := Ablation(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("ablation has %d rows, want 4", len(res.Rows))
+	}
+	var fixedErr, loadErr float64
+	for _, row := range res.Rows {
+		if row.MedianError <= 0 {
+			t.Fatalf("row %q has non-positive error", row.Strategy)
+		}
+		switch row.Strategy {
+		case "fixed paper counters":
+			fixedErr = row.MedianError
+		case "cpu-load only (no counters)":
+			loadErr = row.MedianError
+		}
+	}
+	// The paper's core claim: counter-based models beat the CPU-load-only
+	// approach.
+	if fixedErr >= loadErr {
+		t.Fatalf("counter model (%.1f%%) should beat cpu-load model (%.1f%%)", fixedErr*100, loadErr*100)
+	}
+	if res.Table().Rows() != 4 {
+		t.Fatal("ablation table rendering mismatch")
+	}
+}
+
+func TestSpecCPUSuite(t *testing.T) {
+	suite, err := specCPUSuite(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d benchmarks, want 6", len(suite))
+	}
+	for _, bench := range suite {
+		d := bench.Demand(time.Second)
+		if d.IsIdle() {
+			t.Fatalf("benchmark %s idle at t=1s", bench.Name())
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("benchmark %s demand invalid: %v", bench.Name(), err)
+		}
+		if !bench.Done(31 * time.Second) {
+			t.Fatalf("benchmark %s should end after its duration", bench.Name())
+		}
+	}
+}
+
+func TestLearnModelUsesPaperEventsByDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is too slow for -short")
+	}
+	scale := QuickScale()
+	res, err := LearnModel(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := res.Model.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[hpc.Event]bool{hpc.Instructions: true, hpc.CacheReferences: true, hpc.CacheMisses: true}
+	if len(events) != 3 {
+		t.Fatalf("model uses %d events, want 3", len(events))
+	}
+	for _, e := range events {
+		if !want[e] {
+			t.Fatalf("unexpected event %v in the headline model", e)
+		}
+	}
+}

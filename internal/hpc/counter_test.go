@@ -1,0 +1,239 @@
+package hpc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOpenCounterValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := OpenCounter(nil, Instructions, 1, 0); err == nil {
+		t.Fatal("nil registry should fail")
+	}
+	if _, err := OpenCounter(r, Event(999), 1, 0); err == nil {
+		t.Fatal("invalid event should fail")
+	}
+	c, err := OpenCounter(r, Instructions, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Event() != Instructions || c.PID() != 1 || c.CPU() != 0 {
+		t.Fatal("counter metadata mismatch")
+	}
+}
+
+func TestCounterStartsDisabled(t *testing.T) {
+	r := NewRegistry()
+	c, err := OpenCounter(r, Instructions, 1, AllCPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Accumulate(1, 0, Counts{Instructions: 100})
+	v, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("disabled counter observed %d events, want 0", v)
+	}
+}
+
+func TestCounterEnableReadDisable(t *testing.T) {
+	r := NewRegistry()
+	c, _ := OpenCounter(r, Instructions, 1, AllCPUs)
+
+	_ = r.Accumulate(1, 0, Counts{Instructions: 50}) // before enable: invisible
+	if err := c.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Accumulate(1, 0, Counts{Instructions: 30})
+	v, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 30 {
+		t.Fatalf("Read = %d, want 30", v)
+	}
+
+	if err := c.Disable(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Accumulate(1, 0, Counts{Instructions: 1000}) // while disabled: invisible
+	v, _ = c.Read()
+	if v != 30 {
+		t.Fatalf("Read after disable = %d, want 30", v)
+	}
+
+	// Re-enable continues accumulating on top of the saved value.
+	_ = c.Enable()
+	_ = r.Accumulate(1, 0, Counts{Instructions: 5})
+	v, _ = c.Read()
+	if v != 35 {
+		t.Fatalf("Read after re-enable = %d, want 35", v)
+	}
+}
+
+func TestCounterDoubleEnableIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c, _ := OpenCounter(r, Instructions, 1, AllCPUs)
+	_ = c.Enable()
+	_ = r.Accumulate(1, 0, Counts{Instructions: 10})
+	if err := c.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.Read()
+	if v != 10 {
+		t.Fatalf("double enable lost events: %d, want 10", v)
+	}
+	if err := c.Disable(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Disable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	r := NewRegistry()
+	c, _ := OpenCounter(r, CacheMisses, 7, AllCPUs)
+	_ = c.Enable()
+	_ = r.Accumulate(7, 0, Counts{CacheMisses: 42})
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.Read()
+	if v != 0 {
+		t.Fatalf("Read after reset = %d, want 0", v)
+	}
+	_ = r.Accumulate(7, 0, Counts{CacheMisses: 8})
+	v, _ = c.Read()
+	if v != 8 {
+		t.Fatalf("Read after reset+accumulate = %d, want 8", v)
+	}
+}
+
+func TestCounterClosed(t *testing.T) {
+	r := NewRegistry()
+	c, _ := OpenCounter(r, Cycles, 1, 0)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Read on closed counter: %v, want ErrClosed", err)
+	}
+	if err := c.Enable(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Enable on closed counter: %v, want ErrClosed", err)
+	}
+	if err := c.Disable(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Disable on closed counter: %v, want ErrClosed", err)
+	}
+	if err := c.Reset(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Reset on closed counter: %v, want ErrClosed", err)
+	}
+}
+
+func TestCounterSetLifecycle(t *testing.T) {
+	r := NewRegistry()
+	set, err := OpenCounterSet(r, PaperEvents(), 3, AllCPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := set.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	if got := set.Events(); len(got) != 3 || got[0] != Instructions {
+		t.Fatalf("Events() = %v", got)
+	}
+	if err := set.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Accumulate(3, 0, Counts{Instructions: 100, CacheReferences: 10, CacheMisses: 2})
+	counts, err := set.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[Instructions] != 100 || counts[CacheReferences] != 10 || counts[CacheMisses] != 2 {
+		t.Fatalf("Read = %v", counts)
+	}
+	if err := set.Disable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterSetReadDelta(t *testing.T) {
+	r := NewRegistry()
+	set, err := OpenCounterSet(r, []Event{Instructions}, 4, AllCPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = set.Enable()
+
+	_ = r.Accumulate(4, 0, Counts{Instructions: 10})
+	d1, err := set.ReadDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1[Instructions] != 10 {
+		t.Fatalf("first delta = %d, want 10", d1[Instructions])
+	}
+
+	_ = r.Accumulate(4, 0, Counts{Instructions: 7})
+	d2, err := set.ReadDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2[Instructions] != 7 {
+		t.Fatalf("second delta = %d, want 7", d2[Instructions])
+	}
+
+	d3, err := set.ReadDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3[Instructions] != 0 {
+		t.Fatalf("idle delta = %d, want 0", d3[Instructions])
+	}
+}
+
+func TestCounterSetValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := OpenCounterSet(r, nil, 1, 0); err == nil {
+		t.Fatal("empty event list should fail")
+	}
+	if _, err := OpenCounterSet(r, []Event{Instructions, Instructions}, 1, 0); err == nil {
+		t.Fatal("duplicate events should fail")
+	}
+	if _, err := OpenCounterSet(r, []Event{Event(999)}, 1, 0); err == nil {
+		t.Fatal("invalid event should fail")
+	}
+}
+
+func TestCounterSetClosedRead(t *testing.T) {
+	r := NewRegistry()
+	set, _ := OpenCounterSet(r, []Event{Instructions}, 1, 0)
+	_ = set.Close()
+	if _, err := set.Read(); err == nil {
+		t.Fatal("Read on closed set should fail")
+	}
+	if _, err := set.ReadDelta(); err == nil {
+		t.Fatal("ReadDelta on closed set should fail")
+	}
+}
+
+func TestCounterPerCPUScope(t *testing.T) {
+	r := NewRegistry()
+	c0, _ := OpenCounter(r, Instructions, AllPIDs, 0)
+	c1, _ := OpenCounter(r, Instructions, AllPIDs, 1)
+	_ = c0.Enable()
+	_ = c1.Enable()
+	_ = r.Accumulate(1, 0, Counts{Instructions: 11})
+	_ = r.Accumulate(2, 1, Counts{Instructions: 22})
+	v0, _ := c0.Read()
+	v1, _ := c1.Read()
+	if v0 != 11 || v1 != 22 {
+		t.Fatalf("per-cpu scoped reads = %d, %d; want 11, 22", v0, v1)
+	}
+}

@@ -1,0 +1,166 @@
+package hpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestOpenMultiplexedValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := OpenMultiplexedCounterSet(nil, PaperEvents(), 1, AllCPUs, 4); err == nil {
+		t.Fatal("nil registry should fail")
+	}
+	if _, err := OpenMultiplexedCounterSet(r, nil, 1, AllCPUs, 4); err == nil {
+		t.Fatal("empty events should fail")
+	}
+	if _, err := OpenMultiplexedCounterSet(r, []Event{Event(99)}, 1, AllCPUs, 4); err == nil {
+		t.Fatal("invalid event should fail")
+	}
+	if _, err := OpenMultiplexedCounterSet(r, []Event{Instructions, Instructions}, 1, AllCPUs, 4); err == nil {
+		t.Fatal("duplicate events should fail")
+	}
+	set, err := OpenMultiplexedCounterSet(r, PaperEvents(), 1, AllCPUs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Multiplexed() {
+		t.Fatal("3 events on 4 default slots should not be multiplexed")
+	}
+	if len(set.Events()) != 3 {
+		t.Fatalf("Events() = %v", set.Events())
+	}
+}
+
+func TestMultiplexedExactWhenEnoughSlots(t *testing.T) {
+	r := NewRegistry()
+	set, err := OpenMultiplexedCounterSet(r, PaperEvents(), 7, AllCPUs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Accumulate(7, 0, Counts{Instructions: 1000, CacheReferences: 100, CacheMisses: 10})
+	if err := set.Rotate(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := set.ReadScaled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[Instructions] != 1000 || counts[CacheReferences] != 100 || counts[CacheMisses] != 10 {
+		t.Fatalf("unscaled read should be exact, got %v", counts)
+	}
+}
+
+func TestMultiplexedScalingApproximatesSteadyRate(t *testing.T) {
+	r := NewRegistry()
+	events := GenericEvents() // 10 events on 4 slots -> multiplexed
+	set, err := OpenMultiplexedCounterSet(r, events, 7, AllCPUs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Multiplexed() {
+		t.Fatal("10 events on 4 slots must be multiplexed")
+	}
+	if err := set.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	// A steady workload: 1000 instructions per 100ms rotation window.
+	const rotations = 50
+	for i := 0; i < rotations; i++ {
+		_ = r.Accumulate(7, 0, Counts{Instructions: 1000, Cycles: 2000})
+		if err := set.Rotate(100 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, err := set.ReadScaled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True total is 50_000 instructions; the scaled estimate must be within
+	// 25% despite each event being scheduled only ~40% of the time.
+	got := float64(counts[Instructions])
+	if got < 37500 || got > 62500 {
+		t.Fatalf("scaled instructions = %v, want within 25%% of 50000", got)
+	}
+	if counts[Cycles] == 0 {
+		t.Fatal("cycles should have been observed in some rotation groups")
+	}
+}
+
+func TestMultiplexedReadResetsAccumulation(t *testing.T) {
+	r := NewRegistry()
+	set, _ := OpenMultiplexedCounterSet(r, PaperEvents(), 7, AllCPUs, 4)
+	_ = set.Enable()
+	_ = r.Accumulate(7, 0, Counts{Instructions: 500})
+	_ = set.Rotate(time.Second)
+	first, err := set.ReadScaled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[Instructions] != 500 {
+		t.Fatalf("first read = %v", first[Instructions])
+	}
+	second, err := set.ReadScaled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[Instructions] != 0 {
+		t.Fatalf("second read should be zero, got %v", second[Instructions])
+	}
+}
+
+func TestMultiplexedLifecycleErrors(t *testing.T) {
+	r := NewRegistry()
+	set, _ := OpenMultiplexedCounterSet(r, PaperEvents(), 7, AllCPUs, 2)
+	if err := set.Rotate(time.Second); err == nil {
+		t.Fatal("rotate before enable should fail")
+	}
+	_ = set.Enable()
+	if err := set.Enable(); err != nil {
+		t.Fatal("double enable should be a no-op")
+	}
+	if err := set.Rotate(0); err == nil {
+		t.Fatal("zero window should fail")
+	}
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Enable(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enable after close: %v", err)
+	}
+	if err := set.Rotate(time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("rotate after close: %v", err)
+	}
+	if _, err := set.ReadScaled(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestMultiplexedRotationCoversAllEvents(t *testing.T) {
+	r := NewRegistry()
+	events := GenericEvents()
+	set, _ := OpenMultiplexedCounterSet(r, events, 7, AllCPUs, 3)
+	_ = set.Enable()
+	// After enough rotations with steady traffic, every event must have been
+	// scheduled at least once (non-zero scaled value for events that occur).
+	for i := 0; i < 20; i++ {
+		_ = r.Accumulate(7, 0, Counts{
+			Instructions: 100, Cycles: 200, CacheReferences: 50, CacheMisses: 10,
+			BranchInstructions: 20, BranchMisses: 2, BusCycles: 5,
+			RefCycles: 200, StalledCyclesFrontend: 8, StalledCyclesBackend: 30,
+		})
+		_ = set.Rotate(50 * time.Millisecond)
+	}
+	counts, err := set.ReadScaled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if counts[e] == 0 {
+			t.Fatalf("event %v never scheduled across rotations: %v", e, counts)
+		}
+	}
+}

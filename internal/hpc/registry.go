@@ -1,0 +1,134 @@
+package hpc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is the kernel-side store of counter values. The machine simulator
+// accumulates per-(pid, cpu) event deltas into it every tick; Counters opened
+// by monitoring code read from it.
+//
+// A Registry is safe for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	// perPIDCPU[pid][cpu] -> counts
+	perPIDCPU map[int]map[int]Counts
+	// perCPU[cpu] -> counts (all pids, including kernel/idle work)
+	perCPU map[int]Counts
+	system Counts
+}
+
+// NewRegistry returns an empty counter registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		perPIDCPU: make(map[int]map[int]Counts),
+		perCPU:    make(map[int]Counts),
+		system:    make(Counts),
+	}
+}
+
+// Accumulate adds deltas for work executed by pid on cpu. A pid of AllPIDs
+// records CPU activity not attributable to any process (idle loops, kernel
+// housekeeping); it still contributes to per-CPU and system totals.
+func (r *Registry) Accumulate(pid, cpu int, deltas Counts) error {
+	if cpu < 0 {
+		return fmt.Errorf("hpc: accumulate on invalid cpu %d", cpu)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if pid != AllPIDs {
+		byCPU, ok := r.perPIDCPU[pid]
+		if !ok {
+			byCPU = make(map[int]Counts)
+			r.perPIDCPU[pid] = byCPU
+		}
+		counts, ok := byCPU[cpu]
+		if !ok {
+			counts = make(Counts)
+			byCPU[cpu] = counts
+		}
+		counts.Add(deltas)
+	}
+	cpuCounts, ok := r.perCPU[cpu]
+	if !ok {
+		cpuCounts = make(Counts)
+		r.perCPU[cpu] = cpuCounts
+	}
+	cpuCounts.Add(deltas)
+	r.system.Add(deltas)
+	return nil
+}
+
+// ReadPID returns the cumulative counts of pid across every CPU.
+func (r *Registry) ReadPID(pid int) Counts {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(Counts)
+	for _, counts := range r.perPIDCPU[pid] {
+		out.Add(counts)
+	}
+	return out
+}
+
+// ReadPIDOnCPU returns the cumulative counts of pid on one CPU.
+func (r *Registry) ReadPIDOnCPU(pid, cpu int) Counts {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if byCPU, ok := r.perPIDCPU[pid]; ok {
+		if counts, ok := byCPU[cpu]; ok {
+			return counts.Clone()
+		}
+	}
+	return make(Counts)
+}
+
+// ReadCPU returns the cumulative counts observed on one CPU (all PIDs).
+func (r *Registry) ReadCPU(cpu int) Counts {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if counts, ok := r.perCPU[cpu]; ok {
+		return counts.Clone()
+	}
+	return make(Counts)
+}
+
+// ReadSystem returns machine-wide cumulative counts.
+func (r *Registry) ReadSystem() Counts {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.system.Clone()
+}
+
+// Read resolves a (pid, cpu) pair with perf wildcard semantics: AllPIDs
+// and/or AllCPUs widen the scope of the query.
+func (r *Registry) Read(pid, cpu int) Counts {
+	switch {
+	case pid == AllPIDs && cpu == AllCPUs:
+		return r.ReadSystem()
+	case pid == AllPIDs:
+		return r.ReadCPU(cpu)
+	case cpu == AllCPUs:
+		return r.ReadPID(pid)
+	default:
+		return r.ReadPIDOnCPU(pid, cpu)
+	}
+}
+
+// PIDs returns the PIDs that have recorded activity.
+func (r *Registry) PIDs() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pids := make([]int, 0, len(r.perPIDCPU))
+	for pid := range r.perPIDCPU {
+		pids = append(pids, pid)
+	}
+	return pids
+}
+
+// Forget drops all data recorded for pid (used when a process exits).
+func (r *Registry) Forget(pid int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.perPIDCPU, pid)
+}

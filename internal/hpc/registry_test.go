@@ -1,0 +1,142 @@
+package hpc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryAccumulateAndRead(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Accumulate(100, 0, Counts{Instructions: 10, CacheMisses: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Accumulate(100, 1, Counts{Instructions: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Accumulate(200, 0, Counts{Instructions: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := r.ReadPID(100)[Instructions]; got != 30 {
+		t.Fatalf("ReadPID(100) instructions = %d, want 30", got)
+	}
+	if got := r.ReadPIDOnCPU(100, 1)[Instructions]; got != 20 {
+		t.Fatalf("ReadPIDOnCPU(100,1) = %d, want 20", got)
+	}
+	if got := r.ReadCPU(0)[Instructions]; got != 15 {
+		t.Fatalf("ReadCPU(0) = %d, want 15", got)
+	}
+	if got := r.ReadSystem()[Instructions]; got != 35 {
+		t.Fatalf("ReadSystem() = %d, want 35", got)
+	}
+}
+
+func TestRegistryAccumulateInvalidCPU(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Accumulate(1, -1, Counts{Instructions: 1}); err == nil {
+		t.Fatal("negative cpu should be rejected")
+	}
+}
+
+func TestRegistryWildcardRead(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Accumulate(1, 0, Counts{Instructions: 10})
+	_ = r.Accumulate(2, 1, Counts{Instructions: 7})
+
+	tests := []struct {
+		name     string
+		pid, cpu int
+		want     uint64
+	}{
+		{name: "system wide", pid: AllPIDs, cpu: AllCPUs, want: 17},
+		{name: "one cpu all pids", pid: AllPIDs, cpu: 1, want: 7},
+		{name: "one pid all cpus", pid: 1, cpu: AllCPUs, want: 10},
+		{name: "specific", pid: 2, cpu: 1, want: 7},
+		{name: "missing pid", pid: 99, cpu: AllCPUs, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Read(tt.pid, tt.cpu)[Instructions]; got != tt.want {
+				t.Fatalf("Read(%d,%d) = %d, want %d", tt.pid, tt.cpu, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRegistryIdleWorkNotAttributedToPID(t *testing.T) {
+	r := NewRegistry()
+	// Kernel / idle work on cpu 0 (pid wildcard).
+	_ = r.Accumulate(AllPIDs, 0, Counts{Cycles: 100})
+	if got := len(r.PIDs()); got != 0 {
+		t.Fatalf("idle work should not create a pid entry, got %d pids", got)
+	}
+	if got := r.ReadCPU(0)[Cycles]; got != 100 {
+		t.Fatalf("ReadCPU(0) cycles = %d, want 100", got)
+	}
+	if got := r.ReadSystem()[Cycles]; got != 100 {
+		t.Fatalf("ReadSystem cycles = %d, want 100", got)
+	}
+}
+
+func TestRegistryForget(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Accumulate(1, 0, Counts{Instructions: 10})
+	r.Forget(1)
+	if got := r.ReadPID(1)[Instructions]; got != 0 {
+		t.Fatalf("after Forget, ReadPID = %d, want 0", got)
+	}
+	// System totals are preserved: the work did happen.
+	if got := r.ReadSystem()[Instructions]; got != 10 {
+		t.Fatalf("system totals must survive Forget, got %d", got)
+	}
+}
+
+func TestRegistryPIDs(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Accumulate(5, 0, Counts{Instructions: 1})
+	_ = r.Accumulate(9, 1, Counts{Instructions: 1})
+	pids := r.PIDs()
+	if len(pids) != 2 {
+		t.Fatalf("PIDs() = %v, want 2 entries", pids)
+	}
+	seen := map[int]bool{}
+	for _, p := range pids {
+		seen[p] = true
+	}
+	if !seen[5] || !seen[9] {
+		t.Fatalf("PIDs() = %v, want {5,9}", pids)
+	}
+}
+
+func TestRegistryConcurrentAccumulate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_ = r.Accumulate(pid, pid%2, Counts{Instructions: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.ReadSystem()[Instructions]; got != workers*perWorker {
+		t.Fatalf("system instructions = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRegistryMonotonicSystemCounts(t *testing.T) {
+	r := NewRegistry()
+	var last uint64
+	for i := 0; i < 100; i++ {
+		_ = r.Accumulate(1, 0, Counts{Cycles: uint64(i % 7)})
+		got := r.ReadSystem()[Cycles]
+		if got < last {
+			t.Fatalf("system counter went backwards: %d -> %d", last, got)
+		}
+		last = got
+	}
+}

@@ -1,0 +1,274 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"powerapi/internal/cpu"
+	"powerapi/internal/hpc"
+	"powerapi/internal/proc"
+	"powerapi/internal/sched"
+	"powerapi/internal/workload"
+)
+
+// housekeepingUtilization is the tiny background activity (kernel ticks,
+// interrupts) charged to no particular PID on every logical CPU.
+const housekeepingUtilization = 0.002
+
+// execution captures the work one assignment performed during a tick.
+type execution struct {
+	pid          int
+	logicalCPU   int
+	core         int
+	share        float64
+	demand       workload.Demand
+	instructions float64
+	cacheRefs    float64
+	cacheMisses  float64
+	cycles       float64
+	smtShared    bool
+	freqMHz      int
+}
+
+// Step advances the simulation by one tick: it schedules runnable processes,
+// executes their demands (accruing hardware counters), lets the DVFS governor
+// and the C-state logic react, and updates the hidden ground-truth power.
+func (m *Machine) Step() error {
+	now := m.clock.Now()
+	tickSec := m.cfg.Tick.Seconds()
+
+	// 1. Reap workloads that finished before this tick.
+	reaped := m.procs.Reap(now)
+	if len(reaped) > 0 {
+		m.mu.RLock()
+		hook := m.procExitHook
+		m.mu.RUnlock()
+		if hook != nil {
+			for _, pid := range reaped {
+				hook(pid)
+			}
+		}
+	}
+
+	// 2. Collect demands and schedule.
+	runnable := m.procs.Runnable()
+	candidates := make([]sched.Candidate, 0, len(runnable))
+	demands := make(map[int]workload.Demand, len(runnable))
+	processes := make(map[int]*proc.Process, len(runnable))
+	for _, p := range runnable {
+		d := p.Demand(now)
+		demands[p.PID()] = d
+		processes[p.PID()] = p
+		candidates = append(candidates, sched.Candidate{
+			PID:         p.PID(),
+			Utilization: d.Utilization,
+			Affinity:    p.Affinity(),
+		})
+	}
+	assignments, err := m.scheduler.Assign(candidates, m.topo)
+	if err != nil {
+		return fmt.Errorf("machine: schedule at %v: %w", now, err)
+	}
+
+	// 3. Determine SMT sharing: which physical cores have more than one busy
+	// hyperthread this tick.
+	busyThreadsPerCore := make(map[int]int)
+	coreOfLogical := make(map[int]int, m.topo.NumLogical())
+	for _, a := range assignments {
+		core, err := m.topo.CoreOf(a.LogicalCPU)
+		if err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+		coreOfLogical[a.LogicalCPU] = core
+		if a.Share > 0 {
+			busyThreadsPerCore[core]++
+		}
+	}
+
+	// 4. Execute the assignments.
+	executions := make([]execution, 0, len(assignments))
+	logicalUtil := make([]float64, m.topo.NumLogical())
+	for _, a := range assignments {
+		if a.Share <= 0 {
+			continue
+		}
+		d := demands[a.PID]
+		core := coreOfLogical[a.LogicalCPU]
+		freqMHz, err := m.dvfs.FrequencyOfCore(core)
+		if err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+		smtShared := busyThreadsPerCore[core] > 1
+		ipc := d.IPC
+		if smtShared {
+			ipc *= m.truth.smtThroughputFactor
+		}
+		cycles := float64(freqMHz) * 1e6 * tickSec * a.Share
+		instructions := cycles * ipc
+		cacheRefs := instructions * d.CacheRefsPerKiloInstr / 1000
+		cacheMisses := cacheRefs * d.CacheMissRatio
+		branches := instructions * d.BranchesPerKiloInstr / 1000
+		branchMisses := branches * d.BranchMissRatio
+		stalledBackend := cycles * d.MemoryBoundFraction
+		stalledFrontend := cycles * 0.04
+		busCycles := cycles * (0.02 + 0.25*d.MemoryBoundFraction)
+		refCycles := float64(m.cfg.Spec.BaseFrequencyMHz) * 1e6 * tickSec * a.Share
+
+		counts := hpc.Counts{
+			hpc.Instructions:          uint64(instructions),
+			hpc.CacheReferences:       uint64(cacheRefs),
+			hpc.CacheMisses:           uint64(cacheMisses),
+			hpc.Cycles:                uint64(cycles),
+			hpc.RefCycles:             uint64(refCycles),
+			hpc.BranchInstructions:    uint64(branches),
+			hpc.BranchMisses:          uint64(branchMisses),
+			hpc.BusCycles:             uint64(busCycles),
+			hpc.StalledCyclesFrontend: uint64(stalledFrontend),
+			hpc.StalledCyclesBackend:  uint64(stalledBackend),
+		}
+		if err := m.registry.Accumulate(a.PID, a.LogicalCPU, counts); err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+		if p := processes[a.PID]; p != nil {
+			p.AddCPUTime(time.Duration(a.Share * float64(m.cfg.Tick)))
+		}
+		logicalUtil[a.LogicalCPU] += a.Share
+		executions = append(executions, execution{
+			pid:          a.PID,
+			logicalCPU:   a.LogicalCPU,
+			core:         core,
+			share:        a.Share,
+			demand:       d,
+			instructions: instructions,
+			cacheRefs:    cacheRefs,
+			cacheMisses:  cacheMisses,
+			cycles:       cycles,
+			smtShared:    smtShared,
+			freqMHz:      freqMHz,
+		})
+	}
+
+	// 5. Kernel housekeeping on every logical CPU (charged to no PID).
+	for lcpuID := 0; lcpuID < m.topo.NumLogical(); lcpuID++ {
+		core, err := m.topo.CoreOf(lcpuID)
+		if err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+		freqMHz, err := m.dvfs.FrequencyOfCore(core)
+		if err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+		cycles := float64(freqMHz) * 1e6 * tickSec * housekeepingUtilization
+		instr := cycles * 1.0
+		counts := hpc.Counts{
+			hpc.Instructions:    uint64(instr),
+			hpc.Cycles:          uint64(cycles),
+			hpc.CacheReferences: uint64(instr * 0.004),
+			hpc.CacheMisses:     uint64(instr * 0.001),
+		}
+		if err := m.registry.Accumulate(hpc.AllPIDs, lcpuID, counts); err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+	}
+
+	// 6. Per-core utilisation, C-state residency and DVFS reaction.
+	// A core's utilisation is the utilisation of its busiest hyperthread,
+	// which is what the ondemand governor reacts to.
+	coreUtil := make([]float64, m.topo.NumCores())
+	for lcpuID, u := range logicalUtil {
+		core := 0
+		if c, err := m.topo.CoreOf(lcpuID); err == nil {
+			core = c
+		}
+		if u > coreUtil[core] {
+			coreUtil[core] = u
+		}
+	}
+	newIdleFor := make([]time.Duration, m.topo.NumCores())
+	freqs := make([]int, m.topo.NumCores())
+	activeCores := 0
+	for core := 0; core < m.topo.NumCores(); core++ {
+		if coreUtil[core] > 1 {
+			coreUtil[core] = 1
+		}
+		if coreUtil[core] > 0.005 {
+			activeCores++
+			newIdleFor[core] = 0
+		} else {
+			m.mu.RLock()
+			prev := m.coreIdleFor[core]
+			m.mu.RUnlock()
+			newIdleFor[core] = prev + m.cfg.Tick
+		}
+		f, err := m.dvfs.Adjust(core, coreUtil[core])
+		if err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+		freqs[core] = f
+	}
+
+	// 7. Ground-truth power for this tick.
+	idleWall, idlePkg := m.truth.idlePower(m.cfg.Spec, newIdleFor)
+	var dynamicJ float64
+	for _, e := range executions {
+		dynamicJ += m.truth.dynamicEnergyJoules(m.cfg.Spec, e.freqMHz, e.instructions, e.cacheRefs, e.cacheMisses, e.smtShared)
+	}
+	dynamicW := dynamicJ / tickSec
+	uncoreW := m.truth.uncorePower(activeCores)
+	m.mu.RLock()
+	thermalState := m.thermalState
+	m.mu.RUnlock()
+	thermalState = m.truth.advanceThermal(thermalState, dynamicW, m.cfg.Spec.TDPWatts, m.cfg.Tick)
+	thermalW := m.truth.thermalLeakage(thermalState)
+	noiseW := m.rng.Gaussian(0, m.cfg.PowerNoiseStdDevWatts)
+
+	cpuPower := idlePkg + dynamicW + uncoreW + thermalW
+	wallPower := idleWall + dynamicW + uncoreW + thermalW + noiseW
+	if wallPower < 0 {
+		wallPower = 0
+	}
+
+	// 8. Commit state and advance the clock.
+	m.mu.Lock()
+	m.truePowerW = wallPower
+	m.cpuPowerW = cpuPower
+	m.energyJ += wallPower * tickSec
+	m.cpuEnergyJ += cpuPower * tickSec
+	m.coreUtil = coreUtil
+	m.logicalUtil = logicalUtil
+	m.coreIdleFor = newIdleFor
+	m.lastFreqMHz = freqs
+	m.activeCores = activeCores
+	m.thermalState = thermalState
+	m.ticks++
+	m.mu.Unlock()
+
+	m.clock.Advance()
+	return nil
+}
+
+// ActiveCores returns the number of physical cores that executed work during
+// the last tick.
+func (m *Machine) ActiveCores() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.activeCores
+}
+
+// PinAllFrequencies switches the machine to the userspace governor and pins
+// every core to the given ladder frequency. The calibration sweep (Figure 1)
+// uses this to learn one power model per frequency.
+func (m *Machine) PinAllFrequencies(freqMHz int) error {
+	if err := m.dvfs.SetGovernor(cpu.GovernorUserspace); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	if err := m.dvfs.SetAllFrequencies(freqMHz); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	return nil
+}
+
+// SetGovernor switches the DVFS governor at runtime.
+func (m *Machine) SetGovernor(g cpu.Governor) error {
+	return m.dvfs.SetGovernor(g)
+}

@@ -1,0 +1,193 @@
+// Package powermeter simulates the two power-measurement channels the paper
+// discusses:
+//
+//   - PowerSpy, the Bluetooth wall-socket power meter used as ground truth
+//     during calibration and in the Figure 3 evaluation. The simulated meter
+//     samples the machine's hidden true wall power, adding measurement noise
+//     and quantisation, so the learning pipeline never sees an exact value.
+//   - RAPL (Running Average Power Limit), Intel's MSR-based package energy
+//     counter. The paper criticises it for being architecture dependent and
+//     package-scoped only; the simulation reproduces both limitations (it
+//     refuses to attach to non-RAPL specs and only reports CPU-package
+//     energy, never per-process figures).
+package powermeter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"powerapi/internal/machine"
+	"powerapi/internal/simclock"
+)
+
+// Sample is one power observation.
+type Sample struct {
+	// Time is the simulated instant of the observation.
+	Time time.Duration `json:"time"`
+	// Watts is the observed power.
+	Watts float64 `json:"watts"`
+}
+
+// Series is an ordered collection of samples.
+type Series []Sample
+
+// Watts projects the series onto a plain power vector.
+func (s Series) Watts() []float64 {
+	out := make([]float64, len(s))
+	for i, sample := range s {
+		out[i] = sample.Watts
+	}
+	return out
+}
+
+// Times projects the series onto its timestamps.
+func (s Series) Times() []time.Duration {
+	out := make([]time.Duration, len(s))
+	for i, sample := range s {
+		out[i] = sample.Time
+	}
+	return out
+}
+
+// MeanWatts returns the average power of the series.
+func (s Series) MeanWatts() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, sample := range s {
+		sum += sample.Watts
+	}
+	return sum / float64(len(s))
+}
+
+// EnergyJoules integrates the series assuming the given sampling interval.
+func (s Series) EnergyJoules(interval time.Duration) float64 {
+	var sum float64
+	for _, sample := range s {
+		sum += sample.Watts * interval.Seconds()
+	}
+	return sum
+}
+
+// PowerSpyConfig tunes the simulated wall-power meter.
+type PowerSpyConfig struct {
+	// NoiseStdDevWatts is the meter's own measurement noise.
+	NoiseStdDevWatts float64
+	// QuantizationWatts rounds readings to this granularity (PowerSpy
+	// reports ~0.1 W resolution).
+	QuantizationWatts float64
+	// Seed drives the meter's private noise stream.
+	Seed int64
+}
+
+// DefaultPowerSpyConfig mirrors the characteristics of the physical device.
+func DefaultPowerSpyConfig() PowerSpyConfig {
+	return PowerSpyConfig{
+		NoiseStdDevWatts:  0.25,
+		QuantizationWatts: 0.1,
+		Seed:              1234,
+	}
+}
+
+// PowerSpy is the simulated Bluetooth power meter.
+type PowerSpy struct {
+	cfg PowerSpyConfig
+	m   *machine.Machine
+	rng *simclock.Source
+
+	mu     sync.Mutex
+	series Series
+}
+
+// NewPowerSpy attaches a power meter to a machine.
+func NewPowerSpy(m *machine.Machine, cfg PowerSpyConfig) (*PowerSpy, error) {
+	if m == nil {
+		return nil, errors.New("powermeter: nil machine")
+	}
+	if cfg.NoiseStdDevWatts < 0 || cfg.QuantizationWatts < 0 {
+		return nil, errors.New("powermeter: negative noise or quantisation")
+	}
+	return &PowerSpy{cfg: cfg, m: m, rng: simclock.NewSource(cfg.Seed)}, nil
+}
+
+// Sample reads the wall power now, records it in the meter's history and
+// returns it.
+func (p *PowerSpy) Sample() Sample {
+	watts := p.m.TruePowerWatts() + p.rng.Gaussian(0, p.cfg.NoiseStdDevWatts)
+	if watts < 0 {
+		watts = 0
+	}
+	if q := p.cfg.QuantizationWatts; q > 0 {
+		watts = float64(int64(watts/q+0.5)) * q
+	}
+	s := Sample{Time: p.m.Now(), Watts: watts}
+	p.mu.Lock()
+	p.series = append(p.series, s)
+	p.mu.Unlock()
+	return s
+}
+
+// History returns a copy of every sample taken so far.
+func (p *PowerSpy) History() Series {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append(Series(nil), p.series...)
+}
+
+// Reset clears the sample history.
+func (p *PowerSpy) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.series = nil
+}
+
+// ErrRAPLUnsupported is returned when attaching a RAPL reader to a processor
+// generation without RAPL MSRs — reproducing the architecture dependence the
+// paper criticises.
+var ErrRAPLUnsupported = errors.New("powermeter: processor does not expose RAPL")
+
+// RAPL reads the CPU-package energy counter of RAPL-capable processors.
+type RAPL struct {
+	m *machine.Machine
+
+	mu         sync.Mutex
+	lastEnergy float64
+	lastTime   time.Duration
+}
+
+// NewRAPL attaches a RAPL package-domain reader to a machine.
+func NewRAPL(m *machine.Machine) (*RAPL, error) {
+	if m == nil {
+		return nil, errors.New("powermeter: nil machine")
+	}
+	if !m.Spec().HasRAPL {
+		return nil, fmt.Errorf("%w: %s", ErrRAPLUnsupported, m.Spec().String())
+	}
+	return &RAPL{m: m, lastEnergy: m.CPUEnergyJoules(), lastTime: m.Now()}, nil
+}
+
+// EnergyJoules returns the cumulative package energy counter.
+func (r *RAPL) EnergyJoules() float64 {
+	return r.m.CPUEnergyJoules()
+}
+
+// PowerWatts returns the average package power since the previous call (or
+// since attach for the first call). It mirrors how RAPL consumers derive
+// power from two energy readings.
+func (r *RAPL) PowerWatts() (float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nowEnergy := r.m.CPUEnergyJoules()
+	now := r.m.Now()
+	elapsed := now - r.lastTime
+	if elapsed <= 0 {
+		return 0, errors.New("powermeter: no simulated time elapsed since previous RAPL reading")
+	}
+	watts := (nowEnergy - r.lastEnergy) / elapsed.Seconds()
+	r.lastEnergy = nowEnergy
+	r.lastTime = now
+	return watts, nil
+}

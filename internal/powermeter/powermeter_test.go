@@ -1,0 +1,201 @@
+package powermeter
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"powerapi/internal/cpu"
+	"powerapi/internal/machine"
+	"powerapi/internal/workload"
+)
+
+func newMachine(t *testing.T, spec cpu.Spec) *machine.Machine {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Spec = spec
+	cfg.PowerNoiseStdDevWatts = 0
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewPowerSpyValidation(t *testing.T) {
+	if _, err := NewPowerSpy(nil, DefaultPowerSpyConfig()); err == nil {
+		t.Fatal("nil machine should fail")
+	}
+	m := newMachine(t, cpu.IntelCorei3_2120())
+	bad := DefaultPowerSpyConfig()
+	bad.NoiseStdDevWatts = -1
+	if _, err := NewPowerSpy(m, bad); err == nil {
+		t.Fatal("negative noise should fail")
+	}
+}
+
+func TestPowerSpyTracksTruePower(t *testing.T) {
+	m := newMachine(t, cpu.IntelCorei3_2120())
+	cfg := DefaultPowerSpyConfig()
+	cfg.NoiseStdDevWatts = 0
+	cfg.QuantizationWatts = 0
+	spy, err := NewPowerSpy(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := spy.Sample()
+	if math.Abs(s.Watts-m.TruePowerWatts()) > 1e-9 {
+		t.Fatalf("noise-free sample %.3f does not match true power %.3f", s.Watts, m.TruePowerWatts())
+	}
+	if s.Time != m.Now() {
+		t.Fatalf("sample time %v, want %v", s.Time, m.Now())
+	}
+}
+
+func TestPowerSpyQuantization(t *testing.T) {
+	m := newMachine(t, cpu.IntelCorei3_2120())
+	cfg := PowerSpyConfig{NoiseStdDevWatts: 0, QuantizationWatts: 0.5, Seed: 1}
+	spy, err := NewPowerSpy(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = m.Run(500 * time.Millisecond)
+	s := spy.Sample()
+	remainder := math.Mod(s.Watts, 0.5)
+	if remainder > 1e-9 && math.Abs(remainder-0.5) > 1e-9 {
+		t.Fatalf("sample %.4f not quantised to 0.5 W", s.Watts)
+	}
+}
+
+func TestPowerSpyNoiseIsBounded(t *testing.T) {
+	m := newMachine(t, cpu.IntelCorei3_2120())
+	cfg := PowerSpyConfig{NoiseStdDevWatts: 0.25, QuantizationWatts: 0.1, Seed: 3}
+	spy, _ := NewPowerSpy(m, cfg)
+	_, _ = m.Run(time.Second)
+	truth := m.TruePowerWatts()
+	var maxDiff float64
+	for i := 0; i < 500; i++ {
+		s := spy.Sample()
+		if d := math.Abs(s.Watts - truth); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 2.0 {
+		t.Fatalf("noise excursion %.2f W too large for 0.25 W stddev", maxDiff)
+	}
+	if maxDiff == 0 {
+		t.Fatal("noise never perturbed the reading")
+	}
+}
+
+func TestPowerSpyHistoryAndReset(t *testing.T) {
+	m := newMachine(t, cpu.IntelCorei3_2120())
+	spy, _ := NewPowerSpy(m, DefaultPowerSpyConfig())
+	for i := 0; i < 5; i++ {
+		_, _ = m.Run(100 * time.Millisecond)
+		spy.Sample()
+	}
+	h := spy.History()
+	if len(h) != 5 {
+		t.Fatalf("history has %d samples, want 5", len(h))
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Time <= h[i-1].Time {
+			t.Fatal("history timestamps not increasing")
+		}
+	}
+	// History must be a copy.
+	h[0].Watts = -1
+	if spy.History()[0].Watts == -1 {
+		t.Fatal("History leaked internal slice")
+	}
+	spy.Reset()
+	if len(spy.History()) != 0 {
+		t.Fatal("Reset did not clear the history")
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{
+		{Time: 0, Watts: 10},
+		{Time: time.Second, Watts: 20},
+		{Time: 2 * time.Second, Watts: 30},
+	}
+	w := s.Watts()
+	if len(w) != 3 || w[1] != 20 {
+		t.Fatalf("Watts() = %v", w)
+	}
+	ts := s.Times()
+	if len(ts) != 3 || ts[2] != 2*time.Second {
+		t.Fatalf("Times() = %v", ts)
+	}
+	if got := s.MeanWatts(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("MeanWatts = %v, want 20", got)
+	}
+	if got := s.EnergyJoules(time.Second); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("EnergyJoules = %v, want 60", got)
+	}
+	if (Series{}).MeanWatts() != 0 {
+		t.Fatal("empty series mean should be 0")
+	}
+}
+
+func TestRAPLRequiresSupport(t *testing.T) {
+	if _, err := NewRAPL(nil); err == nil {
+		t.Fatal("nil machine should fail")
+	}
+	m := newMachine(t, cpu.IntelCore2DuoE6600())
+	if _, err := NewRAPL(m); !errors.Is(err, ErrRAPLUnsupported) {
+		t.Fatalf("expected ErrRAPLUnsupported, got %v", err)
+	}
+}
+
+func TestRAPLPowerReading(t *testing.T) {
+	m := newMachine(t, cpu.IntelCorei3_2120())
+	rapl, err := NewRAPL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rapl.PowerWatts(); err == nil {
+		t.Fatal("reading with no elapsed time should fail")
+	}
+	gen, _ := workload.CPUStress(1.0, 0)
+	if _, err := m.Spawn(gen); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	watts, err := rapl.PowerWatts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if watts <= 0 {
+		t.Fatalf("RAPL power = %v, want > 0", watts)
+	}
+	// RAPL reports CPU-package power only: strictly below wall power.
+	if watts >= m.TruePowerWatts() {
+		t.Fatalf("RAPL package power %.2f should be below wall power %.2f", watts, m.TruePowerWatts())
+	}
+	if rapl.EnergyJoules() <= 0 {
+		t.Fatal("RAPL energy counter should be positive")
+	}
+}
+
+func TestRAPLEnergyMonotonic(t *testing.T) {
+	m := newMachine(t, cpu.IntelCorei3_2120())
+	rapl, _ := NewRAPL(m)
+	var last float64
+	for i := 0; i < 20; i++ {
+		_, _ = m.Run(100 * time.Millisecond)
+		e := rapl.EnergyJoules()
+		if e < last {
+			t.Fatalf("RAPL energy went backwards: %v -> %v", last, e)
+		}
+		last = e
+	}
+}

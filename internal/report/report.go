@@ -1,0 +1,186 @@
+// Package report renders experiment results — tables, CSV series, JSON — the
+// way the Reporter component of the paper's architecture "converts the power
+// estimations produced by the library into a suitable format".
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; missing cells are filled with empty strings and extra
+// cells are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	if w == nil {
+		return errors.New("report: nil writer")
+	}
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			b.WriteString(fmt.Sprintf("%-*s", widths[i], cell))
+			if i < len(cells)-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// TimePoint is one (time, measured, estimated) triple of a power trace, the
+// unit of Figure 3's two curves.
+type TimePoint struct {
+	Time      time.Duration `json:"time"`
+	Measured  float64       `json:"measuredWatts"`
+	Estimated float64       `json:"estimatedWatts"`
+}
+
+// WriteTimeSeriesCSV writes a Figure 3-style series (seconds, measured watts,
+// estimated watts) as CSV, directly consumable by gnuplot or a spreadsheet.
+func WriteTimeSeriesCSV(w io.Writer, points []TimePoint) error {
+	if w == nil {
+		return errors.New("report: nil writer")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", "powerspy_watts", "powerapi_watts"}); err != nil {
+		return fmt.Errorf("report: write csv header: %w", err)
+	}
+	for _, p := range points {
+		record := []string{
+			strconv.FormatFloat(p.Time.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(p.Measured, 'f', 3, 64),
+			strconv.FormatFloat(p.Estimated, 'f', 3, 64),
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("report: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes any value as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	if w == nil {
+		return errors.New("report: nil writer")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("report: encode json: %w", err)
+	}
+	return nil
+}
+
+// Sparkline renders values as a coarse ASCII sparkline, handy to eyeball the
+// shape of a power trace in a terminal.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	// Downsample to width buckets by averaging.
+	buckets := make([]float64, 0, width)
+	if len(values) <= width {
+		buckets = append(buckets, values...)
+	} else {
+		per := float64(len(values)) / float64(width)
+		for b := 0; b < width; b++ {
+			start := int(float64(b) * per)
+			end := int(float64(b+1) * per)
+			if end > len(values) {
+				end = len(values)
+			}
+			if start >= end {
+				start = end - 1
+			}
+			var sum float64
+			for _, v := range values[start:end] {
+				sum += v
+			}
+			buckets = append(buckets, sum/float64(end-start))
+		}
+	}
+	lo, hi := buckets[0], buckets[0]
+	for _, v := range buckets {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Specs", "Attribute", "Value")
+	tbl.AddRow("Vendor", "Intel")
+	tbl.AddRow("TDP", "65 W")
+	tbl.AddRow("only-one-cell")
+	if tbl.Rows() != 3 {
+		t.Fatalf("Rows() = %d, want 3", tbl.Rows())
+	}
+	out := tbl.String()
+	for _, want := range []string{"Specs", "Attribute", "Vendor", "Intel", "65 W", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + separator + 3 rows
+		t.Fatalf("table has %d lines, want 6:\n%s", len(lines), out)
+	}
+	if err := tbl.Render(nil); err == nil {
+		t.Fatal("nil writer should fail")
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tbl := NewTable("", "A", "B")
+	tbl.AddRow("1", "2", "3", "4")
+	out := tbl.String()
+	if strings.Contains(out, "3") || strings.Contains(out, "4") {
+		t.Fatalf("extra cells should be dropped:\n%s", out)
+	}
+}
+
+func TestWriteTimeSeriesCSV(t *testing.T) {
+	points := []TimePoint{
+		{Time: 0, Measured: 31.5, Estimated: 30.9},
+		{Time: time.Second, Measured: 35.2, Estimated: 36.1},
+	}
+	var b strings.Builder
+	if err := WriteTimeSeriesCSV(&b, points); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "seconds,powerspy_watts,powerapi_watts" {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1.000,35.200,36.100") {
+		t.Fatalf("unexpected row %q", lines[2])
+	}
+	if err := WriteTimeSeriesCSV(nil, points); err == nil {
+		t.Fatal("nil writer should fail")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, map[string]int{"answer": 42}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\"answer\": 42") {
+		t.Fatalf("unexpected json %q", b.String())
+	}
+	if err := WriteJSON(nil, 1); err == nil {
+		t.Fatal("nil writer should fail")
+	}
+	if err := WriteJSON(&strings.Builder{}, func() {}); err == nil {
+		t.Fatal("unencodable value should fail")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty input should render empty sparkline")
+	}
+	if Sparkline([]float64{1, 2}, 0) != "" {
+		t.Fatal("zero width should render empty sparkline")
+	}
+	s := Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("sparkline has %d runes, want 8: %q", utf8.RuneCountInString(s), s)
+	}
+	// Monotonic input must produce a non-decreasing ramp.
+	runes := []rune(s)
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("sparkline not monotone: %q", s)
+		}
+	}
+	// Downsampling path.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	down := Sparkline(long, 20)
+	if utf8.RuneCountInString(down) != 20 {
+		t.Fatalf("downsampled sparkline has %d runes, want 20", utf8.RuneCountInString(down))
+	}
+	// Constant input renders the lowest glyph everywhere.
+	flat := Sparkline([]float64{5, 5, 5, 5}, 4)
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("flat sparkline should use the lowest glyph: %q", flat)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewDefaults(t *testing.T) {
+	tests := []struct {
+		name string
+		tick time.Duration
+		want time.Duration
+	}{
+		{name: "zero tick falls back to default", tick: 0, want: DefaultTick},
+		{name: "negative tick falls back to default", tick: -time.Second, want: DefaultTick},
+		{name: "explicit tick is kept", tick: 25 * time.Millisecond, want: 25 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := New(tt.tick)
+			if got := c.Tick(); got != tt.want {
+				t.Fatalf("Tick() = %v, want %v", got, tt.want)
+			}
+			if got := c.Now(); got != 0 {
+				t.Fatalf("Now() = %v, want 0", got)
+			}
+		})
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New(10 * time.Millisecond)
+	for i := 1; i <= 100; i++ {
+		got := c.Advance()
+		want := time.Duration(i) * 10 * time.Millisecond
+		if got != want {
+			t.Fatalf("Advance() #%d = %v, want %v", i, got, want)
+		}
+	}
+	if got := c.Seconds(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Seconds() = %v, want 1.0", got)
+	}
+}
+
+func TestAdvanceBy(t *testing.T) {
+	c := New(time.Millisecond)
+	if _, err := c.AdvanceBy(-time.Second); err == nil {
+		t.Fatal("AdvanceBy(-1s) should return an error")
+	}
+	got, err := c.AdvanceBy(2 * time.Second)
+	if err != nil {
+		t.Fatalf("AdvanceBy: %v", err)
+	}
+	if got != 2*time.Second {
+		t.Fatalf("AdvanceBy = %v, want 2s", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(time.Second)
+	c.Advance()
+	c.Advance()
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() after Reset = %v, want 0", got)
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("sources with same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSourceIntnBounds(t *testing.T) {
+	s := NewSource(7)
+	if got := s.Intn(0); got != 0 {
+		t.Fatalf("Intn(0) = %d, want 0", got)
+	}
+	if got := s.Intn(-5); got != 0 {
+		t.Fatalf("Intn(-5) = %d, want 0", got)
+	}
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+	}
+}
+
+func TestSourcePerm(t *testing.T) {
+	s := NewSource(3)
+	if got := s.Perm(0); got != nil {
+		t.Fatalf("Perm(0) = %v, want nil", got)
+	}
+	p := s.Perm(16)
+	seen := make(map[int]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= 16 {
+			t.Fatalf("Perm value out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("Perm repeated value %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("Perm covered %d values, want 16", len(seen))
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	s := NewSource(11)
+	f := func(raw float64, amp float64) bool {
+		value := math.Abs(math.Mod(raw, 1000))
+		amplitude := math.Abs(math.Mod(amp, 1))
+		got := s.Jitter(value, amplitude)
+		lo := value * (1 - amplitude)
+		hi := value * (1 + amplitude)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterClampsAmplitude(t *testing.T) {
+	s := NewSource(13)
+	for i := 0; i < 100; i++ {
+		got := s.Jitter(10, 5) // amplitude clamped to 1
+		if got < 0 || got > 20+1e-9 {
+			t.Fatalf("Jitter with clamped amplitude out of range: %v", got)
+		}
+		if got := s.Jitter(10, -3); got != 10 {
+			t.Fatalf("Jitter with negative amplitude = %v, want 10", got)
+		}
+	}
+}
+
+func TestGaussianMean(t *testing.T) {
+	s := NewSource(17)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Gaussian(50, 2)
+	}
+	mean := sum / n
+	if math.Abs(mean-50) > 0.1 {
+		t.Fatalf("Gaussian sample mean = %v, want ~50", mean)
+	}
+}
+
+func TestClockConcurrentAccess(t *testing.T) {
+	c := New(time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			c.Advance()
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = c.Now()
+		_ = c.Tick()
+	}
+	<-done
+	if got := c.Now(); got != time.Second {
+		t.Fatalf("Now() = %v, want 1s", got)
+	}
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, v := range xs {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Median returns the median of xs (0 for an empty slice). The input is not
+// modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of range [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Pearson returns the Pearson product-moment correlation coefficient between
+// x and y.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: series of length %d and %d: %w", len(x), len(y), ErrDimensionMismatch)
+	}
+	if len(x) < 2 {
+		return 0, errors.New("stats: need at least two samples for correlation")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// ranks returns the fractional ranks of xs (average rank for ties), 1-based.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	r := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// Spearman returns the Spearman rank correlation coefficient between x and y.
+// This is the counter-selection statistic the paper plans to adopt ("we plan
+// to improve our learning algorithm by using the Spearman rank correlation").
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: series of length %d and %d: %w", len(x), len(y), ErrDimensionMismatch)
+	}
+	if len(x) < 2 {
+		return 0, errors.New("stats: need at least two samples for correlation")
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+// CorrelationRanking orders predictors (columns of x) by the absolute value
+// of their correlation with y, strongest first.
+type CorrelationRanking struct {
+	// Columns holds predictor column indices, strongest correlation first.
+	Columns []int
+	// Scores holds the corresponding correlation coefficients.
+	Scores []float64
+}
+
+// CorrelationMethod selects the statistic used to rank counters.
+type CorrelationMethod int
+
+// Supported correlation methods.
+const (
+	// MethodPearson is the linear correlation used by the paper's current
+	// pipeline.
+	MethodPearson CorrelationMethod = iota + 1
+	// MethodSpearman is the rank correlation the paper proposes as future
+	// improvement.
+	MethodSpearman
+)
+
+// String implements fmt.Stringer.
+func (m CorrelationMethod) String() string {
+	switch m {
+	case MethodPearson:
+		return "pearson"
+	case MethodSpearman:
+		return "spearman"
+	default:
+		return fmt.Sprintf("CorrelationMethod(%d)", int(m))
+	}
+}
+
+// RankPredictors computes the chosen correlation of every column of x against
+// y and returns the columns ordered by decreasing |correlation|.
+func RankPredictors(x [][]float64, y []float64, method CorrelationMethod) (*CorrelationRanking, error) {
+	if len(x) == 0 {
+		return nil, errors.New("stats: no observations")
+	}
+	p := len(x[0])
+	cols := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		cols[j] = make([]float64, len(x))
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: observation %d has %d predictors, want %d: %w",
+				i, len(row), p, ErrDimensionMismatch)
+		}
+		for j, v := range row {
+			cols[j][i] = v
+		}
+	}
+	type scored struct {
+		col   int
+		score float64
+	}
+	scoredCols := make([]scored, 0, p)
+	for j := 0; j < p; j++ {
+		var (
+			c   float64
+			err error
+		)
+		switch method {
+		case MethodSpearman:
+			c, err = Spearman(cols[j], y)
+		case MethodPearson:
+			c, err = Pearson(cols[j], y)
+		default:
+			return nil, fmt.Errorf("stats: unknown correlation method %v", method)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stats: rank predictor %d: %w", j, err)
+		}
+		scoredCols = append(scoredCols, scored{col: j, score: c})
+	}
+	sort.SliceStable(scoredCols, func(a, b int) bool {
+		return math.Abs(scoredCols[a].score) > math.Abs(scoredCols[b].score)
+	})
+	out := &CorrelationRanking{
+		Columns: make([]int, p),
+		Scores:  make([]float64, p),
+	}
+	for i, s := range scoredCols {
+		out.Columns[i] = s.col
+		out.Scores[i] = s.score
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	tests := []struct {
+		name     string
+		xs       []float64
+		mean     float64
+		variance float64
+	}{
+		{name: "empty", xs: nil, mean: 0, variance: 0},
+		{name: "single", xs: []float64{5}, mean: 5, variance: 0},
+		{name: "simple", xs: []float64{1, 2, 3, 4}, mean: 2.5, variance: 1.25},
+		{name: "constant", xs: []float64{7, 7, 7}, mean: 7, variance: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almostEqual(got, tt.mean, 1e-12) {
+				t.Fatalf("Mean = %v, want %v", got, tt.mean)
+			}
+			if got := Variance(tt.xs); !almostEqual(got, tt.variance, 1e-12) {
+				t.Fatalf("Variance = %v, want %v", got, tt.variance)
+			}
+			if got := StdDev(tt.xs); !almostEqual(got, math.Sqrt(tt.variance), 1e-12) {
+				t.Fatalf("StdDev = %v, want %v", got, math.Sqrt(tt.variance))
+			}
+		})
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{name: "empty", xs: nil, want: 0},
+		{name: "odd", xs: []float64{3, 1, 2}, want: 2},
+		{name: "even", xs: []float64{4, 1, 3, 2}, want: 2.5},
+		{name: "unsorted input preserved", xs: []float64{9, 1, 5}, want: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Median(tt.xs); !almostEqual(got, tt.want, 1e-12) {
+				t.Fatalf("Median = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 10},
+		{p: 50, want: 30},
+		{p: 100, want: 50},
+		{p: 25, want: 20},
+		{p: 90, want: 46},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tt.want, 1e-9) {
+			t.Fatalf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("Percentile of empty slice should fail")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("Percentile(101) should fail")
+	}
+	single, err := Percentile([]float64{42}, 75)
+	if err != nil || single != 42 {
+		t.Fatalf("Percentile single = %v, %v", single, err)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if r, err := Pearson(x, yPos); err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Pearson positive = %v, %v", r, err)
+	}
+	if r, err := Pearson(x, yNeg); err != nil || !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Pearson negative = %v, %v", r, err)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("Pearson with constant series = %v, want 0", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample should fail")
+	}
+}
+
+func TestSpearmanMonotoneInvariance(t *testing.T) {
+	// Spearman must be exactly 1 for any strictly increasing transform.
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.Float64() * 1000
+		y[i] = math.Exp(x[i]/200) + 5 // strictly increasing, non-linear
+	}
+	r, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-9) {
+		t.Fatalf("Spearman of monotone transform = %v, want 1", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 2, 2, 3}
+	y := []float64{10, 20, 20, 30}
+	r, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-9) {
+		t.Fatalf("Spearman with ties = %v, want 1", r)
+	}
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 40})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCorrelationBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		p, err := Pearson(x, y)
+		if err != nil {
+			return false
+		}
+		s, err := Spearman(x, y)
+		if err != nil {
+			return false
+		}
+		return p >= -1-1e-9 && p <= 1+1e-9 && s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankPredictors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		strong := rng.Float64() * 100
+		weak := rng.Float64() * 100
+		noise := rng.Float64() * 100
+		xs = append(xs, []float64{noise, strong, weak})
+		ys = append(ys, 3*strong+1.0*weak+rng.NormFloat64())
+	}
+	for _, method := range []CorrelationMethod{MethodPearson, MethodSpearman} {
+		ranking, err := RankPredictors(xs, ys, method)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if ranking.Columns[0] != 1 {
+			t.Fatalf("%v: strongest column = %d, want 1 (scores %v)", method, ranking.Columns[0], ranking.Scores)
+		}
+		if ranking.Columns[2] != 0 {
+			t.Fatalf("%v: weakest column = %d, want 0", method, ranking.Columns[2])
+		}
+	}
+}
+
+func TestRankPredictorsErrors(t *testing.T) {
+	if _, err := RankPredictors(nil, nil, MethodPearson); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := RankPredictors([][]float64{{1, 2}, {3}}, []float64{1, 2}, MethodPearson); err == nil {
+		t.Fatal("ragged rows should fail")
+	}
+	if _, err := RankPredictors([][]float64{{1}, {2}}, []float64{1, 2}, CorrelationMethod(99)); err == nil {
+		t.Fatal("unknown method should fail")
+	}
+}
+
+func TestCorrelationMethodString(t *testing.T) {
+	if MethodPearson.String() != "pearson" || MethodSpearman.String() != "spearman" {
+		t.Fatal("unexpected String() values")
+	}
+	if CorrelationMethod(42).String() == "" {
+		t.Fatal("unknown method should still render")
+	}
+}

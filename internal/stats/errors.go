@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrorReport summarises the discrepancy between an estimated series and a
+// reference (ground-truth) series. These are the figures of merit used in the
+// paper's evaluation section: it reports a *median* error of 15 % on
+// SPECjbb2013 and quotes *average* errors for the comparator models.
+type ErrorReport struct {
+	// MedianAPE is the median absolute percentage error (the paper's primary
+	// metric for Figure 3).
+	MedianAPE float64
+	// MAPE is the mean absolute percentage error (the metric quoted for the
+	// comparator models in Section 4).
+	MAPE float64
+	// RMSE is the root mean squared error in watts.
+	RMSE float64
+	// MaxAPE is the worst-case absolute percentage error.
+	MaxAPE float64
+	// Bias is the mean signed error (estimate - reference) in watts.
+	Bias float64
+	// N is the number of paired samples compared.
+	N int
+}
+
+// String renders the report in a compact human-readable form.
+func (r ErrorReport) String() string {
+	return fmt.Sprintf("median error %.1f%%, mean error %.1f%%, RMSE %.2f W, max %.1f%%, bias %+.2f W (n=%d)",
+		r.MedianAPE*100, r.MAPE*100, r.RMSE, r.MaxAPE*100, r.Bias, r.N)
+}
+
+// CompareSeries computes an ErrorReport for estimate against reference.
+// Reference samples equal to zero are skipped for the percentage metrics to
+// avoid division by zero but still contribute to RMSE and bias.
+func CompareSeries(estimate, reference []float64) (ErrorReport, error) {
+	if len(estimate) != len(reference) {
+		return ErrorReport{}, fmt.Errorf("stats: series of length %d and %d: %w",
+			len(estimate), len(reference), ErrDimensionMismatch)
+	}
+	if len(estimate) == 0 {
+		return ErrorReport{}, errors.New("stats: empty series")
+	}
+	apes := make([]float64, 0, len(estimate))
+	var sqSum, biasSum float64
+	for i := range estimate {
+		diff := estimate[i] - reference[i]
+		sqSum += diff * diff
+		biasSum += diff
+		if reference[i] != 0 {
+			apes = append(apes, math.Abs(diff)/math.Abs(reference[i]))
+		}
+	}
+	report := ErrorReport{
+		RMSE: math.Sqrt(sqSum / float64(len(estimate))),
+		Bias: biasSum / float64(len(estimate)),
+		N:    len(estimate),
+	}
+	if len(apes) > 0 {
+		report.MedianAPE = Median(apes)
+		report.MAPE = Mean(apes)
+		maxAPE := apes[0]
+		for _, v := range apes[1:] {
+			if v > maxAPE {
+				maxAPE = v
+			}
+		}
+		report.MaxAPE = maxAPE
+	}
+	return report, nil
+}
+
+// MAPE is a convenience wrapper returning only the mean absolute percentage
+// error of estimate against reference.
+func MAPE(estimate, reference []float64) (float64, error) {
+	r, err := CompareSeries(estimate, reference)
+	if err != nil {
+		return 0, err
+	}
+	return r.MAPE, nil
+}
+
+// MedianAPE is a convenience wrapper returning only the median absolute
+// percentage error of estimate against reference.
+func MedianAPE(estimate, reference []float64) (float64, error) {
+	r, err := CompareSeries(estimate, reference)
+	if err != nil {
+		return 0, err
+	}
+	return r.MedianAPE, nil
+}
+
+// RMSE returns the root mean squared error of estimate against reference.
+func RMSE(estimate, reference []float64) (float64, error) {
+	r, err := CompareSeries(estimate, reference)
+	if err != nil {
+		return 0, err
+	}
+	return r.RMSE, nil
+}

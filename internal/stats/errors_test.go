@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareSeriesExact(t *testing.T) {
+	est := []float64{10, 20, 30}
+	ref := []float64{10, 20, 30}
+	r, err := CompareSeries(est, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MedianAPE != 0 || r.MAPE != 0 || r.RMSE != 0 || r.MaxAPE != 0 || r.Bias != 0 {
+		t.Fatalf("exact series should report zero errors: %+v", r)
+	}
+	if r.N != 3 {
+		t.Fatalf("N = %d, want 3", r.N)
+	}
+}
+
+func TestCompareSeriesKnownErrors(t *testing.T) {
+	ref := []float64{100, 100, 100, 100}
+	est := []float64{110, 90, 100, 120}
+	r, err := CompareSeries(est, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.MedianAPE, 0.10, 1e-9) {
+		t.Fatalf("MedianAPE = %v, want 0.10", r.MedianAPE)
+	}
+	if !almostEqual(r.MAPE, 0.10, 1e-9) {
+		t.Fatalf("MAPE = %v, want 0.10", r.MAPE)
+	}
+	if !almostEqual(r.MaxAPE, 0.20, 1e-9) {
+		t.Fatalf("MaxAPE = %v, want 0.20", r.MaxAPE)
+	}
+	if !almostEqual(r.Bias, 5, 1e-9) {
+		t.Fatalf("Bias = %v, want 5", r.Bias)
+	}
+}
+
+func TestCompareSeriesSkipsZeroReference(t *testing.T) {
+	ref := []float64{0, 100}
+	est := []float64{5, 110}
+	r, err := CompareSeries(est, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.MAPE, 0.10, 1e-9) {
+		t.Fatalf("MAPE = %v, want 0.10 (zero reference skipped)", r.MAPE)
+	}
+	if r.RMSE <= 0 {
+		t.Fatalf("RMSE should still account for all samples, got %v", r.RMSE)
+	}
+}
+
+func TestCompareSeriesErrors(t *testing.T) {
+	if _, err := CompareSeries([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := CompareSeries(nil, nil); err == nil {
+		t.Fatal("empty series should fail")
+	}
+}
+
+func TestConvenienceWrappers(t *testing.T) {
+	ref := []float64{100, 200}
+	est := []float64{110, 180}
+	m, err := MAPE(est, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m, 0.10, 1e-9) {
+		t.Fatalf("MAPE = %v, want 0.10", m)
+	}
+	md, err := MedianAPE(est, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(md, 0.10, 1e-9) {
+		t.Fatalf("MedianAPE = %v, want 0.10", md)
+	}
+	rm, err := RMSE(est, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm <= 0 {
+		t.Fatalf("RMSE = %v, want > 0", rm)
+	}
+	if _, err := MAPE(nil, nil); err == nil {
+		t.Fatal("MAPE of empty series should fail")
+	}
+	if _, err := MedianAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("MedianAPE length mismatch should fail")
+	}
+	if _, err := RMSE(nil, []float64{}); err == nil {
+		t.Fatal("RMSE of empty series should fail")
+	}
+}
+
+func TestErrorReportString(t *testing.T) {
+	r := ErrorReport{MedianAPE: 0.15, MAPE: 0.2, RMSE: 3.5, MaxAPE: 0.4, Bias: -1.2, N: 100}
+	s := r.String()
+	for _, want := range []string{"median error 15.0%", "mean error 20.0%", "RMSE 3.50 W", "n=100"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package stats implements the statistical machinery behind the power-model
+// learning process of the paper: multivariate ordinary-least-squares
+// regression, Pearson and Spearman correlation (the paper's planned
+// counter-selection strategy), and the error metrics used by the evaluation
+// (median absolute percentage error, MAPE, RMSE, R²).
+//
+// Everything is implemented on plain float64 slices with no external
+// dependencies; matrices are small (a handful of counters, a few hundred
+// samples), so numerical simplicity is preferred over raw performance.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when the shapes of the provided matrices
+// or vectors are incompatible.
+var ErrDimensionMismatch = errors.New("stats: dimension mismatch")
+
+// ErrSingular is returned when a linear system cannot be solved because the
+// design matrix is singular (e.g. perfectly collinear predictors).
+var ErrSingular = errors.New("stats: singular matrix")
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix creates a rows×cols matrix initialised to zero.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("stats: invalid matrix dimensions %dx%d", rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}, nil
+}
+
+// MatrixFromRows builds a matrix from a slice of equally sized rows.
+func MatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("stats: empty matrix")
+	}
+	cols := len(rows[0])
+	m, err := NewMatrix(len(rows), cols)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d: %w", i, len(r), cols, ErrDimensionMismatch)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Transpose returns the transpose of m as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := &Matrix{rows: m.cols, cols: m.rows, data: make([]float64, len(m.data))}
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m·other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.cols != other.rows {
+		return nil, fmt.Errorf("stats: cannot multiply %dx%d by %dx%d: %w",
+			m.rows, m.cols, other.rows, other.cols, ErrDimensionMismatch)
+	}
+	out, err := NewMatrix(m.rows, other.cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.cols; j++ {
+				out.data[i*out.cols+j] += a * other.data[k*other.cols+j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("stats: cannot multiply %dx%d by vector of length %d: %w",
+			m.rows, m.cols, len(v), ErrDimensionMismatch)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var sum float64
+		for j := 0; j < m.cols; j++ {
+			sum += m.data[i*m.cols+j] * v[j]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// SolveLinearSystem solves A·x = b for x using Gaussian elimination with
+// partial pivoting. A must be square with len(b) rows.
+func SolveLinearSystem(a *Matrix, b []float64) ([]float64, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("stats: matrix is %dx%d, want square: %w", a.rows, a.cols, ErrDimensionMismatch)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("stats: vector length %d, want %d: %w", len(b), n, ErrDimensionMismatch)
+	}
+
+	// Build the augmented system on a copy so the caller's data is untouched.
+	aug := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		aug[i] = make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			aug[i][j] = a.At(i, j)
+		}
+		aug[i][n] = b[i]
+	}
+
+	for col := 0; col < n; col++ {
+		// Partial pivoting: find the row with the largest magnitude in col.
+		pivot := col
+		maxAbs := math.Abs(aug[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(aug[r][col]); abs > maxAbs {
+				maxAbs = abs
+				pivot = r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, ErrSingular
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+
+		for r := col + 1; r < n; r++ {
+			factor := aug[r][col] / aug[col][col]
+			if factor == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				aug[r][c] -= factor * aug[col][c]
+			}
+		}
+	}
+
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := aug[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= aug[i][j] * x[j]
+		}
+		x[i] = sum / aug[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewMatrixValidation(t *testing.T) {
+	tests := []struct {
+		name       string
+		rows, cols int
+		wantErr    bool
+	}{
+		{name: "valid", rows: 3, cols: 2, wantErr: false},
+		{name: "zero rows", rows: 0, cols: 2, wantErr: true},
+		{name: "zero cols", rows: 2, cols: 0, wantErr: true},
+		{name: "negative", rows: -1, cols: 1, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := NewMatrix(tt.rows, tt.cols)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewMatrix(%d,%d) error = %v, wantErr %v", tt.rows, tt.cols, err, tt.wantErr)
+			}
+			if err == nil {
+				if m.Rows() != tt.rows || m.Cols() != tt.cols {
+					t.Fatalf("dims = %dx%d, want %dx%d", m.Rows(), m.Cols(), tt.rows, tt.cols)
+				}
+			}
+		})
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	if _, err := MatrixFromRows(nil); err == nil {
+		t.Fatal("MatrixFromRows(nil) should fail")
+	}
+	if _, err := MatrixFromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("ragged rows: got %v, want ErrDimensionMismatch", err)
+	}
+	m, err := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("MatrixFromRows: %v", err)
+	}
+	if got := m.At(1, 0); got != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", got)
+	}
+	m.Set(1, 0, 9)
+	if got := m.At(1, 0); got != 9 {
+		t.Fatalf("At(1,0) after Set = %v, want 9", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, err := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnownProduct(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if got.At(i, j) != want[i][j] {
+				t.Fatalf("Mul at (%d,%d) = %v, want %v", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}})
+	b, _ := MatrixFromRows([][]float64{{1, 2}})
+	if _, err := a.Mul(b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("expected ErrDimensionMismatch, got %v", err)
+	}
+	if _, err := a.MulVec([]float64{1, 2, 3}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("MulVec: expected ErrDimensionMismatch, got %v", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", got)
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	// 2x + y = 5 ; x + 3y = 10 -> x = 1, y = 3
+	a, _ := MatrixFromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinearSystem(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearSystemSingular(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinearSystem(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveLinearSystemShapeErrors(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if _, err := SolveLinearSystem(a, []float64{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("non-square: expected ErrDimensionMismatch, got %v", err)
+	}
+	sq, _ := MatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	if _, err := SolveLinearSystem(sq, []float64{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("short vector: expected ErrDimensionMismatch, got %v", err)
+	}
+}
+
+func TestSolveLinearSystemPivoting(t *testing.T) {
+	// Leading zero forces a pivot swap.
+	a, _ := MatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinearSystem(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Fatalf("solution = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	if _, err := SolveLinearSystem(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 4 || a.At(1, 1) != 3 || b[0] != 1 || b[1] != 2 {
+		t.Fatal("SolveLinearSystem mutated its inputs")
+	}
+}

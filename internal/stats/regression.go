@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RegressionResult holds the outcome of a multivariate ordinary-least-squares
+// fit. With an intercept, the model is
+//
+//	y ≈ Intercept + Σ_j Coefficients[j]·x_j
+type RegressionResult struct {
+	// Intercept is the constant term (zero when the fit was forced through
+	// the origin).
+	Intercept float64
+	// Coefficients holds one slope per predictor column, in column order.
+	Coefficients []float64
+	// R2 is the coefficient of determination of the fit on the training data.
+	R2 float64
+	// AdjustedR2 penalises R2 for the number of predictors.
+	AdjustedR2 float64
+	// Residuals are y_i - ŷ_i for each training sample.
+	Residuals []float64
+	// N is the number of samples used.
+	N int
+}
+
+// Predict evaluates the fitted model on one observation x (same column order
+// as the training design matrix).
+func (r *RegressionResult) Predict(x []float64) (float64, error) {
+	if len(x) != len(r.Coefficients) {
+		return 0, fmt.Errorf("stats: observation has %d predictors, model has %d: %w",
+			len(x), len(r.Coefficients), ErrDimensionMismatch)
+	}
+	y := r.Intercept
+	for j, c := range r.Coefficients {
+		y += c * x[j]
+	}
+	return y, nil
+}
+
+// OLSOptions controls the behaviour of the least-squares fit.
+type OLSOptions struct {
+	// FitIntercept adds a constant column to the design matrix. The paper's
+	// per-frequency models are fitted without an intercept (the idle power is
+	// isolated as a separate constant), while the whole-machine model keeps
+	// one; both modes are supported.
+	FitIntercept bool
+	// Ridge adds an L2 penalty to stabilise nearly collinear predictors.
+	// The value is relative: the effective lambda is Ridge times the mean
+	// diagonal of XᵀX, so the same Ridge works regardless of predictor
+	// scale. Zero disables regularisation.
+	Ridge float64
+}
+
+// OLS fits a multivariate linear regression of y on the columns of x using
+// the normal equations. Each row of x is one observation.
+func OLS(x [][]float64, y []float64, opts OLSOptions) (*RegressionResult, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("stats: no observations")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("stats: %d observations but %d responses: %w", n, len(y), ErrDimensionMismatch)
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("stats: no predictors")
+	}
+	cols := p
+	if opts.FitIntercept {
+		cols++
+	}
+	if n < cols {
+		return nil, fmt.Errorf("stats: %d observations is not enough to fit %d parameters", n, cols)
+	}
+
+	design := make([][]float64, n)
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: observation %d has %d predictors, want %d: %w",
+				i, len(row), p, ErrDimensionMismatch)
+		}
+		d := make([]float64, cols)
+		if opts.FitIntercept {
+			d[0] = 1
+			copy(d[1:], row)
+		} else {
+			copy(d, row)
+		}
+		design[i] = d
+	}
+
+	xm, err := MatrixFromRows(design)
+	if err != nil {
+		return nil, err
+	}
+	xt := xm.Transpose()
+	xtx, err := xt.Mul(xm)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Ridge > 0 {
+		var trace float64
+		for j := 0; j < cols; j++ {
+			trace += xtx.At(j, j)
+		}
+		lambda := opts.Ridge * trace / float64(cols)
+		if lambda <= 0 {
+			lambda = opts.Ridge
+		}
+		for j := 0; j < cols; j++ {
+			if opts.FitIntercept && j == 0 {
+				continue // never penalise the intercept
+			}
+			xtx.Set(j, j, xtx.At(j, j)+lambda)
+		}
+	}
+	xty, err := xt.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := SolveLinearSystem(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("stats: OLS solve: %w", err)
+	}
+
+	res := &RegressionResult{N: n}
+	if opts.FitIntercept {
+		res.Intercept = beta[0]
+		res.Coefficients = append([]float64(nil), beta[1:]...)
+	} else {
+		res.Coefficients = append([]float64(nil), beta...)
+	}
+
+	// Residuals and goodness of fit.
+	res.Residuals = make([]float64, n)
+	meanY := Mean(y)
+	var ssRes, ssTot float64
+	for i := range x {
+		pred, err := res.Predict(x[i])
+		if err != nil {
+			return nil, err
+		}
+		r := y[i] - pred
+		res.Residuals[i] = r
+		ssRes += r * r
+		d := y[i] - meanY
+		ssTot += d * d
+	}
+	if ssTot > 0 {
+		res.R2 = 1 - ssRes/ssTot
+	} else {
+		res.R2 = 1
+	}
+	dof := float64(n - cols)
+	if dof > 0 && ssTot > 0 {
+		res.AdjustedR2 = 1 - (ssRes/dof)/(ssTot/float64(n-1))
+	} else {
+		res.AdjustedR2 = res.R2
+	}
+	if math.IsNaN(res.R2) || math.IsInf(res.R2, 0) {
+		res.R2 = 0
+	}
+	return res, nil
+}
+
+// NonNegativeOLS fits an OLS model and clamps negative coefficients to zero,
+// then refits the remaining predictors. Power contributions of hardware
+// events are physically non-negative, so the calibration pipeline uses this
+// variant to keep models interpretable (as the paper's published coefficients
+// are all positive).
+func NonNegativeOLS(x [][]float64, y []float64, opts OLSOptions) (*RegressionResult, error) {
+	res, err := OLS(x, y, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := len(res.Coefficients)
+	active := make([]bool, p)
+	activeCount := 0
+	for j, c := range res.Coefficients {
+		if c > 0 {
+			active[j] = true
+			activeCount++
+		}
+	}
+	if activeCount == p {
+		return res, nil
+	}
+	if activeCount == 0 {
+		// Degenerate: every predictor came out non-positive. Return a model
+		// with all-zero slopes and (optionally) the mean as intercept.
+		out := &RegressionResult{
+			Coefficients: make([]float64, p),
+			N:            res.N,
+			Residuals:    make([]float64, len(y)),
+		}
+		if opts.FitIntercept {
+			out.Intercept = Mean(y)
+		}
+		for i := range y {
+			pred, _ := out.Predict(x[i])
+			out.Residuals[i] = y[i] - pred
+		}
+		return out, nil
+	}
+
+	// Refit on the surviving predictors only.
+	reduced := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, 0, activeCount)
+		for j, ok := range active {
+			if ok {
+				r = append(r, row[j])
+			}
+		}
+		reduced[i] = r
+	}
+	sub, err := OLS(reduced, y, opts)
+	if err != nil {
+		return nil, err
+	}
+	full := &RegressionResult{
+		Intercept:    sub.Intercept,
+		Coefficients: make([]float64, p),
+		R2:           sub.R2,
+		AdjustedR2:   sub.AdjustedR2,
+		Residuals:    sub.Residuals,
+		N:            sub.N,
+	}
+	idx := 0
+	for j, ok := range active {
+		if ok {
+			c := sub.Coefficients[idx]
+			if c < 0 {
+				c = 0
+			}
+			full.Coefficients[j] = c
+			idx++
+		}
+	}
+	return full, nil
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestOLSRecoversKnownCoefficients(t *testing.T) {
+	// y = 3 + 2*x1 + 0.5*x2, exactly.
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x1 := rng.Float64() * 100
+		x2 := rng.Float64() * 10
+		xs = append(xs, []float64{x1, x2})
+		ys = append(ys, 3+2*x1+0.5*x2)
+	}
+	res, err := OLS(xs, ys, OLSOptions{FitIntercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Intercept, 3, 1e-6) {
+		t.Fatalf("intercept = %v, want 3", res.Intercept)
+	}
+	if !almostEqual(res.Coefficients[0], 2, 1e-6) || !almostEqual(res.Coefficients[1], 0.5, 1e-6) {
+		t.Fatalf("coefficients = %v, want [2 0.5]", res.Coefficients)
+	}
+	if res.R2 < 0.999999 {
+		t.Fatalf("R2 = %v, want ~1", res.R2)
+	}
+}
+
+func TestOLSWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 2000; i++ {
+		x1 := rng.Float64() * 50
+		xs = append(xs, []float64{x1})
+		ys = append(ys, 10+1.5*x1+rng.NormFloat64()*0.5)
+	}
+	res, err := OLS(xs, ys, OLSOptions{FitIntercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Intercept, 10, 0.2) {
+		t.Fatalf("intercept = %v, want ~10", res.Intercept)
+	}
+	if !almostEqual(res.Coefficients[0], 1.5, 0.05) {
+		t.Fatalf("slope = %v, want ~1.5", res.Coefficients[0])
+	}
+	if res.R2 < 0.99 {
+		t.Fatalf("R2 = %v, want > 0.99", res.R2)
+	}
+}
+
+func TestOLSNoIntercept(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{2, 4, 6, 8}
+	res, err := OLS(xs, ys, OLSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intercept != 0 {
+		t.Fatalf("intercept = %v, want 0", res.Intercept)
+	}
+	if !almostEqual(res.Coefficients[0], 2, 1e-9) {
+		t.Fatalf("slope = %v, want 2", res.Coefficients[0])
+	}
+}
+
+func TestOLSInputValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		x    [][]float64
+		y    []float64
+	}{
+		{name: "no observations", x: nil, y: nil},
+		{name: "mismatched y", x: [][]float64{{1}}, y: []float64{1, 2}},
+		{name: "no predictors", x: [][]float64{{}}, y: []float64{1}},
+		{name: "ragged rows", x: [][]float64{{1, 2}, {3}}, y: []float64{1, 2}},
+		{name: "more params than samples", x: [][]float64{{1, 2, 3}}, y: []float64{1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := OLS(tt.x, tt.y, OLSOptions{FitIntercept: true}); err == nil {
+				t.Fatal("expected error, got nil")
+			}
+		})
+	}
+}
+
+func TestOLSCollinearPredictors(t *testing.T) {
+	// Perfectly collinear columns: singular normal equations.
+	var xs [][]float64
+	var ys []float64
+	for i := 1; i <= 20; i++ {
+		v := float64(i)
+		xs = append(xs, []float64{v, 2 * v})
+		ys = append(ys, 3*v)
+	}
+	if _, err := OLS(xs, ys, OLSOptions{}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+	// Ridge regularisation makes it solvable.
+	res, err := OLS(xs, ys, OLSOptions{Ridge: 1e-6})
+	if err != nil {
+		t.Fatalf("ridge OLS: %v", err)
+	}
+	pred, err := res.Predict([]float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pred, 30, 0.1) {
+		t.Fatalf("ridge prediction = %v, want ~30", pred)
+	}
+}
+
+func TestPredictDimensionCheck(t *testing.T) {
+	res := &RegressionResult{Intercept: 1, Coefficients: []float64{2, 3}}
+	if _, err := res.Predict([]float64{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("expected ErrDimensionMismatch, got %v", err)
+	}
+	got, err := res.Predict([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("Predict = %v, want 6", got)
+	}
+}
+
+func TestNonNegativeOLSClampsNegative(t *testing.T) {
+	// x2 is pure noise negatively correlated by construction; the true model
+	// only involves x1.
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		x1 := rng.Float64() * 100
+		x2 := -x1 + rng.NormFloat64()*0.01 // strongly negative contribution if fitted freely
+		xs = append(xs, []float64{x1, x2})
+		ys = append(ys, 5+1.2*x1)
+	}
+	res, err := NonNegativeOLS(xs, ys, OLSOptions{FitIntercept: true, Ridge: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range res.Coefficients {
+		if c < 0 {
+			t.Fatalf("coefficient %d is negative: %v", j, c)
+		}
+	}
+}
+
+func TestNonNegativeOLSAllNegative(t *testing.T) {
+	// y decreases with x: the only admissible non-negative model is flat.
+	xs := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	ys := []float64{10, 8, 6, 4, 2}
+	res, err := NonNegativeOLS(xs, ys, OLSOptions{FitIntercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coefficients[0] != 0 {
+		t.Fatalf("coefficient = %v, want 0", res.Coefficients[0])
+	}
+	if !almostEqual(res.Intercept, Mean(ys), 1e-9) {
+		t.Fatalf("intercept = %v, want mean %v", res.Intercept, Mean(ys))
+	}
+}
+
+func TestOLSPropertyPredictionsMatchResiduals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(50)
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < n; i++ {
+			x1 := rng.Float64() * 10
+			x2 := rng.Float64() * 5
+			xs = append(xs, []float64{x1, x2})
+			ys = append(ys, 1+2*x1-x2+rng.NormFloat64())
+		}
+		res, err := OLS(xs, ys, OLSOptions{FitIntercept: true})
+		if err != nil {
+			return false
+		}
+		// Residuals must equal y - prediction for every sample.
+		for i := range xs {
+			pred, err := res.Predict(xs[i])
+			if err != nil {
+				return false
+			}
+			if !almostEqual(res.Residuals[i], ys[i]-pred, 1e-9) {
+				return false
+			}
+		}
+		// OLS residuals with an intercept must sum to ~0.
+		var sum float64
+		for _, r := range res.Residuals {
+			sum += r
+		}
+		return almostEqual(sum/float64(n), 0, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

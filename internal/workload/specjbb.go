@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// SPECjbbConfig parameterises the SPECjbb2013-like evaluation workload used
+// by the paper's preliminary experiment (Figure 3).
+//
+// The real benchmark ramps the transaction injection rate in steps while
+// backend worker threads process memory-heavy business transactions; the
+// power drawn follows the injection ramp with short idle valleys between
+// phases. This generator reproduces that envelope.
+type SPECjbbConfig struct {
+	// Duration is the total run length (the paper's trace spans roughly
+	// 2 500 seconds).
+	Duration time.Duration
+	// WarmupFraction is the fraction of the run spent in the initial ramp-up.
+	WarmupFraction float64
+	// Steps is the number of injection-rate plateaus after warmup.
+	Steps int
+	// PeakUtilization is the per-process utilisation reached at the highest
+	// injection plateau, in [0, 1].
+	PeakUtilization float64
+	// InterPhaseIdle is the pause between plateaus.
+	InterPhaseIdle time.Duration
+	// OscillationAmplitude adds a deterministic within-plateau oscillation
+	// (fraction of the plateau level) mimicking GC pauses and batch effects.
+	OscillationAmplitude float64
+	// OscillationPeriod is the period of that oscillation.
+	OscillationPeriod time.Duration
+}
+
+// DefaultSPECjbbConfig mirrors the shape of the paper's Figure 3 run.
+func DefaultSPECjbbConfig() SPECjbbConfig {
+	return SPECjbbConfig{
+		Duration:             2500 * time.Second,
+		WarmupFraction:       0.12,
+		Steps:                8,
+		PeakUtilization:      0.95,
+		InterPhaseIdle:       8 * time.Second,
+		OscillationAmplitude: 0.12,
+		OscillationPeriod:    40 * time.Second,
+	}
+}
+
+// Validate checks the configuration.
+func (c SPECjbbConfig) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return errors.New("workload: SPECjbb duration must be positive")
+	case c.WarmupFraction < 0 || c.WarmupFraction >= 1:
+		return fmt.Errorf("workload: warmup fraction %v out of [0,1)", c.WarmupFraction)
+	case c.Steps <= 0:
+		return errors.New("workload: SPECjbb needs at least one step")
+	case c.PeakUtilization <= 0 || c.PeakUtilization > 1:
+		return fmt.Errorf("workload: peak utilization %v out of (0,1]", c.PeakUtilization)
+	case c.InterPhaseIdle < 0:
+		return errors.New("workload: inter-phase idle must be non-negative")
+	case c.OscillationAmplitude < 0 || c.OscillationAmplitude > 0.5:
+		return fmt.Errorf("workload: oscillation amplitude %v out of [0,0.5]", c.OscillationAmplitude)
+	}
+	return nil
+}
+
+// SPECjbb is the phased, memory-intensive benchmark generator.
+type SPECjbb struct {
+	cfg    SPECjbbConfig
+	warmup time.Duration
+}
+
+var _ Generator = (*SPECjbb)(nil)
+
+// NewSPECjbb builds the generator from cfg.
+func NewSPECjbb(cfg SPECjbbConfig) (*SPECjbb, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SPECjbb{
+		cfg:    cfg,
+		warmup: time.Duration(float64(cfg.Duration) * cfg.WarmupFraction),
+	}, nil
+}
+
+// Name implements Generator.
+func (s *SPECjbb) Name() string { return "specjbb" }
+
+// Done implements Generator.
+func (s *SPECjbb) Done(at time.Duration) bool { return at >= s.cfg.Duration }
+
+// Demand implements Generator.
+func (s *SPECjbb) Demand(at time.Duration) Demand {
+	if at < 0 || s.Done(at) {
+		return Demand{}
+	}
+	level := s.levelAt(at)
+	if level <= 0 {
+		return Demand{}
+	}
+	d := jbbProfile.Demand(level)
+	// Memory pressure rises with the injection rate: the working set grows
+	// and the LLC miss ratio with it.
+	d.CacheMissRatio = clamp01(jbbProfile.CacheMissRatio * (0.7 + 0.6*level))
+	d.MemoryBoundFraction = clamp01(jbbProfile.MemoryBoundFraction * (0.7 + 0.5*level))
+	return d
+}
+
+// levelAt returns the injection level (utilisation fraction) at instant at.
+func (s *SPECjbb) levelAt(at time.Duration) float64 {
+	cfg := s.cfg
+	if at < s.warmup {
+		// Linear ramp from 10% to 60% of the peak during warmup.
+		frac := float64(at) / float64(s.warmup)
+		return cfg.PeakUtilization * (0.1 + 0.5*frac)
+	}
+	rest := cfg.Duration - s.warmup
+	stepSpan := rest / time.Duration(cfg.Steps)
+	if stepSpan <= 0 {
+		return cfg.PeakUtilization
+	}
+	into := at - s.warmup
+	step := int(into / stepSpan)
+	if step >= cfg.Steps {
+		step = cfg.Steps - 1
+	}
+	// Idle valley at the start of each plateau (the benchmark's
+	// inter-phase pause).
+	offsetInStep := into - time.Duration(step)*stepSpan
+	if offsetInStep < cfg.InterPhaseIdle {
+		return 0
+	}
+	// Plateau level rises with the step index: from 35% to 100% of peak.
+	frac := 0.35 + 0.65*float64(step+1)/float64(cfg.Steps)
+	level := cfg.PeakUtilization * frac
+	// Within-plateau oscillation (GC pauses, batch boundaries).
+	if cfg.OscillationAmplitude > 0 && cfg.OscillationPeriod > 0 {
+		phase := 2 * math.Pi * float64(offsetInStep) / float64(cfg.OscillationPeriod)
+		level *= 1 + cfg.OscillationAmplitude*math.Sin(phase)
+	}
+	return clamp01(level)
+}
+
+// Phases returns human-readable phase boundaries, mostly for reports.
+func (s *SPECjbb) Phases() []string {
+	out := []string{fmt.Sprintf("warmup: 0s - %v", s.warmup)}
+	rest := s.cfg.Duration - s.warmup
+	stepSpan := rest / time.Duration(s.cfg.Steps)
+	for i := 0; i < s.cfg.Steps; i++ {
+		start := s.warmup + time.Duration(i)*stepSpan
+		out = append(out, fmt.Sprintf("plateau %d: %v - %v", i+1, start, start+stepSpan))
+	}
+	return out
+}
+
+// Burst is a generator alternating between busy and idle periods, useful for
+// DVFS/C-state exercises and the energy-aware scheduling example.
+type Burst struct {
+	name     string
+	busy     Demand
+	period   time.Duration
+	dutyFrac float64
+	duration time.Duration
+}
+
+var _ Generator = (*Burst)(nil)
+
+// NewBurst creates a workload that is busy for dutyFrac of every period and
+// idle for the rest. A zero duration runs forever.
+func NewBurst(name string, busy Demand, period time.Duration, dutyFrac float64, duration time.Duration) (*Burst, error) {
+	if name == "" {
+		return nil, errors.New("workload: burst generator needs a name")
+	}
+	if err := busy.Validate(); err != nil {
+		return nil, err
+	}
+	if period <= 0 {
+		return nil, errors.New("workload: burst period must be positive")
+	}
+	if dutyFrac < 0 || dutyFrac > 1 {
+		return nil, fmt.Errorf("workload: duty fraction %v out of [0,1]", dutyFrac)
+	}
+	if duration < 0 {
+		return nil, errors.New("workload: negative duration")
+	}
+	return &Burst{name: name, busy: busy, period: period, dutyFrac: dutyFrac, duration: duration}, nil
+}
+
+// Name implements Generator.
+func (b *Burst) Name() string { return b.name }
+
+// Done implements Generator.
+func (b *Burst) Done(at time.Duration) bool {
+	return b.duration > 0 && at >= b.duration
+}
+
+// Demand implements Generator.
+func (b *Burst) Demand(at time.Duration) Demand {
+	if b.Done(at) {
+		return Demand{}
+	}
+	offset := at % b.period
+	if float64(offset) < b.dutyFrac*float64(b.period) {
+		return b.busy
+	}
+	return Demand{}
+}
+
+// Trace replays a recorded sequence of demands at a fixed sample interval,
+// which is how recorded production traces can be fed to the simulator.
+type Trace struct {
+	name     string
+	interval time.Duration
+	samples  []Demand
+}
+
+var _ Generator = (*Trace)(nil)
+
+// NewTrace creates a trace generator. The trace ends after
+// len(samples)*interval of simulated time.
+func NewTrace(name string, interval time.Duration, samples []Demand) (*Trace, error) {
+	if name == "" {
+		return nil, errors.New("workload: trace generator needs a name")
+	}
+	if interval <= 0 {
+		return nil, errors.New("workload: trace interval must be positive")
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("workload: trace needs at least one sample")
+	}
+	for i, d := range samples {
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: trace sample %d: %w", i, err)
+		}
+	}
+	return &Trace{name: name, interval: interval, samples: append([]Demand(nil), samples...)}, nil
+}
+
+// Name implements Generator.
+func (t *Trace) Name() string { return t.name }
+
+// Done implements Generator.
+func (t *Trace) Done(at time.Duration) bool {
+	return at >= time.Duration(len(t.samples))*t.interval
+}
+
+// Demand implements Generator.
+func (t *Trace) Demand(at time.Duration) Demand {
+	if at < 0 || t.Done(at) {
+		return Demand{}
+	}
+	idx := int(at / t.interval)
+	if idx >= len(t.samples) {
+		idx = len(t.samples) - 1
+	}
+	return t.samples[idx]
+}

@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSPECjbbConfigValidate(t *testing.T) {
+	valid := DefaultSPECjbbConfig()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*SPECjbbConfig)
+	}{
+		{name: "zero duration", mutate: func(c *SPECjbbConfig) { c.Duration = 0 }},
+		{name: "warmup >= 1", mutate: func(c *SPECjbbConfig) { c.WarmupFraction = 1 }},
+		{name: "negative warmup", mutate: func(c *SPECjbbConfig) { c.WarmupFraction = -0.1 }},
+		{name: "zero steps", mutate: func(c *SPECjbbConfig) { c.Steps = 0 }},
+		{name: "zero peak", mutate: func(c *SPECjbbConfig) { c.PeakUtilization = 0 }},
+		{name: "peak above 1", mutate: func(c *SPECjbbConfig) { c.PeakUtilization = 1.2 }},
+		{name: "negative idle", mutate: func(c *SPECjbbConfig) { c.InterPhaseIdle = -time.Second }},
+		{name: "oscillation too large", mutate: func(c *SPECjbbConfig) { c.OscillationAmplitude = 0.9 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultSPECjbbConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+			if _, err := NewSPECjbb(cfg); err == nil {
+				t.Fatal("NewSPECjbb should reject an invalid config")
+			}
+		})
+	}
+}
+
+func TestSPECjbbEnvelope(t *testing.T) {
+	cfg := DefaultSPECjbbConfig()
+	cfg.Duration = 1000 * time.Second
+	jbb, err := NewSPECjbb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jbb.Name() != "specjbb" {
+		t.Fatalf("Name() = %q", jbb.Name())
+	}
+	// Every demand over the run must be valid and the workload must be busy
+	// most of the time.
+	busy := 0
+	total := 0
+	var maxUtil float64
+	for at := time.Duration(0); at < cfg.Duration; at += time.Second {
+		d := jbb.Demand(at)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("demand at %v invalid: %v", at, err)
+		}
+		total++
+		if !d.IsIdle() {
+			busy++
+		}
+		if d.Utilization > maxUtil {
+			maxUtil = d.Utilization
+		}
+	}
+	if float64(busy)/float64(total) < 0.8 {
+		t.Fatalf("SPECjbb busy only %d/%d samples", busy, total)
+	}
+	if maxUtil < 0.8*cfg.PeakUtilization {
+		t.Fatalf("peak utilisation %v never approached configured peak %v", maxUtil, cfg.PeakUtilization)
+	}
+	if !jbb.Done(cfg.Duration) || jbb.Done(cfg.Duration-time.Second) {
+		t.Fatal("Done boundary incorrect")
+	}
+	if !jbb.Demand(cfg.Duration + time.Second).IsIdle() {
+		t.Fatal("demand after the end should be idle")
+	}
+	if !jbb.Demand(-time.Second).IsIdle() {
+		t.Fatal("demand before the start should be idle")
+	}
+}
+
+func TestSPECjbbRampIncreasesAcrossPlateaus(t *testing.T) {
+	cfg := DefaultSPECjbbConfig()
+	cfg.Duration = 800 * time.Second
+	cfg.OscillationAmplitude = 0 // make plateau levels exact
+	cfg.InterPhaseIdle = 0
+	jbb, err := NewSPECjbb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmup := time.Duration(float64(cfg.Duration) * cfg.WarmupFraction)
+	stepSpan := (cfg.Duration - warmup) / time.Duration(cfg.Steps)
+	var prev float64
+	for step := 0; step < cfg.Steps; step++ {
+		mid := warmup + time.Duration(step)*stepSpan + stepSpan/2
+		u := jbb.Demand(mid).Utilization
+		if u <= prev {
+			t.Fatalf("plateau %d utilisation %v not above previous %v", step, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestSPECjbbMemoryPressureGrowsWithLoad(t *testing.T) {
+	cfg := DefaultSPECjbbConfig()
+	cfg.Duration = 1000 * time.Second
+	cfg.InterPhaseIdle = 0
+	jbb, _ := NewSPECjbb(cfg)
+	early := jbb.Demand(time.Duration(float64(cfg.Duration) * 0.2))
+	late := jbb.Demand(time.Duration(float64(cfg.Duration) * 0.95))
+	if late.CacheMissRatio <= early.CacheMissRatio {
+		t.Fatalf("miss ratio should grow with load: early %v late %v", early.CacheMissRatio, late.CacheMissRatio)
+	}
+}
+
+func TestSPECjbbPhases(t *testing.T) {
+	jbb, _ := NewSPECjbb(DefaultSPECjbbConfig())
+	phases := jbb.Phases()
+	if len(phases) != DefaultSPECjbbConfig().Steps+1 {
+		t.Fatalf("Phases() returned %d entries, want %d", len(phases), DefaultSPECjbbConfig().Steps+1)
+	}
+}
+
+func TestBurstGenerator(t *testing.T) {
+	busy := CPUBoundProfile().Demand(0.9)
+	if _, err := NewBurst("", busy, time.Second, 0.5, 0); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := NewBurst("b", busy, 0, 0.5, 0); err == nil {
+		t.Fatal("zero period should fail")
+	}
+	if _, err := NewBurst("b", busy, time.Second, 1.5, 0); err == nil {
+		t.Fatal("duty > 1 should fail")
+	}
+	if _, err := NewBurst("b", busy, time.Second, 0.5, -time.Second); err == nil {
+		t.Fatal("negative duration should fail")
+	}
+	if _, err := NewBurst("b", Demand{Utilization: 3}, time.Second, 0.5, 0); err == nil {
+		t.Fatal("invalid demand should fail")
+	}
+
+	b, err := NewBurst("bursty", busy, 10*time.Second, 0.3, 25*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "bursty" {
+		t.Fatalf("Name() = %q", b.Name())
+	}
+	if b.Demand(time.Second).IsIdle() {
+		t.Fatal("should be busy during the duty window")
+	}
+	if !b.Demand(5 * time.Second).IsIdle() {
+		t.Fatal("should be idle outside the duty window")
+	}
+	if !b.Done(25*time.Second) || b.Done(24*time.Second) {
+		t.Fatal("Done boundary incorrect")
+	}
+	if !b.Demand(30 * time.Second).IsIdle() {
+		t.Fatal("demand after the end should be idle")
+	}
+}
+
+func TestTraceGenerator(t *testing.T) {
+	samples := []Demand{
+		CPUBoundProfile().Demand(0.2),
+		CPUBoundProfile().Demand(0.8),
+		MemoryBoundProfile().Demand(0.5),
+	}
+	if _, err := NewTrace("", time.Second, samples); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := NewTrace("t", 0, samples); err == nil {
+		t.Fatal("zero interval should fail")
+	}
+	if _, err := NewTrace("t", time.Second, nil); err == nil {
+		t.Fatal("empty samples should fail")
+	}
+	if _, err := NewTrace("t", time.Second, []Demand{{Utilization: 9}}); err == nil {
+		t.Fatal("invalid sample should fail")
+	}
+
+	tr, err := NewTrace("trace", time.Second, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Demand(0).Utilization; !almostEqual(got, 0.2, 1e-9) {
+		t.Fatalf("sample 0 utilization = %v", got)
+	}
+	if got := tr.Demand(1500 * time.Millisecond).Utilization; !almostEqual(got, 0.8, 1e-9) {
+		t.Fatalf("sample 1 utilization = %v", got)
+	}
+	if !tr.Done(3*time.Second) || tr.Done(2*time.Second) {
+		t.Fatal("Done boundary incorrect")
+	}
+	if !tr.Demand(10 * time.Second).IsIdle() {
+		t.Fatal("demand after the end should be idle")
+	}
+	// The trace must have copied its samples.
+	samples[0].Utilization = 0.99
+	if got := tr.Demand(0).Utilization; !almostEqual(got, 0.2, 1e-9) {
+		t.Fatal("trace aliased the caller's samples")
+	}
+}

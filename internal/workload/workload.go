@@ -1,0 +1,224 @@
+// Package workload defines the synthetic workloads that drive the machine
+// simulator. Two roles mirror the paper:
+//
+//   - calibration workloads (CPU-intensive and memory-intensive stress at
+//     several utilisation levels), used by the Figure 1 learning process to
+//     expose the relationship between the executed operation mix and power;
+//   - evaluation workloads, chiefly a SPECjbb2013-like phased, memory
+//     intensive benchmark used for the Figure 3 preliminary experiment.
+//
+// A workload is a Generator that, asked at a simulated instant, answers with
+// a Demand: how much CPU it wants and with which micro-architectural mix
+// (instructions per cycle, cache references, cache misses, memory-bound
+// stalls). The machine engine turns demands into executed work and hardware
+// counter increments.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Demand describes what a process asks of the CPU over one scheduling tick.
+type Demand struct {
+	// Utilization is the fraction of one logical CPU the process wants, in
+	// [0, 1].
+	Utilization float64
+	// IPC is the instructions-per-cycle the workload would achieve when it
+	// runs alone on a core at nominal frequency.
+	IPC float64
+	// CacheRefsPerKiloInstr is the number of last-level-cache references per
+	// 1000 retired instructions.
+	CacheRefsPerKiloInstr float64
+	// CacheMissRatio is the fraction of cache references that miss, in [0,1].
+	CacheMissRatio float64
+	// MemoryBoundFraction is the fraction of cycles stalled on memory, in
+	// [0, 1]; it lowers the effective IPC and raises backend-stall counters.
+	MemoryBoundFraction float64
+	// BranchesPerKiloInstr is the number of branch instructions per 1000
+	// retired instructions.
+	BranchesPerKiloInstr float64
+	// BranchMissRatio is the fraction of branches mispredicted, in [0, 1].
+	BranchMissRatio float64
+}
+
+// Validate checks that every field lies in its admissible range.
+func (d Demand) Validate() error {
+	switch {
+	case d.Utilization < 0 || d.Utilization > 1:
+		return fmt.Errorf("workload: utilization %v out of [0,1]", d.Utilization)
+	case d.IPC < 0 || d.IPC > 8:
+		return fmt.Errorf("workload: IPC %v out of [0,8]", d.IPC)
+	case d.CacheRefsPerKiloInstr < 0:
+		return fmt.Errorf("workload: cache refs per kilo-instruction %v negative", d.CacheRefsPerKiloInstr)
+	case d.CacheMissRatio < 0 || d.CacheMissRatio > 1:
+		return fmt.Errorf("workload: cache miss ratio %v out of [0,1]", d.CacheMissRatio)
+	case d.MemoryBoundFraction < 0 || d.MemoryBoundFraction > 1:
+		return fmt.Errorf("workload: memory-bound fraction %v out of [0,1]", d.MemoryBoundFraction)
+	case d.BranchesPerKiloInstr < 0:
+		return fmt.Errorf("workload: branches per kilo-instruction %v negative", d.BranchesPerKiloInstr)
+	case d.BranchMissRatio < 0 || d.BranchMissRatio > 1:
+		return fmt.Errorf("workload: branch miss ratio %v out of [0,1]", d.BranchMissRatio)
+	}
+	return nil
+}
+
+// Scale returns a copy of the demand with utilisation multiplied by factor
+// and clamped to [0, 1].
+func (d Demand) Scale(factor float64) Demand {
+	out := d
+	out.Utilization = clamp01(d.Utilization * factor)
+	return out
+}
+
+// IsIdle reports whether the demand asks for no CPU at all.
+func (d Demand) IsIdle() bool { return d.Utilization <= 0 }
+
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}
+
+// Generator produces the demand of a workload over simulated time.
+type Generator interface {
+	// Name identifies the workload (used in reports and process names).
+	Name() string
+	// Demand returns the resource demand at simulated instant at.
+	Demand(at time.Duration) Demand
+	// Done reports whether the workload has finished at instant at. Finished
+	// workloads are reaped by the machine.
+	Done(at time.Duration) bool
+}
+
+// Profile bundles the micro-architectural mix of a steady workload.
+type Profile struct {
+	IPC                   float64
+	CacheRefsPerKiloInstr float64
+	CacheMissRatio        float64
+	MemoryBoundFraction   float64
+	BranchesPerKiloInstr  float64
+	BranchMissRatio       float64
+}
+
+// Demand materialises the profile at a given utilisation level.
+func (p Profile) Demand(utilization float64) Demand {
+	return Demand{
+		Utilization:           clamp01(utilization),
+		IPC:                   p.IPC,
+		CacheRefsPerKiloInstr: p.CacheRefsPerKiloInstr,
+		CacheMissRatio:        p.CacheMissRatio,
+		MemoryBoundFraction:   p.MemoryBoundFraction,
+		BranchesPerKiloInstr:  p.BranchesPerKiloInstr,
+		BranchMissRatio:       p.BranchMissRatio,
+	}
+}
+
+// Reference profiles. The CPU-bound profile mirrors a tight arithmetic loop
+// (high IPC, almost no LLC traffic); the memory-bound profile mirrors a
+// pointer-chasing / large-working-set loop (low IPC, heavy LLC traffic, high
+// miss ratio), the two dimensions the paper stresses during calibration.
+var (
+	cpuBoundProfile = Profile{
+		IPC:                   2.4,
+		CacheRefsPerKiloInstr: 1.5,
+		CacheMissRatio:        0.05,
+		MemoryBoundFraction:   0.02,
+		BranchesPerKiloInstr:  180,
+		BranchMissRatio:       0.01,
+	}
+	memoryBoundProfile = Profile{
+		IPC:                   0.7,
+		CacheRefsPerKiloInstr: 65,
+		CacheMissRatio:        0.45,
+		MemoryBoundFraction:   0.55,
+		BranchesPerKiloInstr:  90,
+		BranchMissRatio:       0.03,
+	}
+	jbbProfile = Profile{
+		IPC:                   1.3,
+		CacheRefsPerKiloInstr: 38,
+		CacheMissRatio:        0.28,
+		MemoryBoundFraction:   0.30,
+		BranchesPerKiloInstr:  140,
+		BranchMissRatio:       0.04,
+	}
+)
+
+// CPUBoundProfile returns the reference CPU-intensive mix.
+func CPUBoundProfile() Profile { return cpuBoundProfile }
+
+// MemoryBoundProfile returns the reference memory-intensive mix.
+func MemoryBoundProfile() Profile { return memoryBoundProfile }
+
+// steady is a Generator with a constant demand and optional deadline.
+type steady struct {
+	name     string
+	demand   Demand
+	duration time.Duration // zero means forever
+}
+
+var _ Generator = (*steady)(nil)
+
+func (s *steady) Name() string { return s.name }
+
+func (s *steady) Demand(at time.Duration) Demand {
+	if s.Done(at) {
+		return Demand{}
+	}
+	return s.demand
+}
+
+func (s *steady) Done(at time.Duration) bool {
+	return s.duration > 0 && at >= s.duration
+}
+
+// NewSteady builds a constant-demand generator. A zero duration runs forever.
+func NewSteady(name string, demand Demand, duration time.Duration) (Generator, error) {
+	if name == "" {
+		return nil, errors.New("workload: steady generator needs a name")
+	}
+	if err := demand.Validate(); err != nil {
+		return nil, err
+	}
+	if duration < 0 {
+		return nil, fmt.Errorf("workload: negative duration %v", duration)
+	}
+	return &steady{name: name, demand: demand, duration: duration}, nil
+}
+
+// CPUStress returns a CPU-intensive stress workload at the given utilisation
+// level (the simulated analogue of the stress utility of Figure 1).
+func CPUStress(level float64, duration time.Duration) (Generator, error) {
+	return NewSteady(fmt.Sprintf("cpu-stress-%d", int(level*100)), cpuBoundProfile.Demand(level), duration)
+}
+
+// MemoryStress returns a memory-intensive stress workload at the given
+// utilisation level.
+func MemoryStress(level float64, duration time.Duration) (Generator, error) {
+	return NewSteady(fmt.Sprintf("mem-stress-%d", int(level*100)), memoryBoundProfile.Demand(level), duration)
+}
+
+// MixedStress blends the CPU and memory bound profiles with cpuWeight in
+// [0,1] at the given utilisation level.
+func MixedStress(cpuWeight, level float64, duration time.Duration) (Generator, error) {
+	if cpuWeight < 0 || cpuWeight > 1 {
+		return nil, fmt.Errorf("workload: cpu weight %v out of [0,1]", cpuWeight)
+	}
+	w := cpuWeight
+	blend := Profile{
+		IPC:                   w*cpuBoundProfile.IPC + (1-w)*memoryBoundProfile.IPC,
+		CacheRefsPerKiloInstr: w*cpuBoundProfile.CacheRefsPerKiloInstr + (1-w)*memoryBoundProfile.CacheRefsPerKiloInstr,
+		CacheMissRatio:        w*cpuBoundProfile.CacheMissRatio + (1-w)*memoryBoundProfile.CacheMissRatio,
+		MemoryBoundFraction:   w*cpuBoundProfile.MemoryBoundFraction + (1-w)*memoryBoundProfile.MemoryBoundFraction,
+		BranchesPerKiloInstr:  w*cpuBoundProfile.BranchesPerKiloInstr + (1-w)*memoryBoundProfile.BranchesPerKiloInstr,
+		BranchMissRatio:       w*cpuBoundProfile.BranchMissRatio + (1-w)*memoryBoundProfile.BranchMissRatio,
+	}
+	return NewSteady(fmt.Sprintf("mixed-stress-%d-%d", int(cpuWeight*100), int(level*100)), blend.Demand(level), duration)
+}
+
+// Idle returns a workload that never asks for CPU. It is useful to keep a
+// process alive (so its PID remains monitorable) without activity.
+func Idle(duration time.Duration) Generator {
+	return &steady{name: "idle", demand: Demand{}, duration: duration}
+}

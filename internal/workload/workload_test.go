@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDemandValidate(t *testing.T) {
+	valid := CPUBoundProfile().Demand(0.5)
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid demand rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Demand)
+	}{
+		{name: "utilization above 1", mutate: func(d *Demand) { d.Utilization = 1.5 }},
+		{name: "negative utilization", mutate: func(d *Demand) { d.Utilization = -0.1 }},
+		{name: "absurd IPC", mutate: func(d *Demand) { d.IPC = 20 }},
+		{name: "negative cache refs", mutate: func(d *Demand) { d.CacheRefsPerKiloInstr = -1 }},
+		{name: "miss ratio above 1", mutate: func(d *Demand) { d.CacheMissRatio = 1.2 }},
+		{name: "memory bound above 1", mutate: func(d *Demand) { d.MemoryBoundFraction = 1.1 }},
+		{name: "negative branches", mutate: func(d *Demand) { d.BranchesPerKiloInstr = -5 }},
+		{name: "branch miss above 1", mutate: func(d *Demand) { d.BranchMissRatio = 2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := valid
+			tt.mutate(&d)
+			if err := d.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestDemandScaleAndIdle(t *testing.T) {
+	d := CPUBoundProfile().Demand(0.8)
+	scaled := d.Scale(0.5)
+	if !almostEqual(scaled.Utilization, 0.4, 1e-9) {
+		t.Fatalf("Scale(0.5) utilization = %v, want 0.4", scaled.Utilization)
+	}
+	over := d.Scale(10)
+	if over.Utilization != 1 {
+		t.Fatalf("Scale should clamp to 1, got %v", over.Utilization)
+	}
+	if d.IsIdle() {
+		t.Fatal("busy demand reported idle")
+	}
+	if !(Demand{}).IsIdle() {
+		t.Fatal("zero demand should be idle")
+	}
+}
+
+func TestProfilesAreDistinct(t *testing.T) {
+	cpu := CPUBoundProfile()
+	mem := MemoryBoundProfile()
+	if cpu.IPC <= mem.IPC {
+		t.Fatal("CPU-bound profile must have higher IPC than memory-bound")
+	}
+	if cpu.CacheRefsPerKiloInstr >= mem.CacheRefsPerKiloInstr {
+		t.Fatal("memory-bound profile must have more cache references")
+	}
+	if cpu.CacheMissRatio >= mem.CacheMissRatio {
+		t.Fatal("memory-bound profile must have a higher miss ratio")
+	}
+}
+
+func TestNewSteadyValidation(t *testing.T) {
+	if _, err := NewSteady("", Demand{}, 0); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := NewSteady("x", Demand{Utilization: 2}, 0); err == nil {
+		t.Fatal("invalid demand should fail")
+	}
+	if _, err := NewSteady("x", Demand{}, -time.Second); err == nil {
+		t.Fatal("negative duration should fail")
+	}
+}
+
+func TestSteadyLifetime(t *testing.T) {
+	g, err := CPUStress(0.75, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Done(0) {
+		t.Fatal("workload done at t=0")
+	}
+	d := g.Demand(5 * time.Second)
+	if !almostEqual(d.Utilization, 0.75, 1e-9) {
+		t.Fatalf("utilization = %v, want 0.75", d.Utilization)
+	}
+	if !g.Done(10 * time.Second) {
+		t.Fatal("workload should be done at its deadline")
+	}
+	if !g.Demand(11 * time.Second).IsIdle() {
+		t.Fatal("done workload should demand nothing")
+	}
+}
+
+func TestSteadyForever(t *testing.T) {
+	g, err := MemoryStress(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Done(1000 * time.Hour) {
+		t.Fatal("zero-duration workload should never finish")
+	}
+	if g.Demand(1000 * time.Hour).IsIdle() {
+		t.Fatal("forever workload should stay busy")
+	}
+}
+
+func TestCPUvsMemoryStressProfiles(t *testing.T) {
+	cpuGen, _ := CPUStress(1.0, 0)
+	memGen, _ := MemoryStress(1.0, 0)
+	dc := cpuGen.Demand(0)
+	dm := memGen.Demand(0)
+	if dc.CacheRefsPerKiloInstr >= dm.CacheRefsPerKiloInstr {
+		t.Fatal("memory stress should generate more cache references")
+	}
+	if dc.IPC <= dm.IPC {
+		t.Fatal("cpu stress should have higher IPC")
+	}
+}
+
+func TestMixedStress(t *testing.T) {
+	if _, err := MixedStress(1.5, 0.5, 0); err == nil {
+		t.Fatal("cpu weight above 1 should fail")
+	}
+	g, err := MixedStress(0.5, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Demand(0)
+	cpu := CPUBoundProfile()
+	mem := MemoryBoundProfile()
+	if d.IPC <= mem.IPC || d.IPC >= cpu.IPC {
+		t.Fatalf("blended IPC %v should sit between %v and %v", d.IPC, mem.IPC, cpu.IPC)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("blended demand invalid: %v", err)
+	}
+}
+
+func TestIdleGenerator(t *testing.T) {
+	g := Idle(5 * time.Second)
+	if !g.Demand(time.Second).IsIdle() {
+		t.Fatal("idle workload should demand nothing")
+	}
+	if !g.Done(6 * time.Second) {
+		t.Fatal("idle workload with deadline should finish")
+	}
+	if g.Name() != "idle" {
+		t.Fatalf("Name() = %q", g.Name())
+	}
+}
+
+func TestStressLevelsProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		level := clamp01(raw)
+		g, err := CPUStress(level, 0)
+		if err != nil {
+			return false
+		}
+		d := g.Demand(0)
+		return d.Validate() == nil && almostEqual(d.Utilization, level, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEqual(a, b, tol float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= tol
+}

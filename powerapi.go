@@ -1,0 +1,241 @@
+// Package powerapi is the public facade of the PowerAPI reproduction: a
+// software-defined, architecture-independent middleware toolkit that
+// estimates the power consumption of individual processes in real time from
+// hardware performance counters, as described in
+//
+//	"Improving the Energy Efficiency of Software Systems for Multi-Core
+//	Architectures", Colmant, Rouvoy, Seinturier — Middleware 2014 Doctoral
+//	Symposium.
+//
+// The facade wires together the building blocks a user needs:
+//
+//   - a simulated multi-core host (NewMachine) standing in for the physical
+//     testbed, complete with DVFS, SMT, C-states, a perf-like counter
+//     subsystem and a PowerSpy-like wall power meter;
+//   - the calibration pipeline (Calibrate) that learns one power formula per
+//     DVFS frequency by stressing the processor and regressing counter rates
+//     against measured power (the paper's Figure 1);
+//   - the actor-based monitoring middleware (NewMonitor) — Sensor, Formula,
+//     Aggregator, Reporter — that attributes watts to PIDs at run time (the
+//     paper's Figure 2);
+//   - workload generators (CPUStress, MemoryStress, SPECjbb) used both for
+//     calibration and for the paper's evaluation;
+//   - the experiment drivers (Experiments*) that regenerate every table and
+//     figure of the paper.
+//
+// See examples/ for runnable end-to-end programs.
+package powerapi
+
+import (
+	"io"
+	"time"
+
+	"powerapi/internal/advisor"
+	"powerapi/internal/calibration"
+	"powerapi/internal/core"
+	"powerapi/internal/cpu"
+	"powerapi/internal/experiments"
+	"powerapi/internal/machine"
+	"powerapi/internal/model"
+	"powerapi/internal/powermeter"
+	"powerapi/internal/sched"
+	"powerapi/internal/workload"
+)
+
+// Re-exported types. The facade deliberately uses type aliases so that values
+// flow freely between the public API and the internal packages used by the
+// command-line tools.
+type (
+	// Spec describes a processor (the paper's Table 1).
+	Spec = cpu.Spec
+	// Governor selects the DVFS frequency-scaling policy.
+	Governor = cpu.Governor
+	// MachineConfig assembles a simulated host.
+	MachineConfig = machine.Config
+	// Machine is a running simulated host.
+	Machine = machine.Machine
+	// Generator produces workload demand over time.
+	Generator = workload.Generator
+	// SPECjbbConfig parameterises the SPECjbb2013-like workload.
+	SPECjbbConfig = workload.SPECjbbConfig
+	// PowerModel is a learned CPU energy profile (idle constant + one linear
+	// formula per DVFS frequency).
+	PowerModel = model.CPUPowerModel
+	// CalibrationOptions tunes the Figure 1 learning process.
+	CalibrationOptions = calibration.Options
+	// CalibrationReport describes a completed calibration.
+	CalibrationReport = calibration.Report
+	// Monitor is the PowerAPI middleware pipeline attached to a machine.
+	Monitor = core.PowerAPI
+	// MonitorReport is one aggregated power estimation round.
+	MonitorReport = core.AggregatedReport
+	// PowerSpy is the simulated wall-socket power meter.
+	PowerSpy = powermeter.PowerSpy
+	// PowerSpyConfig tunes the simulated power meter.
+	PowerSpyConfig = powermeter.PowerSpyConfig
+	// ExperimentScale bundles the evaluation dimensions.
+	ExperimentScale = experiments.Scale
+	// MonitorOption customises a Monitor (grouping dimension, extra
+	// reporters, monitored events).
+	MonitorOption = core.Option
+	// EnergyAccumulator integrates per-process power into per-process energy.
+	EnergyAccumulator = core.EnergyAccumulator
+	// Advisor turns monitoring rounds into energy-leak findings.
+	Advisor = advisor.Advisor
+	// AdvisorFinding is one piece of advice about a monitored process.
+	AdvisorFinding = advisor.Finding
+)
+
+// DVFS governors.
+const (
+	GovernorPerformance = cpu.GovernorPerformance
+	GovernorPowersave   = cpu.GovernorPowersave
+	GovernorOndemand    = cpu.GovernorOndemand
+	GovernorUserspace   = cpu.GovernorUserspace
+)
+
+// IntelCorei3_2120 returns the paper's testbed processor (Table 1).
+func IntelCorei3_2120() Spec { return cpu.IntelCorei3_2120() }
+
+// IntelCore2DuoE6600 returns the simple comparator architecture.
+func IntelCore2DuoE6600() Spec { return cpu.IntelCore2DuoE6600() }
+
+// IntelXeonE5_2650 returns a larger server-class processor.
+func IntelXeonE5_2650() Spec { return cpu.IntelXeonE5_2650() }
+
+// AMDOpteron6172 returns a non-Intel processor.
+func AMDOpteron6172() Spec { return cpu.AMDOpteron6172() }
+
+// SpecCatalog returns every predefined processor keyed by identifier.
+func SpecCatalog() map[string]Spec { return cpu.Catalog() }
+
+// LookupSpec resolves a catalogue identifier such as "i3-2120".
+func LookupSpec(name string) (Spec, error) { return cpu.LookupSpec(name) }
+
+// DefaultMachineConfig returns the paper's testbed configuration: an Intel
+// Core i3-2120 under the ondemand governor.
+func DefaultMachineConfig() MachineConfig { return machine.DefaultConfig() }
+
+// NewMachine builds a simulated host.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
+
+// NewPackingScheduler returns the energy-aware consolidating scheduler used
+// by the scheduling example.
+func NewPackingScheduler() sched.Scheduler { return sched.NewPacking() }
+
+// NewLoadBalancingScheduler returns the default CFS-like scheduler.
+func NewLoadBalancingScheduler() sched.Scheduler { return sched.NewLoadBalancer() }
+
+// NewPowerSpy attaches a simulated wall power meter to a machine.
+func NewPowerSpy(m *Machine, cfg PowerSpyConfig) (*PowerSpy, error) {
+	return powermeter.NewPowerSpy(m, cfg)
+}
+
+// DefaultPowerSpyConfig mirrors the physical PowerSpy characteristics.
+func DefaultPowerSpyConfig() PowerSpyConfig { return powermeter.DefaultPowerSpyConfig() }
+
+// CPUStress returns a CPU-intensive workload at the given utilisation level;
+// a zero duration runs forever.
+func CPUStress(level float64, duration time.Duration) (Generator, error) {
+	return workload.CPUStress(level, duration)
+}
+
+// MemoryStress returns a memory-intensive workload at the given utilisation
+// level; a zero duration runs forever.
+func MemoryStress(level float64, duration time.Duration) (Generator, error) {
+	return workload.MemoryStress(level, duration)
+}
+
+// MixedStress blends the CPU- and memory-intensive profiles.
+func MixedStress(cpuWeight, level float64, duration time.Duration) (Generator, error) {
+	return workload.MixedStress(cpuWeight, level, duration)
+}
+
+// SPECjbb returns the SPECjbb2013-like phased workload of the paper's
+// preliminary experiment.
+func SPECjbb(cfg SPECjbbConfig) (Generator, error) { return workload.NewSPECjbb(cfg) }
+
+// DefaultSPECjbbConfig mirrors the shape of the paper's Figure 3 run.
+func DefaultSPECjbbConfig() SPECjbbConfig { return workload.DefaultSPECjbbConfig() }
+
+// DefaultCalibrationOptions returns the full Figure 1 sweep configuration.
+func DefaultCalibrationOptions() CalibrationOptions { return calibration.DefaultOptions() }
+
+// QuickCalibrationOptions returns a reduced sweep for demos and tests.
+func QuickCalibrationOptions() CalibrationOptions { return calibration.QuickOptions() }
+
+// Calibrate learns the CPU energy profile of the processor described by cfg
+// by running the Figure 1 process on simulated machines.
+func Calibrate(cfg MachineConfig, opts CalibrationOptions) (*PowerModel, *CalibrationReport, error) {
+	cal, err := calibration.New(cfg, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cal.Run()
+}
+
+// PaperReferenceModel returns the exact power model published in the paper
+// for the Intel Core i3-2120.
+func PaperReferenceModel() *PowerModel { return model.PaperReferenceModel() }
+
+// LoadModel reads a power model previously saved with (*PowerModel).SaveFile.
+func LoadModel(path string) (*PowerModel, error) { return model.LoadFile(path) }
+
+// NewMonitor wires the PowerAPI pipeline (Sensor, Formula, Aggregator,
+// Reporter) onto a machine with the given power model. Options add an
+// aggregation dimension (WithProcessNameGrouping) or extra Reporter
+// components (WithCSVReporter, WithJSONReporter, WithEnergyAccounting).
+func NewMonitor(m *Machine, powerModel *PowerModel, opts ...MonitorOption) (*Monitor, error) {
+	return core.New(m, powerModel, opts...)
+}
+
+// WithProcessNameGrouping aggregates power by process name in addition to the
+// per-PID and per-timestamp dimensions.
+func WithProcessNameGrouping(m *Machine) MonitorOption {
+	return core.WithProcessNameGrouping(m)
+}
+
+// WithCSVReporter adds a Reporter that appends one CSV row per monitored
+// process and sampling round to w.
+func WithCSVReporter(w io.Writer, m *Machine) (MonitorOption, error) {
+	reporter, err := core.NewCSVReporter(w, func(pid int) string {
+		p, err := m.Processes().Get(pid)
+		if err != nil {
+			return "unknown"
+		}
+		return p.Name()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.WithReporter("csv", reporter.Report), nil
+}
+
+// WithJSONReporter adds a Reporter that writes one JSON object per sampling
+// round to w.
+func WithJSONReporter(w io.Writer) (MonitorOption, error) {
+	reporter, err := core.NewJSONLinesReporter(w)
+	if err != nil {
+		return nil, err
+	}
+	return core.WithReporter("jsonl", reporter.Report), nil
+}
+
+// WithEnergyAccounting adds a Reporter integrating per-process power into the
+// returned EnergyAccumulator.
+func WithEnergyAccounting() (*EnergyAccumulator, MonitorOption) {
+	acc := core.NewEnergyAccumulator()
+	return acc, core.WithReporter("energy", acc.Report)
+}
+
+// NewAdvisor creates an energy-leak advisor with default thresholds; feed it
+// monitoring reports (ObserveReport) and ask it for Findings.
+func NewAdvisor() (*Advisor, error) {
+	return advisor.New(advisor.DefaultThresholds())
+}
+
+// DefaultExperimentScale mirrors the paper's experiment dimensions.
+func DefaultExperimentScale() ExperimentScale { return experiments.DefaultScale() }
+
+// QuickExperimentScale shrinks the experiment durations for demos and tests.
+func QuickExperimentScale() ExperimentScale { return experiments.QuickScale() }
