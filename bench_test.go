@@ -1,6 +1,7 @@
 package powerapi
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 
 // BenchmarkTable1Spec regenerates Table 1 (the i3-2120 specification table).
 func BenchmarkTable1Spec(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table1(IntelCorei3_2120())
 		if err != nil {
@@ -32,6 +34,7 @@ func BenchmarkTable1Spec(b *testing.B) {
 // the Figure 1 learning process (quick scale).
 func BenchmarkCalibration(b *testing.B) {
 	scale := experiments.QuickScale()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.LearnModel(scale)
 		if err != nil {
@@ -48,6 +51,7 @@ func BenchmarkCalibration(b *testing.B) {
 // against PowerSpy, reporting the median error (the paper reports ~15%).
 func BenchmarkFigure3SPECjbb(b *testing.B) {
 	scale := experiments.QuickScale()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Figure3(scale, nil)
 		if err != nil {
@@ -63,6 +67,7 @@ func BenchmarkFigure3SPECjbb(b *testing.B) {
 func BenchmarkComparisonBaselines(b *testing.B) {
 	scale := experiments.QuickScale()
 	scale.EvaluationDuration = 90 * time.Second
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Comparison(scale, nil)
 		if err != nil {
@@ -89,6 +94,7 @@ func BenchmarkAblationCounterSelection(b *testing.B) {
 	scale := experiments.QuickScale()
 	scale.EvaluationDuration = 60 * time.Second
 	scale.SPECjbb.Duration = 80 * time.Second
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Ablation(scale)
 		if err != nil {
@@ -125,6 +131,7 @@ func BenchmarkMachineStep(b *testing.B) {
 		}
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := m.Step(); err != nil {
 			b.Fatal(err)
@@ -163,11 +170,100 @@ func BenchmarkMonitoringCollect(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.Run(20 * time.Millisecond); err != nil {
 			b.Fatal(err)
 		}
 		if _, err := monitor.Collect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorShards measures sampling-round throughput of the sharded
+// pipeline across pool sizes and monitored-process counts. Each iteration
+// advances the machine by one simulation tick (the cheapest valid window) and
+// performs one Collect, so the measured cost is dominated by the Sensor →
+// Formula → Aggregator hot path. The pids/s metric is the number of
+// per-process attributions produced per wall-clock second.
+func BenchmarkMonitorShards(b *testing.B) {
+	for _, pidCount := range []int{100, 1000, 10000} {
+		for _, shards := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("pids=%d/shards=%d", pidCount, shards), func(b *testing.B) {
+				benchmarkMonitorTick(b, pidCount, shards)
+			})
+		}
+	}
+}
+
+func benchmarkMonitorTick(b *testing.B, pidCount, shards int) {
+	cfg := DefaultMachineConfig()
+	cfg.Governor = GovernorPerformance
+	m, err := NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pids := make([]int, 0, pidCount)
+	for i := 0; i < pidCount; i++ {
+		// Vary the demand so shards don't all carry identical work.
+		gen, err := CPUStress(0.1+0.8*float64(i%9)/8, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := m.Spawn(gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pids = append(pids, p.PID())
+	}
+	monitor, err := NewMonitor(m, PaperReferenceModel(), WithShards(shards))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer monitor.Shutdown()
+	if err := monitor.Attach(pids...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(m.Tick()); err != nil {
+			b.Fatal(err)
+		}
+		report, err := monitor.Collect()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(report.PerPID) != pidCount {
+			b.Fatalf("round attributed %d PIDs, want %d", len(report.PerPID), pidCount)
+		}
+	}
+	b.ReportMetric(float64(pidCount)*float64(b.N)/b.Elapsed().Seconds(), "pids/s")
+}
+
+// BenchmarkRouterRoute measures the dispatch cost of the consistent-hash
+// router on the attach/tick path.
+func BenchmarkRouterRoute(b *testing.B) {
+	system := actor.NewSystem("bench")
+	defer system.Shutdown()
+	refs := make([]*actor.Ref, 8)
+	for i := range refs {
+		ref, err := system.Spawn(fmt.Sprintf("sink-%d", i),
+			actor.BehaviorFunc(func(*actor.Context, actor.Message) {}), 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	router, err := actor.NewRouter(actor.ConsistentHash, refs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := router.Route(uint64(i), i); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,17 +4,27 @@
 // power estimations in real time, the way the real PowerAPI daemon reports
 // the consumption of PIDs.
 //
+// SIGINT/SIGTERM stop the monitoring loop early; the pipeline is then drained
+// through System.Shutdown and the CSV/JSONL outputs are flushed, so a file is
+// never truncated mid-round.
+//
 // Usage:
 //
 //	powerapi-daemon -duration 60s -interval 1s
 //	powerapi-daemon -model model.json -spec i3-2120
+//	powerapi-daemon -shards 8 -csv power.csv -jsonl power.jsonl
 package main
 
 import (
+	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"powerapi/internal/advisor"
@@ -41,9 +51,15 @@ func run(args []string) error {
 		modelPath = fs.String("model", "", "learned power model (JSON); empty runs a quick calibration first")
 		duration  = fs.Duration("duration", 30*time.Second, "simulated monitoring duration")
 		interval  = fs.Duration("interval", time.Second, "sampling interval")
+		shards    = fs.Int("shards", 1, "number of Sensor/Formula shards in the pipeline")
+		csvPath   = fs.String("csv", "", "write per-process rounds to this CSV file")
+		jsonlPath = fs.String("jsonl", "", "write one JSON object per round to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *interval <= 0 || *interval > *duration {
+		return fmt.Errorf("interval must be positive and no longer than the duration")
 	}
 	spec, err := cpu.LookupSpec(*specName)
 	if err != nil {
@@ -89,7 +105,60 @@ func run(args []string) error {
 		names[p.PID()] = tn.name
 	}
 
-	api, err := core.New(m, powerModel)
+	// File reporters run as their own actors inside the pipeline; the
+	// buffered writers are flushed after Shutdown has drained the mailboxes —
+	// on error paths too, so a failed run still leaves complete rounds on
+	// disk.
+	opts := []core.Option{core.WithShards(*shards)}
+	var flushers []func() error
+	flushed := false
+	flushAll := func() error {
+		if flushed {
+			return nil
+		}
+		flushed = true
+		// Flush every reporter even when an earlier one fails, so one full
+		// disk cannot truncate the others' output.
+		var firstErr error
+		for _, flush := range flushers {
+			if err := flush(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	defer flushAll()
+	resolveName := func(pid int) string { return names[pid] }
+	if *csvPath != "" {
+		opt, flush, err := fileReporter(*csvPath, func(w *bufio.Writer) (core.Option, error) {
+			rep, err := core.NewCSVReporter(w, resolveName)
+			if err != nil {
+				return nil, err
+			}
+			return core.WithReporter("csv", rep.Report), nil
+		})
+		if err != nil {
+			return err
+		}
+		opts = append(opts, opt)
+		flushers = append(flushers, flush)
+	}
+	if *jsonlPath != "" {
+		opt, flush, err := fileReporter(*jsonlPath, func(w *bufio.Writer) (core.Option, error) {
+			rep, err := core.NewJSONLinesReporter(w)
+			if err != nil {
+				return nil, err
+			}
+			return core.WithReporter("jsonl", rep.Report), nil
+		})
+		if err != nil {
+			return err
+		}
+		opts = append(opts, opt)
+		flushers = append(flushers, flush)
+	}
+
+	api, err := core.New(m, powerModel, opts...)
 	if err != nil {
 		return err
 	}
@@ -103,10 +172,15 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("Monitoring %d processes on %s for %v (sampling every %v)\n\n",
-		len(names), spec.String(), *duration, *interval)
+	// Trap SIGINT/SIGTERM so an interrupted run still drains the pipeline and
+	// flushes its reporters instead of dying with half-written output.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("Monitoring %d processes on %s for %v (sampling every %v, %d shard(s))\n\n",
+		len(names), spec.String(), *duration, *interval, *shards)
 	fmt.Printf("%-10s %-14s %10s %12s\n", "TIME", "PROCESS", "PID", "POWER (W)")
-	_, err = api.RunMonitored(*duration, *interval, func(r core.AggregatedReport) {
+	_, err = api.RunMonitoredContext(ctx, *duration, *interval, func(r core.AggregatedReport) {
 		if obsErr := adv.ObserveReport(r, *interval); obsErr != nil {
 			fmt.Fprintln(os.Stderr, "powerapi-daemon: advisor:", obsErr)
 		}
@@ -122,7 +196,17 @@ func run(args []string) error {
 		fmt.Printf("%-10s %-14s %10s %12.2f  (idle %.2f + active %.2f)\n\n",
 			r.Timestamp.Truncate(time.Second), "TOTAL", "-", r.TotalWatts, r.IdleWatts, r.ActiveWatts)
 	})
-	if err != nil {
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "powerapi-daemon: interrupted, draining pipeline")
+	case err != nil:
+		return err
+	}
+
+	// Drain the pipeline before flushing: Shutdown waits for every reporter
+	// actor to finish the rounds already in its mailbox.
+	api.Shutdown()
+	if err := flushAll(); err != nil {
 		return err
 	}
 
@@ -136,6 +220,30 @@ func run(args []string) error {
 		fmt.Printf("  [%s] %s (%s)\n", f.Severity, f.Message, names[f.PID])
 	}
 	return nil
+}
+
+// fileReporter opens path, builds a reporter option over a buffered writer
+// and returns a flush function that syncs and closes the file. Flush must be
+// called after the pipeline has been shut down.
+func fileReporter(path string, build func(w *bufio.Writer) (core.Option, error)) (core.Option, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(f)
+	opt, err := build(w)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	flush := func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("flush %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	return opt, flush, nil
 }
 
 func loadOrCalibrate(path string, spec cpu.Spec) (*model.CPUPowerModel, error) {

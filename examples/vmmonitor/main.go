@@ -55,7 +55,9 @@ func run() error {
 		vmNames[p.PID()] = tenant.name
 	}
 
-	monitor, err := powerapi.NewMonitor(host, powerapi.PaperReferenceModel())
+	// A fleet host monitors many tenants: shard the Sensor/Formula stages so
+	// per-VM sampling spreads over the pipeline's actor pools.
+	monitor, err := powerapi.NewMonitor(host, powerapi.PaperReferenceModel(), powerapi.WithShards(4))
 	if err != nil {
 		return err
 	}

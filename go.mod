@@ -1,0 +1,3 @@
+module powerapi
+
+go 1.24

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Message is any value exchanged between actors.
@@ -55,19 +56,32 @@ type Ref struct {
 	name    string
 	mailbox chan Message
 
-	mu      sync.Mutex
-	stopped bool
-	senders sync.WaitGroup
-	done    chan struct{}
+	mu       sync.Mutex
+	stopped  bool
+	senders  sync.WaitGroup
+	done     chan struct{}
+	restarts atomic.Int64
+	// rejecting is set by the supervision layer when the actor's restart
+	// budget is exhausted: the goroutine keeps draining the mailbox (so
+	// Shutdown never deadlocks) but new Tells fail fast with ErrStopped
+	// instead of vanishing into a dead actor.
+	rejecting atomic.Bool
 }
 
 // Name returns the actor's name.
 func (r *Ref) Name() string { return r.name }
 
+// Restarts returns how many Receive panics the supervision layer has
+// recovered for this actor.
+func (r *Ref) Restarts() int { return int(r.restarts.Load()) }
+
 // Tell enqueues a message in the actor's mailbox. It blocks when the mailbox
 // is full (backpressure) and returns ErrStopped once the actor has been shut
 // down.
 func (r *Ref) Tell(msg Message) error {
+	if r.rejecting.Load() {
+		return fmt.Errorf("tell %s: %w", r.name, ErrStopped)
+	}
 	r.mu.Lock()
 	if r.stopped {
 		r.mu.Unlock()
@@ -130,13 +144,21 @@ func (s *System) Bus() *EventBus { return s.bus }
 // the resulting bursts without blocking the Sensor.
 const DefaultMailboxSize = 256
 
-// Spawn starts a new actor. Names must be unique within the system.
+// Spawn starts a new actor. Names must be unique within the system. Receive
+// panics are recovered and the actor keeps running with the same behaviour
+// instance (state preserved); use SpawnSupervised to rebuild the behaviour
+// from a factory or to bound the restart budget.
 func (s *System) Spawn(name string, behavior Behavior, mailboxSize int) (*Ref, error) {
-	if name == "" {
-		return nil, errors.New("actor: spawn needs a name")
-	}
 	if behavior == nil {
 		return nil, errors.New("actor: spawn needs a behavior")
+	}
+	return s.spawn(name, behavior, func() Behavior { return behavior }, mailboxSize, UnlimitedRestarts())
+}
+
+// spawn registers the actor and starts its supervised receive loop.
+func (s *System) spawn(name string, behavior Behavior, factory func() Behavior, mailboxSize int, policy RestartPolicy) (*Ref, error) {
+	if name == "" {
+		return nil, errors.New("actor: spawn needs a name")
 	}
 	if mailboxSize <= 0 {
 		mailboxSize = DefaultMailboxSize
@@ -160,9 +182,7 @@ func (s *System) Spawn(name string, behavior Behavior, mailboxSize int) (*Ref, e
 	go func() {
 		defer s.wg.Done()
 		defer close(ref.done)
-		for msg := range ref.mailbox {
-			behavior.Receive(ctx, msg)
-		}
+		supervise(ref, ctx, behavior, factory, policy)
 	}()
 	return ref, nil
 }

@@ -1,0 +1,45 @@
+package actor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrAskTimeout is returned when an Ask receives no reply within its timeout.
+var ErrAskTimeout = errors.New("actor: ask timed out")
+
+// DefaultAskTimeout bounds Ask calls made with a non-positive timeout.
+const DefaultAskTimeout = 5 * time.Second
+
+// Ask implements the request/reply pattern over the one-way mailbox: it
+// creates a buffered reply channel, lets build wrap it into a request message,
+// enqueues the request and waits for the reply. The behaviour answers by
+// sending exactly one message on the channel it finds in the request.
+//
+// Ask returns ErrStopped when the target has been shut down and ErrAskTimeout
+// when no reply arrives in time (for example because the behaviour panicked
+// mid-request and was restarted by its supervisor).
+func Ask(ref *Ref, build func(reply chan<- Message) Message, timeout time.Duration) (Message, error) {
+	if ref == nil {
+		return nil, errors.New("actor: ask needs a target")
+	}
+	if build == nil {
+		return nil, errors.New("actor: ask needs a request builder")
+	}
+	if timeout <= 0 {
+		timeout = DefaultAskTimeout
+	}
+	reply := make(chan Message, 1)
+	if err := ref.Tell(build(reply)); err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case msg := <-reply:
+		return msg, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("ask %s: %w", ref.name, ErrAskTimeout)
+	}
+}

@@ -1,0 +1,118 @@
+package actor
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"runtime/debug"
+)
+
+// This file implements the supervision layer of the actor runtime. Akka — the
+// runtime the paper builds on — never lets a misbehaving child take the whole
+// hierarchy down: a supervisor catches the failure and applies a restart
+// strategy. The seed runtime instead let a panicking Behavior kill its
+// goroutine (and, being an unrecovered panic, the whole process); even a
+// hypothetical recovery would have left the mailbox undrained, deadlocking
+// pending senders and Shutdown. Here every actor goroutine recovers Receive
+// panics and consults a RestartPolicy.
+
+// PanicInfo describes one recovered Receive panic, as passed to
+// RestartPolicy.OnPanic.
+type PanicInfo struct {
+	// Actor is the name of the panicking actor.
+	Actor string
+	// Restarts is the total number of panics this actor has recovered from,
+	// including this one.
+	Restarts int
+	// Value is the value the behaviour panicked with.
+	Value any
+	// Stack is the goroutine stack captured at recovery time.
+	Stack []byte
+}
+
+// RestartPolicy governs what the supervision layer does after a Behavior
+// panics while processing a message.
+type RestartPolicy struct {
+	// MaxRestarts bounds how many times the actor is restarted. Negative
+	// means unlimited. Once the budget is exhausted the actor stops
+	// processing but keeps draining (and discarding) its mailbox, so pending
+	// senders and System.Shutdown never deadlock on a dead child.
+	MaxRestarts int
+	// OnPanic, when non-nil, is invoked from the actor's own goroutine after
+	// every recovered panic — the hook the PowerAPI pipeline uses to route
+	// failures to its error topic.
+	OnPanic func(info PanicInfo)
+}
+
+// UnlimitedRestarts is the default policy: always recover, always restart.
+func UnlimitedRestarts() RestartPolicy { return RestartPolicy{MaxRestarts: -1} }
+
+// SpawnSupervised starts an actor whose behaviour is (re)built by factory.
+// After a recovered panic the policy decides whether the child is restarted;
+// a restart replaces the behaviour with a fresh factory() instance, so any
+// state corrupted by the failure is discarded. A factory may also return the
+// same instance every time when the state must survive restarts (this is what
+// the plain Spawn does).
+func (s *System) SpawnSupervised(name string, factory func() Behavior, mailboxSize int, policy RestartPolicy) (*Ref, error) {
+	if factory == nil {
+		return nil, errors.New("actor: spawn needs a behavior factory")
+	}
+	behavior := factory()
+	if behavior == nil {
+		return nil, fmt.Errorf("actor: factory for %q returned a nil behavior", name)
+	}
+	return s.spawn(name, behavior, factory, mailboxSize, policy)
+}
+
+// supervise runs one actor's receive loop under the restart policy. It only
+// returns when the mailbox has been closed and drained.
+func supervise(ref *Ref, ctx *Context, behavior Behavior, factory func() Behavior, policy RestartPolicy) {
+	alive := true
+	for msg := range ref.mailbox {
+		if !alive {
+			// Restart budget exhausted: keep draining so senders already
+			// blocked in Tell and System.Shutdown still make progress (new
+			// Tells fail fast via the rejecting flag).
+			continue
+		}
+		value, stack, panicked := deliver(ctx, behavior, msg)
+		if !panicked {
+			continue
+		}
+		restarts := int(ref.restarts.Add(1))
+		notify(ref.name, restarts, value, stack, policy)
+		if policy.MaxRestarts >= 0 && restarts > policy.MaxRestarts {
+			alive = false
+			ref.rejecting.Store(true)
+			continue
+		}
+		if behavior = factory(); behavior == nil {
+			alive = false
+			ref.rejecting.Store(true)
+		}
+	}
+}
+
+// notify reports a recovered panic through the policy's hook, or to stderr
+// when no hook is installed — a recovery must never be completely silent.
+func notify(name string, restarts int, value any, stack []byte, policy RestartPolicy) {
+	if policy.OnPanic == nil {
+		log.Printf("actor: %s panicked (restart %d): %v\n%s", name, restarts, value, stack)
+		return
+	}
+	// The hook runs under its own recover: a panicking hook must not take
+	// down the supervision loop it reports for.
+	defer func() { _ = recover() }()
+	policy.OnPanic(PanicInfo{Actor: name, Restarts: restarts, Value: value, Stack: stack})
+}
+
+// deliver invokes Receive for one message, converting a panic into a value.
+func deliver(ctx *Context, behavior Behavior, msg Message) (value any, stack []byte, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			value, stack, panicked = r, debug.Stack(), true
+		}
+	}()
+	behavior.Receive(ctx, msg)
+	return nil, nil, false
+}

@@ -10,24 +10,32 @@ import (
 	"powerapi/internal/model"
 )
 
-// sensorBehavior monitors the hardware counters of attached PIDs. All state
-// is owned by the actor goroutine; attach/detach flow through the mailbox.
-type sensorBehavior struct {
+// sensorShardBehavior monitors the hardware counters of the PIDs routed to
+// one shard of the Sensor pool. All state is owned by the actor goroutine;
+// attach/detach flow through the mailbox (via actor.Ask) and a tick makes the
+// shard publish one batched report for all its PIDs.
+type sensorShardBehavior struct {
 	machine *machine.Machine
 	events  []hpc.Event
+	shard   int
+	shards  int
+	topic   string // per-shard sensor topic feeding the paired formula shard
 	sets    map[int]*hpc.CounterSet
 }
 
-func newSensorBehavior(m *machine.Machine, events []hpc.Event) *sensorBehavior {
-	return &sensorBehavior{
+func newSensorShardBehavior(m *machine.Machine, events []hpc.Event, shard, shards int) *sensorShardBehavior {
+	return &sensorShardBehavior{
 		machine: m,
 		events:  events,
+		shard:   shard,
+		shards:  shards,
+		topic:   SensorShardTopic(shard),
 		sets:    make(map[int]*hpc.CounterSet),
 	}
 }
 
 // Receive implements actor.Behavior.
-func (s *sensorBehavior) Receive(ctx *actor.Context, msg actor.Message) {
+func (s *sensorShardBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 	switch m := msg.(type) {
 	case attachRequest:
 		m.Reply <- s.attach(m.PID)
@@ -43,7 +51,7 @@ func (s *sensorBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 	}
 }
 
-func (s *sensorBehavior) attach(pid int) error {
+func (s *sensorShardBehavior) attach(pid int) error {
 	if _, exists := s.sets[pid]; exists {
 		return nil
 	}
@@ -61,7 +69,7 @@ func (s *sensorBehavior) attach(pid int) error {
 	return nil
 }
 
-func (s *sensorBehavior) detach(pid int) error {
+func (s *sensorShardBehavior) detach(pid int) error {
 	set, exists := s.sets[pid]
 	if !exists {
 		return fmt.Errorf("core: detach: pid %d is not monitored", pid)
@@ -73,20 +81,19 @@ func (s *sensorBehavior) detach(pid int) error {
 	return nil
 }
 
-func (s *sensorBehavior) tick(ctx *actor.Context, req tickRequest) {
-	freq := s.machine.DominantFrequencyMHz()
-	targets := len(s.sets)
-	if targets == 0 {
-		// Nothing monitored: publish an empty report directly so the
-		// aggregator still emits a round.
-		ctx.Publish(TopicPowerEstimates, PowerEstimate{
-			Timestamp:    req.Timestamp,
-			PID:          -1,
-			Watts:        0,
-			FrequencyMHz: freq,
-			Targets:      1,
-		})
-		return
+// tick reads every counter set the shard owns and publishes ONE batch. An
+// idle shard publishes an empty batch so the Aggregator can still complete
+// the round.
+func (s *sensorShardBehavior) tick(ctx *actor.Context, req tickRequest) {
+	batch := SensorReportBatch{
+		Timestamp:    req.Timestamp,
+		Window:       req.Window,
+		FrequencyMHz: s.machine.DominantFrequencyMHz(),
+		Shard:        s.shard,
+		NumShards:    s.shards,
+	}
+	if n := len(s.sets); n > 0 {
+		batch.Samples = make([]SensorSample, 0, n)
 	}
 	for pid, set := range s.sets {
 		deltas, err := set.ReadDelta()
@@ -97,110 +104,166 @@ func (s *sensorBehavior) tick(ctx *actor.Context, req tickRequest) {
 			})
 			deltas = hpc.Counts{}
 		}
-		ctx.Publish(TopicSensorReports, SensorReport{
-			Timestamp:    req.Timestamp,
-			Window:       req.Window,
-			PID:          pid,
-			FrequencyMHz: freq,
-			Deltas:       deltas,
-			Targets:      targets,
+		batch.Samples = append(batch.Samples, SensorSample{PID: pid, Deltas: deltas})
+	}
+	if delivered := ctx.Publish(s.topic, batch); delivered == 0 {
+		ctx.Publish(TopicErrors, PipelineError{
+			Stage: "sensor",
+			Err:   fmt.Errorf("core: sensor shard %d has no formula subscriber", s.shard),
 		})
 	}
 }
 
-// formulaBehavior converts sensor reports into power estimations with the
-// learned CPU power model.
-type formulaBehavior struct {
+// formulaShardBehavior converts one shard's batched sensor reports into a
+// batched partial power estimation with the learned CPU power model. The
+// behaviour is stateless, so its supervisor restarts it from a fresh instance
+// after a panic.
+type formulaShardBehavior struct {
 	model *model.CPUPowerModel
 }
 
-func newFormulaBehavior(m *model.CPUPowerModel) *formulaBehavior {
-	return &formulaBehavior{model: m}
+func newFormulaShardBehavior(m *model.CPUPowerModel) *formulaShardBehavior {
+	return &formulaShardBehavior{model: m}
 }
 
 // Receive implements actor.Behavior.
-func (f *formulaBehavior) Receive(ctx *actor.Context, msg actor.Message) {
-	report, ok := msg.(SensorReport)
-	if !ok {
+func (f *formulaShardBehavior) Receive(ctx *actor.Context, msg actor.Message) {
+	switch m := msg.(type) {
+	case SensorReportBatch:
+		f.estimateBatch(ctx, m)
+	default:
 		ctx.Publish(TopicErrors, PipelineError{
 			Stage: "formula",
 			Err:   fmt.Errorf("core: formula received unexpected message %T", msg),
 		})
-		return
 	}
-	watts, err := f.model.EstimateActiveWatts(report.FrequencyMHz, report.Deltas, report.Window)
-	if err != nil {
-		ctx.Publish(TopicErrors, PipelineError{
-			Stage: "formula",
-			Err:   fmt.Errorf("core: estimate pid %d: %w", report.PID, err),
-		})
-		watts = 0
-	}
-	ctx.Publish(TopicPowerEstimates, PowerEstimate{
-		Timestamp:    report.Timestamp,
-		PID:          report.PID,
-		Watts:        watts,
-		FrequencyMHz: report.FrequencyMHz,
-		Targets:      report.Targets,
-	})
 }
 
-// aggregatorBehavior groups per-process estimations by timestamp and emits
-// one AggregatedReport per sampling round. When a group resolver is
-// configured it additionally aggregates along that dimension (for example the
-// application name), as the paper's Aggregator description allows.
+func (f *formulaShardBehavior) estimateBatch(ctx *actor.Context, batch SensorReportBatch) {
+	out := PowerEstimateBatch{
+		Timestamp:    batch.Timestamp,
+		FrequencyMHz: batch.FrequencyMHz,
+		Shard:        batch.Shard,
+		NumShards:    batch.NumShards,
+	}
+	if n := len(batch.Samples); n > 0 {
+		out.Estimates = make([]PIDEstimate, 0, n)
+	}
+	for _, sample := range batch.Samples {
+		watts, err := f.model.EstimateActiveWatts(batch.FrequencyMHz, sample.Deltas, batch.Window)
+		if err != nil {
+			ctx.Publish(TopicErrors, PipelineError{
+				Stage: "formula",
+				Err:   fmt.Errorf("core: estimate pid %d: %w", sample.PID, err),
+			})
+			watts = 0
+		}
+		out.Estimates = append(out.Estimates, PIDEstimate{PID: sample.PID, Watts: watts})
+	}
+	ctx.Publish(TopicPowerEstimates, out)
+}
+
+// aggregatorBehavior merges the per-shard partial estimates of each sampling
+// round into one AggregatedReport and emits it once every shard has reported.
+// When a group resolver is configured it additionally aggregates along that
+// dimension (for example the application name), as the paper's Aggregator
+// description allows.
 type aggregatorBehavior struct {
 	idleWatts float64
 	resolve   func(pid int) string
-	pending   map[time.Duration]*AggregatedReport
-	counts    map[time.Duration]int
+	pending   map[time.Duration]*roundState
+}
+
+// roundState tracks one in-flight sampling round.
+type roundState struct {
+	report *AggregatedReport
+	// batches counts PowerEstimateBatch arrivals; the round completes when
+	// all NumShards have reported.
+	batches int
 }
 
 func newAggregatorBehavior(idleWatts float64, resolve func(pid int) string) *aggregatorBehavior {
 	return &aggregatorBehavior{
 		idleWatts: idleWatts,
 		resolve:   resolve,
-		pending:   make(map[time.Duration]*AggregatedReport),
-		counts:    make(map[time.Duration]int),
+		pending:   make(map[time.Duration]*roundState),
 	}
 }
 
 // Receive implements actor.Behavior.
 func (a *aggregatorBehavior) Receive(ctx *actor.Context, msg actor.Message) {
-	est, ok := msg.(PowerEstimate)
-	if !ok {
+	switch m := msg.(type) {
+	case PowerEstimateBatch:
+		round := a.round(m.Timestamp)
+		for _, est := range m.Estimates {
+			a.merge(round.report, est.PID, est.Watts)
+		}
+		round.batches++
+		if round.batches >= m.NumShards {
+			a.finish(ctx, m.Timestamp, round)
+		}
+	default:
 		ctx.Publish(TopicErrors, PipelineError{
 			Stage: "aggregator",
 			Err:   fmt.Errorf("core: aggregator received unexpected message %T", msg),
 		})
-		return
 	}
-	report, exists := a.pending[est.Timestamp]
+}
+
+// maxPendingRounds bounds the aggregator's in-flight round map. A round can
+// be stranded forever when a shard's batch is lost (e.g. consumed by a
+// panicking behaviour before its restart); without a bound every such
+// incident would leak a roundState in a long-running daemon.
+const maxPendingRounds = 64
+
+func (a *aggregatorBehavior) round(ts time.Duration) *roundState {
+	round, exists := a.pending[ts]
 	if !exists {
-		report = &AggregatedReport{
-			Timestamp: est.Timestamp,
+		if len(a.pending) >= maxPendingRounds {
+			a.evictOldest()
+		}
+		round = &roundState{report: &AggregatedReport{
+			Timestamp: ts,
 			IdleWatts: a.idleWatts,
 			PerPID:    make(map[int]float64),
+		}}
+		a.pending[ts] = round
+	}
+	return round
+}
+
+// evictOldest drops the stalest incomplete round. Its partial estimates are
+// lost, which matches the behaviour a consumer already observes for a
+// stranded round: Collect times out on it either way.
+func (a *aggregatorBehavior) evictOldest() {
+	var oldest time.Duration
+	first := true
+	for ts := range a.pending {
+		if first || ts < oldest {
+			oldest = ts
+			first = false
 		}
-		a.pending[est.Timestamp] = report
 	}
-	if est.PID >= 0 {
-		report.PerPID[est.PID] += est.Watts
-		report.ActiveWatts += est.Watts
-		if a.resolve != nil {
-			if report.PerGroup == nil {
-				report.PerGroup = make(map[string]float64)
-			}
-			report.PerGroup[a.resolve(est.PID)] += est.Watts
+	if !first {
+		delete(a.pending, oldest)
+	}
+}
+
+func (a *aggregatorBehavior) merge(report *AggregatedReport, pid int, watts float64) {
+	report.PerPID[pid] += watts
+	report.ActiveWatts += watts
+	if a.resolve != nil {
+		if report.PerGroup == nil {
+			report.PerGroup = make(map[string]float64)
 		}
+		report.PerGroup[a.resolve(pid)] += watts
 	}
-	a.counts[est.Timestamp]++
-	if a.counts[est.Timestamp] >= est.Targets {
-		report.TotalWatts = report.IdleWatts + report.ActiveWatts
-		ctx.Publish(TopicAggregatedReports, *report)
-		delete(a.pending, est.Timestamp)
-		delete(a.counts, est.Timestamp)
-	}
+}
+
+func (a *aggregatorBehavior) finish(ctx *actor.Context, ts time.Duration, round *roundState) {
+	round.report.TotalWatts = round.report.IdleWatts + round.report.ActiveWatts
+	ctx.Publish(TopicAggregatedReports, *round.report)
+	delete(a.pending, ts)
 }
 
 // reporterBehavior forwards aggregated reports to a delivery function (a

@@ -10,23 +10,34 @@
 //	Reporter   converts aggregated estimations into a consumable format
 //	           (callback, channel, io.Writer).
 //
+// The Sensor and Formula stages are N-way sharded (WithShards): the monitored
+// PIDs are partitioned across a pool of Sensor shards by a consistent-hash
+// router, a sampling tick fans out to every shard, and each shard emits one
+// batched report to its paired Formula shard. The Aggregator merges the
+// per-shard partial estimates back into a single AggregatedReport per round,
+// so Reporters are oblivious to the sharding. The default of one shard
+// degenerates to the paper's original single-actor-per-stage pipeline.
+//
 // The package exposes the PowerAPI facade, which wires the pipeline to a
 // simulated machine and drives sampling rounds in simulated time.
 package core
 
 import (
+	"fmt"
 	"time"
 
+	"powerapi/internal/actor"
 	"powerapi/internal/hpc"
 )
 
 // Topic names of the PowerAPI event bus.
 const (
-	// TopicSensorReports carries SensorReport messages from Sensors to the
-	// Formula.
+	// TopicSensorReports is the prefix of the per-shard topics carrying
+	// SensorReportBatch messages from each Sensor shard to its paired Formula
+	// shard (see SensorShardTopic).
 	TopicSensorReports = "powerapi.sensor"
-	// TopicPowerEstimates carries PowerEstimate messages from the Formula to
-	// the Aggregator.
+	// TopicPowerEstimates carries PowerEstimateBatch messages from the
+	// Formula shards to the Aggregator.
 	TopicPowerEstimates = "powerapi.formula"
 	// TopicAggregatedReports carries AggregatedReport messages from the
 	// Aggregator to Reporters.
@@ -34,6 +45,13 @@ const (
 	// TopicErrors carries pipeline errors.
 	TopicErrors = "powerapi.errors"
 )
+
+// SensorShardTopic returns the event-bus topic shard i of the Sensor pool
+// publishes its batches on. Partitioning the sensor topic keeps every batch
+// on a single Formula shard instead of fanning it out to the whole pool.
+func SensorShardTopic(shard int) string {
+	return fmt.Sprintf("%s.%d", TopicSensorReports, shard)
+}
 
 // tickRequest asks the Sensor to perform one sampling round.
 type tickRequest struct {
@@ -43,45 +61,61 @@ type tickRequest struct {
 	Window time.Duration
 }
 
-// attachRequest asks the Sensor to start monitoring a PID.
+// attachRequest asks a Sensor shard to start monitoring a PID. It is sent
+// through actor.Ask; Reply receives nil on success or the error encountered.
 type attachRequest struct {
-	PID int
-	// Reply receives nil on success or the error encountered.
-	Reply chan error
+	PID   int
+	Reply chan<- actor.Message
 }
 
-// detachRequest asks the Sensor to stop monitoring a PID.
+// detachRequest asks a Sensor shard to stop monitoring a PID.
 type detachRequest struct {
 	PID   int
-	Reply chan error
+	Reply chan<- actor.Message
 }
 
-// SensorReport is the message a Sensor publishes for one monitored process
-// during one sampling round.
-type SensorReport struct {
+// SensorSample is one monitored process within a SensorReportBatch.
+type SensorSample struct {
+	// PID identifies the monitored process.
+	PID int `json:"pid"`
+	// Deltas are the hardware-counter increments of the process.
+	Deltas hpc.Counts `json:"-"`
+}
+
+// SensorReportBatch is the single message one Sensor shard publishes per
+// sampling round: every PID the shard owns, batched. Batching amortizes the
+// per-PID channel sends and message allocations of the unsharded pipeline.
+type SensorReportBatch struct {
 	// Timestamp is the simulated instant of the round.
 	Timestamp time.Duration `json:"timestamp"`
 	// Window is the duration the deltas were accumulated over.
 	Window time.Duration `json:"window"`
-	// PID identifies the monitored process.
-	PID int `json:"pid"`
-	// FrequencyMHz is the dominant core frequency during the round, used to
-	// select the per-frequency formula.
+	// FrequencyMHz is the dominant core frequency during the round.
 	FrequencyMHz int `json:"frequencyMHz"`
-	// Deltas are the hardware-counter increments of the process.
-	Deltas hpc.Counts `json:"-"`
-	// Targets is the number of processes reported in this round, letting the
-	// Aggregator know when a round is complete.
-	Targets int `json:"targets"`
+	// Shard is the index of the emitting Sensor shard.
+	Shard int `json:"shard"`
+	// NumShards is the size of the Sensor pool; the Aggregator uses it to
+	// know when a round is complete.
+	NumShards int `json:"numShards"`
+	// Samples holds one entry per monitored PID of this shard (possibly
+	// empty: an idle shard still reports so the round can complete).
+	Samples []SensorSample `json:"samples"`
 }
 
-// PowerEstimate is the Formula's output for one process and one round.
-type PowerEstimate struct {
+// PIDEstimate is one process's power estimate within a PowerEstimateBatch.
+type PIDEstimate struct {
+	PID   int     `json:"pid"`
+	Watts float64 `json:"watts"`
+}
+
+// PowerEstimateBatch is one Formula shard's partial result for a round. The
+// Aggregator merges the partials of all shards into one AggregatedReport.
+type PowerEstimateBatch struct {
 	Timestamp    time.Duration `json:"timestamp"`
-	PID          int           `json:"pid"`
-	Watts        float64       `json:"watts"`
 	FrequencyMHz int           `json:"frequencyMHz"`
-	Targets      int           `json:"targets"`
+	Shard        int           `json:"shard"`
+	NumShards    int           `json:"numShards"`
+	Estimates    []PIDEstimate `json:"estimates"`
 }
 
 // AggregatedReport is the per-round output of the Aggregator: the total

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -23,6 +24,7 @@ type Option func(*options)
 type options struct {
 	events         []hpc.Event
 	reportBuffer   int
+	shards         int
 	groupResolver  func(pid int) string
 	extraReporters []namedReporter
 }
@@ -41,6 +43,16 @@ func WithEvents(events []hpc.Event) Option {
 // WithReportBuffer sets the capacity of the Reports channel.
 func WithReportBuffer(n int) Option {
 	return func(o *options) { o.reportBuffer = n }
+}
+
+// WithShards splits the Sensor and Formula stages into n PID-partitioned
+// shards each. Monitored PIDs are spread over the Sensor pool by a
+// consistent-hash router, every sampling tick fans out to all shards in
+// parallel, and each shard contributes one batched partial result that the
+// Aggregator merges back into a single report. The default of 1 preserves the
+// paper's one-actor-per-stage pipeline.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
 }
 
 // WithGroupResolver aggregates power along an extra dimension: the resolver
@@ -79,11 +91,12 @@ type PowerAPI struct {
 	machine *machine.Machine
 	model   *model.CPUPowerModel
 	system  *actor.System
-	sensor  *actor.Ref
+	sensors *actor.Router
+	shards  int
 
 	reports     chan AggregatedReport
 	errCount    atomic.Int64
-	lastErr     atomic.Value // error
+	lastErr     atomic.Value // errBox
 	mu          sync.Mutex
 	lastCollect time.Duration
 	monitored   map[int]bool
@@ -98,9 +111,12 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	if err := powerModel.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	cfg := options{reportBuffer: 64}
+	cfg := options{reportBuffer: 64, shards: 1}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("core: shard count must be at least 1, got %d", cfg.shards)
 	}
 	if len(cfg.events) == 0 {
 		events, err := powerModel.Events()
@@ -114,59 +130,95 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 		machine:     m,
 		model:       powerModel,
 		system:      actor.NewSystem("powerapi"),
+		shards:      cfg.shards,
 		reports:     make(chan AggregatedReport, cfg.reportBuffer),
 		monitored:   make(map[int]bool),
 		lastCollect: m.Now(),
 	}
+	// Pipeline stage failures are supervised: a panicking shard is restarted
+	// and the failure lands on the error topic instead of killing the system.
+	supervised := func(stage string) actor.RestartPolicy {
+		return actor.RestartPolicy{
+			MaxRestarts: -1,
+			OnPanic: func(info actor.PanicInfo) {
+				api.errCount.Add(1)
+				api.lastErr.Store(errBox{fmt.Errorf("core: %s actor %s panicked (restart %d): %v", stage, info.Actor, info.Restarts, info.Value)})
+			},
+		}
+	}
 
-	sensor, err := api.system.Spawn("sensor", newSensorBehavior(m, cfg.events), 0)
+	bus := api.system.Bus()
+	sensorRefs := make([]*actor.Ref, cfg.shards)
+	for i := 0; i < cfg.shards; i++ {
+		// The formula shard is stateless: restart from a fresh instance.
+		formula, err := api.system.SpawnSupervised(fmt.Sprintf("formula-%d", i),
+			func() actor.Behavior { return newFormulaShardBehavior(powerModel) }, 0, supervised("formula"))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := bus.Subscribe(SensorShardTopic(i), formula); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		// The sensor shard owns the open counter sets of its PIDs, so a
+		// restart keeps the same behaviour instance (state preserved).
+		sensorShard := newSensorShardBehavior(m, cfg.events, i, cfg.shards)
+		sensor, err := api.system.SpawnSupervised(fmt.Sprintf("sensor-%d", i),
+			func() actor.Behavior { return sensorShard }, 0, supervised("sensor"))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		sensorRefs[i] = sensor
+	}
+	sensors, err := actor.NewRouter(actor.ConsistentHash, sensorRefs...)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	formula, err := api.system.Spawn("formula", newFormulaBehavior(powerModel), 0)
+	// The aggregator keeps in-flight round state across restarts; reporters
+	// wrap externally supplied delivery functions. Both keep their instance
+	// on restart but still record the panic like the shard pools do.
+	aggregatorBhv := newAggregatorBehavior(powerModel.IdleWatts, cfg.groupResolver)
+	aggregator, err := api.system.SpawnSupervised("aggregator",
+		func() actor.Behavior { return aggregatorBhv }, 0, supervised("aggregator"))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	aggregator, err := api.system.Spawn("aggregator", newAggregatorBehavior(powerModel.IdleWatts, cfg.groupResolver), 0)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	reporter, err := api.system.Spawn("reporter", newReporterBehavior(api.deliver), 0)
+	reporterBhv := newReporterBehavior(api.deliver)
+	reporter, err := api.system.SpawnSupervised("reporter",
+		func() actor.Behavior { return reporterBhv }, 0, supervised("reporter"))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	extraRefs := make([]*actor.Ref, 0, len(cfg.extraReporters))
 	for i, extra := range cfg.extraReporters {
 		deliver := extra.deliver
-		ref, err := api.system.Spawn(fmt.Sprintf("reporter-%s-%d", extra.name, i),
-			actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
-				r, ok := msg.(AggregatedReport)
-				if !ok {
-					return
-				}
-				if err := deliver(r); err != nil {
-					ctx.Publish(TopicErrors, PipelineError{Stage: "reporter", Err: err})
-				}
-			}), 0)
+		behavior := actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+			r, ok := msg.(AggregatedReport)
+			if !ok {
+				return
+			}
+			if err := deliver(r); err != nil {
+				ctx.Publish(TopicErrors, PipelineError{Stage: "reporter", Err: err})
+			}
+		})
+		ref, err := api.system.SpawnSupervised(fmt.Sprintf("reporter-%s-%d", extra.name, i),
+			func() actor.Behavior { return behavior }, 0, supervised("reporter"))
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		extraRefs = append(extraRefs, ref)
 	}
-	errorSink, err := api.system.Spawn("error-sink", actor.BehaviorFunc(func(_ *actor.Context, msg actor.Message) {
+	errorSinkBhv := actor.BehaviorFunc(func(_ *actor.Context, msg actor.Message) {
 		if perr, ok := msg.(PipelineError); ok {
 			api.errCount.Add(1)
-			api.lastErr.Store(perr.Err)
+			api.lastErr.Store(errBox{perr.Err})
 		}
-	}), 0)
+	})
+	errorSink, err := api.system.SpawnSupervised("error-sink",
+		func() actor.Behavior { return errorSinkBhv }, 0, supervised("error-sink"))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
-	bus := api.system.Bus()
-	if err := bus.Subscribe(TopicSensorReports, formula); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
 	if err := bus.Subscribe(TopicPowerEstimates, aggregator); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -182,7 +234,7 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
-	api.sensor = sensor
+	api.sensors = sensors
 	return api, nil
 }
 
@@ -211,18 +263,28 @@ func (p *PowerAPI) Model() *model.CPUPowerModel { return p.model }
 // ActorNames lists the pipeline's actors (diagnostics and tests).
 func (p *PowerAPI) ActorNames() []string { return p.system.ActorNames() }
 
+// Shards returns the size of the Sensor/Formula shard pools.
+func (p *PowerAPI) Shards() int { return p.shards }
+
+// ShardOf returns the index of the Sensor shard a PID is routed to.
+func (p *PowerAPI) ShardOf(pid int) int {
+	return p.sensors.IndexFor(uint64(pid))
+}
+
 // Reports exposes the asynchronous stream of aggregated reports.
 func (p *PowerAPI) Reports() <-chan AggregatedReport { return p.reports }
 
 // ErrorCount returns the number of pipeline errors observed so far.
 func (p *PowerAPI) ErrorCount() int64 { return p.errCount.Load() }
 
+// errBox wraps pipeline errors for lastErr: atomic.Value panics when stores
+// mix concrete types, and errors arrive with many (wrapped and unwrapped).
+type errBox struct{ err error }
+
 // LastError returns the most recent pipeline error (nil if none).
 func (p *PowerAPI) LastError() error {
 	if v := p.lastErr.Load(); v != nil {
-		if err, ok := v.(error); ok {
-			return err
-		}
+		return v.(errBox).err
 	}
 	return nil
 }
@@ -235,16 +297,30 @@ func (p *PowerAPI) Attach(pids ...int) error {
 		return errors.New("core: powerapi is shut down")
 	}
 	for _, pid := range pids {
-		reply := make(chan error, 1)
-		if err := p.sensor.Tell(attachRequest{PID: pid, Reply: reply}); err != nil {
+		res, err := p.sensors.Ask(uint64(pid), func(reply chan<- actor.Message) actor.Message {
+			return attachRequest{PID: pid, Reply: reply}
+		}, collectTimeout)
+		if err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
-		if err := <-reply; err != nil {
+		if err := asError(res); err != nil {
 			return err
 		}
 		p.monitored[pid] = true
 	}
 	return nil
+}
+
+// asError converts an Ask reply carrying an error (or nil) back to an error.
+func asError(msg actor.Message) error {
+	if msg == nil {
+		return nil
+	}
+	err, ok := msg.(error)
+	if !ok {
+		return fmt.Errorf("core: unexpected reply %T", msg)
+	}
+	return err
 }
 
 // Detach stops monitoring a PID.
@@ -254,11 +330,13 @@ func (p *PowerAPI) Detach(pid int) error {
 	if p.closed {
 		return errors.New("core: powerapi is shut down")
 	}
-	reply := make(chan error, 1)
-	if err := p.sensor.Tell(detachRequest{PID: pid, Reply: reply}); err != nil {
+	res, err := p.sensors.Ask(uint64(pid), func(reply chan<- actor.Message) actor.Message {
+		return detachRequest{PID: pid, Reply: reply}
+	}, collectTimeout)
+	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	if err := <-reply; err != nil {
+	if err := asError(res); err != nil {
 		return err
 	}
 	delete(p.monitored, pid)
@@ -298,8 +376,8 @@ func (p *PowerAPI) Collect() (AggregatedReport, error) {
 	p.lastCollect = now
 	p.mu.Unlock()
 
-	if err := p.sensor.Tell(tickRequest{Timestamp: now, Window: window}); err != nil {
-		return AggregatedReport{}, fmt.Errorf("core: %w", err)
+	if delivered := p.sensors.Broadcast(tickRequest{Timestamp: now, Window: window}); delivered < p.shards {
+		return AggregatedReport{}, fmt.Errorf("core: tick reached %d of %d sensor shards: %w", delivered, p.shards, actor.ErrStopped)
 	}
 	deadline := time.After(collectTimeout)
 	for {
@@ -319,6 +397,14 @@ func (p *PowerAPI) Collect() (AggregatedReport, error) {
 // simulated duration, collecting one report per step. The callback (optional)
 // receives every report as it is produced; all reports are also returned.
 func (p *PowerAPI) RunMonitored(duration, interval time.Duration, onReport func(AggregatedReport)) ([]AggregatedReport, error) {
+	return p.RunMonitoredContext(context.Background(), duration, interval, onReport)
+}
+
+// RunMonitoredContext is RunMonitored with cancellation: when ctx is done the
+// loop stops between rounds and the reports collected so far are returned
+// alongside ctx.Err(), letting callers (like the daemon's signal handler)
+// stop cleanly on a round boundary.
+func (p *PowerAPI) RunMonitoredContext(ctx context.Context, duration, interval time.Duration, onReport func(AggregatedReport)) ([]AggregatedReport, error) {
 	if duration <= 0 || interval <= 0 {
 		return nil, errors.New("core: duration and interval must be positive")
 	}
@@ -328,6 +414,11 @@ func (p *PowerAPI) RunMonitored(duration, interval time.Duration, onReport func(
 	steps := int(duration / interval)
 	out := make([]AggregatedReport, 0, steps)
 	for i := 0; i < steps; i++ {
+		select {
+		case <-ctx.Done():
+			return out, ctx.Err()
+		default:
+		}
 		if _, err := p.machine.Run(interval); err != nil {
 			return out, fmt.Errorf("core: advance machine: %w", err)
 		}

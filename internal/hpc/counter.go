@@ -49,7 +49,7 @@ func (c *Counter) PID() int { return c.pid }
 func (c *Counter) CPU() int { return c.cpu }
 
 func (c *Counter) registryValue() uint64 {
-	return c.registry.Read(c.pid, c.cpu).Get(c.event)
+	return c.registry.ReadEvent(c.pid, c.cpu, c.event)
 }
 
 // Enable starts counting from the current registry value.
@@ -99,6 +99,25 @@ func (c *Counter) Read() (uint64, error) {
 			value += current - c.baseline
 		}
 	}
+	return value, nil
+}
+
+// TakeDelta reads the events observed since the last take (or open/reset) and
+// zeroes the counter, with a single registry lookup — the equivalent of
+// Read followed by Reset, at half the cost.
+func (c *Counter) TakeDelta() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	value := c.value
+	current := c.registryValue()
+	if c.enabled && current > c.baseline {
+		value += current - c.baseline
+	}
+	c.value = 0
+	c.baseline = current
 	return value, nil
 }
 
@@ -204,12 +223,9 @@ func (s *CounterSet) ReadDelta() (Counts, error) {
 	defer s.mu.Unlock()
 	out := make(Counts, len(s.counters))
 	for e, c := range s.counters {
-		v, err := c.Read()
+		v, err := c.TakeDelta()
 		if err != nil {
 			return nil, fmt.Errorf("hpc: read %v: %w", e, err)
-		}
-		if err := c.Reset(); err != nil {
-			return nil, fmt.Errorf("hpc: reset %v: %w", e, err)
 		}
 		out[e] = v
 	}

@@ -112,6 +112,48 @@ func TestCounterReset(t *testing.T) {
 	}
 }
 
+func TestCounterTakeDelta(t *testing.T) {
+	r := NewRegistry()
+	c, err := OpenCounter(r, Instructions, 1, AllCPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Accumulate(1, 0, Counts{Instructions: 40})
+	got, err := c.TakeDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 40 {
+		t.Fatalf("first TakeDelta = %d, want 40", got)
+	}
+	// The take reset the counter: only new activity shows up next time.
+	_ = r.Accumulate(1, 0, Counts{Instructions: 2})
+	if got, _ := c.TakeDelta(); got != 2 {
+		t.Fatalf("second TakeDelta = %d, want 2", got)
+	}
+	if got, _ := c.TakeDelta(); got != 0 {
+		t.Fatalf("idle TakeDelta = %d, want 0", got)
+	}
+	// Disabled counters take their stored value and keep the baseline
+	// current, exactly like Read followed by Reset.
+	if err := c.Disable(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Accumulate(1, 0, Counts{Instructions: 9})
+	if got, _ := c.TakeDelta(); got != 0 {
+		t.Fatalf("disabled TakeDelta = %d, want 0", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TakeDelta(); err == nil {
+		t.Fatal("TakeDelta on a closed counter should fail")
+	}
+}
+
 func TestCounterClosed(t *testing.T) {
 	r := NewRegistry()
 	c, _ := OpenCounter(r, Cycles, 1, 0)

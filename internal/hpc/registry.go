@@ -115,6 +115,30 @@ func (r *Registry) Read(pid, cpu int) Counts {
 	}
 }
 
+// ReadEvent resolves one event of a (pid, cpu) pair with perf wildcard
+// semantics, without materialising a Counts map. This is the monitoring hot
+// path: the Sensor reads every counter of every monitored PID each tick, and
+// building (then discarding) a full per-scope map per read dominated the
+// pipeline's allocation profile.
+func (r *Registry) ReadEvent(pid, cpu int, event Event) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	switch {
+	case pid == AllPIDs && cpu == AllCPUs:
+		return r.system.Get(event)
+	case pid == AllPIDs:
+		return r.perCPU[cpu].Get(event)
+	case cpu == AllCPUs:
+		var total uint64
+		for _, counts := range r.perPIDCPU[pid] {
+			total += counts.Get(event)
+		}
+		return total
+	default:
+		return r.perPIDCPU[pid][cpu].Get(event)
+	}
+}
+
 // PIDs returns the PIDs that have recorded activity.
 func (r *Registry) PIDs() []int {
 	r.mu.RLock()

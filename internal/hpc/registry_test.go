@@ -63,6 +63,28 @@ func TestRegistryWildcardRead(t *testing.T) {
 	}
 }
 
+func TestRegistryReadEventMatchesRead(t *testing.T) {
+	// ReadEvent is the allocation-free fast path of Read(...).Get(event); the
+	// two must agree under every wildcard combination.
+	r := NewRegistry()
+	_ = r.Accumulate(1, 0, Counts{Instructions: 10, Cycles: 3})
+	_ = r.Accumulate(1, 1, Counts{Instructions: 5})
+	_ = r.Accumulate(2, 1, Counts{Instructions: 7})
+
+	scopes := []struct{ pid, cpu int }{
+		{AllPIDs, AllCPUs}, {AllPIDs, 0}, {AllPIDs, 1}, {AllPIDs, 9},
+		{1, AllCPUs}, {2, AllCPUs}, {1, 0}, {1, 1}, {2, 0}, {99, AllCPUs}, {99, 3},
+	}
+	for _, scope := range scopes {
+		for _, event := range []Event{Instructions, Cycles, CacheMisses} {
+			want := r.Read(scope.pid, scope.cpu).Get(event)
+			if got := r.ReadEvent(scope.pid, scope.cpu, event); got != want {
+				t.Fatalf("ReadEvent(%d,%d,%v) = %d, Read().Get() = %d", scope.pid, scope.cpu, event, got, want)
+			}
+		}
+	}
+}
+
 func TestRegistryIdleWorkNotAttributedToPID(t *testing.T) {
 	r := NewRegistry()
 	// Kernel / idle work on cpu 0 (pid wildcard).

@@ -17,7 +17,11 @@
 //     against measured power (the paper's Figure 1);
 //   - the actor-based monitoring middleware (NewMonitor) — Sensor, Formula,
 //     Aggregator, Reporter — that attributes watts to PIDs at run time (the
-//     paper's Figure 2);
+//     paper's Figure 2). The Sensor and Formula stages scale out to N
+//     PID-partitioned shards (WithShards): a consistent-hash router spreads
+//     the monitored PIDs over the Sensor pool, every sampling tick fans out
+//     to all shards, and each shard emits one batched report whose partial
+//     estimates the Aggregator merges back into a single round report;
 //   - workload generators (CPUStress, MemoryStress, SPECjbb) used both for
 //     calibration and for the paper's evaluation;
 //   - the experiment drivers (Experiments*) that regenerate every table and
@@ -182,12 +186,19 @@ func PaperReferenceModel() *PowerModel { return model.PaperReferenceModel() }
 func LoadModel(path string) (*PowerModel, error) { return model.LoadFile(path) }
 
 // NewMonitor wires the PowerAPI pipeline (Sensor, Formula, Aggregator,
-// Reporter) onto a machine with the given power model. Options add an
-// aggregation dimension (WithProcessNameGrouping) or extra Reporter
-// components (WithCSVReporter, WithJSONReporter, WithEnergyAccounting).
+// Reporter) onto a machine with the given power model. Options shard the
+// pipeline (WithShards), add an aggregation dimension
+// (WithProcessNameGrouping) or extra Reporter components (WithCSVReporter,
+// WithJSONReporter, WithEnergyAccounting).
 func NewMonitor(m *Machine, powerModel *PowerModel, opts ...MonitorOption) (*Monitor, error) {
 	return core.New(m, powerModel, opts...)
 }
+
+// WithShards splits the Sensor and Formula stages into n PID-partitioned
+// shards each, letting the pipeline exploit multiple cores and amortize
+// per-PID message overhead when monitoring large process counts. The default
+// of 1 preserves the paper's one-actor-per-stage pipeline.
+func WithShards(n int) MonitorOption { return core.WithShards(n) }
 
 // WithProcessNameGrouping aggregates power by process name in addition to the
 // per-PID and per-timestamp dimensions.
