@@ -13,6 +13,8 @@
 //	powerapi-daemon -duration 60s -interval 1s
 //	powerapi-daemon -model model.json -spec i3-2120
 //	powerapi-daemon -shards 8 -csv power.csv -jsonl power.jsonl
+//	powerapi-daemon -source blended          # RAPL total, counter-keyed split
+//	powerapi-daemon -source procfs           # no-counters fallback
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"powerapi/internal/hpc"
 	"powerapi/internal/machine"
 	"powerapi/internal/model"
+	"powerapi/internal/source"
 	"powerapi/internal/workload"
 )
 
@@ -52,6 +55,8 @@ func run(args []string) error {
 		duration  = fs.Duration("duration", 30*time.Second, "simulated monitoring duration")
 		interval  = fs.Duration("interval", time.Second, "sampling interval")
 		shards    = fs.Int("shards", 1, "number of Sensor/Formula shards in the pipeline")
+		srcName   = fs.String("source", "hpc", "sensing backend: hpc|procfs|rapl|blended")
+		timeout   = fs.Duration("collect-timeout", core.DefaultCollectTimeout, "wall-clock budget of one sampling round")
 		csvPath   = fs.String("csv", "", "write per-process rounds to this CSV file")
 		jsonlPath = fs.String("jsonl", "", "write one JSON object per round to this file")
 	)
@@ -60,6 +65,13 @@ func run(args []string) error {
 	}
 	if *interval <= 0 || *interval > *duration {
 		return fmt.Errorf("interval must be positive and no longer than the duration")
+	}
+	if *timeout <= 0 {
+		return fmt.Errorf("collect-timeout must be positive, got %v", *timeout)
+	}
+	mode, err := source.ParseMode(*srcName)
+	if err != nil {
+		return err
 	}
 	spec, err := cpu.LookupSpec(*specName)
 	if err != nil {
@@ -109,7 +121,11 @@ func run(args []string) error {
 	// buffered writers are flushed after Shutdown has drained the mailboxes —
 	// on error paths too, so a failed run still leaves complete rounds on
 	// disk.
-	opts := []core.Option{core.WithShards(*shards)}
+	opts := []core.Option{
+		core.WithShards(*shards),
+		core.WithSources(mode),
+		core.WithCollectTimeout(*timeout),
+	}
 	var flushers []func() error
 	flushed := false
 	flushAll := func() error {
@@ -177,8 +193,8 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("Monitoring %d processes on %s for %v (sampling every %v, %d shard(s))\n\n",
-		len(names), spec.String(), *duration, *interval, *shards)
+	fmt.Printf("Monitoring %d processes on %s for %v (sampling every %v, %d shard(s), %s source)\n\n",
+		len(names), spec.String(), *duration, *interval, *shards, mode)
 	fmt.Printf("%-10s %-14s %10s %12s\n", "TIME", "PROCESS", "PID", "POWER (W)")
 	_, err = api.RunMonitoredContext(ctx, *duration, *interval, func(r core.AggregatedReport) {
 		if obsErr := adv.ObserveReport(r, *interval); obsErr != nil {

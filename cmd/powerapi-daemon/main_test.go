@@ -12,6 +12,12 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-not-a-flag"}); err == nil {
 		t.Fatal("unknown flag should fail")
 	}
+	if err := run([]string{"-source", "not-a-backend"}); err == nil {
+		t.Fatal("unknown source mode should fail")
+	}
+	if err := run([]string{"-collect-timeout", "-1s"}); err == nil {
+		t.Fatal("negative collect timeout should fail")
+	}
 }
 
 func TestRunShortMonitoringSession(t *testing.T) {
@@ -20,5 +26,16 @@ func TestRunShortMonitoringSession(t *testing.T) {
 	}
 	if err := run([]string{"-duration", "3s", "-interval", "1s"}); err != nil {
 		t.Fatalf("daemon run failed: %v", err)
+	}
+}
+
+func TestRunSourceModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick calibration plus monitoring is too slow for -short")
+	}
+	for _, mode := range []string{"blended", "rapl", "procfs"} {
+		if err := run([]string{"-duration", "2s", "-interval", "1s", "-source", mode}); err != nil {
+			t.Fatalf("daemon run with -source %s failed: %v", mode, err)
+		}
 	}
 }

@@ -69,6 +69,53 @@ func TestFacadeReportersAndEnergyAccounting(t *testing.T) {
 	}
 }
 
+func TestFacadeBlendedSourceMode(t *testing.T) {
+	mode, err := ParseSourceMode("blended")
+	if err != nil || mode != SourceBlended {
+		t.Fatalf("ParseSourceMode(blended) = %v, %v", mode, err)
+	}
+	if _, err := ParseSourceMode("powertop"); err == nil {
+		t.Fatal("unknown source mode should fail")
+	}
+
+	cfg := DefaultMachineConfig()
+	cfg.Governor = GovernorPerformance
+	cfg.PowerNoiseStdDevWatts = 0
+	host, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := CPUStress(0.8, 0)
+	p, _ := host.Spawn(gen)
+	monitor, err := NewMonitor(host, PaperReferenceModel(),
+		WithSources(SourceBlended), WithCollectTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer monitor.Shutdown()
+	if err := monitor.Attach(p.PID()); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := monitor.RunMonitored(2*time.Second, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := reports[len(reports)-1]
+	if last.SourceMode != "blended" {
+		t.Fatalf("SourceMode = %q, want blended", last.SourceMode)
+	}
+	if last.MeasuredWatts <= 0 {
+		t.Fatalf("MeasuredWatts = %v, want > 0", last.MeasuredWatts)
+	}
+	var sum float64
+	for _, watts := range last.PerPID {
+		sum += watts
+	}
+	if diff := sum - last.MeasuredWatts; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("per-PID sum %.9f != measured RAPL power %.9f", sum, last.MeasuredWatts)
+	}
+}
+
 func TestFacadeAdvisorFindsEnergyLeaks(t *testing.T) {
 	cfg := DefaultMachineConfig()
 	cfg.Governor = GovernorPerformance

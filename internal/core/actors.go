@@ -1,36 +1,38 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"powerapi/internal/actor"
-	"powerapi/internal/hpc"
-	"powerapi/internal/machine"
 	"powerapi/internal/model"
+	"powerapi/internal/source"
 )
 
-// sensorShardBehavior monitors the hardware counters of the PIDs routed to
-// one shard of the Sensor pool. All state is owned by the actor goroutine;
-// attach/detach flow through the mailbox (via actor.Ask) and a tick makes the
-// shard publish one batched report for all its PIDs.
+// sensorShardBehavior monitors the targets routed to one shard of the Sensor
+// pool through a pluggable process-scope source; shard 0 additionally owns
+// the machine-scope source of the sensing mode (RAPL, utilisation proxy)
+// when one exists. All state is owned by the actor goroutine; attach/detach
+// flow through the mailbox (via actor.Ask) and a tick makes the shard
+// publish one batched report for all its PIDs.
 type sensorShardBehavior struct {
-	machine *machine.Machine
-	events  []hpc.Event
-	shard   int
-	shards  int
-	topic   string // per-shard sensor topic feeding the paired formula shard
-	sets    map[int]*hpc.CounterSet
+	attr          source.Source // per-PID attribution source, owned by this shard
+	total         source.Source // machine-scope source (shard 0 only, may be nil)
+	shard         int
+	shards        int
+	topic         string // per-shard sensor topic feeding the paired formula shard
+	sampleTimeout time.Duration
 }
 
-func newSensorShardBehavior(m *machine.Machine, events []hpc.Event, shard, shards int) *sensorShardBehavior {
+func newSensorShardBehavior(attr, total source.Source, shard, shards int, sampleTimeout time.Duration) *sensorShardBehavior {
 	return &sensorShardBehavior{
-		machine: m,
-		events:  events,
-		shard:   shard,
-		shards:  shards,
-		topic:   SensorShardTopic(shard),
-		sets:    make(map[int]*hpc.CounterSet),
+		attr:          attr,
+		total:         total,
+		shard:         shard,
+		shards:        shards,
+		topic:         SensorShardTopic(shard),
+		sampleTimeout: sampleTimeout,
 	}
 }
 
@@ -52,59 +54,71 @@ func (s *sensorShardBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 }
 
 func (s *sensorShardBehavior) attach(pid int) error {
-	if _, exists := s.sets[pid]; exists {
-		return nil
+	dyn, ok := s.attr.(source.Dynamic)
+	if !ok {
+		return fmt.Errorf("core: %s source does not support attaching targets", s.attr.Name())
 	}
-	if _, err := s.machine.Processes().Get(pid); err != nil {
-		return fmt.Errorf("core: attach: %w", err)
+	if err := dyn.Add(pid); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
-	set, err := hpc.OpenCounterSet(s.machine.Registry(), s.events, pid, hpc.AllCPUs)
-	if err != nil {
-		return fmt.Errorf("core: attach pid %d: %w", pid, err)
-	}
-	if err := set.Enable(); err != nil {
-		return fmt.Errorf("core: enable counters for pid %d: %w", pid, err)
-	}
-	s.sets[pid] = set
 	return nil
 }
 
 func (s *sensorShardBehavior) detach(pid int) error {
-	set, exists := s.sets[pid]
-	if !exists {
-		return fmt.Errorf("core: detach: pid %d is not monitored", pid)
+	dyn, ok := s.attr.(source.Dynamic)
+	if !ok {
+		return fmt.Errorf("core: %s source does not support detaching targets", s.attr.Name())
 	}
-	delete(s.sets, pid)
-	if err := set.Close(); err != nil {
-		return fmt.Errorf("core: detach pid %d: %w", pid, err)
+	if err := dyn.Remove(pid); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
 
-// tick reads every counter set the shard owns and publishes ONE batch. An
-// idle shard publishes an empty batch so the Aggregator can still complete
-// the round.
+// tick samples the shard's sources and publishes ONE batch. An idle shard
+// publishes an empty batch so the Aggregator can still complete the round.
 func (s *sensorShardBehavior) tick(ctx *actor.Context, req tickRequest) {
 	batch := SensorReportBatch{
-		Timestamp:    req.Timestamp,
-		Window:       req.Window,
-		FrequencyMHz: s.machine.DominantFrequencyMHz(),
-		Shard:        s.shard,
-		NumShards:    s.shards,
+		Timestamp: req.Timestamp,
+		Window:    req.Window,
+		Shard:     s.shard,
+		NumShards: s.shards,
 	}
-	if n := len(s.sets); n > 0 {
+	// The collect timeout bounds the whole round, so it also bounds each
+	// source sample: a hanging custom backend cancels instead of wedging
+	// the shard's mailbox forever.
+	sampleCtx, cancel := context.WithTimeout(context.Background(), s.sampleTimeout)
+	defer cancel()
+	sample, err := s.attr.Sample(sampleCtx)
+	if err != nil {
+		// The sample stays usable on partial failures; surface the error
+		// either way.
+		ctx.Publish(TopicErrors, PipelineError{
+			Stage: "sensor",
+			Err:   fmt.Errorf("core: sample %s source: %w", s.attr.Name(), err),
+		})
+	}
+	batch.FrequencyMHz = sample.FrequencyMHz
+	if n := len(sample.PIDs); n > 0 {
 		batch.Samples = make([]SensorSample, 0, n)
+		for _, ps := range sample.PIDs {
+			batch.Samples = append(batch.Samples, SensorSample{PID: ps.PID, Deltas: ps.Deltas, Weight: ps.Weight})
+		}
 	}
-	for pid, set := range s.sets {
-		deltas, err := set.ReadDelta()
+	if s.total != nil {
+		ts, err := s.total.Sample(sampleCtx)
 		if err != nil {
 			ctx.Publish(TopicErrors, PipelineError{
 				Stage: "sensor",
-				Err:   fmt.Errorf("core: read counters for pid %d: %w", pid, err),
+				Err:   fmt.Errorf("core: sample %s source: %w", s.total.Name(), err),
 			})
-			deltas = hpc.Counts{}
+		} else {
+			batch.MeasuredWatts = ts.MeasuredWatts
+			batch.HasMeasured = ts.HasMeasured
+			if batch.FrequencyMHz == 0 {
+				batch.FrequencyMHz = ts.FrequencyMHz
+			}
 		}
-		batch.Samples = append(batch.Samples, SensorSample{PID: pid, Deltas: deltas})
 	}
 	if delivered := ctx.Publish(s.topic, batch); delivered == 0 {
 		ctx.Publish(TopicErrors, PipelineError{
@@ -115,15 +129,20 @@ func (s *sensorShardBehavior) tick(ctx *actor.Context, req tickRequest) {
 }
 
 // formulaShardBehavior converts one shard's batched sensor reports into a
-// batched partial power estimation with the learned CPU power model. The
-// behaviour is stateless, so its supervisor restarts it from a fresh instance
-// after a panic.
+// batched partial power estimation. In ModeHPC it applies the learned CPU
+// power model to the counter deltas (the paper's Formula); in ModeBlended it
+// evaluates the model too, but only as the *attribution key* the Aggregator
+// scales against the RAPL total (the Kepler-style ratio split); in the
+// share-based modes it forwards the source weights untouched. The behaviour
+// is stateless, so its supervisor restarts it from a fresh instance after a
+// panic.
 type formulaShardBehavior struct {
 	model *model.CPUPowerModel
+	mode  source.Mode
 }
 
-func newFormulaShardBehavior(m *model.CPUPowerModel) *formulaShardBehavior {
-	return &formulaShardBehavior{model: m}
+func newFormulaShardBehavior(m *model.CPUPowerModel, mode source.Mode) *formulaShardBehavior {
+	return &formulaShardBehavior{model: m, mode: mode}
 }
 
 // Receive implements actor.Behavior.
@@ -141,50 +160,75 @@ func (f *formulaShardBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 
 func (f *formulaShardBehavior) estimateBatch(ctx *actor.Context, batch SensorReportBatch) {
 	out := PowerEstimateBatch{
-		Timestamp:    batch.Timestamp,
-		FrequencyMHz: batch.FrequencyMHz,
-		Shard:        batch.Shard,
-		NumShards:    batch.NumShards,
+		Timestamp:     batch.Timestamp,
+		FrequencyMHz:  batch.FrequencyMHz,
+		Shard:         batch.Shard,
+		NumShards:     batch.NumShards,
+		MeasuredWatts: batch.MeasuredWatts,
+		HasMeasured:   batch.HasMeasured,
 	}
 	if n := len(batch.Samples); n > 0 {
 		out.Estimates = make([]PIDEstimate, 0, n)
 	}
 	for _, sample := range batch.Samples {
-		watts, err := f.model.EstimateActiveWatts(batch.FrequencyMHz, sample.Deltas, batch.Window)
-		if err != nil {
-			ctx.Publish(TopicErrors, PipelineError{
-				Stage: "formula",
-				Err:   fmt.Errorf("core: estimate pid %d: %w", sample.PID, err),
-			})
-			watts = 0
+		est := PIDEstimate{PID: sample.PID}
+		switch f.mode {
+		case source.ModeHPC, source.ModeBlended:
+			watts, err := f.model.EstimateActiveWatts(batch.FrequencyMHz, sample.Deltas, batch.Window)
+			if err != nil {
+				ctx.Publish(TopicErrors, PipelineError{
+					Stage: "formula",
+					Err:   fmt.Errorf("core: estimate pid %d: %w", sample.PID, err),
+				})
+				watts = 0
+			}
+			if f.mode == source.ModeHPC {
+				est.Watts = watts
+			} else {
+				est.Weight = watts
+			}
+		default:
+			est.Weight = sample.Weight
 		}
-		out.Estimates = append(out.Estimates, PIDEstimate{PID: sample.PID, Watts: watts})
+		out.Estimates = append(out.Estimates, est)
 	}
 	ctx.Publish(TopicPowerEstimates, out)
 }
 
 // aggregatorBehavior merges the per-shard partial estimates of each sampling
-// round into one AggregatedReport and emits it once every shard has reported.
-// When a group resolver is configured it additionally aggregates along that
+// round into one AggregatedReport and emits it once every shard has
+// reported. In attributed sensing modes it additionally normalizes the
+// per-PID weights of the whole round against the measured machine total —
+// attribution must be global, a single shard only ever sees its own PIDs.
+// When a group resolver is configured it also aggregates along that
 // dimension (for example the application name), as the paper's Aggregator
 // description allows.
 type aggregatorBehavior struct {
 	idleWatts float64
+	mode      source.Mode
 	resolve   func(pid int) string
 	pending   map[time.Duration]*roundState
 }
 
-// roundState tracks one in-flight sampling round.
+// roundState tracks one in-flight sampling round. In attributed modes
+// report.PerPID temporarily holds raw weights until finish scales them.
 type roundState struct {
 	report *AggregatedReport
 	// batches counts PowerEstimateBatch arrivals; the round completes when
 	// all NumShards have reported.
 	batches int
+	// measuredWatts accumulates the machine-scope measurement of the round
+	// (at most one batch carries it).
+	measuredWatts float64
+	hasMeasured   bool
+	// sumWeight accumulates the raw attribution weights of every shard.
+	sumWeight float64
 }
 
-func newAggregatorBehavior(idleWatts float64, resolve func(pid int) string) *aggregatorBehavior {
+func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid int) string) *aggregatorBehavior {
 	return &aggregatorBehavior{
 		idleWatts: idleWatts,
+		mode:      mode,
 		resolve:   resolve,
 		pending:   make(map[time.Duration]*roundState),
 	}
@@ -195,8 +239,12 @@ func (a *aggregatorBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 	switch m := msg.(type) {
 	case PowerEstimateBatch:
 		round := a.round(m.Timestamp)
+		if m.HasMeasured {
+			round.measuredWatts += m.MeasuredWatts
+			round.hasMeasured = true
+		}
 		for _, est := range m.Estimates {
-			a.merge(round.report, est.PID, est.Watts)
+			a.merge(round, est)
 		}
 		round.batches++
 		if round.batches >= m.NumShards {
@@ -223,9 +271,10 @@ func (a *aggregatorBehavior) round(ts time.Duration) *roundState {
 			a.evictOldest()
 		}
 		round = &roundState{report: &AggregatedReport{
-			Timestamp: ts,
-			IdleWatts: a.idleWatts,
-			PerPID:    make(map[int]float64),
+			Timestamp:  ts,
+			IdleWatts:  a.idleWatts,
+			SourceMode: a.mode.String(),
+			PerPID:     make(map[int]float64),
 		}}
 		a.pending[ts] = round
 	}
@@ -249,21 +298,62 @@ func (a *aggregatorBehavior) evictOldest() {
 	}
 }
 
-func (a *aggregatorBehavior) merge(report *AggregatedReport, pid int, watts float64) {
-	report.PerPID[pid] += watts
-	report.ActiveWatts += watts
-	if a.resolve != nil {
-		if report.PerGroup == nil {
-			report.PerGroup = make(map[string]float64)
-		}
-		report.PerGroup[a.resolve(pid)] += watts
+func (a *aggregatorBehavior) merge(round *roundState, est PIDEstimate) {
+	if a.mode.Attributed() {
+		round.report.PerPID[est.PID] += est.Weight
+		round.sumWeight += est.Weight
+		return
 	}
+	round.report.PerPID[est.PID] += est.Watts
+	round.report.ActiveWatts += est.Watts
 }
 
 func (a *aggregatorBehavior) finish(ctx *actor.Context, ts time.Duration, round *roundState) {
-	round.report.TotalWatts = round.report.IdleWatts + round.report.ActiveWatts
-	ctx.Publish(TopicAggregatedReports, *round.report)
+	report := round.report
+	// The raw measurement is surfaced in every mode: a custom machine-scope
+	// source plugged into the formula-driven pipeline still reports what it
+	// measured, it just does not drive the attribution there.
+	if round.hasMeasured {
+		report.MeasuredWatts = round.measuredWatts
+	}
+	if a.mode.Attributed() {
+		a.attribute(round)
+	}
+	if a.resolve != nil && len(report.PerPID) > 0 {
+		report.PerGroup = make(map[string]float64)
+		for pid, watts := range report.PerPID {
+			report.PerGroup[a.resolve(pid)] += watts
+		}
+	}
+	report.TotalWatts = report.IdleWatts + report.ActiveWatts
+	ctx.Publish(TopicAggregatedReports, *report)
 	delete(a.pending, ts)
+}
+
+// attribute distributes the round's measured machine power across the
+// monitored PIDs proportionally to their weights, so the per-PID estimates
+// sum exactly to the measurement. Zero total weight (an all-idle window)
+// splits the measurement evenly; with nothing monitored the measurement is
+// still reported as the machine's active power, unattributed.
+func (a *aggregatorBehavior) attribute(round *roundState) {
+	report := round.report
+	total := round.measuredWatts
+	if !round.hasMeasured {
+		total = 0
+	}
+	report.ActiveWatts = total
+	switch {
+	case round.sumWeight > 0:
+		scale := total / round.sumWeight
+		for pid, weight := range report.PerPID {
+			report.PerPID[pid] = weight * scale
+		}
+	case len(report.PerPID) > 0:
+		even := total / float64(len(report.PerPID))
+		for pid := range report.PerPID {
+			report.PerPID[pid] = even
+		}
+	}
 }
 
 // reporterBehavior forwards aggregated reports to a delivery function (a

@@ -18,6 +18,14 @@
 // so Reporters are oblivious to the sharding. The default of one shard
 // degenerates to the paper's original single-actor-per-stage pipeline.
 //
+// What the Sensor shards sample is pluggable (WithSources): each shard owns a
+// process-scope source from internal/source (hardware counters, procfs
+// CPU-time shares) and shard 0 additionally owns the machine-scope source of
+// the sensing mode (the simulated RAPL meter or a utilisation proxy). In the
+// attributed modes the Aggregator normalizes the per-PID weights of the whole
+// round against the measured machine total, so the per-PID estimates sum
+// exactly to the measurement (Kepler-style blended attribution).
+//
 // The package exposes the PowerAPI facade, which wires the pipeline to a
 // simulated machine and drives sampling rounds in simulated time.
 package core
@@ -78,8 +86,12 @@ type detachRequest struct {
 type SensorSample struct {
 	// PID identifies the monitored process.
 	PID int `json:"pid"`
-	// Deltas are the hardware-counter increments of the process.
+	// Deltas are the hardware-counter increments of the process
+	// (counter-backed sources; nil otherwise).
 	Deltas hpc.Counts `json:"-"`
+	// Weight is the raw attribution weight of the process for the round
+	// (share-based sources; normalized by the Aggregator).
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // SensorReportBatch is the single message one Sensor shard publishes per
@@ -97,15 +109,25 @@ type SensorReportBatch struct {
 	// NumShards is the size of the Sensor pool; the Aggregator uses it to
 	// know when a round is complete.
 	NumShards int `json:"numShards"`
+	// MeasuredWatts is the machine-level power a machine-scope source
+	// measured for the round. Only shard 0 owns such a source, so at most
+	// one batch per round carries a measurement (HasMeasured).
+	MeasuredWatts float64 `json:"measuredWatts,omitempty"`
+	// HasMeasured reports whether MeasuredWatts is a real measurement.
+	HasMeasured bool `json:"hasMeasured,omitempty"`
 	// Samples holds one entry per monitored PID of this shard (possibly
 	// empty: an idle shard still reports so the round can complete).
 	Samples []SensorSample `json:"samples"`
 }
 
 // PIDEstimate is one process's power estimate within a PowerEstimateBatch.
+// In the formula-driven mode Watts is the final per-PID power; in attributed
+// modes Weight is the raw attribution key the Aggregator normalizes against
+// the round's measured total.
 type PIDEstimate struct {
-	PID   int     `json:"pid"`
-	Watts float64 `json:"watts"`
+	PID    int     `json:"pid"`
+	Watts  float64 `json:"watts"`
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // PowerEstimateBatch is one Formula shard's partial result for a round. The
@@ -115,7 +137,11 @@ type PowerEstimateBatch struct {
 	FrequencyMHz int           `json:"frequencyMHz"`
 	Shard        int           `json:"shard"`
 	NumShards    int           `json:"numShards"`
-	Estimates    []PIDEstimate `json:"estimates"`
+	// MeasuredWatts/HasMeasured forward the machine-scope measurement of the
+	// round (see SensorReportBatch).
+	MeasuredWatts float64       `json:"measuredWatts,omitempty"`
+	HasMeasured   bool          `json:"hasMeasured,omitempty"`
+	Estimates     []PIDEstimate `json:"estimates"`
 }
 
 // AggregatedReport is the per-round output of the Aggregator: the total
@@ -137,6 +163,14 @@ type AggregatedReport struct {
 	// was configured. This is the paper's "aggregates the power estimations
 	// according to a dimension" beyond PID and timestamp.
 	PerGroup map[string]float64 `json:"perGroup,omitempty"`
+	// SourceMode names the sensing mode that produced the round ("hpc",
+	// "procfs", "rapl", "blended").
+	SourceMode string `json:"sourceMode,omitempty"`
+	// MeasuredWatts is the raw machine-level measurement of the round (RAPL
+	// energy or the utilisation proxy). Zero in the formula-driven hpc mode
+	// unless a custom machine-scope source was installed, in which case the
+	// measurement is reported but does not drive the attribution.
+	MeasuredWatts float64 `json:"measuredWatts,omitempty"`
 }
 
 // PipelineError is published on TopicErrors when a stage fails.

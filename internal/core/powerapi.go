@@ -12,19 +12,37 @@ import (
 	"powerapi/internal/hpc"
 	"powerapi/internal/machine"
 	"powerapi/internal/model"
+	"powerapi/internal/rapl"
+	"powerapi/internal/source"
 )
 
-// collectTimeout bounds how long a synchronous sampling round may wait for
-// the actor pipeline (wall-clock, not simulated time).
-const collectTimeout = 5 * time.Second
+// DefaultCollectTimeout bounds how long a synchronous sampling round may
+// wait for the actor pipeline (wall-clock, not simulated time) unless
+// WithCollectTimeout overrides it.
+const DefaultCollectTimeout = 5 * time.Second
 
 // Option customises a PowerAPI instance.
 type Option func(*options)
+
+// SourceFactories builds the sensing backends of a pipeline: one
+// process-scope attribution source per Sensor shard, plus at most one
+// machine-scope total source for the whole pipeline (owned by shard 0). A
+// nil factory means the mode's default.
+type SourceFactories struct {
+	// Attribution builds the per-shard process-scope source.
+	Attribution func(shard int) (source.Source, error)
+	// Total builds the machine-scope source; it may return (nil, nil) for
+	// modes without one.
+	Total func() (source.Source, error)
+}
 
 type options struct {
 	events         []hpc.Event
 	reportBuffer   int
 	shards         int
+	mode           source.Mode
+	factories      SourceFactories
+	collectTimeout time.Duration
 	groupResolver  func(pid int) string
 	extraReporters []namedReporter
 }
@@ -53,6 +71,40 @@ func WithReportBuffer(n int) Option {
 // paper's one-actor-per-stage pipeline.
 func WithShards(n int) Option {
 	return func(o *options) { o.shards = n }
+}
+
+// WithSources selects the sensing mode of the pipeline — which backends the
+// Sensor shards sample and how their outputs combine into per-PID power:
+//
+//	hpc      counter deltas through the learned formula (the default);
+//	procfs   utilisation-proxy total attributed by CPU-time share;
+//	rapl     RAPL package+DRAM total attributed by CPU-time share;
+//	blended  RAPL package total attributed by counter activity (Kepler-style).
+//
+// Use WithSourceFactories to swap in custom Source implementations.
+func WithSources(mode source.Mode) Option {
+	return func(o *options) { o.mode = mode }
+}
+
+// WithSourceFactories overrides how the pipeline constructs its sensing
+// backends (custom or instrumented Source implementations). Factories left
+// nil fall back to the mode's defaults.
+func WithSourceFactories(f SourceFactories) Option {
+	return func(o *options) {
+		if f.Attribution != nil {
+			o.factories.Attribution = f.Attribution
+		}
+		if f.Total != nil {
+			o.factories.Total = f.Total
+		}
+	}
+}
+
+// WithCollectTimeout overrides how long a synchronous operation (Attach,
+// Detach, Collect) waits for the actor pipeline before giving up. The
+// timeout is wall-clock time and must be positive.
+func WithCollectTimeout(d time.Duration) Option {
+	return func(o *options) { o.collectTimeout = d }
 }
 
 // WithGroupResolver aggregates power along an extra dimension: the resolver
@@ -88,11 +140,14 @@ func WithReporter(name string, deliver func(AggregatedReport) error) Option {
 // the Figure 2 pipeline and exposes process-level power monitoring over a
 // simulated machine.
 type PowerAPI struct {
-	machine *machine.Machine
-	model   *model.CPUPowerModel
-	system  *actor.System
-	sensors *actor.Router
-	shards  int
+	machine        *machine.Machine
+	model          *model.CPUPowerModel
+	system         *actor.System
+	sensors        *actor.Router
+	shards         int
+	mode           source.Mode
+	collectTimeout time.Duration
+	sources        []source.Source
 
 	reports     chan AggregatedReport
 	errCount    atomic.Int64
@@ -111,12 +166,18 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	if err := powerModel.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	cfg := options{reportBuffer: 64, shards: 1}
+	cfg := options{reportBuffer: 64, shards: 1, mode: source.ModeHPC, collectTimeout: DefaultCollectTimeout}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	if cfg.shards < 1 {
 		return nil, fmt.Errorf("core: shard count must be at least 1, got %d", cfg.shards)
+	}
+	if !cfg.mode.Valid() {
+		return nil, fmt.Errorf("core: invalid source mode %v", cfg.mode)
+	}
+	if cfg.collectTimeout <= 0 {
+		return nil, fmt.Errorf("core: collect timeout must be positive, got %v", cfg.collectTimeout)
 	}
 	if len(cfg.events) == 0 {
 		events, err := powerModel.Events()
@@ -125,16 +186,34 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 		}
 		cfg.events = events
 	}
+	fillDefaultFactories(&cfg, m)
 
 	api := &PowerAPI{
-		machine:     m,
-		model:       powerModel,
-		system:      actor.NewSystem("powerapi"),
-		shards:      cfg.shards,
-		reports:     make(chan AggregatedReport, cfg.reportBuffer),
-		monitored:   make(map[int]bool),
-		lastCollect: m.Now(),
+		machine:        m,
+		model:          powerModel,
+		system:         actor.NewSystem("powerapi"),
+		shards:         cfg.shards,
+		mode:           cfg.mode,
+		collectTimeout: cfg.collectTimeout,
+		reports:        make(chan AggregatedReport, cfg.reportBuffer),
+		monitored:      make(map[int]bool),
+		lastCollect:    m.Now(),
 	}
+	// A failed constructor must not leak what it built so far: actors already
+	// spawned keep goroutines alive and opened sources hold registrations in
+	// the machine's counter registry, so retrying callers would accumulate
+	// both. The defer tears everything down unless construction completes.
+	built := false
+	defer func() {
+		if built {
+			return
+		}
+		api.system.Shutdown()
+		for _, src := range api.sources {
+			_ = src.Close()
+		}
+	}()
+
 	// Pipeline stage failures are supervised: a panicking shard is restarted
 	// and the failure lands on the error topic instead of killing the system.
 	supervised := func(stage string) actor.RestartPolicy {
@@ -147,21 +226,54 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 		}
 	}
 
+	// The machine-scope source of the mode (RAPL meter, utilisation proxy)
+	// exists once per pipeline and is owned by Sensor shard 0; attribution
+	// sources are per shard, each owning the sampling state of its PIDs.
+	var totalSrc source.Source
+	if cfg.factories.Total != nil {
+		src, err := cfg.factories.Total()
+		if err != nil {
+			return nil, fmt.Errorf("core: build total source: %w", err)
+		}
+		if src != nil {
+			if err := src.Open(nil); err != nil {
+				return nil, fmt.Errorf("core: open %s source: %w", src.Name(), err)
+			}
+			totalSrc = src
+			api.sources = append(api.sources, src)
+		}
+	}
+
 	bus := api.system.Bus()
 	sensorRefs := make([]*actor.Ref, cfg.shards)
 	for i := 0; i < cfg.shards; i++ {
 		// The formula shard is stateless: restart from a fresh instance.
 		formula, err := api.system.SpawnSupervised(fmt.Sprintf("formula-%d", i),
-			func() actor.Behavior { return newFormulaShardBehavior(powerModel) }, 0, supervised("formula"))
+			func() actor.Behavior { return newFormulaShardBehavior(powerModel, cfg.mode) }, 0, supervised("formula"))
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		if err := bus.Subscribe(SensorShardTopic(i), formula); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		// The sensor shard owns the open counter sets of its PIDs, so a
-		// restart keeps the same behaviour instance (state preserved).
-		sensorShard := newSensorShardBehavior(m, cfg.events, i, cfg.shards)
+		attrSrc, err := cfg.factories.Attribution(i)
+		if err != nil {
+			return nil, fmt.Errorf("core: build attribution source for shard %d: %w", i, err)
+		}
+		if attrSrc == nil {
+			return nil, fmt.Errorf("core: attribution source factory returned nil for shard %d", i)
+		}
+		if err := attrSrc.Open(nil); err != nil {
+			return nil, fmt.Errorf("core: open %s source for shard %d: %w", attrSrc.Name(), i, err)
+		}
+		api.sources = append(api.sources, attrSrc)
+		var shardTotal source.Source
+		if i == 0 {
+			shardTotal = totalSrc
+		}
+		// The sensor shard owns the sampling state of its PIDs, so a restart
+		// keeps the same behaviour instance (state preserved).
+		sensorShard := newSensorShardBehavior(attrSrc, shardTotal, i, cfg.shards, cfg.collectTimeout)
 		sensor, err := api.system.SpawnSupervised(fmt.Sprintf("sensor-%d", i),
 			func() actor.Behavior { return sensorShard }, 0, supervised("sensor"))
 		if err != nil {
@@ -176,7 +288,16 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	// The aggregator keeps in-flight round state across restarts; reporters
 	// wrap externally supplied delivery functions. Both keep their instance
 	// on restart but still record the panic like the shard pools do.
-	aggregatorBhv := newAggregatorBehavior(powerModel.IdleWatts, cfg.groupResolver)
+	//
+	// The RAPL-measured modes attribute the full package power — idle floor
+	// included — so stacking the model's idle constant on top would double
+	// count it; the hpc and procfs modes only estimate active power and keep
+	// the constant.
+	idleWatts := powerModel.IdleWatts
+	if cfg.mode == source.ModeRAPL || cfg.mode == source.ModeBlended {
+		idleWatts = 0
+	}
+	aggregatorBhv := newAggregatorBehavior(idleWatts, cfg.mode, cfg.groupResolver)
 	aggregator, err := api.system.SpawnSupervised("aggregator",
 		func() actor.Behavior { return aggregatorBhv }, 0, supervised("aggregator"))
 	if err != nil {
@@ -235,7 +356,47 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	}
 
 	api.sensors = sensors
+	built = true
 	return api, nil
+}
+
+// fillDefaultFactories completes cfg.factories with the standard sources of
+// the sensing mode: hpc/blended attribute by hardware counters, procfs/rapl
+// by CPU-time share; procfs measures a utilisation proxy, rapl and blended
+// measure the simulated RAPL domains (package+DRAM and package-only
+// respectively).
+func fillDefaultFactories(cfg *options, m *machine.Machine) {
+	if cfg.factories.Attribution == nil {
+		switch cfg.mode {
+		case source.ModeHPC, source.ModeBlended:
+			events := cfg.events
+			cfg.factories.Attribution = func(int) (source.Source, error) {
+				return source.NewHPC(m, events)
+			}
+		default:
+			cfg.factories.Attribution = func(int) (source.Source, error) {
+				return source.NewProcfs(m)
+			}
+		}
+	}
+	if cfg.factories.Total == nil {
+		switch cfg.mode {
+		case source.ModeProcfs:
+			cfg.factories.Total = func() (source.Source, error) {
+				return source.NewUtilizationTotal(m)
+			}
+		case source.ModeRAPL:
+			cfg.factories.Total = func() (source.Source, error) {
+				return source.NewMachineRAPL(m, rapl.DomainPackage, rapl.DomainDRAM)
+			}
+		case source.ModeBlended:
+			cfg.factories.Total = func() (source.Source, error) {
+				return source.NewMachineRAPL(m, rapl.DomainPackage)
+			}
+		default:
+			cfg.factories.Total = func() (source.Source, error) { return nil, nil }
+		}
+	}
 }
 
 // deliver pushes a report to the Reports channel, dropping the oldest entry
@@ -265,6 +426,12 @@ func (p *PowerAPI) ActorNames() []string { return p.system.ActorNames() }
 
 // Shards returns the size of the Sensor/Formula shard pools.
 func (p *PowerAPI) Shards() int { return p.shards }
+
+// SourceMode returns the sensing mode of the pipeline.
+func (p *PowerAPI) SourceMode() source.Mode { return p.mode }
+
+// CollectTimeout returns the wall-clock budget of synchronous operations.
+func (p *PowerAPI) CollectTimeout() time.Duration { return p.collectTimeout }
 
 // ShardOf returns the index of the Sensor shard a PID is routed to.
 func (p *PowerAPI) ShardOf(pid int) int {
@@ -299,7 +466,7 @@ func (p *PowerAPI) Attach(pids ...int) error {
 	for _, pid := range pids {
 		res, err := p.sensors.Ask(uint64(pid), func(reply chan<- actor.Message) actor.Message {
 			return attachRequest{PID: pid, Reply: reply}
-		}, collectTimeout)
+		}, p.collectTimeout)
 		if err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
@@ -332,7 +499,7 @@ func (p *PowerAPI) Detach(pid int) error {
 	}
 	res, err := p.sensors.Ask(uint64(pid), func(reply chan<- actor.Message) actor.Message {
 		return detachRequest{PID: pid, Reply: reply}
-	}, collectTimeout)
+	}, p.collectTimeout)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -379,7 +546,7 @@ func (p *PowerAPI) Collect() (AggregatedReport, error) {
 	if delivered := p.sensors.Broadcast(tickRequest{Timestamp: now, Window: window}); delivered < p.shards {
 		return AggregatedReport{}, fmt.Errorf("core: tick reached %d of %d sensor shards: %w", delivered, p.shards, actor.ErrStopped)
 	}
-	deadline := time.After(collectTimeout)
+	deadline := time.After(p.collectTimeout)
 	for {
 		select {
 		case report := <-p.reports:
@@ -434,7 +601,9 @@ func (p *PowerAPI) RunMonitoredContext(ctx context.Context, duration, interval t
 	return out, nil
 }
 
-// Shutdown stops the actor pipeline. It is idempotent.
+// Shutdown stops the actor pipeline and closes the sensing sources (after
+// the actors have drained, so no tick samples a closed source). It is
+// idempotent.
 func (p *PowerAPI) Shutdown() {
 	p.mu.Lock()
 	if p.closed {
@@ -444,4 +613,10 @@ func (p *PowerAPI) Shutdown() {
 	p.closed = true
 	p.mu.Unlock()
 	p.system.Shutdown()
+	for _, src := range p.sources {
+		if err := src.Close(); err != nil {
+			p.errCount.Add(1)
+			p.lastErr.Store(errBox{fmt.Errorf("core: close %s source: %w", src.Name(), err)})
+		}
+	}
 }

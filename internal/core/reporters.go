@@ -87,9 +87,11 @@ func NewJSONLinesReporter(w io.Writer) (*JSONLinesReporter, error) {
 // jsonReportLine is the serialised form of one aggregated report.
 type jsonReportLine struct {
 	TimestampSeconds float64            `json:"timestampSeconds"`
+	SourceMode       string             `json:"sourceMode,omitempty"`
 	IdleWatts        float64            `json:"idleWatts"`
 	ActiveWatts      float64            `json:"activeWatts"`
 	TotalWatts       float64            `json:"totalWatts"`
+	MeasuredWatts    float64            `json:"measuredWatts,omitempty"`
 	PerPID           map[string]float64 `json:"perPid"`
 	PerGroup         map[string]float64 `json:"perGroup,omitempty"`
 }
@@ -98,9 +100,11 @@ type jsonReportLine struct {
 func (r *JSONLinesReporter) Report(report AggregatedReport) error {
 	line := jsonReportLine{
 		TimestampSeconds: report.Timestamp.Seconds(),
+		SourceMode:       report.SourceMode,
 		IdleWatts:        report.IdleWatts,
 		ActiveWatts:      report.ActiveWatts,
 		TotalWatts:       report.TotalWatts,
+		MeasuredWatts:    report.MeasuredWatts,
 		PerPID:           make(map[string]float64, len(report.PerPID)),
 		PerGroup:         report.PerGroup,
 	}

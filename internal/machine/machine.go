@@ -69,8 +69,10 @@ type Machine struct {
 	mu           sync.RWMutex
 	truePowerW   float64
 	cpuPowerW    float64
+	dramPowerW   float64
 	energyJ      float64
 	cpuEnergyJ   float64
+	dramEnergyJ  float64
 	coreUtil     []float64
 	logicalUtil  []float64
 	coreIdleFor  []time.Duration
@@ -134,6 +136,7 @@ func New(cfg Config) (*Machine, error) {
 	// Seed the idle power so that a never-stepped machine still reports a
 	// plausible wall power.
 	m.truePowerW, m.cpuPowerW = m.truth.idlePower(cfg.Spec, m.coreIdleFor)
+	m.dramPowerW = m.truth.dramRefreshW * float64(cfg.Spec.Sockets)
 	return m, nil
 }
 
@@ -210,6 +213,22 @@ func (m *Machine) CPUEnergyJoules() float64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.cpuEnergyJ
+}
+
+// DRAMPowerWatts returns the ground-truth power of the DRAM subsystem during
+// the last tick, the quantity the RAPL DRAM domain integrates. Like the other
+// ground-truth accessors it must not be read by estimation code.
+func (m *Machine) DRAMPowerWatts() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.dramPowerW
+}
+
+// DRAMEnergyJoules returns the cumulative DRAM-subsystem energy since start.
+func (m *Machine) DRAMEnergyJoules() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.dramEnergyJ
 }
 
 // CoreUtilization returns the per-physical-core utilisation observed during

@@ -209,9 +209,10 @@ func (m *Machine) Step() error {
 
 	// 7. Ground-truth power for this tick.
 	idleWall, idlePkg := m.truth.idlePower(m.cfg.Spec, newIdleFor)
-	var dynamicJ float64
+	var dynamicJ, dramDynJ float64
 	for _, e := range executions {
 		dynamicJ += m.truth.dynamicEnergyJoules(m.cfg.Spec, e.freqMHz, e.instructions, e.cacheRefs, e.cacheMisses, e.smtShared)
+		dramDynJ += m.truth.dramDynamicEnergyJoules(e.cacheMisses)
 	}
 	dynamicW := dynamicJ / tickSec
 	uncoreW := m.truth.uncorePower(activeCores)
@@ -222,11 +223,19 @@ func (m *Machine) Step() error {
 	thermalW := m.truth.thermalLeakage(thermalState)
 	noiseW := m.rng.Gaussian(0, m.cfg.PowerNoiseStdDevWatts)
 
-	cpuPower := idlePkg + dynamicW + uncoreW + thermalW
+	// The share of the cache-miss energy dissipated in the DRAM devices
+	// belongs to the RAPL DRAM domain, not the package domain — so the
+	// package power excludes it, exactly like real RAPL splits the two. The
+	// wall power is unaffected: both domains (and the DRAM refresh floor,
+	// which lives inside the platform idle) are accounting views of energy
+	// already in the wall figure.
+	dramDynW := dramDynJ / tickSec
+	cpuPower := idlePkg + dynamicW - dramDynW + uncoreW + thermalW
 	wallPower := idleWall + dynamicW + uncoreW + thermalW + noiseW
 	if wallPower < 0 {
 		wallPower = 0
 	}
+	dramPower := m.truth.dramRefreshW*float64(m.cfg.Spec.Sockets) + dramDynW
 
 	// 8. Commit state and advance the clock.
 	m.mu.Lock()
@@ -234,6 +243,8 @@ func (m *Machine) Step() error {
 	m.cpuPowerW = cpuPower
 	m.energyJ += wallPower * tickSec
 	m.cpuEnergyJ += cpuPower * tickSec
+	m.dramEnergyJ += dramPower * tickSec
+	m.dramPowerW = dramPower
 	m.coreUtil = coreUtil
 	m.logicalUtil = logicalUtil
 	m.coreIdleFor = newIdleFor

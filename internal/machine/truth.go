@@ -43,6 +43,15 @@ type truthModel struct {
 	// smtThroughputFactor multiplies the IPC of a thread whose sibling is
 	// simultaneously busy.
 	smtThroughputFactor float64
+	// dramRefreshW is the background power of the DRAM subsystem (refresh,
+	// PLLs) per socket, drawn even when no memory traffic flows. It is an
+	// accounting view of energy already contained in platformIdleW: the RAPL
+	// DRAM domain exposes it separately, the wall meter cannot.
+	dramRefreshW float64
+	// dramMissFraction is the fraction of the per-cache-miss energy that is
+	// dissipated in the DRAM devices and counted by the RAPL DRAM domain (the
+	// rest is spent in the on-package memory controller and interconnect).
+	dramMissFraction float64
 	// thermalTimeConstant is the time constant of the package heating up
 	// under sustained load; thermalLeakageMaxW is the extra leakage power
 	// drawn at full thermal saturation. Short calibration bursts barely warm
@@ -67,6 +76,8 @@ func deriveTruthModel(spec cpu.Spec) truthModel {
 		freqExponent:         1.85,
 		smtEnergyFactor:      0.62,
 		smtThroughputFactor:  0.62,
+		dramRefreshW:         1.1,
+		dramMissFraction:     0.6,
 		thermalTimeConstant:  90 * time.Second,
 		thermalLeakageMaxW:   0.085 * spec.TDPWatts,
 	}
@@ -119,6 +130,12 @@ func (t truthModel) dynamicEnergyJoules(spec cpu.Spec, freqMHz int, instructions
 		coreJ *= t.smtEnergyFactor
 	}
 	return coreJ + memJ
+}
+
+// dramDynamicEnergyJoules returns the part of the cache-miss energy that the
+// DRAM devices dissipate — the dynamic component of the RAPL DRAM domain.
+func (t truthModel) dramDynamicEnergyJoules(cacheMisses float64) float64 {
+	return t.njPerCacheMiss * cacheMisses * 1e-9 * t.dramMissFraction
 }
 
 // uncorePower returns the uncore (LLC, memory controller, interconnect)

@@ -1,0 +1,265 @@
+// Package rapl simulates Intel's Running Average Power Limit (RAPL) energy
+// interface: per-socket MSR-style energy-status counters for the package and
+// DRAM power domains.
+//
+// Real RAPL exposes a 32-bit register per domain (MSR_PKG_ENERGY_STATUS,
+// MSR_DRAM_ENERGY_STATUS) counting energy in units of 2^-ESU joules. The
+// register wraps around every few minutes under load, and the hardware only
+// refreshes it roughly once per millisecond. This package reproduces those
+// artefacts faithfully — 32-bit wraparound, energy-unit quantization and
+// update-period latching — so that monitoring code built on top of it has to
+// cope with them exactly like telegraf's intel_powerstat or Kepler do on real
+// hardware.
+//
+// The energy the counters integrate comes from a Reader. In production the
+// Reader adapts the simulated machine's hidden ground-truth accounting
+// (NewMachineReader); like the PowerSpy wall meter, the RAPL meter is a
+// *sensor* over the hidden truth, so estimation code reading it stays honest.
+package rapl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"powerapi/internal/machine"
+)
+
+// ErrUnsupported is returned when building a machine-backed meter for a
+// processor generation without RAPL MSRs (pre-Sandy Bridge Intel, the AMD
+// comparator) — reproducing the architecture dependence the paper
+// criticises, exactly like powermeter.NewRAPL does.
+var ErrUnsupported = errors.New("rapl: processor does not expose RAPL")
+
+// Domain identifies one RAPL power domain of a socket.
+type Domain int
+
+// RAPL power domains.
+const (
+	// DomainPackage is the whole CPU package (cores + uncore), the
+	// MSR_PKG_ENERGY_STATUS domain.
+	DomainPackage Domain = iota + 1
+	// DomainDRAM is the memory subsystem, the MSR_DRAM_ENERGY_STATUS domain.
+	DomainDRAM
+)
+
+// String implements fmt.Stringer.
+func (d Domain) String() string {
+	switch d {
+	case DomainPackage:
+		return "package"
+	case DomainDRAM:
+		return "dram"
+	default:
+		return fmt.Sprintf("Domain(%d)", int(d))
+	}
+}
+
+// Valid reports whether d is a known domain.
+func (d Domain) Valid() bool { return d == DomainPackage || d == DomainDRAM }
+
+// Reader supplies the cumulative ground-truth energy (joules) the simulated
+// MSRs latch from, plus the simulated clock driving the update period.
+type Reader interface {
+	// CumulativeJoules returns the energy the given socket's domain has
+	// consumed since machine start.
+	CumulativeJoules(socket int, domain Domain) (float64, error)
+	// Now returns the current simulated time.
+	Now() time.Duration
+}
+
+// DefaultEnergyUnitJoules is the Sandy Bridge energy status unit, 2^-16 J
+// (~15.3 µJ), the value real firmware reports in MSR_RAPL_POWER_UNIT.
+const DefaultEnergyUnitJoules = 1.0 / (1 << 16)
+
+// DefaultUpdatePeriod mirrors the ~1 ms refresh cadence of the hardware
+// energy counters.
+const DefaultUpdatePeriod = time.Millisecond
+
+// Config parameterises a simulated RAPL meter.
+type Config struct {
+	// Sockets is the number of CPU sockets exposing counters (>= 1).
+	Sockets int
+	// EnergyUnitJoules is the value of one counter increment (defaults to
+	// DefaultEnergyUnitJoules).
+	EnergyUnitJoules float64
+	// UpdatePeriod is how often the counters refresh in simulated time; reads
+	// within the same period return the latched value (defaults to
+	// DefaultUpdatePeriod). Zero keeps the default; a negative value disables
+	// latching so every read reflects the instantaneous energy.
+	UpdatePeriod time.Duration
+}
+
+// Meter is the simulated RAPL interface of one machine: a bank of 32-bit
+// energy-status counters, one per (socket, domain). It is safe for concurrent
+// use.
+type Meter struct {
+	reader Reader
+	cfg    Config
+
+	mu    sync.Mutex
+	latch map[latchKey]latchState
+}
+
+type latchKey struct {
+	socket int
+	domain Domain
+}
+
+type latchState struct {
+	raw uint32
+	at  time.Duration
+	set bool
+}
+
+// NewMeter creates a RAPL meter over the given energy reader.
+func NewMeter(r Reader, cfg Config) (*Meter, error) {
+	if r == nil {
+		return nil, errors.New("rapl: nil reader")
+	}
+	if cfg.Sockets < 1 {
+		return nil, fmt.Errorf("rapl: socket count must be at least 1, got %d", cfg.Sockets)
+	}
+	if cfg.EnergyUnitJoules == 0 {
+		cfg.EnergyUnitJoules = DefaultEnergyUnitJoules
+	}
+	if cfg.EnergyUnitJoules < 0 {
+		return nil, fmt.Errorf("rapl: negative energy unit %v", cfg.EnergyUnitJoules)
+	}
+	if cfg.UpdatePeriod == 0 {
+		cfg.UpdatePeriod = DefaultUpdatePeriod
+	}
+	return &Meter{reader: r, cfg: cfg, latch: make(map[latchKey]latchState)}, nil
+}
+
+// Sockets returns the number of sockets the meter exposes.
+func (m *Meter) Sockets() int { return m.cfg.Sockets }
+
+// EnergyUnitJoules returns the joules represented by one counter increment.
+func (m *Meter) EnergyUnitJoules() float64 { return m.cfg.EnergyUnitJoules }
+
+// ReadRaw returns the current raw 32-bit energy-status value of one domain.
+// The value is quantized to whole energy units, wraps at 2^32 like the
+// hardware register, and refreshes at most once per update period (reads in
+// between return the latched value).
+func (m *Meter) ReadRaw(socket int, domain Domain) (uint32, error) {
+	if socket < 0 || socket >= m.cfg.Sockets {
+		return 0, fmt.Errorf("rapl: unknown socket %d (machine has %d)", socket, m.cfg.Sockets)
+	}
+	if !domain.Valid() {
+		return 0, fmt.Errorf("rapl: invalid domain %v", domain)
+	}
+	key := latchKey{socket: socket, domain: domain}
+	now := m.reader.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.latch[key]; ok && st.set && m.cfg.UpdatePeriod > 0 && now-st.at < m.cfg.UpdatePeriod {
+		return st.raw, nil
+	}
+	joules, err := m.reader.CumulativeJoules(socket, domain)
+	if err != nil {
+		return 0, fmt.Errorf("rapl: read %v energy of socket %d: %w", domain, socket, err)
+	}
+	if joules < 0 {
+		return 0, fmt.Errorf("rapl: negative cumulative energy %v for %v of socket %d", joules, domain, socket)
+	}
+	// Quantize to whole units, then truncate to the 32-bit register width:
+	// the modulo is the wraparound every consumer of real RAPL must unwrap.
+	raw := uint32(uint64(joules/m.cfg.EnergyUnitJoules) & 0xFFFFFFFF)
+	m.latch[key] = latchState{raw: raw, at: now, set: true}
+	return raw, nil
+}
+
+// Counter tracks one (socket, domain) energy-status register across reads,
+// unwrapping the 32-bit wraparound into monotonically accumulating joules —
+// the delta discipline every real RAPL consumer implements.
+type Counter struct {
+	meter  *Meter
+	socket int
+	domain Domain
+
+	mu   sync.Mutex
+	last uint32
+}
+
+// OpenCounter opens a delta-tracking counter over one domain, baselining it
+// at the current register value.
+func (m *Meter) OpenCounter(socket int, domain Domain) (*Counter, error) {
+	raw, err := m.ReadRaw(socket, domain)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{meter: m, socket: socket, domain: domain, last: raw}, nil
+}
+
+// Socket returns the socket the counter observes.
+func (c *Counter) Socket() int { return c.socket }
+
+// Domain returns the domain the counter observes.
+func (c *Counter) Domain() Domain { return c.domain }
+
+// DeltaJoules returns the energy consumed since the previous call (or since
+// OpenCounter), correctly unwrapping a single 32-bit wraparound in between.
+// Two wraps within one sampling window are indistinguishable from one, as on
+// real hardware — sample faster than the wrap period (minutes at realistic
+// power draws) to avoid it.
+func (c *Counter) DeltaJoules() (float64, error) {
+	raw, err := c.meter.ReadRaw(c.socket, c.domain)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Unsigned subtraction wraps modulo 2^32, which is exactly the unwrap.
+	delta := raw - c.last
+	c.last = raw
+	return float64(delta) * c.meter.cfg.EnergyUnitJoules, nil
+}
+
+// machineReader adapts the simulated machine's hidden energy accounting to
+// the Reader interface, splitting the machine totals evenly across sockets
+// (the simulation schedules symmetrically, so an even split is the correct
+// steady-state view).
+type machineReader struct {
+	m       *machine.Machine
+	sockets float64
+}
+
+// NewMachineReader exposes a machine's package and DRAM energy accounting as
+// a RAPL energy Reader.
+func NewMachineReader(m *machine.Machine) (Reader, error) {
+	if m == nil {
+		return nil, errors.New("rapl: nil machine")
+	}
+	return &machineReader{m: m, sockets: float64(m.Spec().Sockets)}, nil
+}
+
+// CumulativeJoules implements Reader.
+func (r *machineReader) CumulativeJoules(socket int, domain Domain) (float64, error) {
+	switch domain {
+	case DomainPackage:
+		return r.m.CPUEnergyJoules() / r.sockets, nil
+	case DomainDRAM:
+		return r.m.DRAMEnergyJoules() / r.sockets, nil
+	default:
+		return 0, fmt.Errorf("rapl: invalid domain %v", domain)
+	}
+}
+
+// Now implements Reader.
+func (r *machineReader) Now() time.Duration { return r.m.Now() }
+
+// NewMachineMeter builds the standard RAPL meter of a simulated machine: one
+// counter bank per socket with the Sandy Bridge energy unit and a 1 ms update
+// period. It fails with ErrUnsupported on specs without RAPL MSRs.
+func NewMachineMeter(m *machine.Machine) (*Meter, error) {
+	reader, err := NewMachineReader(m)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Spec().HasRAPL {
+		return nil, fmt.Errorf("%w: %s", ErrUnsupported, m.Spec().String())
+	}
+	return NewMeter(reader, Config{Sockets: m.Spec().Sockets})
+}

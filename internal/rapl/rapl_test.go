@@ -1,0 +1,293 @@
+package rapl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"powerapi/internal/cpu"
+	"powerapi/internal/machine"
+	"powerapi/internal/workload"
+)
+
+// fakeReader is a controllable energy source for unit tests.
+type fakeReader struct {
+	now    time.Duration
+	energy map[latchKey]float64
+	err    error
+}
+
+func newFakeReader() *fakeReader {
+	return &fakeReader{energy: make(map[latchKey]float64)}
+}
+
+func (f *fakeReader) CumulativeJoules(socket int, domain Domain) (float64, error) {
+	if f.err != nil {
+		return 0, f.err
+	}
+	return f.energy[latchKey{socket: socket, domain: domain}], nil
+}
+
+func (f *fakeReader) Now() time.Duration { return f.now }
+
+func (f *fakeReader) set(socket int, domain Domain, joules float64) {
+	f.energy[latchKey{socket: socket, domain: domain}] = joules
+}
+
+func TestNewMeterValidation(t *testing.T) {
+	if _, err := NewMeter(nil, Config{Sockets: 1}); err == nil {
+		t.Fatal("nil reader should fail")
+	}
+	if _, err := NewMeter(newFakeReader(), Config{Sockets: 0}); err == nil {
+		t.Fatal("zero sockets should fail")
+	}
+	if _, err := NewMeter(newFakeReader(), Config{Sockets: 1, EnergyUnitJoules: -1}); err == nil {
+		t.Fatal("negative energy unit should fail")
+	}
+	m, err := NewMeter(newFakeReader(), Config{Sockets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sockets() != 2 {
+		t.Fatalf("Sockets() = %d, want 2", m.Sockets())
+	}
+	if m.EnergyUnitJoules() != DefaultEnergyUnitJoules {
+		t.Fatalf("EnergyUnitJoules() = %v, want default %v", m.EnergyUnitJoules(), DefaultEnergyUnitJoules)
+	}
+	if _, err := m.ReadRaw(2, DomainPackage); err == nil {
+		t.Fatal("out-of-range socket should fail")
+	}
+	if _, err := m.ReadRaw(0, Domain(99)); err == nil {
+		t.Fatal("invalid domain should fail")
+	}
+}
+
+func TestReadRawQuantizesToEnergyUnits(t *testing.T) {
+	r := newFakeReader()
+	meter, err := NewMeter(r, Config{Sockets: 1, EnergyUnitJoules: 0.5, UpdatePeriod: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.74 J at 0.5 J/unit quantizes down to 3 units, not 3.48.
+	r.set(0, DomainPackage, 1.74)
+	raw, err := meter.ReadRaw(0, DomainPackage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 3 {
+		t.Fatalf("raw = %d, want 3 (quantized down)", raw)
+	}
+	// Sub-unit energy growth is invisible until it crosses the next unit.
+	r.set(0, DomainPackage, 1.99)
+	if raw, _ := meter.ReadRaw(0, DomainPackage); raw != 3 {
+		t.Fatalf("raw = %d, want 3 (still below the 4th unit)", raw)
+	}
+	r.set(0, DomainPackage, 2.01)
+	if raw, _ := meter.ReadRaw(0, DomainPackage); raw != 4 {
+		t.Fatalf("raw = %d, want 4", raw)
+	}
+}
+
+func TestReadRawLatchesWithinUpdatePeriod(t *testing.T) {
+	r := newFakeReader()
+	meter, err := NewMeter(r, Config{Sockets: 1, EnergyUnitJoules: 1, UpdatePeriod: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.set(0, DomainPackage, 10)
+	if raw, _ := meter.ReadRaw(0, DomainPackage); raw != 10 {
+		t.Fatalf("raw = %d, want 10", raw)
+	}
+	// Energy moves, but within the same update period the latched value wins.
+	r.set(0, DomainPackage, 25)
+	r.now += 400 * time.Microsecond
+	if raw, _ := meter.ReadRaw(0, DomainPackage); raw != 10 {
+		t.Fatalf("raw = %d, want latched 10 inside the update period", raw)
+	}
+	// Crossing the period refreshes the latch.
+	r.now += 700 * time.Microsecond
+	if raw, _ := meter.ReadRaw(0, DomainPackage); raw != 25 {
+		t.Fatalf("raw = %d, want refreshed 25 after the update period", raw)
+	}
+}
+
+func TestCounterUnwrapsWraparound(t *testing.T) {
+	r := newFakeReader()
+	// 1 J per unit makes the register wrap every 2^32 J.
+	meter, err := NewMeter(r, Config{Sockets: 1, EnergyUnitJoules: 1, UpdatePeriod: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wrap = float64(1 << 32)
+	// Start just below the wrap point.
+	r.set(0, DomainPackage, wrap-100)
+	c, err := meter.OpenCounter(0, DomainPackage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross the 32-bit boundary: raw goes 4294967196 -> 150, but the true
+	// delta is 250 J.
+	r.set(0, DomainPackage, wrap+150)
+	delta, err := c.DeltaJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(delta-250) > 1e-9 {
+		t.Fatalf("delta across wraparound = %v J, want 250", delta)
+	}
+	// A second, wrap-free delta still works.
+	r.set(0, DomainPackage, wrap+400)
+	delta, err = c.DeltaJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(delta-250) > 1e-9 {
+		t.Fatalf("plain delta = %v J, want 250", delta)
+	}
+}
+
+func TestCounterDeltaQuantizationNeverLosesEnergy(t *testing.T) {
+	r := newFakeReader()
+	meter, err := NewMeter(r, Config{Sockets: 1, EnergyUnitJoules: 0.25, UpdatePeriod: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := meter.OpenCounter(0, DomainPackage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed energy in increments smaller than a unit: individual deltas are
+	// quantized, but the running total never drifts by more than one unit.
+	var total, reported float64
+	for i := 0; i < 100; i++ {
+		total += 0.11
+		r.set(0, DomainPackage, total)
+		d, err := c.DeltaJoules()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reported += d
+	}
+	if math.Abs(total-reported) > 0.25 {
+		t.Fatalf("reported %v J of %v J true; quantization drift exceeds one unit", reported, total)
+	}
+}
+
+func TestPerSocketDomainsAreIndependent(t *testing.T) {
+	r := newFakeReader()
+	meter, err := NewMeter(r, Config{Sockets: 2, EnergyUnitJoules: 1, UpdatePeriod: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.set(0, DomainPackage, 100)
+	r.set(0, DomainDRAM, 10)
+	r.set(1, DomainPackage, 200)
+	r.set(1, DomainDRAM, 20)
+	for _, tc := range []struct {
+		socket int
+		domain Domain
+		want   uint32
+	}{
+		{0, DomainPackage, 100},
+		{0, DomainDRAM, 10},
+		{1, DomainPackage, 200},
+		{1, DomainDRAM, 20},
+	} {
+		raw, err := meter.ReadRaw(tc.socket, tc.domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw != tc.want {
+			t.Fatalf("socket %d %v = %d, want %d", tc.socket, tc.domain, raw, tc.want)
+		}
+	}
+}
+
+func TestReaderErrorsPropagate(t *testing.T) {
+	r := newFakeReader()
+	meter, err := NewMeter(r, Config{Sockets: 1, UpdatePeriod: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.err = fmt.Errorf("msr read stalled")
+	if _, err := meter.ReadRaw(0, DomainPackage); err == nil {
+		t.Fatal("reader error should propagate")
+	}
+}
+
+func TestMachineMeterTracksPackagePower(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.PowerNoiseStdDevWatts = 0
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter, err := NewMachineMeter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.CPUStress(0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(gen); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := meter.OpenCounter(0, DomainPackage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, err := meter.OpenCounter(0, DomainDRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startPkgJ := m.CPUEnergyJoules()
+	window := 2 * time.Second
+	if _, err := m.Run(window); err != nil {
+		t.Fatal(err)
+	}
+	pkgJ, err := pkg.DeltaJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dramJ, err := dram.DeltaJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueJ := m.CPUEnergyJoules() - startPkgJ
+	if math.Abs(pkgJ-trueJ) > 1e-3 {
+		t.Fatalf("RAPL package energy %v J, ground truth %v J", pkgJ, trueJ)
+	}
+	if dramJ <= 0 {
+		t.Fatalf("DRAM energy %v J, want > 0 (refresh power alone accrues)", dramJ)
+	}
+	if dramJ >= pkgJ {
+		t.Fatalf("DRAM energy %v J should stay below package energy %v J under a CPU-bound load", dramJ, pkgJ)
+	}
+	if watts := pkgJ / window.Seconds(); watts < 5 || watts > 120 {
+		t.Fatalf("implied package power %.1f W implausible", watts)
+	}
+}
+
+func TestMachineMeterRequiresRAPLSupport(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Spec = cpu.IntelCore2DuoE6600() // pre-Sandy Bridge: no RAPL MSRs
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMachineMeter(m); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("NewMachineMeter on a pre-RAPL spec = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	if DomainPackage.String() != "package" || DomainDRAM.String() != "dram" {
+		t.Fatal("domain names changed")
+	}
+	if Domain(42).Valid() {
+		t.Fatal("unknown domain should be invalid")
+	}
+}

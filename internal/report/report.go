@@ -19,6 +19,7 @@ type Table struct {
 	title   string
 	headers []string
 	rows    [][]string
+	dropped int
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -26,9 +27,11 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{title: title, headers: headers}
 }
 
-// AddRow appends a row; missing cells are filled with empty strings and extra
-// cells are dropped.
-func (t *Table) AddRow(cells ...string) {
+// AddRow appends a row; missing cells are filled with empty strings. A row
+// with more cells than the table has columns is malformed: the extra cells
+// are dropped from the rendered table, the incident is recorded (see
+// DroppedCells) and an error is returned so callers that care can detect it.
+func (t *Table) AddRow(cells ...string) error {
 	row := make([]string, len(t.headers))
 	for i := range row {
 		if i < len(cells) {
@@ -36,10 +39,20 @@ func (t *Table) AddRow(cells ...string) {
 		}
 	}
 	t.rows = append(t.rows, row)
+	if extra := len(cells) - len(t.headers); extra > 0 {
+		t.dropped += extra
+		return fmt.Errorf("report: row %d has %d cells for %d columns (%d dropped)",
+			len(t.rows), len(cells), len(t.headers), extra)
+	}
+	return nil
 }
 
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
+
+// DroppedCells returns how many extra cells AddRow has dropped over the
+// table's lifetime — non-zero means some caller produced malformed rows.
+func (t *Table) DroppedCells() int { return t.dropped }
 
 // Render writes the table to w.
 func (t *Table) Render(w io.Writer) error {

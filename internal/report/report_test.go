@@ -9,9 +9,15 @@ import (
 
 func TestTableRender(t *testing.T) {
 	tbl := NewTable("Specs", "Attribute", "Value")
-	tbl.AddRow("Vendor", "Intel")
-	tbl.AddRow("TDP", "65 W")
-	tbl.AddRow("only-one-cell")
+	if err := tbl.AddRow("Vendor", "Intel"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("TDP", "65 W"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("only-one-cell"); err != nil {
+		t.Fatalf("missing cells are padded, not an error: %v", err)
+	}
 	if tbl.Rows() != 3 {
 		t.Fatalf("Rows() = %d, want 3", tbl.Rows())
 	}
@@ -32,10 +38,28 @@ func TestTableRender(t *testing.T) {
 
 func TestTableExtraCellsDropped(t *testing.T) {
 	tbl := NewTable("", "A", "B")
-	tbl.AddRow("1", "2", "3", "4")
+	if tbl.DroppedCells() != 0 {
+		t.Fatalf("fresh table reports %d dropped cells", tbl.DroppedCells())
+	}
+	err := tbl.AddRow("1", "2", "3", "4")
+	if err == nil {
+		t.Fatal("a row with extra cells must report an error")
+	}
+	if !strings.Contains(err.Error(), "2 dropped") {
+		t.Fatalf("error %q does not name the dropped count", err)
+	}
 	out := tbl.String()
 	if strings.Contains(out, "3") || strings.Contains(out, "4") {
 		t.Fatalf("extra cells should be dropped:\n%s", out)
+	}
+	if tbl.Rows() != 1 {
+		t.Fatalf("the malformed row's leading cells are still kept: Rows() = %d", tbl.Rows())
+	}
+	if err := tbl.AddRow("5", "6", "7"); err == nil {
+		t.Fatal("second malformed row must also report an error")
+	}
+	if tbl.DroppedCells() != 3 {
+		t.Fatalf("DroppedCells() = %d, want 3 accumulated", tbl.DroppedCells())
 	}
 }
 

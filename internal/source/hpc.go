@@ -1,0 +1,136 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"powerapi/internal/hpc"
+	"powerapi/internal/machine"
+)
+
+// HPC is the hardware-performance-counter backend, the paper's original
+// Sensor path: one perf-style counter set per attached PID, sampled as
+// deltas each round.
+type HPC struct {
+	machine *machine.Machine
+	events  []hpc.Event
+	sets    map[int]*hpc.CounterSet
+	closed  bool
+}
+
+// NewHPC creates a counter-backed source monitoring the given events.
+func NewHPC(m *machine.Machine, events []hpc.Event) (*HPC, error) {
+	if m == nil {
+		return nil, errors.New("source: nil machine")
+	}
+	if len(events) == 0 {
+		return nil, errors.New("source: hpc source needs at least one event")
+	}
+	return &HPC{
+		machine: m,
+		events:  append([]hpc.Event(nil), events...),
+		sets:    make(map[int]*hpc.CounterSet),
+	}, nil
+}
+
+// Name implements Source.
+func (s *HPC) Name() string { return "hpc" }
+
+// Scope implements Source.
+func (s *HPC) Scope() Scope { return ScopeProcess }
+
+// Open implements Source.
+func (s *HPC) Open(targets []int) error {
+	for _, pid := range targets {
+		if err := s.Add(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add implements Dynamic: it validates the process and opens an enabled
+// counter set for it.
+func (s *HPC) Add(pid int) error {
+	if s.closed {
+		return errors.New("source: hpc source is closed")
+	}
+	if _, exists := s.sets[pid]; exists {
+		return nil
+	}
+	if _, err := s.machine.Processes().Get(pid); err != nil {
+		return fmt.Errorf("source: attach: %w", err)
+	}
+	set, err := hpc.OpenCounterSet(s.machine.Registry(), s.events, pid, hpc.AllCPUs)
+	if err != nil {
+		return fmt.Errorf("source: attach pid %d: %w", pid, err)
+	}
+	if err := set.Enable(); err != nil {
+		return fmt.Errorf("source: enable counters for pid %d: %w", pid, err)
+	}
+	s.sets[pid] = set
+	return nil
+}
+
+// Remove implements Dynamic.
+func (s *HPC) Remove(pid int) error {
+	if s.closed {
+		return errors.New("source: hpc source is closed")
+	}
+	set, exists := s.sets[pid]
+	if !exists {
+		return fmt.Errorf("source: detach: pid %d is not monitored", pid)
+	}
+	delete(s.sets, pid)
+	if err := set.Close(); err != nil {
+		return fmt.Errorf("source: detach pid %d: %w", pid, err)
+	}
+	return nil
+}
+
+// Sample implements Source: it reads the counter deltas of every attached
+// PID. A failing PID contributes zero deltas and its error is joined into
+// the returned error; the sample stays usable either way.
+func (s *HPC) Sample(_ context.Context) (Sample, error) {
+	if s.closed {
+		return Sample{}, errors.New("source: hpc source is closed")
+	}
+	out := Sample{FrequencyMHz: s.machine.DominantFrequencyMHz()}
+	if len(s.sets) == 0 {
+		return out, nil
+	}
+	out.PIDs = make([]PIDSample, 0, len(s.sets))
+	var errs []error
+	for pid, set := range s.sets {
+		deltas, err := set.ReadDelta()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("source: read counters for pid %d: %w", pid, err))
+			deltas = hpc.Counts{}
+		}
+		out.PIDs = append(out.PIDs, PIDSample{PID: pid, Deltas: deltas})
+	}
+	return out, errors.Join(errs...)
+}
+
+// Close implements Source.
+func (s *HPC) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	pids := make([]int, 0, len(s.sets))
+	for pid := range s.sets {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	var errs []error
+	for _, pid := range pids {
+		if err := s.sets[pid].Close(); err != nil {
+			errs = append(errs, fmt.Errorf("source: close counters of pid %d: %w", pid, err))
+		}
+	}
+	s.sets = nil
+	return errors.Join(errs...)
+}

@@ -1,0 +1,207 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"powerapi/internal/machine"
+)
+
+// Procfs is the counters-unavailable fallback backend: it attributes power
+// by per-PID CPU-time share, the only signal /proc/<pid>/stat offers when
+// perf_event_open is off the table. Weights are the CPU seconds each process
+// consumed during the window; the pipeline normalizes them per round.
+type Procfs struct {
+	machine *machine.Machine
+	lastCPU map[int]time.Duration
+	closed  bool
+}
+
+// NewProcfs creates a CPU-time-share source over the machine's process
+// table.
+func NewProcfs(m *machine.Machine) (*Procfs, error) {
+	if m == nil {
+		return nil, errors.New("source: nil machine")
+	}
+	return &Procfs{machine: m, lastCPU: make(map[int]time.Duration)}, nil
+}
+
+// Name implements Source.
+func (s *Procfs) Name() string { return "procfs" }
+
+// Scope implements Source.
+func (s *Procfs) Scope() Scope { return ScopeProcess }
+
+// Open implements Source.
+func (s *Procfs) Open(targets []int) error {
+	for _, pid := range targets {
+		if err := s.Add(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add implements Dynamic: it baselines the PID's cumulative CPU time so the
+// first sample only covers time from now on.
+func (s *Procfs) Add(pid int) error {
+	if s.closed {
+		return errors.New("source: procfs source is closed")
+	}
+	if _, exists := s.lastCPU[pid]; exists {
+		return nil
+	}
+	p, err := s.machine.Processes().Get(pid)
+	if err != nil {
+		return fmt.Errorf("source: attach: %w", err)
+	}
+	s.lastCPU[pid] = p.CPUTime()
+	return nil
+}
+
+// Remove implements Dynamic.
+func (s *Procfs) Remove(pid int) error {
+	if s.closed {
+		return errors.New("source: procfs source is closed")
+	}
+	if _, exists := s.lastCPU[pid]; !exists {
+		return fmt.Errorf("source: detach: pid %d is not monitored", pid)
+	}
+	delete(s.lastCPU, pid)
+	return nil
+}
+
+// Sample implements Source: every attached PID's weight is the CPU time it
+// consumed since the previous sample. A PID that vanished from the process
+// table contributes zero weight with a joined error.
+func (s *Procfs) Sample(_ context.Context) (Sample, error) {
+	if s.closed {
+		return Sample{}, errors.New("source: procfs source is closed")
+	}
+	out := Sample{FrequencyMHz: s.machine.DominantFrequencyMHz()}
+	if len(s.lastCPU) == 0 {
+		return out, nil
+	}
+	out.PIDs = make([]PIDSample, 0, len(s.lastCPU))
+	var errs []error
+	for pid, last := range s.lastCPU {
+		var weight float64
+		p, err := s.machine.Processes().Get(pid)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("source: read cpu time of pid %d: %w", pid, err))
+		} else {
+			now := p.CPUTime()
+			if now > last {
+				weight = (now - last).Seconds()
+			}
+			s.lastCPU[pid] = now
+		}
+		out.PIDs = append(out.PIDs, PIDSample{PID: pid, Weight: weight})
+	}
+	return out, errors.Join(errs...)
+}
+
+// Close implements Source.
+func (s *Procfs) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.lastCPU = nil
+	return nil
+}
+
+// UtilizationTotal is the machine-scope companion of Procfs: a coarse power
+// proxy derived from machine-wide utilisation (active ≈ TDP × utilisation),
+// the kind of estimate powertop-style tools fall back to when no energy
+// counters exist. The utilisation is integrated over the sampling window —
+// total CPU time consumed divided by the window's CPU capacity — so bursty
+// loads that happen to be idle at a sample boundary are still charged. It
+// deliberately measures only *active* power; the model's idle constant still
+// covers the floor.
+type UtilizationTotal struct {
+	machine *machine.Machine
+	lastAt  time.Duration
+	lastCPU time.Duration
+	opened  bool
+	closed  bool
+}
+
+// NewUtilizationTotal creates the utilisation-based machine power proxy.
+func NewUtilizationTotal(m *machine.Machine) (*UtilizationTotal, error) {
+	if m == nil {
+		return nil, errors.New("source: nil machine")
+	}
+	return &UtilizationTotal{machine: m}, nil
+}
+
+// Name implements Source.
+func (s *UtilizationTotal) Name() string { return "util" }
+
+// Scope implements Source.
+func (s *UtilizationTotal) Scope() Scope { return ScopeMachine }
+
+// totalCPUTime sums the cumulative CPU time of every process the machine has
+// ever run (exited ones keep their tally, like /proc accounting until reap).
+func (s *UtilizationTotal) totalCPUTime() time.Duration {
+	var total time.Duration
+	for _, p := range s.machine.Processes().List() {
+		total += p.CPUTime()
+	}
+	return total
+}
+
+// Open implements Source (machine scope: targets are ignored). It baselines
+// the machine-wide CPU-time accounting.
+func (s *UtilizationTotal) Open([]int) error {
+	if s.closed {
+		return errors.New("source: util source is closed")
+	}
+	if s.opened {
+		return nil
+	}
+	s.lastAt = s.machine.Now()
+	s.lastCPU = s.totalCPUTime()
+	s.opened = true
+	return nil
+}
+
+// Sample implements Source. A zero-length window yields no measurement
+// (HasMeasured false) rather than a division by zero.
+func (s *UtilizationTotal) Sample(_ context.Context) (Sample, error) {
+	if s.closed {
+		return Sample{}, errors.New("source: util source is closed")
+	}
+	if !s.opened {
+		return Sample{}, errors.New("source: util source is not open")
+	}
+	now := s.machine.Now()
+	cpu := s.totalCPUTime()
+	window := now - s.lastAt
+	used := cpu - s.lastCPU
+	s.lastAt = now
+	s.lastCPU = cpu
+	out := Sample{FrequencyMHz: s.machine.DominantFrequencyMHz()}
+	if window <= 0 {
+		return out, nil
+	}
+	capacity := window.Seconds() * float64(s.machine.Spec().LogicalCPUs())
+	util := used.Seconds() / capacity
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	out.MeasuredWatts = s.machine.Spec().TDPWatts * util
+	out.HasMeasured = true
+	return out, nil
+}
+
+// Close implements Source.
+func (s *UtilizationTotal) Close() error {
+	s.closed = true
+	return nil
+}

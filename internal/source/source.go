@@ -1,0 +1,169 @@
+// Package source defines the pluggable sensing backends of the monitoring
+// pipeline — the paper's swappable Sensor modules. A Source produces one
+// Sample per round; the pipeline's Sensor shards are oblivious to what kind
+// of backend they sample:
+//
+//	hpc     per-PID hardware-counter deltas (the original Sensor path);
+//	rapl    machine-level package/DRAM energy from the simulated RAPL MSRs;
+//	procfs  per-PID CPU-time shares, the fallback when counters are
+//	        unavailable (containers, locked-down perf_event_paranoid);
+//	util    a coarse machine-level power proxy from /proc/stat utilisation.
+//
+// Sources come in two scopes. Process-scope sources sample every attached
+// PID and yield either counter deltas or attribution weights; machine-scope
+// sources yield one measured machine power. A sensing Mode pairs one of each
+// — e.g. ModeBlended attributes the RAPL package total across PIDs keyed by
+// their counter activity, the Kepler-style split.
+package source
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"powerapi/internal/hpc"
+)
+
+// Scope classifies what a source measures.
+type Scope int
+
+// Source scopes.
+const (
+	// ScopeProcess marks sources that sample each attached PID.
+	ScopeProcess Scope = iota + 1
+	// ScopeMachine marks sources that measure one machine-level power.
+	ScopeMachine
+)
+
+// String implements fmt.Stringer.
+func (s Scope) String() string {
+	switch s {
+	case ScopeProcess:
+		return "process"
+	case ScopeMachine:
+		return "machine"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// PIDSample is one attached process within a Sample.
+type PIDSample struct {
+	// PID identifies the process.
+	PID int
+	// Deltas are the hardware-counter increments since the previous sample
+	// (counter-backed sources; nil otherwise).
+	Deltas hpc.Counts
+	// Weight is the attribution weight of the process for the window
+	// (share-based sources; the pipeline normalizes weights per round).
+	Weight float64
+}
+
+// Sample is one sampling round's output from a Source.
+type Sample struct {
+	// FrequencyMHz is the dominant core frequency observed during the round
+	// (0 when the source cannot tell).
+	FrequencyMHz int
+	// MeasuredWatts is the machine-level power measured over the window.
+	// Only meaningful when HasMeasured is true.
+	MeasuredWatts float64
+	// HasMeasured reports whether MeasuredWatts carries a measurement.
+	// Machine-scope sources leave it false when no simulated time has
+	// elapsed since the previous sample (a zero-length window has no
+	// well-defined power).
+	HasMeasured bool
+	// PIDs holds one entry per attached process (process-scope sources).
+	PIDs []PIDSample
+}
+
+// Source is a pluggable sensing backend. Implementations must be safe for
+// use from a single sampling goroutine; Open/Close bracket the lifetime.
+type Source interface {
+	// Name identifies the backend ("hpc", "rapl", "procfs", …).
+	Name() string
+	// Scope reports whether the source samples processes or the machine.
+	Scope() Scope
+	// Open prepares the source for the given monitoring targets (PIDs for
+	// process-scope sources; machine-scope sources ignore them).
+	Open(targets []int) error
+	// Sample reads one round of measurements covering the window since the
+	// previous Sample (or since Open). A source may return both a usable
+	// Sample and a non-nil error describing partial per-target failures.
+	Sample(ctx context.Context) (Sample, error)
+	// Close releases the source's resources. Further calls fail.
+	Close() error
+}
+
+// Dynamic is implemented by process-scope sources whose target set can
+// change after Open, which is how the pipeline serves attach/detach without
+// reopening the backend.
+type Dynamic interface {
+	Source
+	// Add starts sampling a PID. Adding a PID twice is idempotent.
+	Add(pid int) error
+	// Remove stops sampling a PID; removing an unknown PID fails.
+	Remove(pid int) error
+}
+
+// Mode selects how the pipeline combines sources into per-PID power.
+type Mode int
+
+// Sensing modes.
+const (
+	// ModeHPC is the paper's original path: per-PID counter deltas run
+	// through the learned formula; the machine total is idle + sum.
+	ModeHPC Mode = iota + 1
+	// ModeProcfs is the no-counters fallback: a coarse utilisation-based
+	// machine estimate attributed by per-PID CPU-time share.
+	ModeProcfs
+	// ModeRAPL measures the machine total with the RAPL package+DRAM
+	// domains and attributes it by per-PID CPU-time share.
+	ModeRAPL
+	// ModeBlended measures the total with the RAPL package domain and
+	// attributes it by per-PID counter activity through the learned formula
+	// — the Kepler-style ratio split.
+	ModeBlended
+)
+
+// Modes lists every sensing mode in declaration order.
+func Modes() []Mode { return []Mode{ModeHPC, ModeProcfs, ModeRAPL, ModeBlended} }
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeHPC:
+		return "hpc"
+	case ModeProcfs:
+		return "procfs"
+	case ModeRAPL:
+		return "rapl"
+	case ModeBlended:
+		return "blended"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a known sensing mode.
+func (m Mode) Valid() bool {
+	return m == ModeHPC || m == ModeProcfs || m == ModeRAPL || m == ModeBlended
+}
+
+// Attributed reports whether the mode distributes a measured machine total
+// across PIDs by normalized weights (every mode except the formula-driven
+// ModeHPC).
+func (m Mode) Attributed() bool { return m.Valid() && m != ModeHPC }
+
+// ParseMode resolves a mode name such as "rapl" (case-insensitive).
+func ParseMode(s string) (Mode, error) {
+	for _, m := range Modes() {
+		if strings.EqualFold(s, m.String()) {
+			return m, nil
+		}
+	}
+	names := make([]string, 0, len(Modes()))
+	for _, m := range Modes() {
+		names = append(names, m.String())
+	}
+	return 0, fmt.Errorf("source: unknown mode %q (want one of %s)", s, strings.Join(names, "|"))
+}

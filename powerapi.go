@@ -43,6 +43,7 @@ import (
 	"powerapi/internal/model"
 	"powerapi/internal/powermeter"
 	"powerapi/internal/sched"
+	"powerapi/internal/source"
 	"powerapi/internal/workload"
 )
 
@@ -80,8 +81,14 @@ type (
 	// ExperimentScale bundles the evaluation dimensions.
 	ExperimentScale = experiments.Scale
 	// MonitorOption customises a Monitor (grouping dimension, extra
-	// reporters, monitored events).
+	// reporters, monitored events, sensing sources).
 	MonitorOption = core.Option
+	// SourceMode selects the sensing backends of a Monitor (hpc counters,
+	// RAPL energy, procfs fallback, blended attribution).
+	SourceMode = source.Mode
+	// SensorSource is a pluggable sensing backend of the monitoring
+	// pipeline.
+	SensorSource = source.Source
 	// EnergyAccumulator integrates per-process power into per-process energy.
 	EnergyAccumulator = core.EnergyAccumulator
 	// Advisor turns monitoring rounds into energy-leak findings.
@@ -97,6 +104,25 @@ const (
 	GovernorOndemand    = cpu.GovernorOndemand
 	GovernorUserspace   = cpu.GovernorUserspace
 )
+
+// Sensing modes (see WithSources).
+const (
+	// SourceHPC runs per-PID counter deltas through the learned formula —
+	// the paper's original Sensor path and the default.
+	SourceHPC = source.ModeHPC
+	// SourceProcfs is the no-counters fallback: a utilisation-based machine
+	// estimate attributed by per-PID CPU-time share.
+	SourceProcfs = source.ModeProcfs
+	// SourceRAPL measures the machine with the simulated RAPL package+DRAM
+	// energy counters and attributes by CPU-time share.
+	SourceRAPL = source.ModeRAPL
+	// SourceBlended measures the total with the RAPL package domain and
+	// attributes it by per-PID counter activity (Kepler-style).
+	SourceBlended = source.ModeBlended
+)
+
+// ParseSourceMode resolves a sensing-mode name such as "blended".
+func ParseSourceMode(s string) (SourceMode, error) { return source.ParseMode(s) }
 
 // IntelCorei3_2120 returns the paper's testbed processor (Table 1).
 func IntelCorei3_2120() Spec { return cpu.IntelCorei3_2120() }
@@ -199,6 +225,15 @@ func NewMonitor(m *Machine, powerModel *PowerModel, opts ...MonitorOption) (*Mon
 // per-PID message overhead when monitoring large process counts. The default
 // of 1 preserves the paper's one-actor-per-stage pipeline.
 func WithShards(n int) MonitorOption { return core.WithShards(n) }
+
+// WithSources selects the sensing backends of the pipeline: SourceHPC
+// (default), SourceProcfs, SourceRAPL or SourceBlended. See the SourceMode
+// constants for what each mode measures and how it attributes power.
+func WithSources(mode SourceMode) MonitorOption { return core.WithSources(mode) }
+
+// WithCollectTimeout overrides the wall-clock budget of synchronous monitor
+// operations (Attach, Detach, Collect); it must be positive.
+func WithCollectTimeout(d time.Duration) MonitorOption { return core.WithCollectTimeout(d) }
 
 // WithProcessNameGrouping aggregates power by process name in addition to the
 // per-PID and per-timestamp dimensions.
