@@ -15,14 +15,21 @@
 //	powerapi-daemon -shards 8 -csv power.csv -jsonl power.jsonl
 //	powerapi-daemon -source blended          # RAPL total, counter-keyed split
 //	powerapi-daemon -source procfs           # no-counters fallback
+//	powerapi-daemon -cgroups "web=1,4;db=2"  # container-level rollup over the
+//	                                         # 1-based workload indices
+//
+// With -cgroups the daemon groups the spawned workloads into a control-group
+// hierarchy (nested paths like "web/api" are allowed), reports each group's
+// power next to the per-process rows and switches the CSV schema to the
+// target layout carrying the kind and hierarchy path of every row.
 package main
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -31,6 +38,7 @@ import (
 
 	"powerapi/internal/advisor"
 	"powerapi/internal/calibration"
+	"powerapi/internal/cgroup"
 	"powerapi/internal/core"
 	"powerapi/internal/cpu"
 	"powerapi/internal/hpc"
@@ -59,6 +67,7 @@ func run(args []string) error {
 		timeout   = fs.Duration("collect-timeout", core.DefaultCollectTimeout, "wall-clock budget of one sampling round")
 		csvPath   = fs.String("csv", "", "write per-process rounds to this CSV file")
 		jsonlPath = fs.String("jsonl", "", "write one JSON object per round to this file")
+		cgroups   = fs.String("cgroups", "", `group workloads into control groups, e.g. "web=1,2;web/api=3;db=4" (1-based workload indices)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +81,15 @@ func run(args []string) error {
 	mode, err := source.ParseMode(*srcName)
 	if err != nil {
 		return err
+	}
+	// Parse the cgroup layout before the (slow) calibration so a typo'd spec
+	// fails fast; it is materialised over the workload PIDs after spawn.
+	var cgroupSpec *cgroup.Spec
+	if *cgroups != "" {
+		cgroupSpec, err = cgroup.ParseSpec(*cgroups)
+		if err != nil {
+			return err
+		}
 	}
 	spec, err := cpu.LookupSpec(*specName)
 	if err != nil {
@@ -105,6 +123,7 @@ func run(args []string) error {
 		{name: "idle-shell", gen: func() (workload.Generator, error) { return workload.Idle(0), nil }},
 	}
 	names := make(map[int]string, len(tenants))
+	tenantPIDs := make([]int, 0, len(tenants))
 	for _, tn := range tenants {
 		gen, err := tn.gen()
 		if err != nil {
@@ -115,6 +134,23 @@ func run(args []string) error {
 			return err
 		}
 		names[p.PID()] = tn.name
+		tenantPIDs = append(tenantPIDs, p.PID())
+	}
+
+	// -cgroups groups the spawned workloads into a control-group hierarchy;
+	// the Aggregator then rolls the per-process estimates up the tree, so
+	// each group's power appears next to the per-process rows.
+	var hierarchy *cgroup.Hierarchy
+	if cgroupSpec != nil {
+		hierarchy, err = cgroupSpec.Build(func(id int) (int, error) {
+			if id < 1 || id > len(tenantPIDs) {
+				return 0, fmt.Errorf("workload index %d out of range 1..%d", id, len(tenantPIDs))
+			}
+			return tenantPIDs[id-1], nil
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	// File reporters run as their own actors inside the pipeline; the
@@ -125,6 +161,9 @@ func run(args []string) error {
 		core.WithShards(*shards),
 		core.WithSources(mode),
 		core.WithCollectTimeout(*timeout),
+	}
+	if hierarchy != nil {
+		opts = append(opts, core.WithCgroups(hierarchy))
 	}
 	var flushers []func() error
 	flushed := false
@@ -146,12 +185,18 @@ func run(args []string) error {
 	defer flushAll()
 	resolveName := func(pid int) string { return names[pid] }
 	if *csvPath != "" {
-		opt, flush, err := fileReporter(*csvPath, func(w *bufio.Writer) (core.Option, error) {
-			rep, err := core.NewCSVReporter(w, resolveName)
+		// With -cgroups the CSV switches to the target schema so every row
+		// carries the target kind and the cgroup rows their hierarchy path.
+		csvOpts := []core.ReporterOption{core.WithBufferedWrites()}
+		if hierarchy != nil {
+			csvOpts = append(csvOpts, core.WithTargetRows())
+		}
+		opt, flush, err := fileReporter(*csvPath, func(w io.Writer) (core.Option, func() error, error) {
+			rep, err := core.NewCSVReporter(w, resolveName, csvOpts...)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return core.WithReporter("csv", rep.Report), nil
+			return core.WithFlushingReporter("csv", rep.Report, rep.Flush), rep.Flush, nil
 		})
 		if err != nil {
 			return err
@@ -160,12 +205,12 @@ func run(args []string) error {
 		flushers = append(flushers, flush)
 	}
 	if *jsonlPath != "" {
-		opt, flush, err := fileReporter(*jsonlPath, func(w *bufio.Writer) (core.Option, error) {
-			rep, err := core.NewJSONLinesReporter(w)
+		opt, flush, err := fileReporter(*jsonlPath, func(w io.Writer) (core.Option, func() error, error) {
+			rep, err := core.NewJSONLinesReporter(w, core.WithBufferedWrites())
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return core.WithReporter("jsonl", rep.Report), nil
+			return core.WithFlushingReporter("jsonl", rep.Report, rep.Flush), rep.Flush, nil
 		})
 		if err != nil {
 			return err
@@ -209,6 +254,17 @@ func run(args []string) error {
 			fmt.Printf("%-10s %-14s %10d %12.2f\n",
 				r.Timestamp.Truncate(time.Second), names[pid], pid, r.PerPID[pid])
 		}
+		if len(r.PerCgroup) > 0 {
+			paths := make([]string, 0, len(r.PerCgroup))
+			for path := range r.PerCgroup {
+				paths = append(paths, path)
+			}
+			sort.Strings(paths)
+			for _, path := range paths {
+				fmt.Printf("%-10s %-14s %10s %12.2f\n",
+					r.Timestamp.Truncate(time.Second), "cgroup:"+path, "-", r.PerCgroup[path])
+			}
+		}
 		fmt.Printf("%-10s %-14s %10s %12.2f  (idle %.2f + active %.2f)\n\n",
 			r.Timestamp.Truncate(time.Second), "TOTAL", "-", r.TotalWatts, r.IdleWatts, r.ActiveWatts)
 	})
@@ -238,28 +294,28 @@ func run(args []string) error {
 	return nil
 }
 
-// fileReporter opens path, builds a reporter option over a buffered writer
-// and returns a flush function that syncs and closes the file. Flush must be
-// called after the pipeline has been shut down.
-func fileReporter(path string, build func(w *bufio.Writer) (core.Option, error)) (core.Option, func() error, error) {
+// fileReporter opens path and builds a reporter option over the file; the
+// reporters buffer internally and are flushed by the pipeline's Shutdown
+// (WithFlushingReporter). The returned function flushes once more and closes
+// the file; call it after the pipeline has been shut down.
+func fileReporter(path string, build func(w io.Writer) (core.Option, func() error, error)) (core.Option, func() error, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	w := bufio.NewWriter(f)
-	opt, err := build(w)
+	opt, flush, err := build(f)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	flush := func() error {
-		if err := w.Flush(); err != nil {
+	closeFile := func() error {
+		if err := flush(); err != nil {
 			f.Close()
 			return fmt.Errorf("flush %s: %w", path, err)
 		}
 		return f.Close()
 	}
-	return opt, flush, nil
+	return opt, closeFile, nil
 }
 
 func loadOrCalibrate(path string, spec cpu.Spec) (*model.CPUPowerModel, error) {

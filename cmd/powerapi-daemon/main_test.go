@@ -18,6 +18,12 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-collect-timeout", "-1s"}); err == nil {
 		t.Fatal("negative collect timeout should fail")
 	}
+	if err := run([]string{"-cgroups", "web"}); err == nil {
+		t.Fatal("malformed cgroup spec should fail")
+	}
+	if err := run([]string{"-cgroups", "web=1;web=2"}); err == nil {
+		t.Fatal("duplicate cgroup should fail")
+	}
 }
 
 func TestRunShortMonitoringSession(t *testing.T) {
@@ -37,5 +43,20 @@ func TestRunSourceModes(t *testing.T) {
 		if err := run([]string{"-duration", "2s", "-interval", "1s", "-source", mode}); err != nil {
 			t.Fatalf("daemon run with -source %s failed: %v", mode, err)
 		}
+	}
+}
+
+func TestRunWithCgroups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick calibration plus monitoring is too slow for -short")
+	}
+	args := []string{"-duration", "2s", "-interval", "1s", "-source", "blended",
+		"-cgroups", "web=1,3;web/api=4;db=2"}
+	if err := run(args); err != nil {
+		t.Fatalf("daemon run with -cgroups failed: %v", err)
+	}
+	// A workload index outside the spawned mix fails after spawn, not silently.
+	if err := run([]string{"-duration", "2s", "-interval", "1s", "-cgroups", "web=99"}); err == nil {
+		t.Fatal("out-of-range workload index should fail")
 	}
 }

@@ -6,18 +6,20 @@ import (
 	"time"
 
 	"powerapi/internal/actor"
+	"powerapi/internal/cgroup"
 	"powerapi/internal/model"
 	"powerapi/internal/source"
+	"powerapi/internal/target"
 )
 
 // sensorShardBehavior monitors the targets routed to one shard of the Sensor
-// pool through a pluggable process-scope source; shard 0 additionally owns
-// the machine-scope source of the sensing mode (RAPL, utilisation proxy)
-// when one exists. All state is owned by the actor goroutine; attach/detach
-// flow through the mailbox (via actor.Ask) and a tick makes the shard
-// publish one batched report for all its PIDs.
+// pool through a pluggable attribution source; shard 0 additionally owns the
+// machine-scope source of the sensing mode (RAPL, utilisation proxy) when
+// one exists. All state is owned by the actor goroutine; attach/detach flow
+// through the mailbox (via actor.Ask) and a tick makes the shard publish one
+// batched report for all its targets.
 type sensorShardBehavior struct {
-	attr          source.Source // per-PID attribution source, owned by this shard
+	attr          source.Source // per-target attribution source, owned by this shard
 	total         source.Source // machine-scope source (shard 0 only, may be nil)
 	shard         int
 	shards        int
@@ -40,9 +42,9 @@ func newSensorShardBehavior(attr, total source.Source, shard, shards int, sample
 func (s *sensorShardBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 	switch m := msg.(type) {
 	case attachRequest:
-		m.Reply <- s.attach(m.PID)
+		m.Reply <- s.attach(m.Target)
 	case detachRequest:
-		m.Reply <- s.detach(m.PID)
+		m.Reply <- s.detach(m.Target)
 	case tickRequest:
 		s.tick(ctx, m)
 	default:
@@ -53,23 +55,23 @@ func (s *sensorShardBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 	}
 }
 
-func (s *sensorShardBehavior) attach(pid int) error {
+func (s *sensorShardBehavior) attach(t target.Target) error {
 	dyn, ok := s.attr.(source.Dynamic)
 	if !ok {
 		return fmt.Errorf("core: %s source does not support attaching targets", s.attr.Name())
 	}
-	if err := dyn.Add(pid); err != nil {
+	if err := dyn.Add(t); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
 
-func (s *sensorShardBehavior) detach(pid int) error {
+func (s *sensorShardBehavior) detach(t target.Target) error {
 	dyn, ok := s.attr.(source.Dynamic)
 	if !ok {
 		return fmt.Errorf("core: %s source does not support detaching targets", s.attr.Name())
 	}
-	if err := dyn.Remove(pid); err != nil {
+	if err := dyn.Remove(t); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil
@@ -99,12 +101,10 @@ func (s *sensorShardBehavior) tick(ctx *actor.Context, req tickRequest) {
 		})
 	}
 	batch.FrequencyMHz = sample.FrequencyMHz
-	if n := len(sample.PIDs); n > 0 {
-		batch.Samples = make([]SensorSample, 0, n)
-		for _, ps := range sample.PIDs {
-			batch.Samples = append(batch.Samples, SensorSample{PID: ps.PID, Deltas: ps.Deltas, Weight: ps.Weight})
-		}
-	}
+	// The source already sized its sample to the shard's attached-target
+	// count and hands the slice over (it never reuses it), so the batch can
+	// adopt it wholesale instead of reallocating and copying per tick.
+	batch.Samples = sample.Targets
 	if s.total != nil {
 		ts, err := s.total.Sample(sampleCtx)
 		if err != nil {
@@ -168,17 +168,19 @@ func (f *formulaShardBehavior) estimateBatch(ctx *actor.Context, batch SensorRep
 		HasMeasured:   batch.HasMeasured,
 	}
 	if n := len(batch.Samples); n > 0 {
-		out.Estimates = make([]PIDEstimate, 0, n)
+		// Pre-sized to the batch: one estimate per sampled target, no growth
+		// reallocation on the hot path.
+		out.Estimates = make([]TargetEstimate, 0, n)
 	}
 	for _, sample := range batch.Samples {
-		est := PIDEstimate{PID: sample.PID}
+		est := TargetEstimate{Target: sample.Target}
 		switch f.mode {
 		case source.ModeHPC, source.ModeBlended:
 			watts, err := f.model.EstimateActiveWatts(batch.FrequencyMHz, sample.Deltas, batch.Window)
 			if err != nil {
 				ctx.Publish(TopicErrors, PipelineError{
 					Stage: "formula",
-					Err:   fmt.Errorf("core: estimate pid %d: %w", sample.PID, err),
+					Err:   fmt.Errorf("core: estimate %v: %w", sample.Target, err),
 				})
 				watts = 0
 			}
@@ -198,22 +200,31 @@ func (f *formulaShardBehavior) estimateBatch(ctx *actor.Context, batch SensorRep
 // aggregatorBehavior merges the per-shard partial estimates of each sampling
 // round into one AggregatedReport and emits it once every shard has
 // reported. In attributed sensing modes it additionally normalizes the
-// per-PID weights of the whole round against the measured machine total —
-// attribution must be global, a single shard only ever sees its own PIDs.
-// When a group resolver is configured it also aggregates along that
-// dimension (for example the application name), as the paper's Aggregator
-// description allows.
+// per-target weights of the whole round against the measured machine total —
+// attribution must be global, a single shard only ever sees its own targets.
+// When a cgroup hierarchy is configured it performs the hierarchical rollup:
+// every group's power is the sum of its member processes' estimates
+// (descendants included), so nested groups roll up to their parents and the
+// per-PID and per-cgroup views are two projections of the same conserved
+// attribution. When a group resolver is configured it also aggregates along
+// that dimension (for example the application name), as the paper's
+// Aggregator description allows.
 type aggregatorBehavior struct {
 	idleWatts float64
 	mode      source.Mode
 	resolve   func(pid int) string
+	hierarchy *cgroup.Hierarchy
 	pending   map[time.Duration]*roundState
 }
 
-// roundState tracks one in-flight sampling round. In attributed modes
-// report.PerPID temporarily holds raw weights until finish scales them.
+// roundState tracks one in-flight sampling round. In attributed modes the
+// per-target maps temporarily hold raw weights until finish scales them.
 type roundState struct {
 	report *AggregatedReport
+	// cgroupDirect holds the estimates cgroup-scope sources produced for
+	// whole groups (path → watts or raw weight). Kept apart from the rollup
+	// so the two cannot double-count each other.
+	cgroupDirect map[string]float64
 	// batches counts PowerEstimateBatch arrivals; the round completes when
 	// all NumShards have reported.
 	batches int
@@ -225,11 +236,12 @@ type roundState struct {
 	sumWeight float64
 }
 
-func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid int) string) *aggregatorBehavior {
+func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid int) string, hierarchy *cgroup.Hierarchy) *aggregatorBehavior {
 	return &aggregatorBehavior{
 		idleWatts: idleWatts,
 		mode:      mode,
 		resolve:   resolve,
+		hierarchy: hierarchy,
 		pending:   make(map[time.Duration]*roundState),
 	}
 }
@@ -244,7 +256,7 @@ func (a *aggregatorBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 			round.hasMeasured = true
 		}
 		for _, est := range m.Estimates {
-			a.merge(round, est)
+			a.merge(ctx, round, est)
 		}
 		round.batches++
 		if round.batches >= m.NumShards {
@@ -298,14 +310,33 @@ func (a *aggregatorBehavior) evictOldest() {
 	}
 }
 
-func (a *aggregatorBehavior) merge(round *roundState, est PIDEstimate) {
+func (a *aggregatorBehavior) merge(ctx *actor.Context, round *roundState, est TargetEstimate) {
+	value := est.Watts
 	if a.mode.Attributed() {
-		round.report.PerPID[est.PID] += est.Weight
+		value = est.Weight
 		round.sumWeight += est.Weight
+	}
+	switch est.Target.Kind {
+	case target.KindProcess:
+		round.report.PerPID[est.Target.PID] += value
+	case target.KindCgroup:
+		if round.cgroupDirect == nil {
+			round.cgroupDirect = make(map[string]float64)
+		}
+		round.cgroupDirect[est.Target.Path] += value
+	default:
+		ctx.Publish(TopicErrors, PipelineError{
+			Stage: "aggregator",
+			Err:   fmt.Errorf("core: aggregator received estimate for unexpected target %v", est.Target),
+		})
+		if a.mode.Attributed() {
+			round.sumWeight -= est.Weight
+		}
 		return
 	}
-	round.report.PerPID[est.PID] += est.Watts
-	round.report.ActiveWatts += est.Watts
+	if !a.mode.Attributed() {
+		round.report.ActiveWatts += value
+	}
 }
 
 func (a *aggregatorBehavior) finish(ctx *actor.Context, ts time.Duration, round *roundState) {
@@ -319,6 +350,7 @@ func (a *aggregatorBehavior) finish(ctx *actor.Context, ts time.Duration, round 
 	if a.mode.Attributed() {
 		a.attribute(round)
 	}
+	a.rollup(round)
 	if a.resolve != nil && len(report.PerPID) > 0 {
 		report.PerGroup = make(map[string]float64)
 		for pid, watts := range report.PerPID {
@@ -331,10 +363,10 @@ func (a *aggregatorBehavior) finish(ctx *actor.Context, ts time.Duration, round 
 }
 
 // attribute distributes the round's measured machine power across the
-// monitored PIDs proportionally to their weights, so the per-PID estimates
-// sum exactly to the measurement. Zero total weight (an all-idle window)
-// splits the measurement evenly; with nothing monitored the measurement is
-// still reported as the machine's active power, unattributed.
+// monitored targets proportionally to their weights, so the per-target
+// estimates sum exactly to the measurement. Zero total weight (an all-idle
+// window) splits the measurement evenly; with nothing monitored the
+// measurement is still reported as the machine's active power, unattributed.
 func (a *aggregatorBehavior) attribute(round *roundState) {
 	report := round.report
 	total := round.measuredWatts
@@ -342,17 +374,63 @@ func (a *aggregatorBehavior) attribute(round *roundState) {
 		total = 0
 	}
 	report.ActiveWatts = total
+	entries := len(report.PerPID) + len(round.cgroupDirect)
 	switch {
 	case round.sumWeight > 0:
 		scale := total / round.sumWeight
 		for pid, weight := range report.PerPID {
 			report.PerPID[pid] = weight * scale
 		}
-	case len(report.PerPID) > 0:
-		even := total / float64(len(report.PerPID))
+		for path, weight := range round.cgroupDirect {
+			round.cgroupDirect[path] = weight * scale
+		}
+	case entries > 0:
+		even := total / float64(entries)
 		for pid := range report.PerPID {
 			report.PerPID[pid] = even
 		}
+		for path := range round.cgroupDirect {
+			round.cgroupDirect[path] = even
+		}
+	}
+}
+
+// rollup fills report.PerCgroup: every hierarchy group's power is the sum of
+// the per-PID estimates of its recursive members, and every direct estimate
+// a cgroup-scope source produced is credited to its group and all its
+// ancestors. Each PID's watts are read from the single PerPID entry, so a
+// process reported both standalone and inside a group is counted once in
+// ActiveWatts and merely projected into the group view; nested groups roll
+// up to their parents by construction.
+func (a *aggregatorBehavior) rollup(round *roundState) {
+	report := round.report
+	if a.hierarchy == nil && len(round.cgroupDirect) == 0 {
+		return
+	}
+	perCgroup := make(map[string]float64)
+	if a.hierarchy != nil {
+		for _, path := range a.hierarchy.Paths() {
+			sum := 0.0
+			counted := false
+			for _, pid := range a.hierarchy.MembersRecursive(path) {
+				if watts, ok := report.PerPID[pid]; ok {
+					sum += watts
+					counted = true
+				}
+			}
+			if counted {
+				perCgroup[path] = sum
+			}
+		}
+	}
+	for path, watts := range round.cgroupDirect {
+		perCgroup[path] += watts
+		for _, anc := range cgroup.Ancestors(path) {
+			perCgroup[anc] += watts
+		}
+	}
+	if len(perCgroup) > 0 {
+		report.PerCgroup = perCgroup
 	}
 }
 

@@ -26,6 +26,14 @@
 // round against the measured machine total, so the per-PID estimates sum
 // exactly to the measurement (Kepler-style blended attribution).
 //
+// The pipeline is keyed by monitoring targets (internal/target), not raw
+// PIDs: a target is a process, a control group or the machine itself. Cgroup
+// targets attached over a hierarchy (WithCgroups) are expanded to their
+// member processes for sampling, and the Aggregator rolls the per-process
+// estimates back up the hierarchy, so a group's power is the exact sum of
+// its members, nested groups roll up to their parents, and nothing is
+// double-counted when a PID is reported both standalone and inside a group.
+//
 // The package exposes the PowerAPI facade, which wires the pipeline to a
 // simulated machine and drives sampling rounds in simulated time.
 package core
@@ -35,7 +43,8 @@ import (
 	"time"
 
 	"powerapi/internal/actor"
-	"powerapi/internal/hpc"
+	"powerapi/internal/source"
+	"powerapi/internal/target"
 )
 
 // Topic names of the PowerAPI event bus.
@@ -69,34 +78,28 @@ type tickRequest struct {
 	Window time.Duration
 }
 
-// attachRequest asks a Sensor shard to start monitoring a PID. It is sent
+// attachRequest asks a Sensor shard to start monitoring a target. It is sent
 // through actor.Ask; Reply receives nil on success or the error encountered.
 type attachRequest struct {
-	PID   int
-	Reply chan<- actor.Message
+	Target target.Target
+	Reply  chan<- actor.Message
 }
 
-// detachRequest asks a Sensor shard to stop monitoring a PID.
+// detachRequest asks a Sensor shard to stop monitoring a target.
 type detachRequest struct {
-	PID   int
-	Reply chan<- actor.Message
+	Target target.Target
+	Reply  chan<- actor.Message
 }
 
-// SensorSample is one monitored process within a SensorReportBatch.
-type SensorSample struct {
-	// PID identifies the monitored process.
-	PID int `json:"pid"`
-	// Deltas are the hardware-counter increments of the process
-	// (counter-backed sources; nil otherwise).
-	Deltas hpc.Counts `json:"-"`
-	// Weight is the raw attribution weight of the process for the round
-	// (share-based sources; normalized by the Aggregator).
-	Weight float64 `json:"weight,omitempty"`
-}
+// SensorSample is one monitored target within a SensorReportBatch. It is the
+// source's sample entry verbatim: the Sensor shard hands the slice produced
+// by its source straight to the batch, so the hot path copies nothing.
+type SensorSample = source.TargetSample
 
 // SensorReportBatch is the single message one Sensor shard publishes per
-// sampling round: every PID the shard owns, batched. Batching amortizes the
-// per-PID channel sends and message allocations of the unsharded pipeline.
+// sampling round: every target the shard owns, batched. Batching amortizes
+// the per-target channel sends and message allocations of the unsharded
+// pipeline.
 type SensorReportBatch struct {
 	// Timestamp is the simulated instant of the round.
 	Timestamp time.Duration `json:"timestamp"`
@@ -115,19 +118,19 @@ type SensorReportBatch struct {
 	MeasuredWatts float64 `json:"measuredWatts,omitempty"`
 	// HasMeasured reports whether MeasuredWatts is a real measurement.
 	HasMeasured bool `json:"hasMeasured,omitempty"`
-	// Samples holds one entry per monitored PID of this shard (possibly
+	// Samples holds one entry per monitored target of this shard (possibly
 	// empty: an idle shard still reports so the round can complete).
 	Samples []SensorSample `json:"samples"`
 }
 
-// PIDEstimate is one process's power estimate within a PowerEstimateBatch.
-// In the formula-driven mode Watts is the final per-PID power; in attributed
-// modes Weight is the raw attribution key the Aggregator normalizes against
-// the round's measured total.
-type PIDEstimate struct {
-	PID    int     `json:"pid"`
-	Watts  float64 `json:"watts"`
-	Weight float64 `json:"weight,omitempty"`
+// TargetEstimate is one target's power estimate within a PowerEstimateBatch.
+// In the formula-driven mode Watts is the final per-target power; in
+// attributed modes Weight is the raw attribution key the Aggregator
+// normalizes against the round's measured total.
+type TargetEstimate struct {
+	Target target.Target `json:"target"`
+	Watts  float64       `json:"watts"`
+	Weight float64       `json:"weight,omitempty"`
 }
 
 // PowerEstimateBatch is one Formula shard's partial result for a round. The
@@ -139,9 +142,9 @@ type PowerEstimateBatch struct {
 	NumShards    int           `json:"numShards"`
 	// MeasuredWatts/HasMeasured forward the machine-scope measurement of the
 	// round (see SensorReportBatch).
-	MeasuredWatts float64       `json:"measuredWatts,omitempty"`
-	HasMeasured   bool          `json:"hasMeasured,omitempty"`
-	Estimates     []PIDEstimate `json:"estimates"`
+	MeasuredWatts float64          `json:"measuredWatts,omitempty"`
+	HasMeasured   bool             `json:"hasMeasured,omitempty"`
+	Estimates     []TargetEstimate `json:"estimates"`
 }
 
 // AggregatedReport is the per-round output of the Aggregator: the total
@@ -158,6 +161,13 @@ type AggregatedReport struct {
 	TotalWatts float64 `json:"totalWatts"`
 	// PerPID is the active power attributed to each monitored process.
 	PerPID map[int]float64 `json:"perPid"`
+	// PerCgroup is the active power attributed to each control group, keyed
+	// by hierarchy path ("web", "web/api"). A group's power is the exact sum
+	// of its member processes (descendants included) plus any estimate a
+	// cgroup-scope source produced for it directly; nested groups roll up to
+	// their parents. Empty when no cgroup hierarchy is configured and no
+	// cgroup targets are monitored.
+	PerCgroup map[string]float64 `json:"perCgroup,omitempty"`
 	// PerGroup is the active power aggregated by the configured grouping
 	// dimension (application name, tenant, …). Empty when no group resolver
 	// was configured. This is the paper's "aggregates the power estimations

@@ -4,16 +4,21 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"powerapi/internal/actor"
+	"powerapi/internal/cgroup"
 	"powerapi/internal/hpc"
 	"powerapi/internal/machine"
 	"powerapi/internal/model"
+	"powerapi/internal/proc"
 	"powerapi/internal/rapl"
 	"powerapi/internal/source"
+	"powerapi/internal/target"
 )
 
 // DefaultCollectTimeout bounds how long a synchronous sampling round may
@@ -44,12 +49,17 @@ type options struct {
 	factories      SourceFactories
 	collectTimeout time.Duration
 	groupResolver  func(pid int) string
+	hierarchy      *cgroup.Hierarchy
 	extraReporters []namedReporter
 }
 
 type namedReporter struct {
 	name    string
 	deliver func(AggregatedReport) error
+	// flush (optional) is invoked during Shutdown after the reporter actor
+	// has drained, so buffered writers end up on disk before the pipeline
+	// reports completion.
+	flush func() error
 }
 
 // WithEvents overrides the hardware events the Sensor monitors (defaults to
@@ -136,6 +146,31 @@ func WithReporter(name string, deliver func(AggregatedReport) error) Option {
 	}
 }
 
+// WithFlushingReporter is WithReporter for buffered reporters: flush is
+// invoked during Shutdown, after the reporter actor has drained its mailbox,
+// so every buffered row reaches the underlying writer before the pipeline
+// reports completion. A flush failure is surfaced through the pipeline's
+// error counter and LastError.
+func WithFlushingReporter(name string, deliver func(AggregatedReport) error, flush func() error) Option {
+	return func(o *options) {
+		o.extraReporters = append(o.extraReporters, namedReporter{name: name, deliver: deliver, flush: flush})
+	}
+}
+
+// WithCgroups attaches a control-group hierarchy to the pipeline. Cgroup
+// targets become attachable (AttachTargets): attaching a group monitors its
+// member processes (descendants included) and every sampling round the
+// Aggregator rolls the per-process estimates back up the hierarchy into
+// AggregatedReport.PerCgroup, so a group's power is the exact sum of its
+// members, nested groups roll up to their parents, and a PID reported both
+// standalone and inside a group is never double-counted. Membership is
+// re-synchronised on every Collect: members that exit are pruned from the
+// hierarchy and detached from their Sensor shard, members that join are
+// attached.
+func WithCgroups(h *cgroup.Hierarchy) Option {
+	return func(o *options) { o.hierarchy = h }
+}
+
 // PowerAPI is the middleware facade: it owns the actor system implementing
 // the Figure 2 pipeline and exposes process-level power monitoring over a
 // simulated machine.
@@ -148,14 +183,21 @@ type PowerAPI struct {
 	mode           source.Mode
 	collectTimeout time.Duration
 	sources        []source.Source
+	hierarchy      *cgroup.Hierarchy
+	attrScope      source.Scope
+	flushes        []func() error
 
 	reports     chan AggregatedReport
 	errCount    atomic.Int64
 	lastErr     atomic.Value // errBox
 	mu          sync.Mutex
 	lastCollect time.Duration
-	monitored   map[int]bool
-	closed      bool
+	// monitored holds the explicitly attached targets (processes and cgroups);
+	// members holds the PIDs attached to shards because a monitored cgroup
+	// contains them. A PID present in both stays attached until it leaves both.
+	monitored map[target.Target]bool
+	members   map[int]bool
+	closed    bool
 }
 
 // New wires a PowerAPI pipeline onto a machine using the given power model.
@@ -195,9 +237,16 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 		shards:         cfg.shards,
 		mode:           cfg.mode,
 		collectTimeout: cfg.collectTimeout,
+		hierarchy:      cfg.hierarchy,
 		reports:        make(chan AggregatedReport, cfg.reportBuffer),
-		monitored:      make(map[int]bool),
+		monitored:      make(map[target.Target]bool),
+		members:        make(map[int]bool),
 		lastCollect:    m.Now(),
+	}
+	for _, extra := range cfg.extraReporters {
+		if extra.flush != nil {
+			api.flushes = append(api.flushes, extra.flush)
+		}
 	}
 	// A failed constructor must not leak what it built so far: actors already
 	// spawned keep goroutines alive and opened sources hold registrations in
@@ -267,6 +316,11 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 			return nil, fmt.Errorf("core: open %s source for shard %d: %w", attrSrc.Name(), i, err)
 		}
 		api.sources = append(api.sources, attrSrc)
+		if i == 0 {
+			// The shard pool is homogeneous (one factory), so shard 0 tells the
+			// facade whether attribution samples processes or whole cgroups.
+			api.attrScope = attrSrc.Scope()
+		}
 		var shardTotal source.Source
 		if i == 0 {
 			shardTotal = totalSrc
@@ -297,7 +351,7 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	if cfg.mode == source.ModeRAPL || cfg.mode == source.ModeBlended {
 		idleWatts = 0
 	}
-	aggregatorBhv := newAggregatorBehavior(idleWatts, cfg.mode, cfg.groupResolver)
+	aggregatorBhv := newAggregatorBehavior(idleWatts, cfg.mode, cfg.groupResolver, cfg.hierarchy)
 	aggregator, err := api.system.SpawnSupervised("aggregator",
 		func() actor.Behavior { return aggregatorBhv }, 0, supervised("aggregator"))
 	if err != nil {
@@ -435,8 +489,19 @@ func (p *PowerAPI) CollectTimeout() time.Duration { return p.collectTimeout }
 
 // ShardOf returns the index of the Sensor shard a PID is routed to.
 func (p *PowerAPI) ShardOf(pid int) int {
-	return p.sensors.IndexFor(uint64(pid))
+	return p.ShardOfTarget(target.Process(pid))
 }
+
+// ShardOfTarget returns the index of the Sensor shard a target is routed to.
+// Process targets keep their raw PID as the routing key, so a pipeline
+// without cgroup targets partitions exactly as the per-PID pipeline did.
+func (p *PowerAPI) ShardOfTarget(t target.Target) int {
+	return p.sensors.IndexFor(t.RouteKey())
+}
+
+// Cgroups returns the control-group hierarchy of the pipeline (nil unless
+// WithCgroups was used).
+func (p *PowerAPI) Cgroups() *cgroup.Hierarchy { return p.hierarchy }
 
 // Reports exposes the asynchronous stream of aggregated reports.
 func (p *PowerAPI) Reports() <-chan AggregatedReport { return p.reports }
@@ -458,24 +523,97 @@ func (p *PowerAPI) LastError() error {
 
 // Attach starts monitoring the given PIDs.
 func (p *PowerAPI) Attach(pids ...int) error {
+	targets := make([]target.Target, len(pids))
+	for i, pid := range pids {
+		targets[i] = target.Process(pid)
+	}
+	return p.AttachTargets(targets...)
+}
+
+// AttachTargets starts monitoring the given targets. Process targets are
+// routed to their Sensor shard directly. Attaching a cgroup target (which
+// requires WithCgroups unless the attribution source itself has cgroup scope)
+// monitors the group's member processes, descendants included; membership is
+// re-synchronised on every Collect. The machine is always monitored through
+// the pipeline's machine-scope source, so machine targets are rejected.
+func (p *PowerAPI) AttachTargets(targets ...target.Target) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return errors.New("core: powerapi is shut down")
 	}
-	for _, pid := range pids {
-		res, err := p.sensors.Ask(uint64(pid), func(reply chan<- actor.Message) actor.Message {
-			return attachRequest{PID: pid, Reply: reply}
-		}, p.collectTimeout)
-		if err != nil {
-			return fmt.Errorf("core: %w", err)
+	for _, t := range targets {
+		if !t.Valid() {
+			return fmt.Errorf("core: invalid target %v", t)
 		}
-		if err := asError(res); err != nil {
-			return err
+		switch t.Kind {
+		case target.KindProcess:
+			if err := p.askAttach(t); err != nil {
+				return err
+			}
+			p.monitored[t] = true
+		case target.KindCgroup:
+			if p.attrScope == source.ScopeCgroup {
+				// The attribution source samples whole groups as single units,
+				// weighting each by its recursive members — so monitoring a
+				// group alongside one of its ancestors would count the nested
+				// members twice, once per unit. Reject the overlap instead of
+				// quietly skewing the attribution.
+				for other := range p.monitored {
+					if other.Kind == target.KindCgroup && cgroupPathsOverlap(other.Path, t.Path) {
+						return fmt.Errorf("core: cannot attach %v: it overlaps monitored %v (a cgroup-scope source would double-count the nested members)", t, other)
+					}
+				}
+				if err := p.askAttach(t); err != nil {
+					return err
+				}
+				p.monitored[t] = true
+				continue
+			}
+			if p.hierarchy == nil {
+				return fmt.Errorf("core: cannot attach %v: no cgroup hierarchy configured (WithCgroups)", t)
+			}
+			if !p.hierarchy.Exists(t.Path) {
+				return fmt.Errorf("core: cannot attach %v: no such cgroup", t)
+			}
+			p.monitored[t] = true
+			if err := p.syncCgroupsLocked(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("core: cannot attach %v: the machine is monitored through the pipeline's machine-scope source", t)
 		}
-		p.monitored[pid] = true
 	}
 	return nil
+}
+
+// cgroupPathsOverlap reports whether one hierarchy path is the other (or an
+// ancestor of it), i.e. whether their recursive member sets can intersect.
+func cgroupPathsOverlap(a, b string) bool {
+	if a == b {
+		return true
+	}
+	return strings.HasPrefix(a, b+cgroup.Separator) || strings.HasPrefix(b, a+cgroup.Separator)
+}
+
+func (p *PowerAPI) askAttach(t target.Target) error {
+	res, err := p.sensors.Ask(t.RouteKey(), func(reply chan<- actor.Message) actor.Message {
+		return attachRequest{Target: t, Reply: reply}
+	}, p.collectTimeout)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return asError(res)
+}
+
+func (p *PowerAPI) askDetach(t target.Target) error {
+	res, err := p.sensors.Ask(t.RouteKey(), func(reply chan<- actor.Message) actor.Message {
+		return detachRequest{Target: t, Reply: reply}
+	}, p.collectTimeout)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return asError(res)
 }
 
 // asError converts an Ask reply carrying an error (or nil) back to an error.
@@ -492,21 +630,98 @@ func asError(msg actor.Message) error {
 
 // Detach stops monitoring a PID.
 func (p *PowerAPI) Detach(pid int) error {
+	return p.DetachTargets(target.Process(pid))
+}
+
+// DetachTargets stops monitoring the given targets. A process that is also a
+// member of a monitored cgroup stays attached to its shard until it leaves
+// both roles; detaching a cgroup target detaches its members unless they are
+// monitored standalone.
+func (p *PowerAPI) DetachTargets(targets ...target.Target) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return errors.New("core: powerapi is shut down")
 	}
-	res, err := p.sensors.Ask(uint64(pid), func(reply chan<- actor.Message) actor.Message {
-		return detachRequest{PID: pid, Reply: reply}
-	}, p.collectTimeout)
-	if err != nil {
-		return fmt.Errorf("core: %w", err)
+	for _, t := range targets {
+		if !p.monitored[t] {
+			return fmt.Errorf("core: %v is not attached", t)
+		}
+		// The bookkeeping entry is removed only once the shard acknowledged
+		// (or the membership sync succeeded), so a failed detach stays
+		// retryable instead of leaving the target attached but untracked.
+		switch {
+		case t.Kind == target.KindProcess:
+			if !p.members[t.PID] { // otherwise still a member of a monitored cgroup
+				if err := p.askDetach(t); err != nil {
+					return err
+				}
+			}
+			delete(p.monitored, t)
+		case t.Kind == target.KindCgroup && p.attrScope == source.ScopeCgroup:
+			if err := p.askDetach(t); err != nil {
+				return err
+			}
+			delete(p.monitored, t)
+		default:
+			delete(p.monitored, t)
+			if err := p.syncCgroupsLocked(); err != nil {
+				p.monitored[t] = true // restore so the detach can be retried
+				return err
+			}
+		}
 	}
-	if err := asError(res); err != nil {
-		return err
+	return nil
+}
+
+// syncCgroupsLocked re-synchronises shard attachments with the cgroup
+// hierarchy: members that exited are pruned from the hierarchy and detached
+// from their Sensor shard (unless also monitored standalone), members that
+// joined a monitored group are attached. Callers hold p.mu.
+func (p *PowerAPI) syncCgroupsLocked() error {
+	if p.hierarchy == nil {
+		return nil
 	}
-	delete(p.monitored, pid)
+	procs := p.machine.Processes()
+	p.hierarchy.Prune(func(pid int) bool {
+		pr, err := procs.Get(pid)
+		return err == nil && pr.State() == proc.StateRunnable
+	})
+	if p.attrScope == source.ScopeCgroup {
+		return nil // a cgroup-scope source reads memberships live
+	}
+	desired := make(map[int]bool)
+	for t := range p.monitored {
+		if t.Kind != target.KindCgroup {
+			continue
+		}
+		for _, pid := range p.hierarchy.MembersRecursive(t.Path) {
+			desired[pid] = true
+		}
+	}
+	for pid := range p.members {
+		if desired[pid] {
+			continue
+		}
+		// The members entry is dropped only once the shard acknowledged the
+		// detach (mirroring the attach loop below), so a failed detach is
+		// retried by the next sync instead of leaking the PID in its source.
+		if !p.monitored[target.Process(pid)] {
+			if err := p.askDetach(target.Process(pid)); err != nil {
+				return err
+			}
+		}
+		delete(p.members, pid)
+	}
+	for pid := range desired {
+		if p.members[pid] {
+			continue
+		}
+		if err := p.askAttach(target.Process(pid)); err != nil {
+			return err
+		}
+		p.members[pid] = true
+	}
 	return nil
 }
 
@@ -515,14 +730,37 @@ func (p *PowerAPI) AttachAllRunnable() error {
 	return p.Attach(p.machine.Processes().PIDs()...)
 }
 
-// Monitored returns the PIDs currently monitored.
+// Monitored returns the PIDs currently attached to the Sensor shards, both
+// the explicitly attached ones and the members of monitored cgroups, sorted.
 func (p *PowerAPI) Monitored() []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]int, 0, len(p.monitored))
-	for pid := range p.monitored {
+	set := make(map[int]bool, len(p.monitored)+len(p.members))
+	for t := range p.monitored {
+		if t.Kind == target.KindProcess {
+			set[t.PID] = true
+		}
+	}
+	for pid := range p.members {
+		set[pid] = true
+	}
+	out := make([]int, 0, len(set))
+	for pid := range set {
 		out = append(out, pid)
 	}
+	sort.Ints(out)
+	return out
+}
+
+// MonitoredTargets returns the explicitly attached targets in stable order.
+func (p *PowerAPI) MonitoredTargets() []target.Target {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]target.Target, 0, len(p.monitored))
+	for t := range p.monitored {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
 }
 
@@ -539,6 +777,12 @@ func (p *PowerAPI) Collect() (AggregatedReport, error) {
 	if window <= 0 {
 		p.mu.Unlock()
 		return AggregatedReport{}, fmt.Errorf("core: no simulated time elapsed since the previous collection (now %v)", now)
+	}
+	// Re-partition before the round: cgroup members that exited since the
+	// previous Collect leave their shard, members that joined are attached.
+	if err := p.syncCgroupsLocked(); err != nil {
+		p.mu.Unlock()
+		return AggregatedReport{}, err
 	}
 	p.lastCollect = now
 	p.mu.Unlock()
@@ -613,6 +857,14 @@ func (p *PowerAPI) Shutdown() {
 	p.closed = true
 	p.mu.Unlock()
 	p.system.Shutdown()
+	// Reporter mailboxes are drained; flush buffered reporters so every row
+	// they accepted reaches the underlying writer before Shutdown returns.
+	for _, flush := range p.flushes {
+		if err := flush(); err != nil {
+			p.errCount.Add(1)
+			p.lastErr.Store(errBox{fmt.Errorf("core: flush reporter: %w", err)})
+		}
+	}
 	for _, src := range p.sources {
 		if err := src.Close(); err != nil {
 			p.errCount.Add(1)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -16,22 +17,64 @@ import (
 // estimations produced by the library into a suitable format". The facade
 // wires them as additional subscribers of the aggregated-reports topic.
 
-// CSVReporter writes one line per monitored process and round:
-// timestamp_seconds, pid, group, watts, total_watts.
+// ReporterOption customises a CSV or JSON-lines reporter.
+type ReporterOption func(*reporterConfig)
+
+type reporterConfig struct {
+	buffered bool
+	targets  bool
+}
+
+// WithBufferedWrites keeps rows in the reporter's in-memory buffer instead of
+// pushing them to the underlying writer after every round. The owner must
+// call Flush (or Close) once the pipeline is drained — register the reporter
+// through WithFlushingReporter and Shutdown does it. This is the
+// configuration file-backed reporters want: one write per buffer fill
+// instead of one per sampling round.
+func WithBufferedWrites() ReporterOption {
+	return func(c *reporterConfig) { c.buffered = true }
+}
+
+// WithTargetRows switches the CSV schema from the per-PID layout to the
+// target layout (seconds,kind,target,group,watts,total_watts): every row
+// carries the target kind ("process", "cgroup") and its identity — the PID
+// for processes, the hierarchy path for control groups — and the per-cgroup
+// rollup is written next to the per-process rows.
+func WithTargetRows() ReporterOption {
+	return func(c *reporterConfig) { c.targets = true }
+}
+
+// CSVReporter writes one line per monitored target and round. The default
+// schema is seconds,pid,group,watts,total_watts over the per-PID breakdown;
+// WithTargetRows extends it with the target kind and the cgroup rollup.
 type CSVReporter struct {
-	mu      sync.Mutex
-	writer  *csv.Writer
-	header  bool
-	resolve func(pid int) string
+	mu       sync.Mutex
+	buf      *bufio.Writer
+	writer   *csv.Writer
+	header   bool
+	buffered bool
+	targets  bool
+	resolve  func(pid int) string
 }
 
 // NewCSVReporter creates a CSV reporter writing to w. The resolver (optional)
 // maps PIDs to a human-readable group/application name.
-func NewCSVReporter(w io.Writer, resolve func(pid int) string) (*CSVReporter, error) {
+func NewCSVReporter(w io.Writer, resolve func(pid int) string, opts ...ReporterOption) (*CSVReporter, error) {
 	if w == nil {
 		return nil, fmt.Errorf("core: nil writer")
 	}
-	return &CSVReporter{writer: csv.NewWriter(w), resolve: resolve}, nil
+	var cfg reporterConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	buf := bufio.NewWriter(w)
+	return &CSVReporter{
+		buf:      buf,
+		writer:   csv.NewWriter(buf),
+		buffered: cfg.buffered,
+		targets:  cfg.targets,
+		resolve:  resolve,
+	}, nil
 }
 
 // Report writes the rows of one aggregated report.
@@ -39,11 +82,17 @@ func (r *CSVReporter) Report(report AggregatedReport) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.header {
-		if err := r.writer.Write([]string{"seconds", "pid", "group", "watts", "total_watts"}); err != nil {
+		header := []string{"seconds", "pid", "group", "watts", "total_watts"}
+		if r.targets {
+			header = []string{"seconds", "kind", "target", "group", "watts", "total_watts"}
+		}
+		if err := r.writer.Write(header); err != nil {
 			return fmt.Errorf("core: csv header: %w", err)
 		}
 		r.header = true
 	}
+	seconds := strconv.FormatFloat(report.Timestamp.Seconds(), 'f', 3, 64)
+	total := strconv.FormatFloat(report.TotalWatts, 'f', 3, 64)
 	pids := make([]int, 0, len(report.PerPID))
 	for pid := range report.PerPID {
 		pids = append(pids, pid)
@@ -54,34 +103,83 @@ func (r *CSVReporter) Report(report AggregatedReport) error {
 		if r.resolve != nil {
 			group = r.resolve(pid)
 		}
-		row := []string{
-			strconv.FormatFloat(report.Timestamp.Seconds(), 'f', 3, 64),
-			strconv.Itoa(pid),
-			group,
-			strconv.FormatFloat(report.PerPID[pid], 'f', 3, 64),
-			strconv.FormatFloat(report.TotalWatts, 'f', 3, 64),
+		watts := strconv.FormatFloat(report.PerPID[pid], 'f', 3, 64)
+		row := []string{seconds, strconv.Itoa(pid), group, watts, total}
+		if r.targets {
+			row = []string{seconds, "process", strconv.Itoa(pid), group, watts, total}
 		}
 		if err := r.writer.Write(row); err != nil {
 			return fmt.Errorf("core: csv row: %w", err)
 		}
 	}
+	if r.targets {
+		paths := make([]string, 0, len(report.PerCgroup))
+		for path := range report.PerCgroup {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			watts := strconv.FormatFloat(report.PerCgroup[path], 'f', 3, 64)
+			if err := r.writer.Write([]string{seconds, "cgroup", path, "", watts, total}); err != nil {
+				return fmt.Errorf("core: csv row: %w", err)
+			}
+		}
+	}
+	if r.buffered {
+		// csv.NewWriter over our bufio.Writer adopts it as its own buffer
+		// (bufio.NewWriterSize returns a same-size *bufio.Writer unchanged),
+		// so the rows are already sitting in the shared buffer and flushing
+		// the csv layer here would push them to the underlying writer. They
+		// stay put until Flush — or until the buffer fills, when bufio spills
+		// complete bytes to the writer as any buffered file write would.
+		return nil
+	}
 	r.writer.Flush()
-	return r.writer.Error()
+	if err := r.writer.Error(); err != nil {
+		return err
+	}
+	return r.buf.Flush()
 }
+
+// Flush pushes every buffered row to the underlying writer. Call it on
+// shutdown paths when the reporter was created with WithBufferedWrites.
+func (r *CSVReporter) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.writer.Flush()
+	if err := r.writer.Error(); err != nil {
+		return fmt.Errorf("core: csv flush: %w", err)
+	}
+	if err := r.buf.Flush(); err != nil {
+		return fmt.Errorf("core: csv flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes the reporter. It does not close the underlying writer, which
+// the reporter does not own.
+func (r *CSVReporter) Close() error { return r.Flush() }
 
 // JSONLinesReporter writes one JSON object per aggregated report (one line
 // each), the format consumed by log pipelines.
 type JSONLinesReporter struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu       sync.Mutex
+	buf      *bufio.Writer
+	enc      *json.Encoder
+	buffered bool
 }
 
 // NewJSONLinesReporter creates a JSON-lines reporter writing to w.
-func NewJSONLinesReporter(w io.Writer) (*JSONLinesReporter, error) {
+func NewJSONLinesReporter(w io.Writer, opts ...ReporterOption) (*JSONLinesReporter, error) {
 	if w == nil {
 		return nil, fmt.Errorf("core: nil writer")
 	}
-	return &JSONLinesReporter{enc: json.NewEncoder(w)}, nil
+	var cfg reporterConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	buf := bufio.NewWriter(w)
+	return &JSONLinesReporter{buf: buf, enc: json.NewEncoder(buf), buffered: cfg.buffered}, nil
 }
 
 // jsonReportLine is the serialised form of one aggregated report.
@@ -93,10 +191,12 @@ type jsonReportLine struct {
 	TotalWatts       float64            `json:"totalWatts"`
 	MeasuredWatts    float64            `json:"measuredWatts,omitempty"`
 	PerPID           map[string]float64 `json:"perPid"`
+	PerCgroup        map[string]float64 `json:"perCgroup,omitempty"`
 	PerGroup         map[string]float64 `json:"perGroup,omitempty"`
 }
 
-// Report writes one aggregated report as a JSON line.
+// Report writes one aggregated report as a JSON line. Cgroup targets appear
+// as the perCgroup object, keyed by hierarchy path.
 func (r *JSONLinesReporter) Report(report AggregatedReport) error {
 	line := jsonReportLine{
 		TimestampSeconds: report.Timestamp.Seconds(),
@@ -106,6 +206,7 @@ func (r *JSONLinesReporter) Report(report AggregatedReport) error {
 		TotalWatts:       report.TotalWatts,
 		MeasuredWatts:    report.MeasuredWatts,
 		PerPID:           make(map[string]float64, len(report.PerPID)),
+		PerCgroup:        report.PerCgroup,
 		PerGroup:         report.PerGroup,
 	}
 	for pid, watts := range report.PerPID {
@@ -116,8 +217,26 @@ func (r *JSONLinesReporter) Report(report AggregatedReport) error {
 	if err := r.enc.Encode(line); err != nil {
 		return fmt.Errorf("core: json report: %w", err)
 	}
+	if r.buffered {
+		return nil
+	}
+	return r.buf.Flush()
+}
+
+// Flush pushes every buffered line to the underlying writer. Call it on
+// shutdown paths when the reporter was created with WithBufferedWrites.
+func (r *JSONLinesReporter) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.buf.Flush(); err != nil {
+		return fmt.Errorf("core: json flush: %w", err)
+	}
 	return nil
 }
+
+// Close flushes the reporter. It does not close the underlying writer, which
+// the reporter does not own.
+func (r *JSONLinesReporter) Close() error { return r.Flush() }
 
 // EnergyAccumulator is a Reporter that integrates per-process power over time
 // into per-process (and per-group) energy, the quantity a billing or

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -72,6 +73,173 @@ func TestJSONLinesReporter(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("json line missing %q: %s", want, out)
 		}
+	}
+}
+
+func TestCSVReporterTargetRows(t *testing.T) {
+	var b strings.Builder
+	r, err := NewCSVReporter(&b, func(int) string { return "app" }, WithTargetRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := sampleReport(time.Second)
+	report.PerCgroup = map[string]float64{"web": 10, "web/api": 2}
+	if err := r.Report(report); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 { // header + 2 pids + 2 cgroups
+		t.Fatalf("csv has %d lines, want 5:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "seconds,kind,target,group,watts,total_watts" {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+	for i, want := range []string{
+		"1.000,process,1001,app,8.000,43.500",
+		"1.000,process,1002,app,4.000,43.500",
+		"1.000,cgroup,web,,10.000,43.500",
+		"1.000,cgroup,web/api,,2.000,43.500",
+	} {
+		if lines[i+1] != want {
+			t.Fatalf("row %d = %q, want %q", i+1, lines[i+1], want)
+		}
+	}
+}
+
+func TestBufferedReportersFlushExplicitly(t *testing.T) {
+	var b strings.Builder
+	r, err := NewCSVReporter(&b, nil, WithBufferedWrites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Report(sampleReport(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("buffered csv reporter wrote %d bytes before Flush", b.Len())
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "seconds,pid,group") {
+		t.Fatalf("flushed csv missing rows: %q", b.String())
+	}
+
+	var jb strings.Builder
+	j, err := NewJSONLinesReporter(&jb, WithBufferedWrites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Report(sampleReport(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if jb.Len() != 0 {
+		t.Fatalf("buffered json reporter wrote %d bytes before Flush", jb.Len())
+	}
+	if err := j.Close(); err != nil { // Close is the flush of shutdown paths
+		t.Fatal(err)
+	}
+	if strings.Count(jb.String(), "\n") != 1 {
+		t.Fatalf("flushed json = %q", jb.String())
+	}
+}
+
+// failingWriter rejects every write, standing in for a full disk.
+type failingWriter struct{ writes int }
+
+func (w *failingWriter) Write([]byte) (int, error) {
+	w.writes++
+	return 0, errors.New("disk full")
+}
+
+// TestFlushSurfacesWriteErrors is the flush-on-error regression test: a
+// buffered reporter accepts rows without touching the underlying writer, and
+// the Flush of the shutdown path must surface the writer's error instead of
+// dropping the rows silently.
+func TestFlushSurfacesWriteErrors(t *testing.T) {
+	w := &failingWriter{}
+	r, err := NewCSVReporter(w, nil, WithBufferedWrites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Report(sampleReport(time.Second)); err != nil {
+		t.Fatalf("buffered report must not touch the writer: %v", err)
+	}
+	if w.writes != 0 {
+		t.Fatalf("buffered report performed %d writes", w.writes)
+	}
+	if err := r.Flush(); err == nil {
+		t.Fatal("flush into a failing writer must surface the error")
+	}
+
+	jw := &failingWriter{}
+	j, err := NewJSONLinesReporter(jw, WithBufferedWrites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Report(sampleReport(time.Second)); err != nil {
+		t.Fatalf("buffered report must not touch the writer: %v", err)
+	}
+	if err := j.Flush(); err == nil {
+		t.Fatal("flush into a failing writer must surface the error")
+	}
+}
+
+// TestShutdownFlushesBufferedReporters wires a buffered reporter into the
+// pipeline through WithFlushingReporter: Shutdown drains the reporter actor
+// and then flushes, so every accepted row reaches the sink — and a failing
+// flush lands on the pipeline's error counter rather than vanishing.
+func TestShutdownFlushesBufferedReporters(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.PowerNoiseStdDevWatts = 0
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := workload.CPUStress(0.7, 0)
+	p, _ := m.Spawn(gen)
+
+	var buf strings.Builder
+	rep, err := NewJSONLinesReporter(&buf, WithBufferedWrites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := New(m, testModel(), WithFlushingReporter("jsonl", rep.Report, rep.Flush))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := api.Attach(p.PID()); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := api.RunMonitored(2*time.Second, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api.Shutdown()
+	if got := strings.Count(buf.String(), "\n"); got != len(reports) {
+		t.Fatalf("sink holds %d lines after Shutdown, want %d", got, len(reports))
+	}
+
+	failing, err := NewJSONLinesReporter(&failingWriter{}, WithBufferedWrites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	api2, err := New(m, testModel(), WithFlushingReporter("jsonl", failing.Report, failing.Flush))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := api2.Attach(p.PID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := api2.RunMonitored(2*time.Second, time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	api2.Shutdown()
+	if api2.ErrorCount() == 0 || api2.LastError() == nil {
+		t.Fatal("failing flush must surface through the pipeline's error counter")
+	}
+	if !strings.Contains(api2.LastError().Error(), "flush") {
+		t.Fatalf("LastError = %v, want a flush error", api2.LastError())
 	}
 }
 

@@ -1,0 +1,141 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"powerapi/internal/cgroup"
+	"powerapi/internal/machine"
+	"powerapi/internal/target"
+)
+
+// Cgroups is the container-level counterpart of Procfs: it samples each
+// attached cgroup target as one unit, weighting it by the CPU time its
+// member processes (descendants included) consumed during the window — the
+// signal cpuacct.usage / cpu.stat exposes per control group. Use it through
+// WithSourceFactories when per-PID detail is not needed; the pipeline then
+// attributes the measured machine total directly across groups.
+type Cgroups struct {
+	machine   *machine.Machine
+	hierarchy *cgroup.Hierarchy
+	// lastCPU tracks, per attached group, the cumulative CPU time of each
+	// member seen so far; per-member baselines keep a membership change
+	// mid-window from charging a joiner's whole history to the group.
+	lastCPU map[target.Target]map[int]time.Duration
+	closed  bool
+}
+
+// NewCgroups creates a cgroup-scope CPU-time-share source over a hierarchy.
+func NewCgroups(m *machine.Machine, h *cgroup.Hierarchy) (*Cgroups, error) {
+	if m == nil {
+		return nil, errors.New("source: nil machine")
+	}
+	if h == nil {
+		return nil, errors.New("source: nil cgroup hierarchy")
+	}
+	return &Cgroups{
+		machine:   m,
+		hierarchy: h,
+		lastCPU:   make(map[target.Target]map[int]time.Duration),
+	}, nil
+}
+
+// Name implements Source.
+func (s *Cgroups) Name() string { return "cgroups" }
+
+// Scope implements Source.
+func (s *Cgroups) Scope() Scope { return ScopeCgroup }
+
+// Open implements Source.
+func (s *Cgroups) Open(targets []target.Target) error {
+	for _, t := range targets {
+		if err := s.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add implements Dynamic: it baselines the CPU time of the group's current
+// members so the first sample only covers time from now on.
+func (s *Cgroups) Add(t target.Target) error {
+	if s.closed {
+		return errors.New("source: cgroups source is closed")
+	}
+	if t.Kind != target.KindCgroup {
+		return fmt.Errorf("source: cgroups source cannot sample %v targets", t.Kind)
+	}
+	if _, exists := s.lastCPU[t]; exists {
+		return nil
+	}
+	if !s.hierarchy.Exists(t.Path) {
+		return fmt.Errorf("source: attach: no such cgroup %q", t.Path)
+	}
+	baselines := make(map[int]time.Duration)
+	for _, pid := range s.hierarchy.MembersRecursive(t.Path) {
+		if p, err := s.machine.Processes().Get(pid); err == nil {
+			baselines[pid] = p.CPUTime()
+		}
+	}
+	s.lastCPU[t] = baselines
+	return nil
+}
+
+// Remove implements Dynamic.
+func (s *Cgroups) Remove(t target.Target) error {
+	if s.closed {
+		return errors.New("source: cgroups source is closed")
+	}
+	if _, exists := s.lastCPU[t]; !exists {
+		return fmt.Errorf("source: detach: %v is not monitored", t)
+	}
+	delete(s.lastCPU, t)
+	return nil
+}
+
+// Sample implements Source: each attached group's weight is the CPU time its
+// current recursive members consumed since the previous sample. Members that
+// left (or exited and were pruned) stop contributing; members that joined
+// contribute from their join-time baseline onward.
+func (s *Cgroups) Sample(_ context.Context) (Sample, error) {
+	if s.closed {
+		return Sample{}, errors.New("source: cgroups source is closed")
+	}
+	out := Sample{FrequencyMHz: s.machine.DominantFrequencyMHz()}
+	if len(s.lastCPU) == 0 {
+		return out, nil
+	}
+	out.Targets = make([]TargetSample, 0, len(s.lastCPU))
+	var errs []error
+	for t, baselines := range s.lastCPU {
+		var weight float64
+		current := make(map[int]time.Duration, len(baselines))
+		for _, pid := range s.hierarchy.MembersRecursive(t.Path) {
+			p, err := s.machine.Processes().Get(pid)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("source: read cpu time of pid %d in %v: %w", pid, t, err))
+				continue
+			}
+			now := p.CPUTime()
+			if last, seen := baselines[pid]; seen && now > last {
+				weight += (now - last).Seconds()
+			}
+			current[pid] = now
+		}
+		s.lastCPU[t] = current
+		out.Targets = append(out.Targets, TargetSample{Target: t, Weight: weight})
+	}
+	return out, errors.Join(errs...)
+}
+
+// Close implements Source.
+func (s *Cgroups) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.lastCPU = nil
+	return nil
+}

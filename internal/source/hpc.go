@@ -8,15 +8,16 @@ import (
 
 	"powerapi/internal/hpc"
 	"powerapi/internal/machine"
+	"powerapi/internal/target"
 )
 
 // HPC is the hardware-performance-counter backend, the paper's original
-// Sensor path: one perf-style counter set per attached PID, sampled as
-// deltas each round.
+// Sensor path: one perf-style counter set per attached process target,
+// sampled as deltas each round.
 type HPC struct {
 	machine *machine.Machine
 	events  []hpc.Event
-	sets    map[int]*hpc.CounterSet
+	sets    map[target.Target]*hpc.CounterSet
 	closed  bool
 }
 
@@ -31,7 +32,7 @@ func NewHPC(m *machine.Machine, events []hpc.Event) (*HPC, error) {
 	return &HPC{
 		machine: m,
 		events:  append([]hpc.Event(nil), events...),
-		sets:    make(map[int]*hpc.CounterSet),
+		sets:    make(map[target.Target]*hpc.CounterSet),
 	}, nil
 }
 
@@ -42,9 +43,9 @@ func (s *HPC) Name() string { return "hpc" }
 func (s *HPC) Scope() Scope { return ScopeProcess }
 
 // Open implements Source.
-func (s *HPC) Open(targets []int) error {
-	for _, pid := range targets {
-		if err := s.Add(pid); err != nil {
+func (s *HPC) Open(targets []target.Target) error {
+	for _, t := range targets {
+		if err := s.Add(t); err != nil {
 			return err
 		}
 	}
@@ -52,47 +53,52 @@ func (s *HPC) Open(targets []int) error {
 }
 
 // Add implements Dynamic: it validates the process and opens an enabled
-// counter set for it.
-func (s *HPC) Add(pid int) error {
+// counter set for it. Only process targets can be sampled — a cgroup has no
+// counter set of its own; the pipeline monitors its member processes and
+// rolls them up instead.
+func (s *HPC) Add(t target.Target) error {
 	if s.closed {
 		return errors.New("source: hpc source is closed")
 	}
-	if _, exists := s.sets[pid]; exists {
+	if t.Kind != target.KindProcess {
+		return fmt.Errorf("source: hpc source cannot sample %v targets", t.Kind)
+	}
+	if _, exists := s.sets[t]; exists {
 		return nil
 	}
-	if _, err := s.machine.Processes().Get(pid); err != nil {
+	if _, err := s.machine.Processes().Get(t.PID); err != nil {
 		return fmt.Errorf("source: attach: %w", err)
 	}
-	set, err := hpc.OpenCounterSet(s.machine.Registry(), s.events, pid, hpc.AllCPUs)
+	set, err := hpc.OpenCounterSet(s.machine.Registry(), s.events, t.PID, hpc.AllCPUs)
 	if err != nil {
-		return fmt.Errorf("source: attach pid %d: %w", pid, err)
+		return fmt.Errorf("source: attach pid %d: %w", t.PID, err)
 	}
 	if err := set.Enable(); err != nil {
-		return fmt.Errorf("source: enable counters for pid %d: %w", pid, err)
+		return fmt.Errorf("source: enable counters for pid %d: %w", t.PID, err)
 	}
-	s.sets[pid] = set
+	s.sets[t] = set
 	return nil
 }
 
 // Remove implements Dynamic.
-func (s *HPC) Remove(pid int) error {
+func (s *HPC) Remove(t target.Target) error {
 	if s.closed {
 		return errors.New("source: hpc source is closed")
 	}
-	set, exists := s.sets[pid]
+	set, exists := s.sets[t]
 	if !exists {
-		return fmt.Errorf("source: detach: pid %d is not monitored", pid)
+		return fmt.Errorf("source: detach: %v is not monitored", t)
 	}
-	delete(s.sets, pid)
+	delete(s.sets, t)
 	if err := set.Close(); err != nil {
-		return fmt.Errorf("source: detach pid %d: %w", pid, err)
+		return fmt.Errorf("source: detach %v: %w", t, err)
 	}
 	return nil
 }
 
 // Sample implements Source: it reads the counter deltas of every attached
-// PID. A failing PID contributes zero deltas and its error is joined into
-// the returned error; the sample stays usable either way.
+// target. A failing target contributes zero deltas and its error is joined
+// into the returned error; the sample stays usable either way.
 func (s *HPC) Sample(_ context.Context) (Sample, error) {
 	if s.closed {
 		return Sample{}, errors.New("source: hpc source is closed")
@@ -101,15 +107,15 @@ func (s *HPC) Sample(_ context.Context) (Sample, error) {
 	if len(s.sets) == 0 {
 		return out, nil
 	}
-	out.PIDs = make([]PIDSample, 0, len(s.sets))
+	out.Targets = make([]TargetSample, 0, len(s.sets))
 	var errs []error
-	for pid, set := range s.sets {
+	for t, set := range s.sets {
 		deltas, err := set.ReadDelta()
 		if err != nil {
-			errs = append(errs, fmt.Errorf("source: read counters for pid %d: %w", pid, err))
+			errs = append(errs, fmt.Errorf("source: read counters for %v: %w", t, err))
 			deltas = hpc.Counts{}
 		}
-		out.PIDs = append(out.PIDs, PIDSample{PID: pid, Deltas: deltas})
+		out.Targets = append(out.Targets, TargetSample{Target: t, Deltas: deltas})
 	}
 	return out, errors.Join(errs...)
 }
@@ -120,15 +126,15 @@ func (s *HPC) Close() error {
 		return nil
 	}
 	s.closed = true
-	pids := make([]int, 0, len(s.sets))
-	for pid := range s.sets {
-		pids = append(pids, pid)
+	targets := make([]target.Target, 0, len(s.sets))
+	for t := range s.sets {
+		targets = append(targets, t)
 	}
-	sort.Ints(pids)
+	sort.Slice(targets, func(i, j int) bool { return targets[i].PID < targets[j].PID })
 	var errs []error
-	for _, pid := range pids {
-		if err := s.sets[pid].Close(); err != nil {
-			errs = append(errs, fmt.Errorf("source: close counters of pid %d: %w", pid, err))
+	for _, t := range targets {
+		if err := s.sets[t].Close(); err != nil {
+			errs = append(errs, fmt.Errorf("source: close counters of %v: %w", t, err))
 		}
 	}
 	s.sets = nil

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"powerapi/internal/machine"
+	"powerapi/internal/target"
 )
 
 // Procfs is the counters-unavailable fallback backend: it attributes power
@@ -15,7 +16,7 @@ import (
 // consumed during the window; the pipeline normalizes them per round.
 type Procfs struct {
 	machine *machine.Machine
-	lastCPU map[int]time.Duration
+	lastCPU map[target.Target]time.Duration
 	closed  bool
 }
 
@@ -25,7 +26,7 @@ func NewProcfs(m *machine.Machine) (*Procfs, error) {
 	if m == nil {
 		return nil, errors.New("source: nil machine")
 	}
-	return &Procfs{machine: m, lastCPU: make(map[int]time.Duration)}, nil
+	return &Procfs{machine: m, lastCPU: make(map[target.Target]time.Duration)}, nil
 }
 
 // Name implements Source.
@@ -35,47 +36,50 @@ func (s *Procfs) Name() string { return "procfs" }
 func (s *Procfs) Scope() Scope { return ScopeProcess }
 
 // Open implements Source.
-func (s *Procfs) Open(targets []int) error {
-	for _, pid := range targets {
-		if err := s.Add(pid); err != nil {
+func (s *Procfs) Open(targets []target.Target) error {
+	for _, t := range targets {
+		if err := s.Add(t); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Add implements Dynamic: it baselines the PID's cumulative CPU time so the
-// first sample only covers time from now on.
-func (s *Procfs) Add(pid int) error {
+// Add implements Dynamic: it baselines the process's cumulative CPU time so
+// the first sample only covers time from now on.
+func (s *Procfs) Add(t target.Target) error {
 	if s.closed {
 		return errors.New("source: procfs source is closed")
 	}
-	if _, exists := s.lastCPU[pid]; exists {
+	if t.Kind != target.KindProcess {
+		return fmt.Errorf("source: procfs source cannot sample %v targets", t.Kind)
+	}
+	if _, exists := s.lastCPU[t]; exists {
 		return nil
 	}
-	p, err := s.machine.Processes().Get(pid)
+	p, err := s.machine.Processes().Get(t.PID)
 	if err != nil {
 		return fmt.Errorf("source: attach: %w", err)
 	}
-	s.lastCPU[pid] = p.CPUTime()
+	s.lastCPU[t] = p.CPUTime()
 	return nil
 }
 
 // Remove implements Dynamic.
-func (s *Procfs) Remove(pid int) error {
+func (s *Procfs) Remove(t target.Target) error {
 	if s.closed {
 		return errors.New("source: procfs source is closed")
 	}
-	if _, exists := s.lastCPU[pid]; !exists {
-		return fmt.Errorf("source: detach: pid %d is not monitored", pid)
+	if _, exists := s.lastCPU[t]; !exists {
+		return fmt.Errorf("source: detach: %v is not monitored", t)
 	}
-	delete(s.lastCPU, pid)
+	delete(s.lastCPU, t)
 	return nil
 }
 
-// Sample implements Source: every attached PID's weight is the CPU time it
-// consumed since the previous sample. A PID that vanished from the process
-// table contributes zero weight with a joined error.
+// Sample implements Source: every attached target's weight is the CPU time
+// it consumed since the previous sample. A PID that vanished from the
+// process table contributes zero weight with a joined error.
 func (s *Procfs) Sample(_ context.Context) (Sample, error) {
 	if s.closed {
 		return Sample{}, errors.New("source: procfs source is closed")
@@ -84,21 +88,21 @@ func (s *Procfs) Sample(_ context.Context) (Sample, error) {
 	if len(s.lastCPU) == 0 {
 		return out, nil
 	}
-	out.PIDs = make([]PIDSample, 0, len(s.lastCPU))
+	out.Targets = make([]TargetSample, 0, len(s.lastCPU))
 	var errs []error
-	for pid, last := range s.lastCPU {
+	for t, last := range s.lastCPU {
 		var weight float64
-		p, err := s.machine.Processes().Get(pid)
+		p, err := s.machine.Processes().Get(t.PID)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("source: read cpu time of pid %d: %w", pid, err))
+			errs = append(errs, fmt.Errorf("source: read cpu time of %v: %w", t, err))
 		} else {
 			now := p.CPUTime()
 			if now > last {
 				weight = (now - last).Seconds()
 			}
-			s.lastCPU[pid] = now
+			s.lastCPU[t] = now
 		}
-		out.PIDs = append(out.PIDs, PIDSample{PID: pid, Weight: weight})
+		out.Targets = append(out.Targets, TargetSample{Target: t, Weight: weight})
 	}
 	return out, errors.Join(errs...)
 }
@@ -155,7 +159,7 @@ func (s *UtilizationTotal) totalCPUTime() time.Duration {
 
 // Open implements Source (machine scope: targets are ignored). It baselines
 // the machine-wide CPU-time accounting.
-func (s *UtilizationTotal) Open([]int) error {
+func (s *UtilizationTotal) Open([]target.Target) error {
 	if s.closed {
 		return errors.New("source: util source is closed")
 	}

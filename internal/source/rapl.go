@@ -8,6 +8,7 @@ import (
 
 	"powerapi/internal/machine"
 	"powerapi/internal/rapl"
+	"powerapi/internal/target"
 )
 
 // RAPL is the energy-counter backend: it reads the simulated RAPL MSRs of
@@ -76,7 +77,7 @@ func (s *RAPL) Domains() []rapl.Domain { return append([]rapl.Domain(nil), s.dom
 
 // Open implements Source (machine scope: targets are ignored). It baselines
 // one wraparound-tracking counter per (socket, domain).
-func (s *RAPL) Open([]int) error {
+func (s *RAPL) Open([]target.Target) error {
 	if s.closed {
 		return errors.New("source: rapl source is closed")
 	}

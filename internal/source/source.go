@@ -9,11 +9,13 @@
 //	        unavailable (containers, locked-down perf_event_paranoid);
 //	util    a coarse machine-level power proxy from /proc/stat utilisation.
 //
-// Sources come in two scopes. Process-scope sources sample every attached
-// PID and yield either counter deltas or attribution weights; machine-scope
-// sources yield one measured machine power. A sensing Mode pairs one of each
-// — e.g. ModeBlended attributes the RAPL package total across PIDs keyed by
-// their counter activity, the Kepler-style split.
+// Sources come in three scopes. Process-scope sources sample every attached
+// process target and yield either counter deltas or attribution weights;
+// cgroup-scope sources do the same for whole control groups; machine-scope
+// sources yield one measured machine power. A sensing Mode pairs an
+// attribution scope with a machine scope — e.g. ModeBlended attributes the
+// RAPL package total across targets keyed by their counter activity, the
+// Kepler-style split.
 package source
 
 import (
@@ -22,6 +24,7 @@ import (
 	"strings"
 
 	"powerapi/internal/hpc"
+	"powerapi/internal/target"
 )
 
 // Scope classifies what a source measures.
@@ -29,10 +32,13 @@ type Scope int
 
 // Source scopes.
 const (
-	// ScopeProcess marks sources that sample each attached PID.
+	// ScopeProcess marks sources that sample each attached process target.
 	ScopeProcess Scope = iota + 1
 	// ScopeMachine marks sources that measure one machine-level power.
 	ScopeMachine
+	// ScopeCgroup marks sources that sample each attached cgroup target as
+	// one unit (container-level sensing without per-PID detail).
+	ScopeCgroup
 )
 
 // String implements fmt.Stringer.
@@ -42,21 +48,23 @@ func (s Scope) String() string {
 		return "process"
 	case ScopeMachine:
 		return "machine"
+	case ScopeCgroup:
+		return "cgroup"
 	default:
 		return fmt.Sprintf("Scope(%d)", int(s))
 	}
 }
 
-// PIDSample is one attached process within a Sample.
-type PIDSample struct {
-	// PID identifies the process.
-	PID int
+// TargetSample is one attached target within a Sample.
+type TargetSample struct {
+	// Target identifies the monitored target (process or cgroup).
+	Target target.Target `json:"target"`
 	// Deltas are the hardware-counter increments since the previous sample
 	// (counter-backed sources; nil otherwise).
-	Deltas hpc.Counts
-	// Weight is the attribution weight of the process for the window
+	Deltas hpc.Counts `json:"-"`
+	// Weight is the attribution weight of the target for the window
 	// (share-based sources; the pipeline normalizes weights per round).
-	Weight float64
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // Sample is one sampling round's output from a Source.
@@ -72,8 +80,11 @@ type Sample struct {
 	// elapsed since the previous sample (a zero-length window has no
 	// well-defined power).
 	HasMeasured bool
-	// PIDs holds one entry per attached process (process-scope sources).
-	PIDs []PIDSample
+	// Targets holds one entry per attached target (process- and
+	// cgroup-scope sources). The slice is handed over to the caller: the
+	// source must not reuse it for a later Sample, because the pipeline
+	// ships it downstream as part of an in-flight message.
+	Targets []TargetSample
 }
 
 // Source is a pluggable sensing backend. Implementations must be safe for
@@ -81,11 +92,12 @@ type Sample struct {
 type Source interface {
 	// Name identifies the backend ("hpc", "rapl", "procfs", …).
 	Name() string
-	// Scope reports whether the source samples processes or the machine.
+	// Scope reports whether the source samples processes, cgroups or the
+	// machine.
 	Scope() Scope
-	// Open prepares the source for the given monitoring targets (PIDs for
-	// process-scope sources; machine-scope sources ignore them).
-	Open(targets []int) error
+	// Open prepares the source for the given monitoring targets
+	// (machine-scope sources ignore them).
+	Open(targets []target.Target) error
 	// Sample reads one round of measurements covering the window since the
 	// previous Sample (or since Open). A source may return both a usable
 	// Sample and a non-nil error describing partial per-target failures.
@@ -94,15 +106,17 @@ type Source interface {
 	Close() error
 }
 
-// Dynamic is implemented by process-scope sources whose target set can
-// change after Open, which is how the pipeline serves attach/detach without
+// Dynamic is implemented by attribution sources whose target set can change
+// after Open, which is how the pipeline serves attach/detach without
 // reopening the backend.
 type Dynamic interface {
 	Source
-	// Add starts sampling a PID. Adding a PID twice is idempotent.
-	Add(pid int) error
-	// Remove stops sampling a PID; removing an unknown PID fails.
-	Remove(pid int) error
+	// Add starts sampling a target. Adding a target twice is idempotent.
+	// Sources reject targets outside their scope (a process-scope source
+	// cannot sample a cgroup as one unit).
+	Add(t target.Target) error
+	// Remove stops sampling a target; removing an unknown target fails.
+	Remove(t target.Target) error
 }
 
 // Mode selects how the pipeline combines sources into per-PID power.

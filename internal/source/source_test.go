@@ -11,6 +11,7 @@ import (
 	"powerapi/internal/hpc"
 	"powerapi/internal/machine"
 	"powerapi/internal/rapl"
+	"powerapi/internal/target"
 	"powerapi/internal/workload"
 )
 
@@ -70,7 +71,7 @@ func TestHPCSourceReadsCounterDeltas(t *testing.T) {
 	if src.Name() != "hpc" || src.Scope() != ScopeProcess {
 		t.Fatal("hpc source identity broken")
 	}
-	if err := src.Open([]int{pid}); err != nil {
+	if err := src.Open([]target.Target{target.Process(pid)}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m.Run(time.Second); err != nil {
@@ -83,10 +84,10 @@ func TestHPCSourceReadsCounterDeltas(t *testing.T) {
 	if sample.FrequencyMHz <= 0 {
 		t.Fatalf("frequency %d", sample.FrequencyMHz)
 	}
-	if len(sample.PIDs) != 1 || sample.PIDs[0].PID != pid {
-		t.Fatalf("samples = %+v", sample.PIDs)
+	if len(sample.Targets) != 1 || sample.Targets[0].Target != target.Process(pid) {
+		t.Fatalf("samples = %+v", sample.Targets)
 	}
-	if sample.PIDs[0].Deltas.Get(hpc.Instructions) == 0 {
+	if sample.Targets[0].Deltas.Get(hpc.Instructions) == 0 {
 		t.Fatal("busy process retired no instructions")
 	}
 	// Deltas reset between samples: a second immediate sample is near zero.
@@ -94,13 +95,13 @@ func TestHPCSourceReadsCounterDeltas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := again.PIDs[0].Deltas.Get(hpc.Instructions); got != 0 {
+	if got := again.Targets[0].Deltas.Get(hpc.Instructions); got != 0 {
 		t.Fatalf("second sample without elapsed time has %d instructions, want 0", got)
 	}
-	if err := src.Remove(pid); err != nil {
+	if err := src.Remove(target.Process(pid)); err != nil {
 		t.Fatal(err)
 	}
-	if err := src.Remove(pid); err == nil {
+	if err := src.Remove(target.Process(pid)); err == nil {
 		t.Fatal("removing twice should fail")
 	}
 	if err := src.Close(); err != nil {
@@ -123,14 +124,14 @@ func TestHPCSourceValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := src.Add(424242); err == nil {
+	if err := src.Add(target.Process(424242)); err == nil {
 		t.Fatal("adding an unknown pid should fail")
 	}
 	pid := spawn(t, m, 0.5)
-	if err := src.Add(pid); err != nil {
+	if err := src.Add(target.Process(pid)); err != nil {
 		t.Fatal(err)
 	}
-	if err := src.Add(pid); err != nil {
+	if err := src.Add(target.Process(pid)); err != nil {
 		t.Fatalf("adding twice should be idempotent: %v", err)
 	}
 }
@@ -146,7 +147,7 @@ func TestProcfsSourceWeighsByCPUTime(t *testing.T) {
 	if src.Name() != "procfs" || src.Scope() != ScopeProcess {
 		t.Fatal("procfs source identity broken")
 	}
-	if err := src.Open([]int{heavy, light}); err != nil {
+	if err := src.Open([]target.Target{target.Process(heavy), target.Process(light)}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m.Run(2 * time.Second); err != nil {
@@ -156,9 +157,9 @@ func TestProcfsSourceWeighsByCPUTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	weights := make(map[int]float64, len(sample.PIDs))
-	for _, ps := range sample.PIDs {
-		weights[ps.PID] = ps.Weight
+	weights := make(map[int]float64, len(sample.Targets))
+	for _, ts := range sample.Targets {
+		weights[ts.Target.PID] = ts.Weight
 	}
 	if weights[heavy] <= weights[light] {
 		t.Fatalf("heavy weight %v not above light weight %v", weights[heavy], weights[light])
@@ -173,9 +174,9 @@ func TestProcfsSourceWeighsByCPUTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ps := range again.PIDs {
-		if ps.Weight != 0 {
-			t.Fatalf("no simulated time elapsed but pid %d has weight %v", ps.PID, ps.Weight)
+	for _, ts := range again.Targets {
+		if ts.Weight != 0 {
+			t.Fatalf("no simulated time elapsed but %v has weight %v", ts.Target, ts.Weight)
 		}
 	}
 }

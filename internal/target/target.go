@@ -1,0 +1,112 @@
+// Package target defines the identity of a monitoring target — the unit the
+// PowerAPI pipeline attributes power to. The paper's toolkit monitors OS
+// processes, but the same pipeline generalizes to control groups of processes
+// (containers, slices) and to the machine itself, so every layer of the
+// middleware — sources, routers, messages, aggregation, reports — is keyed by
+// a Target instead of a raw PID.
+package target
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Kind classifies what a Target identifies.
+type Kind int
+
+// Target kinds.
+const (
+	// KindProcess identifies one OS process by PID.
+	KindProcess Kind = iota + 1
+	// KindCgroup identifies a control group by its hierarchy path
+	// ("web", "web/api", …). A cgroup's power is the power of its member
+	// processes, descendants included.
+	KindCgroup
+	// KindMachine identifies the whole machine (machine-scope measurements).
+	KindMachine
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindProcess:
+		return "process"
+	case KindCgroup:
+		return "cgroup"
+	case KindMachine:
+		return "machine"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler so kinds serialise as their
+// names rather than opaque integers.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// Target identifies one monitoring target. The zero value is invalid. Targets
+// are comparable and usable as map keys: a process target is identified by
+// its PID, a cgroup target by its hierarchy path.
+type Target struct {
+	// Kind tells which of the identifying fields is meaningful.
+	Kind Kind `json:"kind"`
+	// PID identifies process targets.
+	PID int `json:"pid,omitempty"`
+	// Path is the hierarchy path of cgroup targets ("web/api").
+	Path string `json:"path,omitempty"`
+}
+
+// Process returns the target identifying one OS process.
+func Process(pid int) Target { return Target{Kind: KindProcess, PID: pid} }
+
+// Cgroup returns the target identifying a control group by hierarchy path.
+func Cgroup(path string) Target { return Target{Kind: KindCgroup, Path: path} }
+
+// Machine returns the target identifying the whole machine.
+func Machine() Target { return Target{Kind: KindMachine} }
+
+// Valid reports whether the target is well-formed.
+func (t Target) Valid() bool {
+	switch t.Kind {
+	case KindProcess:
+		return t.PID > 0 && t.Path == ""
+	case KindCgroup:
+		return t.Path != "" && t.PID == 0
+	case KindMachine:
+		return t.PID == 0 && t.Path == ""
+	default:
+		return false
+	}
+}
+
+// String implements fmt.Stringer ("pid:1000", "cgroup:web/api", "machine").
+func (t Target) String() string {
+	switch t.Kind {
+	case KindProcess:
+		return fmt.Sprintf("pid:%d", t.PID)
+	case KindCgroup:
+		return "cgroup:" + t.Path
+	case KindMachine:
+		return "machine"
+	default:
+		return fmt.Sprintf("target(%d)", int(t.Kind))
+	}
+}
+
+// RouteKey returns the partitioning key the pipeline's consistent-hash router
+// uses to pin a target to a shard. Process targets keep their raw PID as the
+// key, so a pipeline without cgroup targets partitions exactly as the
+// original per-PID pipeline did.
+func (t Target) RouteKey() uint64 {
+	switch t.Kind {
+	case KindProcess:
+		return uint64(t.PID)
+	case KindCgroup:
+		h := fnv.New64a()
+		h.Write([]byte("cgroup:"))
+		h.Write([]byte(t.Path))
+		return h.Sum64()
+	default:
+		return 0
+	}
+}

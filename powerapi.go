@@ -36,6 +36,7 @@ import (
 
 	"powerapi/internal/advisor"
 	"powerapi/internal/calibration"
+	"powerapi/internal/cgroup"
 	"powerapi/internal/core"
 	"powerapi/internal/cpu"
 	"powerapi/internal/experiments"
@@ -44,6 +45,7 @@ import (
 	"powerapi/internal/powermeter"
 	"powerapi/internal/sched"
 	"powerapi/internal/source"
+	"powerapi/internal/target"
 	"powerapi/internal/workload"
 )
 
@@ -89,6 +91,19 @@ type (
 	// SensorSource is a pluggable sensing backend of the monitoring
 	// pipeline.
 	SensorSource = source.Source
+	// Target identifies one monitoring target: a process, a control group
+	// or the machine itself. Every layer of the pipeline is keyed by
+	// targets, so a Monitor attributes power to containers as readily as to
+	// PIDs.
+	Target = target.Target
+	// TargetKind classifies what a Target identifies.
+	TargetKind = target.Kind
+	// CgroupHierarchy is a tree of control groups over process IDs, the
+	// container/slice structure a Monitor rolls power up along.
+	CgroupHierarchy = cgroup.Hierarchy
+	// CgroupSpec is a parsed control-group specification such as
+	// "web=1,2,3;db=4" (see ParseCgroupSpec).
+	CgroupSpec = cgroup.Spec
 	// EnergyAccumulator integrates per-process power into per-process energy.
 	EnergyAccumulator = core.EnergyAccumulator
 	// Advisor turns monitoring rounds into energy-leak findings.
@@ -123,6 +138,34 @@ const (
 
 // ParseSourceMode resolves a sensing-mode name such as "blended".
 func ParseSourceMode(s string) (SourceMode, error) { return source.ParseMode(s) }
+
+// Target kinds.
+const (
+	// TargetProcess identifies one OS process by PID.
+	TargetProcess = target.KindProcess
+	// TargetCgroup identifies a control group by hierarchy path.
+	TargetCgroup = target.KindCgroup
+	// TargetMachine identifies the whole machine.
+	TargetMachine = target.KindMachine
+)
+
+// ProcessTarget returns the target identifying one OS process.
+func ProcessTarget(pid int) Target { return target.Process(pid) }
+
+// CgroupTarget returns the target identifying a control group by its
+// hierarchy path ("web", "web/api").
+func CgroupTarget(path string) Target { return target.Cgroup(path) }
+
+// MachineTarget returns the target identifying the whole machine.
+func MachineTarget() Target { return target.Machine() }
+
+// NewCgroupHierarchy creates an empty control-group hierarchy. Populate it
+// with Create/Add and hand it to a Monitor through WithCgroups.
+func NewCgroupHierarchy() *CgroupHierarchy { return cgroup.NewHierarchy() }
+
+// ParseCgroupSpec parses a specification like "web=1,2,3;web/api=4;db=5"
+// into group paths and member ids; Build materialises it into a hierarchy.
+func ParseCgroupSpec(spec string) (*CgroupSpec, error) { return cgroup.ParseSpec(spec) }
 
 // IntelCorei3_2120 returns the paper's testbed processor (Table 1).
 func IntelCorei3_2120() Spec { return cpu.IntelCorei3_2120() }
@@ -235,6 +278,15 @@ func WithSources(mode SourceMode) MonitorOption { return core.WithSources(mode) 
 // operations (Attach, Detach, Collect); it must be positive.
 func WithCollectTimeout(d time.Duration) MonitorOption { return core.WithCollectTimeout(d) }
 
+// WithCgroups attaches a control-group hierarchy to the Monitor. Cgroup
+// targets become attachable (Monitor.AttachTargets), every report carries
+// the per-cgroup power rollup (MonitorReport.PerCgroup) — a group's power is
+// the exact sum of its member processes, descendants included, with nested
+// groups rolling up to their parents and no double counting — and
+// memberships are re-synchronised on every sampling round as members exit
+// or join.
+func WithCgroups(h *CgroupHierarchy) MonitorOption { return core.WithCgroups(h) }
+
 // WithProcessNameGrouping aggregates power by process name in addition to the
 // per-PID and per-timestamp dimensions.
 func WithProcessNameGrouping(m *Machine) MonitorOption {
@@ -242,29 +294,49 @@ func WithProcessNameGrouping(m *Machine) MonitorOption {
 }
 
 // WithCSVReporter adds a Reporter that appends one CSV row per monitored
-// process and sampling round to w.
+// process and sampling round to w. Rows are buffered and flushed to w when
+// the monitor shuts down.
 func WithCSVReporter(w io.Writer, m *Machine) (MonitorOption, error) {
-	reporter, err := core.NewCSVReporter(w, func(pid int) string {
+	reporter, err := core.NewCSVReporter(w, processNameResolver(m), core.WithBufferedWrites())
+	if err != nil {
+		return nil, err
+	}
+	return core.WithFlushingReporter("csv", reporter.Report, reporter.Flush), nil
+}
+
+// WithTargetCSVReporter is WithCSVReporter over the target schema: every row
+// carries the target kind ("process", "cgroup") and its identity (PID or
+// hierarchy path), and the per-cgroup rollup is written next to the
+// per-process rows.
+func WithTargetCSVReporter(w io.Writer, m *Machine) (MonitorOption, error) {
+	reporter, err := core.NewCSVReporter(w, processNameResolver(m),
+		core.WithBufferedWrites(), core.WithTargetRows())
+	if err != nil {
+		return nil, err
+	}
+	return core.WithFlushingReporter("csv", reporter.Report, reporter.Flush), nil
+}
+
+func processNameResolver(m *Machine) func(pid int) string {
+	return func(pid int) string {
 		p, err := m.Processes().Get(pid)
 		if err != nil {
 			return "unknown"
 		}
 		return p.Name()
-	})
-	if err != nil {
-		return nil, err
 	}
-	return core.WithReporter("csv", reporter.Report), nil
 }
 
 // WithJSONReporter adds a Reporter that writes one JSON object per sampling
-// round to w.
+// round to w (the perCgroup object carries the cgroup rollup when control
+// groups are monitored). Lines are buffered and flushed to w when the
+// monitor shuts down.
 func WithJSONReporter(w io.Writer) (MonitorOption, error) {
-	reporter, err := core.NewJSONLinesReporter(w)
+	reporter, err := core.NewJSONLinesReporter(w, core.WithBufferedWrites())
 	if err != nil {
 		return nil, err
 	}
-	return core.WithReporter("jsonl", reporter.Report), nil
+	return core.WithFlushingReporter("jsonl", reporter.Report, reporter.Flush), nil
 }
 
 // WithEnergyAccounting adds a Reporter integrating per-process power into the
