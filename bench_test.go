@@ -242,6 +242,65 @@ func benchmarkMonitorTick(b *testing.B, pidCount, shards int) {
 	b.ReportMetric(float64(pidCount)*float64(b.N)/b.Elapsed().Seconds(), "pids/s")
 }
 
+// BenchmarkSubscriptionFanout measures the per-round cost of fanning one
+// aggregated report out to N concurrent subscribers over 1 000 monitored
+// targets. Conflating subscribers are deliberately left unconsumed: the
+// fanout pays the full offer/evict path every round, which is the serving
+// layer's steady state under slow scrapers.
+func BenchmarkSubscriptionFanout(b *testing.B) {
+	const pidCount = 1000
+	for _, subscribers := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("subs=%d/pids=%d", subscribers, pidCount), func(b *testing.B) {
+			cfg := DefaultMachineConfig()
+			cfg.Governor = GovernorPerformance
+			m, err := NewMachine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pids := make([]int, 0, pidCount)
+			for i := 0; i < pidCount; i++ {
+				gen, err := CPUStress(0.1+0.8*float64(i%9)/8, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := m.Spawn(gen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pids = append(pids, p.PID())
+			}
+			monitor, err := NewMonitor(m, PaperReferenceModel())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer monitor.Shutdown()
+			if err := monitor.Attach(pids...); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < subscribers; i++ {
+				if _, err := monitor.Subscribe(SubscribeOptions{Policy: Conflate}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(m.Tick()); err != nil {
+					b.Fatal(err)
+				}
+				report, err := monitor.Collect()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(report.PerPID) != pidCount {
+					b.Fatalf("round attributed %d PIDs, want %d", len(report.PerPID), pidCount)
+				}
+			}
+			b.ReportMetric(float64(subscribers)*float64(b.N)/b.Elapsed().Seconds(), "deliveries/s")
+		})
+	}
+}
+
 // BenchmarkRouterRoute measures the dispatch cost of the consistent-hash
 // router on the attach/tick path.
 func BenchmarkRouterRoute(b *testing.B) {

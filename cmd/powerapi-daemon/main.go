@@ -17,11 +17,19 @@
 //	powerapi-daemon -source procfs           # no-counters fallback
 //	powerapi-daemon -cgroups "web=1,4;db=2"  # container-level rollup over the
 //	                                         # 1-based workload indices
+//	powerapi-daemon -listen 127.0.0.1:9090   # Prometheus /metrics + JSON API
 //
 // With -cgroups the daemon groups the spawned workloads into a control-group
 // hierarchy (nested paths like "web/api" are allowed), reports each group's
 // power next to the per-process rows and switches the CSV schema to the
 // target layout carrying the kind and hierarchy path of every row.
+//
+// With -listen the daemon mounts the HTTP serving layer: Prometheus-style
+// text exposition on /metrics and the JSON API under /api/v1 (target
+// listing, windowed history queries over the -history retention window,
+// dynamic attach/detach). Once the monitoring run completes the daemon keeps
+// serving the retained figures until SIGINT/SIGTERM (disable with
+// -linger=false).
 package main
 
 import (
@@ -30,18 +38,22 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"syscall"
 	"time"
 
+	"powerapi"
 	"powerapi/internal/advisor"
 	"powerapi/internal/calibration"
 	"powerapi/internal/cgroup"
 	"powerapi/internal/core"
 	"powerapi/internal/cpu"
 	"powerapi/internal/hpc"
+	"powerapi/internal/httpapi"
 	"powerapi/internal/machine"
 	"powerapi/internal/model"
 	"powerapi/internal/source"
@@ -68,6 +80,10 @@ func run(args []string) error {
 		csvPath   = fs.String("csv", "", "write per-process rounds to this CSV file")
 		jsonlPath = fs.String("jsonl", "", "write one JSON object per round to this file")
 		cgroups   = fs.String("cgroups", "", `group workloads into control groups, e.g. "web=1,2;web/api=3;db=4" (1-based workload indices)`)
+		listen    = fs.String("listen", "", `serve Prometheus /metrics and the JSON /api/v1 endpoints on this address (e.g. "127.0.0.1:9090")`)
+		linger    = fs.Bool("linger", true, "with -listen, keep serving after the monitoring run completes until SIGINT/SIGTERM")
+		histCap   = fs.Int("history", 1024, "retained samples per target for /api/v1/query; only effective with -listen (0 disables the history store)")
+		retention = fs.Int("retention", 300, "most recent rounds RunMonitored keeps in memory (0 keeps all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +93,24 @@ func run(args []string) error {
 	}
 	if *timeout <= 0 {
 		return fmt.Errorf("collect-timeout must be positive, got %v", *timeout)
+	}
+	if *histCap < 0 {
+		return fmt.Errorf("history must not be negative, got %d", *histCap)
+	}
+	if *retention < 0 {
+		return fmt.Errorf("retention must not be negative, got %d", *retention)
+	}
+	// Claim the serving socket before the (slow) calibration so a taken port
+	// or malformed address fails fast, and so a supervisor (or the CI smoke
+	// test) can poll the endpoint while calibration is still running.
+	var listener net.Listener
+	if *listen != "" {
+		var lerr error
+		listener, lerr = net.Listen("tcp", *listen)
+		if lerr != nil {
+			return fmt.Errorf("listen on %s: %w", *listen, lerr)
+		}
+		defer listener.Close()
 	}
 	mode, err := source.ParseMode(*srcName)
 	if err != nil {
@@ -157,10 +191,24 @@ func run(args []string) error {
 	// buffered writers are flushed after Shutdown has drained the mailboxes —
 	// on error paths too, so a failed run still leaves complete rounds on
 	// disk.
+	// The advisor consumes every round as an internal subscriber of the
+	// report fanout; observation failures surface via ErrorCount/LastError.
+	adv, err := advisor.New(advisor.DefaultThresholds())
+	if err != nil {
+		return err
+	}
 	opts := []core.Option{
 		core.WithShards(*shards),
 		core.WithSources(mode),
 		core.WithCollectTimeout(*timeout),
+		core.WithReportRetention(*retention),
+		powerapi.WithAdvisorFeed(adv, *interval),
+	}
+	// The store only pays off when something can read it: /api/v1/query.
+	// Without -listen the recording work and ring memory would be dead
+	// weight, so history stays off.
+	if *histCap > 0 && listener != nil {
+		opts = append(opts, core.WithHistory(*histCap))
 	}
 	if hierarchy != nil {
 		opts = append(opts, core.WithCgroups(hierarchy))
@@ -228,23 +276,33 @@ func run(args []string) error {
 		return err
 	}
 
-	adv, err := advisor.New(advisor.DefaultThresholds())
-	if err != nil {
-		return err
-	}
-
 	// Trap SIGINT/SIGTERM so an interrupted run still drains the pipeline and
 	// flushes its reporters instead of dying with half-written output.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -listen mounts the HTTP serving layer over the pre-claimed socket:
+	// Prometheus /metrics plus the JSON target/query/attach API.
+	if listener != nil {
+		srv, serr := httpapi.New(api)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		defer httpSrv.Close()
+		go func() {
+			if serveErr := httpSrv.Serve(listener); serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "powerapi-daemon: http:", serveErr)
+			}
+		}()
+		fmt.Printf("Serving http://%s/metrics and http://%s/api/v1 endpoints\n", listener.Addr(), listener.Addr())
+	}
+
 	fmt.Printf("Monitoring %d processes on %s for %v (sampling every %v, %d shard(s), %s source)\n\n",
 		len(names), spec.String(), *duration, *interval, *shards, mode)
 	fmt.Printf("%-10s %-14s %10s %12s\n", "TIME", "PROCESS", "PID", "POWER (W)")
 	_, err = api.RunMonitoredContext(ctx, *duration, *interval, func(r core.AggregatedReport) {
-		if obsErr := adv.ObserveReport(r, *interval); obsErr != nil {
-			fmt.Fprintln(os.Stderr, "powerapi-daemon: advisor:", obsErr)
-		}
 		pids := make([]int, 0, len(r.PerPID))
 		for pid := range r.PerPID {
 			pids = append(pids, pid)
@@ -275,9 +333,24 @@ func run(args []string) error {
 		return err
 	}
 
+	// With -listen the daemon lingers once the run completes: the retained
+	// history and the latest round keep serving /metrics and /api/v1 until a
+	// signal arrives (so scrapers and operators get at the figures).
+	if listener != nil && *linger && ctx.Err() == nil {
+		fmt.Printf("Monitoring run complete; serving http://%s until interrupted (SIGINT/SIGTERM)\n", listener.Addr())
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "powerapi-daemon: interrupted, draining pipeline")
+	}
+
 	// Drain the pipeline before flushing: Shutdown waits for every reporter
-	// actor to finish the rounds already in its mailbox.
+	// subscriber to finish the rounds already buffered in its channel.
 	api.Shutdown()
+	// Subscriber and stage failures (a failing advisor observation, a shard
+	// panic) accumulate in the pipeline's error counter; a clean-looking run
+	// must not hide them.
+	if count := api.ErrorCount(); count > 0 {
+		fmt.Fprintf(os.Stderr, "powerapi-daemon: %d pipeline error(s), last: %v\n", count, api.LastError())
+	}
 	if err := flushAll(); err != nil {
 		return err
 	}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadServingFlags(t *testing.T) {
+	if err := run([]string{"-listen", "not-an-address"}); err == nil {
+		t.Fatal("malformed listen address should fail")
+	}
+	if err := run([]string{"-history", "-1"}); err == nil {
+		t.Fatal("negative history should fail")
+	}
+	if err := run([]string{"-retention", "-1"}); err == nil {
+		t.Fatal("negative retention should fail")
+	}
+}
+
+// TestRunServesHTTP boots the daemon with -listen, scrapes /metrics and
+// /api/v1/query while it lingers after the monitoring run, then stops it
+// with SIGINT the way an operator would.
+func TestRunServesHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick calibration plus serving is too slow for -short")
+	}
+	// Reserve a free port, then hand it to the daemon. The tiny window
+	// between Close and the daemon's Listen is an acceptable test race.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{"-duration", "5s", "-interval", "1s", "-listen", addr,
+			"-cgroups", "web=1,3;db=2"})
+	}()
+	defer func() {
+		// Always interrupt the lingering daemon, even on failed assertions.
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGINT)
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Errorf("daemon run returned %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("daemon did not stop after SIGINT")
+		}
+	}()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 2 * time.Second}
+	fetch := func(url string) (int, string, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), err
+	}
+
+	// Wait out calibration + the monitoring run; the daemon lingers after it.
+	var metrics string
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body, err := fetch(base + "/metrics")
+		if err == nil && code == http.StatusOK {
+			metrics = body
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no /metrics after 60s (last: code %d, err %v)", code, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for _, want := range []string{
+		`powerapi_target_watts{kind="process"`,
+		`powerapi_target_watts{kind="cgroup",id="web"}`,
+		"powerapi_total_watts ",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	code, body, err := fetch(base + "/api/v1/query")
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("/api/v1/query code %d err %v", code, err)
+	}
+	if !strings.Contains(body, `"samples":`) || !strings.Contains(body, "cgroup:web") {
+		t.Fatalf("/api/v1/query lacks per-target samples: %s", body)
+	}
+
+	code, body, err = fetch(base + "/api/v1/targets")
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("/api/v1/targets code %d err %v", code, err)
+	}
+	if !strings.Contains(body, `"monitoredPids"`) {
+		t.Fatalf("/api/v1/targets body: %s", body)
+	}
+}

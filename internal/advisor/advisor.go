@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"powerapi/internal/core"
@@ -114,10 +115,14 @@ func (t Thresholds) Validate() error {
 	return nil
 }
 
-// Advisor accumulates monitoring rounds and produces findings on demand.
+// Advisor accumulates monitoring rounds and produces findings on demand. It
+// is safe for concurrent use: the monitoring pipeline feeds it from an
+// internal subscriber goroutine (WithAdvisorFeed) while callers read
+// Findings/MeanWatts/Ranking mid-run.
 type Advisor struct {
 	thresholds Thresholds
 
+	mu                      sync.Mutex
 	totalActiveWattsSeconds float64
 	perPID                  map[int]*accumulator
 }
@@ -150,6 +155,8 @@ func (a *Advisor) Observe(sample ProcessSample) error {
 	if sample.Watts < 0 {
 		return fmt.Errorf("advisor: negative power %v", sample.Watts)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	acc, ok := a.perPID[sample.PID]
 	if !ok {
 		acc = &accumulator{}
@@ -181,6 +188,8 @@ func (a *Advisor) ObserveReport(report core.AggregatedReport, window time.Durati
 // MeanWatts returns the average active power of a process over everything
 // observed so far.
 func (a *Advisor) MeanWatts(pid int) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	acc, ok := a.perPID[pid]
 	if !ok || acc.seconds == 0 {
 		return 0
@@ -191,6 +200,8 @@ func (a *Advisor) MeanWatts(pid int) float64 {
 // Findings analyses everything observed so far and returns the findings,
 // most severe first (ties broken by descending power).
 func (a *Advisor) Findings() []Finding {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var out []Finding
 	for pid, acc := range a.perPID {
 		if acc.seconds == 0 {
@@ -272,6 +283,8 @@ func (a *Advisor) Findings() []Finding {
 // "identify the largest power consumers", the paper's first requirement for
 // informed scheduling decisions.
 func (a *Advisor) Ranking() []Finding {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := make([]Finding, 0, len(a.perPID))
 	for pid, acc := range a.perPID {
 		if acc.seconds == 0 {

@@ -85,6 +85,12 @@ func Ancestors(path string) []string {
 	return out
 }
 
+// InSubtree reports whether path is root itself or nested anywhere below it
+// ("web/api" is in the "web" subtree; "webapp" is not).
+func InSubtree(path, root string) bool {
+	return path == root || strings.HasPrefix(path, root+Separator)
+}
+
 // Create adds a group (and any missing ancestors) to the hierarchy. Creating
 // an existing group is idempotent.
 func (h *Hierarchy) Create(path string) error {

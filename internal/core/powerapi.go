@@ -12,6 +12,7 @@ import (
 
 	"powerapi/internal/actor"
 	"powerapi/internal/cgroup"
+	"powerapi/internal/history"
 	"powerapi/internal/hpc"
 	"powerapi/internal/machine"
 	"powerapi/internal/model"
@@ -42,15 +43,18 @@ type SourceFactories struct {
 }
 
 type options struct {
-	events         []hpc.Event
-	reportBuffer   int
-	shards         int
-	mode           source.Mode
-	factories      SourceFactories
-	collectTimeout time.Duration
-	groupResolver  func(pid int) string
-	hierarchy      *cgroup.Hierarchy
-	extraReporters []namedReporter
+	events          []hpc.Event
+	reportBuffer    int
+	shards          int
+	mode            source.Mode
+	factories       SourceFactories
+	collectTimeout  time.Duration
+	groupResolver   func(pid int) string
+	hierarchy       *cgroup.Hierarchy
+	extraReporters  []namedReporter
+	retention       int
+	historyEnabled  bool
+	historyCapacity int
 }
 
 type namedReporter struct {
@@ -68,9 +72,36 @@ func WithEvents(events []hpc.Event) Option {
 	return func(o *options) { o.events = append([]hpc.Event(nil), events...) }
 }
 
-// WithReportBuffer sets the capacity of the Reports channel.
+// WithReportBuffer sets the capacity of the legacy Reports() channel (the
+// buffer of the default subscription Reports lazily creates).
 func WithReportBuffer(n int) Option {
 	return func(o *options) { o.reportBuffer = n }
+}
+
+// WithReportRetention caps how many rounds RunMonitored and
+// RunMonitoredContext keep in the slice they return: only the most recent n
+// reports survive, so a long-running daemon loop holds bounded memory
+// instead of accumulating every round forever. Zero (the default) keeps all
+// rounds, preserving the historical behaviour; use WithHistory for a
+// queryable per-target retention window.
+func WithReportRetention(n int) Option {
+	return func(o *options) { o.retention = n }
+}
+
+// WithHistory retains the most recent rounds in a queryable per-target
+// history store (internal/history): a dedicated internal subscriber writes
+// every report into fixed-capacity ring buffers — one per process, cgroup
+// and the machine total — and Query answers windowed avg/max/p95 aggregates
+// over them. capacity bounds the samples retained per target; non-positive
+// selects history.DefaultCapacity. Targets that stop being monitored — an
+// explicit Detach, or a process leaving its monitored cgroup — are dropped
+// from the store, so a long-lived daemon's history stays bounded by the live
+// target set rather than by every PID that ever existed.
+func WithHistory(capacity int) Option {
+	return func(o *options) {
+		o.historyEnabled = true
+		o.historyCapacity = capacity
+	}
 }
 
 // WithShards splits the Sensor and Formula stages into n PID-partitioned
@@ -187,10 +218,26 @@ type PowerAPI struct {
 	attrScope      source.Scope
 	flushes        []func() error
 
-	reports     chan AggregatedReport
+	// subs is the fanout registry every aggregated report is published to;
+	// all consumers — Subscribe callers, the legacy Reports channel, the
+	// WithReporter shims, the history writer — are subscriptions in it.
+	subs         *subscriptionRegistry
+	reportBuffer int
+	retention    int
+	history      *history.Store
+	// drainWG tracks the internal subscriber goroutines (reporter shims,
+	// history writer); Shutdown waits for them before flushing.
+	drainWG sync.WaitGroup
+
+	// collectMu guards the per-round waiters Collect registers before
+	// broadcasting a tick; the fanout completes them ahead of subscriptions.
+	collectMu      sync.Mutex
+	collectWaiters map[time.Duration]chan AggregatedReport
+
 	errCount    atomic.Int64
 	lastErr     atomic.Value // errBox
 	mu          sync.Mutex
+	defaultSub  *Subscription // lazy Reports() subscription
 	lastCollect time.Duration
 	// monitored holds the explicitly attached targets (processes and cgroups);
 	// members holds the PIDs attached to shards because a monitored cgroup
@@ -221,6 +268,12 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	if cfg.collectTimeout <= 0 {
 		return nil, fmt.Errorf("core: collect timeout must be positive, got %v", cfg.collectTimeout)
 	}
+	if cfg.retention < 0 {
+		return nil, fmt.Errorf("core: report retention must not be negative, got %d", cfg.retention)
+	}
+	if cfg.reportBuffer < 0 {
+		return nil, fmt.Errorf("core: report buffer must not be negative, got %d", cfg.reportBuffer)
+	}
 	if len(cfg.events) == 0 {
 		events, err := powerModel.Events()
 		if err != nil {
@@ -238,7 +291,10 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 		mode:           cfg.mode,
 		collectTimeout: cfg.collectTimeout,
 		hierarchy:      cfg.hierarchy,
-		reports:        make(chan AggregatedReport, cfg.reportBuffer),
+		subs:           newSubscriptionRegistry(cfg.hierarchy),
+		reportBuffer:   cfg.reportBuffer,
+		retention:      cfg.retention,
+		collectWaiters: make(map[time.Duration]chan AggregatedReport),
 		monitored:      make(map[target.Target]bool),
 		members:        make(map[int]bool),
 		lastCollect:    m.Now(),
@@ -249,15 +305,18 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 		}
 	}
 	// A failed constructor must not leak what it built so far: actors already
-	// spawned keep goroutines alive and opened sources hold registrations in
-	// the machine's counter registry, so retrying callers would accumulate
-	// both. The defer tears everything down unless construction completes.
+	// spawned keep goroutines alive, internal subscribers run drain
+	// goroutines, and opened sources hold registrations in the machine's
+	// counter registry, so retrying callers would accumulate all three. The
+	// defer tears everything down unless construction completes.
 	built := false
 	defer func() {
 		if built {
 			return
 		}
 		api.system.Shutdown()
+		api.subs.closeAll()
+		api.drainWG.Wait()
 		for _, src := range api.sources {
 			_ = src.Close()
 		}
@@ -357,30 +416,30 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	reporterBhv := newReporterBehavior(api.deliver)
+	// The Reporter stage is the fanout: one actor consumes the aggregated
+	// reports topic and publishes every round to the subscription registry
+	// (after completing any waiter a synchronous Collect registered).
+	reporterBhv := newReporterBehavior(api.fanout)
 	reporter, err := api.system.SpawnSupervised("reporter",
 		func() actor.Behavior { return reporterBhv }, 0, supervised("reporter"))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	extraRefs := make([]*actor.Ref, 0, len(cfg.extraReporters))
+	// WithReporter/WithFlushingReporter reporters are internal subscribers of
+	// the registry: a lossless Block subscription drained by its own
+	// goroutine, so a slow file writer backpressures the pipeline exactly as
+	// its dedicated actor mailbox used to, and a delivery failure lands in
+	// ErrorCount/LastError.
 	for i, extra := range cfg.extraReporters {
-		deliver := extra.deliver
-		behavior := actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
-			r, ok := msg.(AggregatedReport)
-			if !ok {
-				return
-			}
-			if err := deliver(r); err != nil {
-				ctx.Publish(TopicErrors, PipelineError{Stage: "reporter", Err: err})
-			}
-		})
-		ref, err := api.system.SpawnSupervised(fmt.Sprintf("reporter-%s-%d", extra.name, i),
-			func() actor.Behavior { return behavior }, 0, supervised("reporter"))
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+		if err := api.spawnReporterSubscriber(fmt.Sprintf("reporter-%s-%d", extra.name, i), extra.deliver); err != nil {
+			return nil, err
 		}
-		extraRefs = append(extraRefs, ref)
+	}
+	if cfg.historyEnabled {
+		api.history = history.NewStore(cfg.historyCapacity)
+		if err := api.spawnHistorySubscriber(); err != nil {
+			return nil, err
+		}
 	}
 	errorSinkBhv := actor.BehaviorFunc(func(_ *actor.Context, msg actor.Message) {
 		if perr, ok := msg.(PipelineError); ok {
@@ -399,11 +458,6 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	}
 	if err := bus.Subscribe(TopicAggregatedReports, reporter); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
-	}
-	for _, ref := range extraRefs {
-		if err := bus.Subscribe(TopicAggregatedReports, ref); err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
 	}
 	if err := bus.Subscribe(TopicErrors, errorSink); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -453,20 +507,83 @@ func fillDefaultFactories(cfg *options, m *machine.Machine) {
 	}
 }
 
-// deliver pushes a report to the Reports channel, dropping the oldest entry
-// when the consumer lags (monitoring must never block the pipeline).
-func (p *PowerAPI) deliver(report AggregatedReport) {
-	for {
-		select {
-		case p.reports <- report:
-			return
-		default:
-			select {
-			case <-p.reports:
-			default:
+// fanout runs on the Reporter actor goroutine: it completes the waiter of a
+// synchronous Collect (first, so a slow subscriber cannot delay the round's
+// own caller) and then publishes the report to every live subscription.
+func (p *PowerAPI) fanout(report AggregatedReport) {
+	p.collectMu.Lock()
+	if waiter, ok := p.collectWaiters[report.Timestamp]; ok {
+		delete(p.collectWaiters, report.Timestamp)
+		waiter <- report // buffered one deep; the fanout is the only sender
+	}
+	p.collectMu.Unlock()
+	p.subs.publish(report)
+}
+
+// recordError surfaces a failure through the pipeline's error counter and
+// LastError (the same place PipelineError messages land).
+func (p *PowerAPI) recordError(err error) {
+	p.errCount.Add(1)
+	p.lastErr.Store(errBox{err})
+}
+
+// spawnReporterSubscriber registers one WithReporter delivery function as an
+// internal Block subscription drained by its own goroutine. Deliveries are
+// panic-recovered: a reporter actor's supervisor used to absorb these, so a
+// panicking user callback must keep landing in ErrorCount instead of killing
+// the process.
+func (p *PowerAPI) spawnReporterSubscriber(name string, deliver func(AggregatedReport) error) error {
+	sub, err := p.subs.add(SubscribeOptions{Name: name, Policy: Block, Buffer: actor.DefaultMailboxSize})
+	if err != nil {
+		return fmt.Errorf("core: subscribe %s: %w", name, err)
+	}
+	deliverSafely := func(report AggregatedReport) {
+		defer func() {
+			if v := recover(); v != nil {
+				p.recordError(fmt.Errorf("core: reporter %s panicked: %v", name, v))
 			}
+		}()
+		if err := deliver(report); err != nil {
+			p.recordError(fmt.Errorf("core: reporter %s: %w", name, err))
 		}
 	}
+	p.drainWG.Add(1)
+	go func() {
+		defer p.drainWG.Done()
+		for report := range sub.C() {
+			deliverSafely(report)
+		}
+	}()
+	return nil
+}
+
+// spawnHistorySubscriber wires the retained-history store as a dedicated
+// internal subscriber: every round's machine total, per-process and
+// per-cgroup watts are written into the store's ring buffers — one batched,
+// atomic write per round, so queries never observe a torn round and the
+// store lock is taken once per round instead of once per target.
+func (p *PowerAPI) spawnHistorySubscriber() error {
+	sub, err := p.subs.add(SubscribeOptions{Name: "history", Policy: Block, Buffer: actor.DefaultMailboxSize})
+	if err != nil {
+		return fmt.Errorf("core: subscribe history: %w", err)
+	}
+	p.drainWG.Add(1)
+	go func() {
+		defer p.drainWG.Done()
+		var batch []history.TargetSample
+		for report := range sub.C() {
+			batch = batch[:0]
+			batch = append(batch, history.TargetSample{Target: target.Machine(), Watts: report.TotalWatts})
+			for pid, watts := range report.PerPID {
+				batch = append(batch, history.TargetSample{Target: target.Process(pid), Watts: watts})
+			}
+			for path, watts := range report.PerCgroup {
+				batch = append(batch, history.TargetSample{Target: target.Cgroup(path), Watts: watts})
+			}
+			p.history.RecordBatch(report.Timestamp, batch)
+		}
+	}()
+	return nil
 }
 
 // Machine returns the monitored machine.
@@ -503,8 +620,75 @@ func (p *PowerAPI) ShardOfTarget(t target.Target) int {
 // WithCgroups was used).
 func (p *PowerAPI) Cgroups() *cgroup.Hierarchy { return p.hierarchy }
 
-// Reports exposes the asynchronous stream of aggregated reports.
-func (p *PowerAPI) Reports() <-chan AggregatedReport { return p.reports }
+// Subscribe registers a new consumer of the aggregated report stream: every
+// sampling round is fanned out to all live subscriptions, each through its
+// own channel, with the filters, decimation and backpressure policy of opts.
+// Close the subscription when done — an abandoned Block subscription stalls
+// the pipeline by design. Subscribing is safe at any time, including while
+// rounds are in flight (delivery starts with the next round).
+func (p *PowerAPI) Subscribe(opts SubscribeOptions) (*Subscription, error) {
+	// A cgroup-subtree filter needs cgroup rows (or a hierarchy to resolve
+	// process membership) to ever match; on a pipeline with neither, the
+	// subscription would silently never deliver — reject it instead.
+	if opts.CgroupSubtree != "" && p.hierarchy == nil && p.attrScope != source.ScopeCgroup {
+		return nil, fmt.Errorf("core: subscription filters cgroup subtree %q but the monitor has no cgroup hierarchy (WithCgroups) and no cgroup-scope source", opts.CgroupSubtree)
+	}
+	return p.subs.add(opts)
+}
+
+// Subscriptions returns the number of live subscriptions (diagnostics).
+func (p *PowerAPI) Subscriptions() int { return p.subs.size() }
+
+// Query answers a windowed aggregate query — avg/max/p95 watts per target —
+// over the retained history. It requires WithHistory; without it,
+// history.ErrDisabled is returned.
+func (p *PowerAPI) Query(q QueryOptions) ([]TargetStats, error) {
+	if p.history == nil {
+		return nil, history.ErrDisabled
+	}
+	return p.history.Query(q)
+}
+
+// History returns the retained-history store (nil unless WithHistory).
+func (p *PowerAPI) History() *history.Store { return p.history }
+
+// QueryOptions selects and aggregates retained history (see history.Query).
+type QueryOptions = history.Query
+
+// TargetStats is one per-target row of a Query result (see history.Stats).
+type TargetStats = history.Stats
+
+// Reports exposes the asynchronous stream of aggregated reports as a single
+// shared channel.
+//
+// Deprecated: Reports is the legacy single-consumer API, kept as a thin shim:
+// the first call lazily creates one DropOldest subscription sized by
+// WithReportBuffer (drop-oldest is the faithful legacy buffering — the
+// channel always holds the newest rounds) and every call returns that
+// subscription's channel. Because the subscription starts with the first
+// call, rounds produced before it are not retained — call Reports() before
+// monitoring starts, as consuming the old channel required anyway once more
+// than the buffer's worth of rounds had passed. New code should call
+// Subscribe, which supports multiple consumers, filters and explicit
+// backpressure policies.
+func (p *PowerAPI) Reports() <-chan AggregatedReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.defaultSub == nil {
+		sub, err := p.subs.add(SubscribeOptions{Name: "reports", Policy: DropOldest, Buffer: p.reportBuffer})
+		if err != nil {
+			// The monitor is shut down: hand out an already-closed
+			// subscription so ranging consumers terminate instead of
+			// blocking forever. Cached like the live path, so every call
+			// keeps returning the same channel.
+			sub = &Subscription{name: "reports", ch: make(chan AggregatedReport), done: make(chan struct{})}
+			close(sub.done)
+			close(sub.ch)
+		}
+		p.defaultSub = sub
+	}
+	return p.defaultSub.ch
+}
 
 // ErrorCount returns the number of pipeline errors observed so far.
 func (p *PowerAPI) ErrorCount() int64 { return p.errCount.Load() }
@@ -656,6 +840,7 @@ func (p *PowerAPI) DetachTargets(targets ...target.Target) error {
 				if err := p.askDetach(t); err != nil {
 					return err
 				}
+				p.dropHistory(t)
 			}
 			delete(p.monitored, t)
 		case t.Kind == target.KindCgroup && p.attrScope == source.ScopeCgroup:
@@ -663,15 +848,36 @@ func (p *PowerAPI) DetachTargets(targets ...target.Target) error {
 				return err
 			}
 			delete(p.monitored, t)
+			p.dropHistory(t)
 		default:
 			delete(p.monitored, t)
 			if err := p.syncCgroupsLocked(); err != nil {
 				p.monitored[t] = true // restore so the detach can be retried
 				return err
 			}
+			p.dropHistory(t)
 		}
 	}
 	return nil
+}
+
+// dropHistory forgets the retained samples of a target that is no longer
+// monitored, keeping the history store bounded by the live target set.
+// Callers hold p.mu: the cutoff is the most recent round the target could
+// have appeared in (p.lastCollect), so a still-queued report from an earlier
+// round cannot resurrect the ring behind the asynchronous history writer.
+func (p *PowerAPI) dropHistory(t target.Target) {
+	if p.history == nil {
+		return
+	}
+	if t.Kind == target.KindCgroup {
+		// The rollup recorded the whole subtree next to this group; nested
+		// groups that remain monitored in their own right repopulate from
+		// the next round.
+		p.history.RemoveSubtree(t.Path, p.lastCollect)
+		return
+	}
+	p.history.Remove(t, p.lastCollect)
 }
 
 // syncCgroupsLocked re-synchronises shard attachments with the cgroup
@@ -710,6 +916,7 @@ func (p *PowerAPI) syncCgroupsLocked() error {
 			if err := p.askDetach(target.Process(pid)); err != nil {
 				return err
 			}
+			p.dropHistory(target.Process(pid))
 		}
 		delete(p.members, pid)
 	}
@@ -787,20 +994,27 @@ func (p *PowerAPI) Collect() (AggregatedReport, error) {
 	p.lastCollect = now
 	p.mu.Unlock()
 
+	// Register the round's waiter before broadcasting the tick so the fanout
+	// cannot race past it; the waiter is buffered one deep, so a timed-out
+	// round's late report never blocks the fanout either.
+	waiter := make(chan AggregatedReport, 1)
+	p.collectMu.Lock()
+	p.collectWaiters[now] = waiter
+	p.collectMu.Unlock()
+	defer func() {
+		p.collectMu.Lock()
+		delete(p.collectWaiters, now)
+		p.collectMu.Unlock()
+	}()
+
 	if delivered := p.sensors.Broadcast(tickRequest{Timestamp: now, Window: window}); delivered < p.shards {
 		return AggregatedReport{}, fmt.Errorf("core: tick reached %d of %d sensor shards: %w", delivered, p.shards, actor.ErrStopped)
 	}
-	deadline := time.After(p.collectTimeout)
-	for {
-		select {
-		case report := <-p.reports:
-			if report.Timestamp == now {
-				return report, nil
-			}
-			// A stale report from an earlier asynchronous round: skip it.
-		case <-deadline:
-			return AggregatedReport{}, fmt.Errorf("core: timed out waiting for the report of round %v", now)
-		}
+	select {
+	case report := <-waiter:
+		return report, nil
+	case <-time.After(p.collectTimeout):
+		return AggregatedReport{}, fmt.Errorf("core: timed out waiting for the report of round %v", now)
 	}
 }
 
@@ -814,7 +1028,9 @@ func (p *PowerAPI) RunMonitored(duration, interval time.Duration, onReport func(
 // RunMonitoredContext is RunMonitored with cancellation: when ctx is done the
 // loop stops between rounds and the reports collected so far are returned
 // alongside ctx.Err(), letting callers (like the daemon's signal handler)
-// stop cleanly on a round boundary.
+// stop cleanly on a round boundary. With WithReportRetention(n) only the most
+// recent n rounds are kept (and returned), so an arbitrarily long run holds
+// bounded memory; the callback still observes every round.
 func (p *PowerAPI) RunMonitoredContext(ctx context.Context, duration, interval time.Duration, onReport func(AggregatedReport)) ([]AggregatedReport, error) {
 	if duration <= 0 || interval <= 0 {
 		return nil, errors.New("core: duration and interval must be positive")
@@ -823,7 +1039,11 @@ func (p *PowerAPI) RunMonitoredContext(ctx context.Context, duration, interval t
 		return nil, errors.New("core: interval exceeds duration")
 	}
 	steps := int(duration / interval)
-	out := make([]AggregatedReport, 0, steps)
+	capacity := steps
+	if p.retention > 0 && p.retention < capacity {
+		capacity = p.retention
+	}
+	out := make([]AggregatedReport, 0, capacity)
 	for i := 0; i < steps; i++ {
 		select {
 		case <-ctx.Done():
@@ -837,6 +1057,12 @@ func (p *PowerAPI) RunMonitoredContext(ctx context.Context, duration, interval t
 		if err != nil {
 			return out, err
 		}
+		if p.retention > 0 && len(out) >= p.retention {
+			// Slide the retention window: dropping the front and appending is
+			// amortised O(1) — append reallocates only once the backing array
+			// is exhausted, copying the bounded window, never the full run.
+			out = out[1:]
+		}
 		out = append(out, report)
 		if onReport != nil {
 			onReport(report)
@@ -845,9 +1071,12 @@ func (p *PowerAPI) RunMonitoredContext(ctx context.Context, duration, interval t
 	return out, nil
 }
 
-// Shutdown stops the actor pipeline and closes the sensing sources (after
-// the actors have drained, so no tick samples a closed source). It is
-// idempotent.
+// Shutdown stops the actor pipeline, closes every subscription (so consumers
+// ranging over their channels terminate) and closes the sensing sources
+// (after the actors have drained, so no tick samples a closed source). It is
+// idempotent. Block subscriptions must still be consumed (or Closed) while
+// Shutdown drains the in-flight rounds — an abandoned one stalls the drain
+// exactly as it stalls monitoring.
 func (p *PowerAPI) Shutdown() {
 	p.mu.Lock()
 	if p.closed {
@@ -857,7 +1086,13 @@ func (p *PowerAPI) Shutdown() {
 	p.closed = true
 	p.mu.Unlock()
 	p.system.Shutdown()
-	// Reporter mailboxes are drained; flush buffered reporters so every row
+	// The fanout has delivered every in-flight round. Closing the
+	// subscriptions lets the internal drain goroutines (file reporters,
+	// history writer) finish the reports still buffered in their channels;
+	// only then is it safe to flush.
+	p.subs.closeAll()
+	p.drainWG.Wait()
+	// Reporter subscribers are drained; flush buffered reporters so every row
 	// they accepted reaches the underlying writer before Shutdown returns.
 	for _, flush := range p.flushes {
 		if err := flush(); err != nil {

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"powerapi/internal/cgroup"
+	"powerapi/internal/target"
+)
+
+// This file implements the report-consumption API of the pipeline: first-class
+// runtime subscriptions. Instead of one hard-coded Reports channel, the
+// Reporter stage fans every AggregatedReport out to a registry of
+// subscriptions, each with its own channel, filters, decimation and an
+// explicit backpressure policy. All built-in consumers — the legacy Reports()
+// channel, WithReporter/WithFlushingReporter reporters, the retained-history
+// writer, the HTTP serving layer — are ordinary subscribers of this registry.
+
+// BackpressurePolicy tells the fanout what to do when a subscriber's channel
+// is full: monitoring must either stay lossless for that subscriber (Block)
+// or shed load in a defined way (Conflate, DropOldest).
+type BackpressurePolicy int
+
+const (
+	// Conflate keeps only the most recent report: the subscription's buffer
+	// is a single slot and a newer report displaces an unread older one.
+	// A consumer always observes the latest round, never a stale backlog.
+	// This is the default policy.
+	Conflate BackpressurePolicy = iota
+	// DropOldest buffers up to Buffer reports and evicts the oldest unread
+	// one to make room for a new round (the legacy Reports() behaviour).
+	DropOldest
+	// Block makes the fanout wait until the subscriber has drained space:
+	// the subscriber sees every round exactly once, at the price of
+	// backpressuring the whole pipeline. An abandoned Block subscription
+	// stalls monitoring — Close it (or keep consuming) at all times.
+	Block
+)
+
+// String implements fmt.Stringer.
+func (p BackpressurePolicy) String() string {
+	switch p {
+	case Conflate:
+		return "conflate"
+	case DropOldest:
+		return "drop-oldest"
+	case Block:
+		return "block"
+	default:
+		return fmt.Sprintf("BackpressurePolicy(%d)", int(p))
+	}
+}
+
+// Valid reports whether the policy is one of the defined values.
+func (p BackpressurePolicy) Valid() bool {
+	return p == Conflate || p == DropOldest || p == Block
+}
+
+// DefaultSubscriptionBuffer is the channel capacity of DropOldest/Block
+// subscriptions that do not set SubscribeOptions.Buffer.
+const DefaultSubscriptionBuffer = 16
+
+// SubscribeOptions configures one subscription. The zero value is valid: a
+// conflating, unfiltered subscription that always holds the latest report.
+type SubscribeOptions struct {
+	// Name labels the subscription in diagnostics (optional).
+	Name string
+	// Policy is the backpressure policy (Conflate by default).
+	Policy BackpressurePolicy
+	// Buffer is the channel capacity of DropOldest and Block subscriptions
+	// (DefaultSubscriptionBuffer when zero). Conflate always uses one slot.
+	Buffer int
+	// Every delivers only every n-th round (interval decimation): 1 or 0
+	// delivers all rounds, 5 delivers the first round and then every fifth.
+	Every int
+
+	// Targets restricts the report breakdown to an explicit target set:
+	// process rows must match a process target's PID, cgroup rows a cgroup
+	// target's path. Empty means no target filter.
+	Targets []target.Target
+	// Kinds restricts which breakdown rows survive (process and/or cgroup).
+	// Empty means no kind filter.
+	Kinds []target.Kind
+	// CgroupSubtree keeps only the cgroup rows inside the given subtree
+	// (the path itself and its descendants) and, when the monitor has a
+	// cgroup hierarchy, the process rows whose leaf group lies inside it.
+	CgroupSubtree string
+	// MinWatts drops breakdown rows attributed less than this many watts.
+	MinWatts float64
+}
+
+// filtering reports whether any breakdown filter is configured.
+func (o SubscribeOptions) filtering() bool {
+	return len(o.Targets) > 0 || len(o.Kinds) > 0 || o.CgroupSubtree != "" || o.MinWatts > 0
+}
+
+// Subscription is one consumer of the pipeline's aggregated reports. Reports
+// arrive on C(); Close releases the subscription and closes the channel, so
+// consumers may simply range over it. Delivered/Dropped expose the
+// subscription's fanout counters.
+type Subscription struct {
+	name string
+	opts SubscribeOptions
+	id   uint64
+	reg  *subscriptionRegistry
+
+	ch   chan AggregatedReport
+	done chan struct{}
+
+	// sendMu serialises the fanout's sends against Close, so the channel is
+	// only ever closed with no send in flight.
+	sendMu    sync.Mutex
+	closeOnce sync.Once
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+
+	// rounds counts the reports offered so far (decimation); only the fanout
+	// goroutine touches it.
+	rounds uint64
+
+	// pidSet/pathSet are the precomputed Targets filter.
+	pidSet  map[int]bool
+	pathSet map[string]bool
+	// kindSet is the precomputed Kinds filter.
+	kindSet map[target.Kind]bool
+}
+
+// C returns the subscription's report channel. It is closed by Close (and by
+// the monitor's Shutdown), so `for report := range sub.C()` terminates.
+func (s *Subscription) C() <-chan AggregatedReport { return s.ch }
+
+// Name returns the subscription's diagnostic label.
+func (s *Subscription) Name() string { return s.name }
+
+// Policy returns the subscription's backpressure policy.
+func (s *Subscription) Policy() BackpressurePolicy { return s.opts.Policy }
+
+// Delivered returns how many reports were placed into the subscription's
+// channel so far (including reports later evicted by Conflate/DropOldest).
+func (s *Subscription) Delivered() uint64 { return s.delivered.Load() }
+
+// Dropped returns how many delivered reports were evicted unread to make room
+// for newer ones. Always zero for Block subscriptions.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription from the fanout and closes its channel.
+// Buffered reports stay receivable; a consumer ranging over C() terminates
+// once it has drained them. Close is idempotent and safe to call while the
+// pipeline is mid-round: an in-flight blocking delivery is aborted.
+func (s *Subscription) Close() {
+	s.closeOnce.Do(func() {
+		if s.reg != nil {
+			s.reg.remove(s.id)
+		}
+		// Aborts a blocked delivery and marks the subscription dead for the
+		// fanout; taking sendMu then waits out any send already in flight, so
+		// closing the channel cannot race a send.
+		close(s.done)
+		s.sendMu.Lock()
+		close(s.ch)
+		s.sendMu.Unlock()
+	})
+}
+
+// offer runs on the fanout goroutine: it applies decimation and filters, then
+// delivers the report according to the backpressure policy.
+func (s *Subscription) offer(report AggregatedReport) {
+	s.rounds++
+	if every := s.opts.Every; every > 1 && (s.rounds-1)%uint64(every) != 0 {
+		return
+	}
+	filtered, ok := s.filter(report)
+	if !ok {
+		return
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	if s.opts.Policy == Block {
+		select {
+		case s.ch <- filtered:
+			s.delivered.Add(1)
+		case <-s.done:
+		}
+		return
+	}
+	// Conflate and DropOldest: evict the oldest unread report until the new
+	// one fits. The fanout is the only sender, so the loop terminates — the
+	// consumer can only make room, never fill it.
+	for {
+		select {
+		case s.ch <- filtered:
+			s.delivered.Add(1)
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+		default:
+		}
+	}
+}
+
+// filter projects the report through the subscription's breakdown filters.
+// Round-level figures (timestamps, totals, PerGroup) pass through untouched;
+// PerPID and PerCgroup are reduced to the rows every configured filter
+// accepts. When filters are configured and no row survives, the round is
+// skipped entirely (ok is false).
+func (s *Subscription) filter(report AggregatedReport) (AggregatedReport, bool) {
+	if !s.opts.filtering() {
+		return report, true
+	}
+	out := report
+	out.PerPID = make(map[int]float64)
+	for pid, watts := range report.PerPID {
+		if s.acceptProcess(pid, watts) {
+			out.PerPID[pid] = watts
+		}
+	}
+	if len(report.PerCgroup) > 0 {
+		out.PerCgroup = make(map[string]float64)
+		for path, watts := range report.PerCgroup {
+			if s.acceptCgroup(path, watts) {
+				out.PerCgroup[path] = watts
+			}
+		}
+	}
+	if len(out.PerPID) == 0 && len(out.PerCgroup) == 0 {
+		return AggregatedReport{}, false
+	}
+	return out, true
+}
+
+func (s *Subscription) acceptProcess(pid int, watts float64) bool {
+	if s.kindSet != nil && !s.kindSet[target.KindProcess] {
+		return false
+	}
+	if s.pidSet != nil || s.pathSet != nil {
+		if !s.pidSet[pid] {
+			return false
+		}
+	}
+	if prefix := s.opts.CgroupSubtree; prefix != "" {
+		hierarchy := s.reg.hierarchy
+		if hierarchy == nil {
+			return false
+		}
+		leaf, ok := hierarchy.LeafOf(pid)
+		if !ok || !cgroup.InSubtree(leaf, prefix) {
+			return false
+		}
+	}
+	return watts >= s.opts.MinWatts
+}
+
+func (s *Subscription) acceptCgroup(path string, watts float64) bool {
+	if s.kindSet != nil && !s.kindSet[target.KindCgroup] {
+		return false
+	}
+	if s.pidSet != nil || s.pathSet != nil {
+		if !s.pathSet[path] {
+			return false
+		}
+	}
+	if prefix := s.opts.CgroupSubtree; prefix != "" && !cgroup.InSubtree(path, prefix) {
+		return false
+	}
+	return watts >= s.opts.MinWatts
+}
+
+// subscriptionRegistry is the fanout's set of live subscriptions. Subscribe
+// and Close mutate it from arbitrary goroutines while the Reporter actor
+// publishes each round to a snapshot of it.
+type subscriptionRegistry struct {
+	hierarchy *cgroup.Hierarchy
+
+	mu     sync.RWMutex
+	nextID uint64
+	subs   map[uint64]*Subscription
+	closed bool
+}
+
+func newSubscriptionRegistry(hierarchy *cgroup.Hierarchy) *subscriptionRegistry {
+	return &subscriptionRegistry{
+		hierarchy: hierarchy,
+		subs:      make(map[uint64]*Subscription),
+	}
+}
+
+// add validates opts, builds the subscription and registers it.
+func (r *subscriptionRegistry) add(opts SubscribeOptions) (*Subscription, error) {
+	if !opts.Policy.Valid() {
+		return nil, fmt.Errorf("core: invalid backpressure policy %v", opts.Policy)
+	}
+	if opts.Buffer < 0 {
+		return nil, fmt.Errorf("core: subscription buffer must not be negative, got %d", opts.Buffer)
+	}
+	if opts.Every < 0 {
+		return nil, fmt.Errorf("core: subscription decimation must not be negative, got %d", opts.Every)
+	}
+	if opts.MinWatts < 0 {
+		return nil, fmt.Errorf("core: subscription min-watts must not be negative, got %g", opts.MinWatts)
+	}
+	buffer := opts.Buffer
+	if buffer == 0 {
+		buffer = DefaultSubscriptionBuffer
+	}
+	if opts.Policy == Conflate {
+		buffer = 1
+	}
+	s := &Subscription{
+		name: opts.Name,
+		opts: opts,
+		reg:  r,
+		ch:   make(chan AggregatedReport, buffer),
+		done: make(chan struct{}),
+	}
+	for _, t := range opts.Targets {
+		switch t.Kind {
+		case target.KindProcess:
+			if s.pidSet == nil {
+				s.pidSet = make(map[int]bool)
+			}
+			s.pidSet[t.PID] = true
+		case target.KindCgroup:
+			if s.pathSet == nil {
+				s.pathSet = make(map[string]bool)
+			}
+			s.pathSet[t.Path] = true
+		default:
+			return nil, fmt.Errorf("core: cannot filter a subscription by target %v", t)
+		}
+	}
+	for _, k := range opts.Kinds {
+		if k != target.KindProcess && k != target.KindCgroup {
+			return nil, fmt.Errorf("core: cannot filter a subscription by kind %v", k)
+		}
+		if s.kindSet == nil {
+			s.kindSet = make(map[target.Kind]bool)
+		}
+		s.kindSet[k] = true
+	}
+	if opts.CgroupSubtree != "" {
+		if err := cgroup.ValidatePath(opts.CgroupSubtree); err != nil {
+			return nil, fmt.Errorf("core: subscription cgroup subtree: %w", err)
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errors.New("core: powerapi is shut down")
+	}
+	r.nextID++
+	s.id = r.nextID
+	r.subs[s.id] = s
+	return s, nil
+}
+
+func (r *subscriptionRegistry) remove(id uint64) {
+	r.mu.Lock()
+	delete(r.subs, id)
+	r.mu.Unlock()
+}
+
+// publish fans one report out to every live subscription. It runs on the
+// Reporter actor goroutine; the snapshot keeps Subscribe/Close concurrent
+// with an in-flight round race-free (a subscription added mid-round starts
+// with the next one).
+func (r *subscriptionRegistry) publish(report AggregatedReport) {
+	r.mu.RLock()
+	snapshot := make([]*Subscription, 0, len(r.subs))
+	for _, s := range r.subs {
+		snapshot = append(snapshot, s)
+	}
+	r.mu.RUnlock()
+	for _, s := range snapshot {
+		s.offer(report)
+	}
+}
+
+// size returns the number of live subscriptions.
+func (r *subscriptionRegistry) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.subs)
+}
+
+// closeAll marks the registry closed and closes every remaining subscription,
+// so consumers ranging over their channels terminate on monitor shutdown.
+func (r *subscriptionRegistry) closeAll() {
+	r.mu.Lock()
+	r.closed = true
+	remaining := make([]*Subscription, 0, len(r.subs))
+	for _, s := range r.subs {
+		remaining = append(remaining, s)
+	}
+	r.mu.Unlock()
+	for _, s := range remaining {
+		s.Close()
+	}
+}

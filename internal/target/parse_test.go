@@ -1,0 +1,23 @@
+package target
+
+import "testing"
+
+func TestParseRoundTrips(t *testing.T) {
+	for _, tgt := range []Target{Process(1000), Cgroup("web/api"), Machine()} {
+		parsed, err := Parse(tgt.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tgt.String(), err)
+		}
+		if parsed != tgt {
+			t.Fatalf("Parse(%q) = %v, want %v", tgt.String(), parsed, tgt)
+		}
+	}
+}
+
+func TestParseRejectsMalformedTargets(t *testing.T) {
+	for _, s := range []string{"", "pid:", "pid:abc", "pid:0", "pid:-3", "cgroup:", "machines", "web"} {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) should fail", s)
+		}
+	}
+}

@@ -9,6 +9,8 @@ package target
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
+	"strings"
 )
 
 // Kind classifies what a Target identifies.
@@ -90,6 +92,29 @@ func (t Target) String() string {
 		return "machine"
 	default:
 		return fmt.Sprintf("target(%d)", int(t.Kind))
+	}
+}
+
+// Parse resolves the string form produced by String back into a target:
+// "pid:1000", "cgroup:web/api" or "machine".
+func Parse(s string) (Target, error) {
+	switch {
+	case s == "machine":
+		return Machine(), nil
+	case strings.HasPrefix(s, "pid:"):
+		pid, err := strconv.Atoi(strings.TrimPrefix(s, "pid:"))
+		if err != nil || pid <= 0 {
+			return Target{}, fmt.Errorf("target: invalid pid in %q", s)
+		}
+		return Process(pid), nil
+	case strings.HasPrefix(s, "cgroup:"):
+		path := strings.TrimPrefix(s, "cgroup:")
+		if path == "" {
+			return Target{}, fmt.Errorf("target: empty cgroup path in %q", s)
+		}
+		return Cgroup(path), nil
+	default:
+		return Target{}, fmt.Errorf("target: cannot parse %q (want \"pid:N\", \"cgroup:PATH\" or \"machine\")", s)
 	}
 }
 

@@ -40,6 +40,8 @@ import (
 	"powerapi/internal/core"
 	"powerapi/internal/cpu"
 	"powerapi/internal/experiments"
+	"powerapi/internal/history"
+	"powerapi/internal/httpapi"
 	"powerapi/internal/machine"
 	"powerapi/internal/model"
 	"powerapi/internal/powermeter"
@@ -110,6 +112,42 @@ type (
 	Advisor = advisor.Advisor
 	// AdvisorFinding is one piece of advice about a monitored process.
 	AdvisorFinding = advisor.Finding
+	// Subscription is one live consumer of a Monitor's report fanout
+	// (Monitor.Subscribe): a per-subscriber channel with filters, decimation,
+	// an explicit backpressure policy and drop/delivery counters.
+	Subscription = core.Subscription
+	// SubscribeOptions configures a Subscription (policy, buffer, filters,
+	// decimation). The zero value is a conflating, unfiltered subscription.
+	SubscribeOptions = core.SubscribeOptions
+	// BackpressurePolicy tells the fanout what to do when a subscriber lags:
+	// Conflate, DropOldest or Block.
+	BackpressurePolicy = core.BackpressurePolicy
+	// QueryOptions selects and aggregates retained history (Monitor.Query).
+	QueryOptions = core.QueryOptions
+	// TargetStats is one per-target row of a Monitor.Query result.
+	TargetStats = core.TargetStats
+	// HistoryStore is the per-target retained-history ring-buffer store a
+	// Monitor fills when WithHistory is enabled.
+	HistoryStore = history.Store
+	// HistorySample is one retained observation of one target.
+	HistorySample = history.Sample
+	// APIServer serves a Monitor over HTTP: Prometheus /metrics plus the
+	// JSON query/attach/detach API (see NewAPIServer).
+	APIServer = httpapi.Server
+)
+
+// Backpressure policies (see SubscribeOptions.Policy).
+const (
+	// Conflate keeps only the latest report: a consumer always observes the
+	// most recent round, never a stale backlog. The default.
+	Conflate = core.Conflate
+	// DropOldest buffers up to SubscribeOptions.Buffer reports and evicts
+	// the oldest unread one when a new round arrives.
+	DropOldest = core.DropOldest
+	// Block makes the pipeline wait for the subscriber: every round is
+	// delivered exactly once. Close (or keep consuming) Block subscriptions,
+	// an abandoned one stalls monitoring.
+	Block = core.Block
 )
 
 // DVFS governors.
@@ -277,6 +315,37 @@ func WithSources(mode SourceMode) MonitorOption { return core.WithSources(mode) 
 // WithCollectTimeout overrides the wall-clock budget of synchronous monitor
 // operations (Attach, Detach, Collect); it must be positive.
 func WithCollectTimeout(d time.Duration) MonitorOption { return core.WithCollectTimeout(d) }
+
+// WithReportRetention caps how many rounds RunMonitored keeps in the slice it
+// returns (the most recent n), so long-running loops hold bounded memory.
+// Zero keeps every round (the historical behaviour).
+func WithReportRetention(n int) MonitorOption { return core.WithReportRetention(n) }
+
+// WithHistory retains the most recent rounds in per-target ring buffers
+// (capacity samples per target; non-positive selects the default) and enables
+// Monitor.Query — windowed avg/max/p95 watts per process, cgroup and the
+// machine total — plus the HTTP /api/v1/query endpoint.
+func WithHistory(capacity int) MonitorOption { return core.WithHistory(capacity) }
+
+// WithAdvisorFeed subscribes an Advisor to the monitor's report fanout:
+// every sampling round is fed to ObserveReport with the given interval, so
+// findings accumulate without a hand-written callback loop. Observation
+// failures surface through the monitor's ErrorCount/LastError.
+func WithAdvisorFeed(adv *Advisor, interval time.Duration) MonitorOption {
+	return core.WithReporter("advisor", func(r MonitorReport) error {
+		return adv.ObserveReport(r, interval)
+	})
+}
+
+// NewAPIServer mounts a Monitor behind the HTTP serving layer: Prometheus
+// text exposition on /metrics and the JSON API under /api/v1 (targets,
+// windowed history queries, dynamic attach/detach). Serve the returned
+// server's Handler with net/http and Close it when done.
+func NewAPIServer(m *Monitor) (*APIServer, error) { return httpapi.New(m) }
+
+// ParseTarget resolves the string form of a target: "pid:1000",
+// "cgroup:web/api" or "machine".
+func ParseTarget(s string) (Target, error) { return target.Parse(s) }
 
 // WithCgroups attaches a control-group hierarchy to the Monitor. Cgroup
 // targets become attachable (Monitor.AttachTargets), every report carries

@@ -1,0 +1,111 @@
+package powerapi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFacadeSubscribeQueryAndServe drives the serving surface end to end
+// through the public facade: a runtime subscription, the retained-history
+// query API, the advisor feed and the HTTP layer mounted on a live monitor.
+func TestFacadeSubscribeQueryAndServe(t *testing.T) {
+	cfg := DefaultMachineConfig()
+	cfg.Governor = GovernorPerformance
+	host, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, _ := CPUStress(0.9, 0)
+	lazy, _ := CPUStress(0.2, 0)
+	p1, _ := host.Spawn(busy)
+	p2, _ := host.Spawn(lazy)
+
+	adv, err := NewAdvisor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor, err := NewMonitor(host, PaperReferenceModel(),
+		WithHistory(64), WithAdvisorFeed(adv, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := monitor.Attach(p1.PID(), p2.PID()); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := monitor.Subscribe(SubscribeOptions{Name: "test", Policy: Block, Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.C() {
+			received++
+		}
+	}()
+
+	srv, err := NewAPIServer(monitor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Read the advisor concurrently with the feed, the live-dashboard
+	// pattern the serving layer encourages (exercised under -race in CI).
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		for i := 0; i < 50; i++ {
+			_ = adv.Findings()
+			_ = adv.MeanWatts(p1.PID())
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	const rounds = 5
+	if _, err := monitor.RunMonitored(rounds*time.Second, time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-pollDone
+	monitor.Shutdown()
+	<-done
+
+	if received != rounds {
+		t.Fatalf("Block subscription received %d rounds, want %d", received, rounds)
+	}
+	if sub.Delivered() != rounds || sub.Dropped() != 0 {
+		t.Fatalf("counters delivered=%d dropped=%d", sub.Delivered(), sub.Dropped())
+	}
+
+	stats, err := monitor.Query(QueryOptions{Kinds: []TargetKind{TargetProcess}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("Query returned %d process rows, want 2", len(stats))
+	}
+	for _, st := range stats {
+		if st.Samples != rounds {
+			t.Fatalf("target %v retained %d samples, want %d", st.Target, st.Samples, rounds)
+		}
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "powerapi_target_watts") {
+		t.Fatalf("/metrics body missing target gauges:\n%s", body)
+	}
+
+	parsed, err := ParseTarget("cgroup:web/api")
+	if err != nil || parsed != CgroupTarget("web/api") {
+		t.Fatalf("ParseTarget = %v, %v", parsed, err)
+	}
+}
