@@ -18,6 +18,10 @@
 //	powerapi-daemon -cgroups "web=1,4;db=2"  # container-level rollup over the
 //	                                         # 1-based workload indices
 //	powerapi-daemon -listen 127.0.0.1:9090   # Prometheus /metrics + JSON API
+//	powerapi-daemon -vms "vma=1,2;vmb=3" -vm-publish 127.0.0.1:9191
+//	                                         # host side of the VM bridge
+//	powerapi-daemon -vm-delegate 127.0.0.1:9191 -vm-name vma
+//	                                         # guest side: nested instance
 //
 // With -cgroups the daemon groups the spawned workloads into a control-group
 // hierarchy (nested paths like "web/api" are allowed), reports each group's
@@ -30,6 +34,15 @@
 // dynamic attach/detach). Once the monitoring run completes the daemon keeps
 // serving the retained figures until SIGINT/SIGTERM (disable with
 // -linger=false).
+//
+// The VM bridge connects two daemons across the host/guest boundary. On the
+// host, -vms designates named VMs over the workload indices and -vm-publish
+// streams each VM's per-round power as JSON lines over TCP (the virtio-serial
+// stand-in). On the guest, -vm-delegate dials that address and -vm-name picks
+// the VM: the guest daemon's machine power is then whatever the host
+// delegated, re-attributed across the guest's own workloads — the nested
+// PowerAPI instance of the paper. -vm-stale selects what the guest reports
+// when frames stop arriving (zero|hold).
 package main
 
 import (
@@ -57,6 +70,7 @@ import (
 	"powerapi/internal/machine"
 	"powerapi/internal/model"
 	"powerapi/internal/source"
+	"powerapi/internal/vmbridge"
 	"powerapi/internal/workload"
 )
 
@@ -84,6 +98,11 @@ func run(args []string) error {
 		linger    = fs.Bool("linger", true, "with -listen, keep serving after the monitoring run completes until SIGINT/SIGTERM")
 		histCap   = fs.Int("history", 1024, "retained samples per target for /api/v1/query; only effective with -listen (0 disables the history store)")
 		retention = fs.Int("retention", 300, "most recent rounds RunMonitored keeps in memory (0 keeps all)")
+		vms       = fs.String("vms", "", `designate named VMs over the workloads, e.g. "vma=1,2;vmb=3" (1-based workload indices)`)
+		vmPublish = fs.String("vm-publish", "", `host side of the VM bridge: stream per-VM power frames as JSON lines over TCP on this address (requires -vms)`)
+		vmDial    = fs.String("vm-delegate", "", `guest side of the VM bridge: dial a host's -vm-publish address and use the delegated figure as this instance's machine power`)
+		vmName    = fs.String("vm-name", "", "with -vm-delegate, the VM whose frames this guest consumes")
+		vmStale   = fs.String("vm-stale", "zero", "with -vm-delegate, what to report once frames stop arriving: zero|hold")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +119,32 @@ func run(args []string) error {
 	if *retention < 0 {
 		return fmt.Errorf("retention must not be negative, got %d", *retention)
 	}
+	if *vmPublish != "" && *vmDial != "" {
+		return fmt.Errorf("-vm-publish and -vm-delegate are mutually exclusive (one daemon is host or guest, not both)")
+	}
+	if *vmPublish != "" && *vms == "" {
+		return fmt.Errorf("-vm-publish requires -vms to designate which workloads form each VM")
+	}
+	if *vmDial != "" && *vmName == "" {
+		return fmt.Errorf("-vm-delegate requires -vm-name")
+	}
+	if *vmDial != "" && *srcName != "hpc" {
+		return fmt.Errorf("-vm-delegate selects the delegated sensing mode; leave -source at its default")
+	}
+	stalePolicy, err := vmbridge.ParseStalePolicy(*vmStale)
+	if err != nil {
+		return err
+	}
+	// Like -cgroups, the -vms layout parses before the slow calibration; VM
+	// names reuse the spec syntax with single-segment paths.
+	var vmSpec *cgroup.Spec
+	if *vms != "" {
+		var verr error
+		vmSpec, verr = cgroup.ParseSpec(*vms)
+		if verr != nil {
+			return verr
+		}
+	}
 	// Claim the serving socket before the (slow) calibration so a taken port
 	// or malformed address fails fast, and so a supervisor (or the CI smoke
 	// test) can poll the endpoint while calibration is still running.
@@ -111,6 +156,19 @@ func run(args []string) error {
 			return fmt.Errorf("listen on %s: %w", *listen, lerr)
 		}
 		defer listener.Close()
+	}
+	// The bridge socket is claimed before calibration for the same reasons —
+	// and so a guest daemon can already connect while this host calibrates,
+	// instead of burning its dial-retry budget against a closed port.
+	var bridgeTransport *vmbridge.TCPPublisher
+	if *vmPublish != "" {
+		var berr error
+		bridgeTransport, berr = vmbridge.ListenTCP(*vmPublish)
+		if berr != nil {
+			return berr
+		}
+		defer bridgeTransport.Close()
+		fmt.Printf("Publishing VM power frames on %s once monitoring starts\n", bridgeTransport.Addr())
 	}
 	mode, err := source.ParseMode(*srcName)
 	if err != nil {
@@ -187,6 +245,23 @@ func run(args []string) error {
 		}
 	}
 
+	// -vms designates named VMs over the spawned workloads (pid sets); the
+	// Aggregator rolls each VM's power up per round and -vm-publish streams
+	// the figures to nested guest daemons.
+	var vmDefs []core.VMDef
+	if vmSpec != nil {
+		for _, name := range vmSpec.Paths {
+			def := core.VMDef{Name: name}
+			for _, id := range vmSpec.Members[name] {
+				if id < 1 || id > len(tenantPIDs) {
+					return fmt.Errorf("vm %q: workload index %d out of range 1..%d", name, id, len(tenantPIDs))
+				}
+				def.PIDs = append(def.PIDs, tenantPIDs[id-1])
+			}
+			vmDefs = append(vmDefs, def)
+		}
+	}
+
 	// File reporters run as their own actors inside the pipeline; the
 	// buffered writers are flushed after Shutdown has drained the mailboxes —
 	// on error paths too, so a failed run still leaves complete rounds on
@@ -212,6 +287,26 @@ func run(args []string) error {
 	}
 	if hierarchy != nil {
 		opts = append(opts, core.WithCgroups(hierarchy))
+	}
+	if len(vmDefs) > 0 {
+		opts = append(opts, core.WithVMs(vmDefs...))
+	}
+	// -vm-delegate makes this daemon a guest: its machine power is whatever
+	// the host publishes for -vm-name, so the per-process rows below conserve
+	// to the host-delegated figure instead of a local measurement.
+	var delegated *vmbridge.DelegatedSource
+	if *vmDial != "" {
+		recv, derr := vmbridge.DialTCPWithRetry(*vmDial, 20, 250*time.Millisecond)
+		if derr != nil {
+			return derr
+		}
+		delegated, derr = vmbridge.NewDelegatedSource(recv, *vmName, vmbridge.WithStalePolicy(stalePolicy))
+		if derr != nil {
+			recv.Close()
+			return derr
+		}
+		opts = append(opts, core.WithVMBridge(delegated))
+		fmt.Printf("Delegating machine power from %s (vm %q, %s stale policy)\n", *vmDial, *vmName, stalePolicy)
 	}
 	var flushers []func() error
 	flushed := false
@@ -267,6 +362,8 @@ func run(args []string) error {
 		flushers = append(flushers, flush)
 	}
 
+	// The pipeline owns the delegated source either way: Shutdown closes it
+	// after a successful construction, core.New's failure path closes it too.
 	api, err := core.New(m, powerModel, opts...)
 	if err != nil {
 		return err
@@ -274,6 +371,32 @@ func run(args []string) error {
 	defer api.Shutdown()
 	if err := api.AttachAllRunnable(); err != nil {
 		return err
+	}
+
+	// A guest's simulated rounds outpace the wall-clock link by orders of
+	// magnitude; without a bounded wait for the first delegated frame every
+	// round of a short run would attribute zero watts while the link warms
+	// up. Link loss during the wait falls through to the staleness policy.
+	if delegated != nil {
+		waitDeadline := time.Now().Add(10 * time.Second)
+		for delegated.FrameCount() == 0 && !delegated.LinkDown() && time.Now().Before(waitDeadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if delegated.FrameCount() == 0 {
+			fmt.Fprintln(os.Stderr, "powerapi-daemon: no delegated frame received yet; starting anyway")
+		}
+	}
+
+	// -vm-publish turns this daemon into the host side of the bridge: every
+	// completed round streams one frame per VM over the pre-claimed socket
+	// to the connected guests.
+	if bridgeTransport != nil {
+		pub, perr := vmbridge.NewPublisher(api, bridgeTransport)
+		if perr != nil {
+			return perr
+		}
+		defer pub.Close()
+		fmt.Printf("Publishing VM power frames on %s (%d VM(s))\n", bridgeTransport.Addr(), len(vmDefs))
 	}
 
 	// Trap SIGINT/SIGTERM so an interrupted run still drains the pipeline and
@@ -321,6 +444,17 @@ func run(args []string) error {
 			for _, path := range paths {
 				fmt.Printf("%-10s %-14s %10s %12.2f\n",
 					r.Timestamp.Truncate(time.Second), "cgroup:"+path, "-", r.PerCgroup[path])
+			}
+		}
+		if len(r.PerVM) > 0 {
+			names := make([]string, 0, len(r.PerVM))
+			for name := range r.PerVM {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Printf("%-10s %-14s %10s %12.2f\n",
+					r.Timestamp.Truncate(time.Second), "vm:"+name, "-", r.PerVM[name])
 			}
 		}
 		fmt.Printf("%-10s %-14s %10s %12.2f  (idle %.2f + active %.2f)\n\n",

@@ -175,7 +175,7 @@ func (f *formulaShardBehavior) estimateBatch(ctx *actor.Context, batch SensorRep
 	for _, sample := range batch.Samples {
 		est := TargetEstimate{Target: sample.Target}
 		switch f.mode {
-		case source.ModeHPC, source.ModeBlended:
+		case source.ModeHPC, source.ModeBlended, source.ModeDelegated:
 			watts, err := f.model.EstimateActiveWatts(batch.FrequencyMHz, sample.Deltas, batch.Window)
 			if err != nil {
 				ctx.Publish(TopicErrors, PipelineError{
@@ -214,7 +214,10 @@ type aggregatorBehavior struct {
 	mode      source.Mode
 	resolve   func(pid int) string
 	hierarchy *cgroup.Hierarchy
-	pending   map[time.Duration]*roundState
+	// vms are the host's VM definitions in name order; every round the
+	// per-VM rollup projects the per-process estimates onto them.
+	vms     []VMDef
+	pending map[time.Duration]*roundState
 }
 
 // roundState tracks one in-flight sampling round. In attributed modes the
@@ -236,12 +239,13 @@ type roundState struct {
 	sumWeight float64
 }
 
-func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid int) string, hierarchy *cgroup.Hierarchy) *aggregatorBehavior {
+func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid int) string, hierarchy *cgroup.Hierarchy, vms []VMDef) *aggregatorBehavior {
 	return &aggregatorBehavior{
 		idleWatts: idleWatts,
 		mode:      mode,
 		resolve:   resolve,
 		hierarchy: hierarchy,
+		vms:       vms,
 		pending:   make(map[time.Duration]*roundState),
 	}
 }
@@ -351,6 +355,7 @@ func (a *aggregatorBehavior) finish(ctx *actor.Context, ts time.Duration, round 
 		a.attribute(round)
 	}
 	a.rollup(round)
+	a.vmRollup(ctx, round)
 	if a.resolve != nil && len(report.PerPID) > 0 {
 		report.PerGroup = make(map[string]float64)
 		for pid, watts := range report.PerPID {
@@ -431,6 +436,53 @@ func (a *aggregatorBehavior) rollup(round *roundState) {
 	}
 	if len(perCgroup) > 0 {
 		report.PerCgroup = perCgroup
+	}
+}
+
+// vmRollup fills report.PerVM: each defined VM's power is the sum of the
+// per-process estimates of its designated members — a cgroup subtree's
+// recursive members or an explicit PID set. Every PID's watts come from its
+// single PerPID entry, so the per-VM view is a projection of the same
+// conserved attribution: VM figures sum into the machine total exactly once.
+// A PID dynamically claimed by two VMs (a pid-set member that joined another
+// VM's cgroup subtree) is counted for the first VM in name order and
+// reported on the error topic instead of silently double-counted.
+func (a *aggregatorBehavior) vmRollup(ctx *actor.Context, round *roundState) {
+	if len(a.vms) == 0 {
+		return
+	}
+	report := round.report
+	perVM := make(map[string]float64, len(a.vms))
+	claimed := make(map[int]string)
+	for _, def := range a.vms {
+		pids := def.PIDs
+		if def.cgroupBacked() {
+			pids = a.hierarchy.MembersRecursive(def.CgroupPath)
+		}
+		sum := 0.0
+		counted := false
+		for _, pid := range pids {
+			watts, ok := report.PerPID[pid]
+			if !ok {
+				continue // not monitored this round
+			}
+			if owner, dup := claimed[pid]; dup {
+				ctx.Publish(TopicErrors, PipelineError{
+					Stage: "aggregator",
+					Err:   fmt.Errorf("core: pid %d belongs to both VM %q and VM %q; counted for %q only", pid, owner, def.Name, owner),
+				})
+				continue
+			}
+			claimed[pid] = def.Name
+			sum += watts
+			counted = true
+		}
+		if counted {
+			perVM[def.Name] = sum
+		}
+	}
+	if len(perVM) > 0 {
+		report.PerVM = perVM
 	}
 }
 

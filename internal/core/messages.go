@@ -168,6 +168,14 @@ type AggregatedReport struct {
 	// their parents. Empty when no cgroup hierarchy is configured and no
 	// cgroup targets are monitored.
 	PerCgroup map[string]float64 `json:"perCgroup,omitempty"`
+	// PerVM is the active power attributed to each defined virtual machine
+	// (WithVMs), keyed by VM name. A VM's power is the exact sum of the
+	// per-process estimates of its designated members — a cgroup subtree's
+	// recursive members or an explicit PID set — so every PID is counted into
+	// the machine total exactly once and the per-VM view is a projection of
+	// the same conserved attribution. The VM bridge publishes these figures
+	// to nested guest-side PowerAPI instances. Empty when no VMs are defined.
+	PerVM map[string]float64 `json:"perVm,omitempty"`
 	// PerGroup is the active power aggregated by the configured grouping
 	// dimension (application name, tenant, …). Empty when no group resolver
 	// was configured. This is the paper's "aggregates the power estimations

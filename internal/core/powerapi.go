@@ -51,6 +51,11 @@ type options struct {
 	collectTimeout  time.Duration
 	groupResolver   func(pid int) string
 	hierarchy       *cgroup.Hierarchy
+	vms             []VMDef
+	bridgeInstalled bool
+	// bridgeCleanup closes the WithVMBridge source when New fails before the
+	// pipeline adopts it (the generic teardown only covers opened sources).
+	bridgeCleanup   func()
 	extraReporters  []namedReporter
 	retention       int
 	historyEnabled  bool
@@ -202,6 +207,63 @@ func WithCgroups(h *cgroup.Hierarchy) Option {
 	return func(o *options) { o.hierarchy = h }
 }
 
+// VMDef designates a named virtual machine on the host: either a cgroup
+// subtree (the VM's slice — recursive members are the VM's processes) or an
+// explicit PID set (the VM's vCPU threads). Exactly one of CgroupPath and
+// PIDs must be set. The Aggregator sums each VM's member estimates into
+// AggregatedReport.PerVM every round, and the VM bridge delegates those
+// figures to nested guest-side PowerAPI instances.
+type VMDef struct {
+	// Name identifies the VM ("vm-web"); it is the target.VM identity and
+	// the key the bridge's frames carry.
+	Name string
+	// CgroupPath designates a cgroup subtree as the VM (requires
+	// WithCgroups); its recursive members are the VM's processes.
+	CgroupPath string
+	// PIDs designates an explicit process set as the VM.
+	PIDs []int
+}
+
+// cgroupBacked reports whether the VM is designated by a cgroup subtree.
+func (d VMDef) cgroupBacked() bool { return d.CgroupPath != "" }
+
+// WithVMs designates named VMs on the host (cgroup subtrees or PID sets).
+// Every sampling round the Aggregator fills AggregatedReport.PerVM with each
+// VM's power — the exact sum of its members' per-process estimates, each PID
+// counted once — and vm targets become attachable: attaching target.VM(name)
+// monitors the VM's member processes, re-synchronised on every Collect.
+// Definitions must not overlap (a PID or subtree claimed by two VMs would
+// double-count), which New validates.
+func WithVMs(defs ...VMDef) Option {
+	return func(o *options) { o.vms = append(o.vms, defs...) }
+}
+
+// WithVMBridge plugs the guest side of the host↔guest VM bridge into the
+// pipeline: the sensing mode becomes delegated — the machine total of every
+// round is whatever the given source reports, which for a
+// vmbridge.DelegatedSource is the latest power figure the host-side instance
+// delegated for this VM — and the per-process attribution conserves to that
+// total exactly as the blended mode conserves to a RAPL measurement. The
+// pipeline owns the source: it is opened at construction and closed on
+// Shutdown.
+func WithVMBridge(delegated source.Source) Option {
+	return func(o *options) {
+		o.mode = source.ModeDelegated
+		o.bridgeInstalled = true
+		o.factories.Total = func() (source.Source, error) {
+			if delegated == nil {
+				return nil, errors.New("core: nil delegated source")
+			}
+			return delegated, nil
+		}
+		o.bridgeCleanup = func() {
+			if delegated != nil {
+				_ = delegated.Close()
+			}
+		}
+	}
+}
+
 // PowerAPI is the middleware facade: it owns the actor system implementing
 // the Figure 2 pipeline and exposes process-level power monitoring over a
 // simulated machine.
@@ -215,6 +277,7 @@ type PowerAPI struct {
 	collectTimeout time.Duration
 	sources        []source.Source
 	hierarchy      *cgroup.Hierarchy
+	vms            map[string]VMDef
 	attrScope      source.Scope
 	flushes        []func() error
 
@@ -248,17 +311,27 @@ type PowerAPI struct {
 }
 
 // New wires a PowerAPI pipeline onto a machine using the given power model.
-func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*PowerAPI, error) {
+func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (api *PowerAPI, err error) {
 	if m == nil {
 		return nil, errors.New("core: nil machine")
 	}
-	if err := powerModel.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	if verr := powerModel.Validate(); verr != nil {
+		return nil, fmt.Errorf("core: %w", verr)
 	}
 	cfg := options{reportBuffer: 64, shards: 1, mode: source.ModeHPC, collectTimeout: DefaultCollectTimeout}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	// A failed constructor must not leak the bridge source handed over by
+	// WithVMBridge: its frame-consuming receiver stays alive with no handle
+	// the caller could close ("the pipeline owns the source"). The generic
+	// teardown below only covers sources the pipeline already opened, so the
+	// bridge gets its own failure hook.
+	defer func() {
+		if err != nil && cfg.bridgeCleanup != nil {
+			cfg.bridgeCleanup()
+		}
+	}()
 	if cfg.shards < 1 {
 		return nil, fmt.Errorf("core: shard count must be at least 1, got %d", cfg.shards)
 	}
@@ -274,6 +347,18 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	if cfg.reportBuffer < 0 {
 		return nil, fmt.Errorf("core: report buffer must not be negative, got %d", cfg.reportBuffer)
 	}
+	vms, err := validateVMs(cfg.vms, cfg.hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.mode == source.ModeDelegated && cfg.factories.Total == nil {
+		return nil, errors.New("core: delegated mode needs the guest side of a VM bridge (WithVMBridge)")
+	}
+	if cfg.bridgeInstalled && cfg.mode != source.ModeDelegated {
+		// A later WithSources must not silently repurpose the bridge's
+		// delegated frames as another mode's machine measurement.
+		return nil, fmt.Errorf("core: WithVMBridge selects the delegated mode; it cannot combine with WithSources(%v)", cfg.mode)
+	}
 	if len(cfg.events) == 0 {
 		events, err := powerModel.Events()
 		if err != nil {
@@ -283,7 +368,7 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	}
 	fillDefaultFactories(&cfg, m)
 
-	api := &PowerAPI{
+	api = &PowerAPI{
 		machine:        m,
 		model:          powerModel,
 		system:         actor.NewSystem("powerapi"),
@@ -291,6 +376,7 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 		mode:           cfg.mode,
 		collectTimeout: cfg.collectTimeout,
 		hierarchy:      cfg.hierarchy,
+		vms:            vms,
 		subs:           newSubscriptionRegistry(cfg.hierarchy),
 		reportBuffer:   cfg.reportBuffer,
 		retention:      cfg.retention,
@@ -308,16 +394,19 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	// spawned keep goroutines alive, internal subscribers run drain
 	// goroutines, and opened sources hold registrations in the machine's
 	// counter registry, so retrying callers would accumulate all three. The
-	// defer tears everything down unless construction completes.
+	// defer tears everything down unless construction completes. The defer
+	// captures the pipeline in its own variable: error returns reset the
+	// named return to nil before defers run.
 	built := false
+	pipeline := api
 	defer func() {
 		if built {
 			return
 		}
-		api.system.Shutdown()
-		api.subs.closeAll()
-		api.drainWG.Wait()
-		for _, src := range api.sources {
+		pipeline.system.Shutdown()
+		pipeline.subs.closeAll()
+		pipeline.drainWG.Wait()
+		for _, src := range pipeline.sources {
 			_ = src.Close()
 		}
 	}()
@@ -398,6 +487,11 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if len(vms) > 0 && api.attrScope == source.ScopeCgroup {
+		// The per-VM rollup sums per-process rows; a cgroup-scope attribution
+		// source produces none (it samples whole groups as single units).
+		return nil, errors.New("core: VM definitions require a process-scope attribution source")
+	}
 	// The aggregator keeps in-flight round state across restarts; reporters
 	// wrap externally supplied delivery functions. Both keep their instance
 	// on restart but still record the panic like the shard pools do.
@@ -406,11 +500,14 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 	// included — so stacking the model's idle constant on top would double
 	// count it; the hpc and procfs modes only estimate active power and keep
 	// the constant.
+	// The delegated mode likewise attributes the full host-delegated figure
+	// — the VM's share of idle power is already inside it, so the guest must
+	// not stack its own idle constant on top.
 	idleWatts := powerModel.IdleWatts
-	if cfg.mode == source.ModeRAPL || cfg.mode == source.ModeBlended {
+	if cfg.mode == source.ModeRAPL || cfg.mode == source.ModeBlended || cfg.mode == source.ModeDelegated {
 		idleWatts = 0
 	}
-	aggregatorBhv := newAggregatorBehavior(idleWatts, cfg.mode, cfg.groupResolver, cfg.hierarchy)
+	aggregatorBhv := newAggregatorBehavior(idleWatts, cfg.mode, cfg.groupResolver, cfg.hierarchy, sortedVMDefs(vms))
 	aggregator, err := api.system.SpawnSupervised("aggregator",
 		func() actor.Behavior { return aggregatorBhv }, 0, supervised("aggregator"))
 	if err != nil {
@@ -476,7 +573,7 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (*
 func fillDefaultFactories(cfg *options, m *machine.Machine) {
 	if cfg.factories.Attribution == nil {
 		switch cfg.mode {
-		case source.ModeHPC, source.ModeBlended:
+		case source.ModeHPC, source.ModeBlended, source.ModeDelegated:
 			events := cfg.events
 			cfg.factories.Attribution = func(int) (source.Source, error) {
 				return source.NewHPC(m, events)
@@ -505,6 +602,73 @@ func fillDefaultFactories(cfg *options, m *machine.Machine) {
 			cfg.factories.Total = func() (source.Source, error) { return nil, nil }
 		}
 	}
+}
+
+// validateVMs checks the WithVMs definitions: names must be valid and
+// unique, each VM designates exactly one of a cgroup subtree or a PID set,
+// and definitions must not statically overlap — a PID or subtree claimed by
+// two VMs would be double-counted in the per-VM rollup. (A pid-set PID that
+// later joins a VM's cgroup subtree is a dynamic overlap; the Aggregator
+// detects it per round and counts the PID once.)
+func validateVMs(defs []VMDef, hierarchy *cgroup.Hierarchy) (map[string]VMDef, error) {
+	if len(defs) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]VMDef, len(defs))
+	pidOwner := make(map[int]string)
+	for _, def := range defs {
+		if !target.VM(def.Name).Valid() {
+			return nil, fmt.Errorf("core: invalid VM name %q", def.Name)
+		}
+		if err := cgroup.ValidatePath(def.Name); err != nil || strings.Contains(def.Name, cgroup.Separator) {
+			return nil, fmt.Errorf("core: invalid VM name %q (want one segment of letters, digits, '.', '_', '-')", def.Name)
+		}
+		if _, dup := out[def.Name]; dup {
+			return nil, fmt.Errorf("core: VM %q defined twice", def.Name)
+		}
+		switch {
+		case def.cgroupBacked() && len(def.PIDs) > 0:
+			return nil, fmt.Errorf("core: VM %q designates both a cgroup subtree and a PID set", def.Name)
+		case def.cgroupBacked():
+			if hierarchy == nil {
+				return nil, fmt.Errorf("core: VM %q designates cgroup %q but no hierarchy is configured (WithCgroups)", def.Name, def.CgroupPath)
+			}
+			if err := cgroup.ValidatePath(def.CgroupPath); err != nil {
+				return nil, fmt.Errorf("core: VM %q: %w", def.Name, err)
+			}
+			for otherName, other := range out {
+				if other.cgroupBacked() && cgroupPathsOverlap(other.CgroupPath, def.CgroupPath) {
+					return nil, fmt.Errorf("core: VMs %q and %q designate overlapping cgroup subtrees (%q, %q): their members would be double-counted", otherName, def.Name, other.CgroupPath, def.CgroupPath)
+				}
+			}
+		case len(def.PIDs) > 0:
+			for _, pid := range def.PIDs {
+				if pid <= 0 {
+					return nil, fmt.Errorf("core: VM %q designates invalid pid %d", def.Name, pid)
+				}
+				if owner, dup := pidOwner[pid]; dup {
+					return nil, fmt.Errorf("core: pid %d designated by both VM %q and VM %q: it would be double-counted", pid, owner, def.Name)
+				}
+				pidOwner[pid] = def.Name
+			}
+		default:
+			return nil, fmt.Errorf("core: VM %q designates neither a cgroup subtree nor a PID set", def.Name)
+		}
+		def.PIDs = append([]int(nil), def.PIDs...)
+		out[def.Name] = def
+	}
+	return out, nil
+}
+
+// sortedVMDefs returns the VM definitions ordered by name (the Aggregator's
+// deterministic rollup order).
+func sortedVMDefs(vms map[string]VMDef) []VMDef {
+	out := make([]VMDef, 0, len(vms))
+	for _, def := range vms {
+		out = append(out, def)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // fanout runs on the Reporter actor goroutine: it completes the waiter of a
@@ -580,6 +744,9 @@ func (p *PowerAPI) spawnHistorySubscriber() error {
 			for path, watts := range report.PerCgroup {
 				batch = append(batch, history.TargetSample{Target: target.Cgroup(path), Watts: watts})
 			}
+			for name, watts := range report.PerVM {
+				batch = append(batch, history.TargetSample{Target: target.VM(name), Watts: watts})
+			}
 			p.history.RecordBatch(report.Timestamp, batch)
 		}
 	}()
@@ -620,6 +787,10 @@ func (p *PowerAPI) ShardOfTarget(t target.Target) int {
 // WithCgroups was used).
 func (p *PowerAPI) Cgroups() *cgroup.Hierarchy { return p.hierarchy }
 
+// VMs returns the virtual machines defined on the pipeline (WithVMs), sorted
+// by name. Empty without VM definitions.
+func (p *PowerAPI) VMs() []VMDef { return sortedVMDefs(p.vms) }
+
 // Subscribe registers a new consumer of the aggregated report stream: every
 // sampling round is fanned out to all live subscriptions, each through its
 // own channel, with the filters, decimation and backpressure policy of opts.
@@ -638,6 +809,11 @@ func (p *PowerAPI) Subscribe(opts SubscribeOptions) (*Subscription, error) {
 
 // Subscriptions returns the number of live subscriptions (diagnostics).
 func (p *PowerAPI) Subscriptions() int { return p.subs.size() }
+
+// SubscriptionStats returns one row per live subscription — name, policy and
+// the fanout's delivered/dropped counters — ordered by subscription id (the
+// /metrics endpoint exposes them as gauges).
+func (p *PowerAPI) SubscriptionStats() []SubscriptionInfo { return p.subs.stats() }
 
 // Query answers a windowed aggregate query — avg/max/p95 watts per target —
 // over the retained history. It requires WithHistory; without it,
@@ -764,6 +940,18 @@ func (p *PowerAPI) AttachTargets(targets ...target.Target) error {
 			if err := p.syncCgroupsLocked(); err != nil {
 				return err
 			}
+		case target.KindVM:
+			def, ok := p.vms[t.Name]
+			if !ok {
+				return fmt.Errorf("core: cannot attach %v: no such VM (WithVMs)", t)
+			}
+			if def.cgroupBacked() && !p.hierarchy.Exists(def.CgroupPath) {
+				return fmt.Errorf("core: cannot attach %v: no such cgroup %q", t, def.CgroupPath)
+			}
+			p.monitored[t] = true
+			if err := p.syncCgroupsLocked(); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("core: cannot attach %v: the machine is monitored through the pipeline's machine-scope source", t)
 		}
@@ -881,28 +1069,48 @@ func (p *PowerAPI) dropHistory(t target.Target) {
 }
 
 // syncCgroupsLocked re-synchronises shard attachments with the cgroup
-// hierarchy: members that exited are pruned from the hierarchy and detached
-// from their Sensor shard (unless also monitored standalone), members that
-// joined a monitored group are attached. Callers hold p.mu.
+// hierarchy and the VM definitions: members that exited are pruned from the
+// hierarchy and detached from their Sensor shard (unless also monitored
+// standalone), members that joined a monitored group or VM are attached.
+// Callers hold p.mu.
 func (p *PowerAPI) syncCgroupsLocked() error {
-	if p.hierarchy == nil {
+	if p.hierarchy == nil && len(p.vms) == 0 {
 		return nil
 	}
 	procs := p.machine.Processes()
-	p.hierarchy.Prune(func(pid int) bool {
+	alive := func(pid int) bool {
 		pr, err := procs.Get(pid)
 		return err == nil && pr.State() == proc.StateRunnable
-	})
+	}
+	if p.hierarchy != nil {
+		p.hierarchy.Prune(alive)
+	}
 	if p.attrScope == source.ScopeCgroup {
 		return nil // a cgroup-scope source reads memberships live
 	}
 	desired := make(map[int]bool)
 	for t := range p.monitored {
-		if t.Kind != target.KindCgroup {
-			continue
-		}
-		for _, pid := range p.hierarchy.MembersRecursive(t.Path) {
-			desired[pid] = true
+		switch t.Kind {
+		case target.KindCgroup:
+			for _, pid := range p.hierarchy.MembersRecursive(t.Path) {
+				desired[pid] = true
+			}
+		case target.KindVM:
+			def := p.vms[t.Name]
+			if def.cgroupBacked() {
+				for _, pid := range p.hierarchy.MembersRecursive(def.CgroupPath) {
+					desired[pid] = true
+				}
+				continue
+			}
+			// A pid-set VM has no hierarchy to prune it: exited members
+			// simply leave the desired set, the way Prune drops them from
+			// monitored groups.
+			for _, pid := range def.PIDs {
+				if alive(pid) {
+					desired[pid] = true
+				}
+			}
 		}
 	}
 	for pid := range p.members {

@@ -37,9 +37,10 @@ func WithBufferedWrites() ReporterOption {
 
 // WithTargetRows switches the CSV schema from the per-PID layout to the
 // target layout (seconds,kind,target,group,watts,total_watts): every row
-// carries the target kind ("process", "cgroup") and its identity — the PID
-// for processes, the hierarchy path for control groups — and the per-cgroup
-// rollup is written next to the per-process rows.
+// carries the target kind ("process", "cgroup", "vm") and its identity — the
+// PID for processes, the hierarchy path for control groups, the VM name for
+// virtual machines — and the per-cgroup and per-VM rollups are written next
+// to the per-process rows.
 func WithTargetRows() ReporterOption {
 	return func(c *reporterConfig) { c.targets = true }
 }
@@ -124,6 +125,17 @@ func (r *CSVReporter) Report(report AggregatedReport) error {
 				return fmt.Errorf("core: csv row: %w", err)
 			}
 		}
+		names := make([]string, 0, len(report.PerVM))
+		for name := range report.PerVM {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			watts := strconv.FormatFloat(report.PerVM[name], 'f', 3, 64)
+			if err := r.writer.Write([]string{seconds, "vm", name, "", watts, total}); err != nil {
+				return fmt.Errorf("core: csv row: %w", err)
+			}
+		}
 	}
 	if r.buffered {
 		// csv.NewWriter over our bufio.Writer adopts it as its own buffer
@@ -192,6 +204,7 @@ type jsonReportLine struct {
 	MeasuredWatts    float64            `json:"measuredWatts,omitempty"`
 	PerPID           map[string]float64 `json:"perPid"`
 	PerCgroup        map[string]float64 `json:"perCgroup,omitempty"`
+	PerVM            map[string]float64 `json:"perVm,omitempty"`
 	PerGroup         map[string]float64 `json:"perGroup,omitempty"`
 }
 
@@ -207,6 +220,7 @@ func (r *JSONLinesReporter) Report(report AggregatedReport) error {
 		MeasuredWatts:    report.MeasuredWatts,
 		PerPID:           make(map[string]float64, len(report.PerPID)),
 		PerCgroup:        report.PerCgroup,
+		PerVM:            report.PerVM,
 		PerGroup:         report.PerGroup,
 	}
 	for pid, watts := range report.PerPID {

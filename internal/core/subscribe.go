@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -78,10 +79,11 @@ type SubscribeOptions struct {
 
 	// Targets restricts the report breakdown to an explicit target set:
 	// process rows must match a process target's PID, cgroup rows a cgroup
-	// target's path. Empty means no target filter.
+	// target's path, VM rows a vm target's name. Empty means no target
+	// filter.
 	Targets []target.Target
-	// Kinds restricts which breakdown rows survive (process and/or cgroup).
-	// Empty means no kind filter.
+	// Kinds restricts which breakdown rows survive (process, cgroup and/or
+	// vm). Empty means no kind filter.
 	Kinds []target.Kind
 	// CgroupSubtree keeps only the cgroup rows inside the given subtree
 	// (the path itself and its descendants) and, when the monitor has a
@@ -121,9 +123,10 @@ type Subscription struct {
 	// goroutine touches it.
 	rounds uint64
 
-	// pidSet/pathSet are the precomputed Targets filter.
+	// pidSet/pathSet/vmSet are the precomputed Targets filter.
 	pidSet  map[int]bool
 	pathSet map[string]bool
+	vmSet   map[string]bool
 	// kindSet is the precomputed Kinds filter.
 	kindSet map[target.Kind]bool
 }
@@ -233,7 +236,15 @@ func (s *Subscription) filter(report AggregatedReport) (AggregatedReport, bool) 
 			}
 		}
 	}
-	if len(out.PerPID) == 0 && len(out.PerCgroup) == 0 {
+	if len(report.PerVM) > 0 {
+		out.PerVM = make(map[string]float64)
+		for name, watts := range report.PerVM {
+			if s.acceptVM(name, watts) {
+				out.PerVM[name] = watts
+			}
+		}
+	}
+	if len(out.PerPID) == 0 && len(out.PerCgroup) == 0 && len(out.PerVM) == 0 {
 		return AggregatedReport{}, false
 	}
 	return out, true
@@ -243,7 +254,7 @@ func (s *Subscription) acceptProcess(pid int, watts float64) bool {
 	if s.kindSet != nil && !s.kindSet[target.KindProcess] {
 		return false
 	}
-	if s.pidSet != nil || s.pathSet != nil {
+	if s.pidSet != nil || s.pathSet != nil || s.vmSet != nil {
 		if !s.pidSet[pid] {
 			return false
 		}
@@ -265,12 +276,29 @@ func (s *Subscription) acceptCgroup(path string, watts float64) bool {
 	if s.kindSet != nil && !s.kindSet[target.KindCgroup] {
 		return false
 	}
-	if s.pidSet != nil || s.pathSet != nil {
+	if s.pidSet != nil || s.pathSet != nil || s.vmSet != nil {
 		if !s.pathSet[path] {
 			return false
 		}
 	}
 	if prefix := s.opts.CgroupSubtree; prefix != "" && !cgroup.InSubtree(path, prefix) {
+		return false
+	}
+	return watts >= s.opts.MinWatts
+}
+
+func (s *Subscription) acceptVM(name string, watts float64) bool {
+	if s.kindSet != nil && !s.kindSet[target.KindVM] {
+		return false
+	}
+	if s.pidSet != nil || s.pathSet != nil || s.vmSet != nil {
+		if !s.vmSet[name] {
+			return false
+		}
+	}
+	// A VM row is not a cgroup row: a cgroup-subtree filter keeps only the
+	// subtree's own breakdown.
+	if s.opts.CgroupSubtree != "" {
 		return false
 	}
 	return watts >= s.opts.MinWatts
@@ -335,12 +363,17 @@ func (r *subscriptionRegistry) add(opts SubscribeOptions) (*Subscription, error)
 				s.pathSet = make(map[string]bool)
 			}
 			s.pathSet[t.Path] = true
+		case target.KindVM:
+			if s.vmSet == nil {
+				s.vmSet = make(map[string]bool)
+			}
+			s.vmSet[t.Name] = true
 		default:
 			return nil, fmt.Errorf("core: cannot filter a subscription by target %v", t)
 		}
 	}
 	for _, k := range opts.Kinds {
-		if k != target.KindProcess && k != target.KindCgroup {
+		if k != target.KindProcess && k != target.KindCgroup && k != target.KindVM {
 			return nil, fmt.Errorf("core: cannot filter a subscription by kind %v", k)
 		}
 		if s.kindSet == nil {
@@ -392,6 +425,40 @@ func (r *subscriptionRegistry) size() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.subs)
+}
+
+// SubscriptionInfo is one live subscription's diagnostic snapshot: its
+// identity plus the fanout's delivery counters (see Subscription.Delivered
+// and Dropped).
+type SubscriptionInfo struct {
+	// ID is the registry-unique subscription id (stable for its lifetime).
+	ID uint64 `json:"id"`
+	// Name is the subscription's diagnostic label (may be empty).
+	Name string `json:"name,omitempty"`
+	// Policy is the subscription's backpressure policy.
+	Policy BackpressurePolicy `json:"-"`
+	// Delivered counts reports placed into the subscription's channel.
+	Delivered uint64 `json:"delivered"`
+	// Dropped counts delivered reports evicted unread (Conflate/DropOldest).
+	Dropped uint64 `json:"dropped"`
+}
+
+// stats snapshots every live subscription's counters, ordered by id.
+func (r *subscriptionRegistry) stats() []SubscriptionInfo {
+	r.mu.RLock()
+	out := make([]SubscriptionInfo, 0, len(r.subs))
+	for _, s := range r.subs {
+		out = append(out, SubscriptionInfo{
+			ID:        s.id,
+			Name:      s.name,
+			Policy:    s.opts.Policy,
+			Delivered: s.delivered.Load(),
+			Dropped:   s.dropped.Load(),
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // closeAll marks the registry closed and closes every remaining subscription,

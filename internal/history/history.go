@@ -174,6 +174,19 @@ func (s *Store) removeLocked(t target.Target, cutoff time.Duration) {
 	}
 }
 
+// Occupancy reports how full the store is: the number of targets with
+// retained samples and the total samples across their rings. The serving
+// layer exposes both as gauges, so an operator can watch the ring memory a
+// long-lived daemon actually holds against targets × Capacity.
+func (s *Store) Occupancy() (targets, samples int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range s.rings {
+		samples += len(r.samples)
+	}
+	return len(s.rings), samples
+}
+
 // Targets returns every target the store has retained samples for, sorted by
 // their string form.
 func (s *Store) Targets() []target.Target {

@@ -253,3 +253,68 @@ func TestPercentileNearestRank(t *testing.T) {
 		t.Fatal("empty percentile should be 0")
 	}
 }
+
+// TestReattachSeesOnlyPostReattachSamples is the tombstone round-trip
+// regression: detaching a target tombstones it at the last round it could
+// have appeared in, so a late replay of an older round must not resurrect the
+// ring — but a genuine re-attach produces newer rounds that clear the
+// tombstone, and Query must then see only the post-reattach samples.
+func TestReattachSeesOnlyPostReattachSamples(t *testing.T) {
+	s := NewStore(8)
+	pid := target.Process(7)
+	s.RecordBatch(seconds(1), []TargetSample{{Target: pid, Watts: 10}})
+	s.RecordBatch(seconds(2), []TargetSample{{Target: pid, Watts: 11}})
+
+	// Detach: the pipeline removes the target with the last collected round
+	// as the cutoff.
+	s.Remove(pid, seconds(2))
+	if got, _ := s.Query(Query{}); len(got) != 0 {
+		t.Fatalf("after detach the store should be empty, got %v", got)
+	}
+	// A late in-flight sample of the detached era must stay dead.
+	s.Record(pid, seconds(2), 12)
+	if got := s.Samples(pid); len(got) != 0 {
+		t.Fatalf("late pre-detach sample should be dropped, got %v", got)
+	}
+
+	// Re-attach: newer rounds repopulate the ring from scratch.
+	s.RecordBatch(seconds(3), []TargetSample{{Target: pid, Watts: 20}})
+	s.RecordBatch(seconds(4), []TargetSample{{Target: pid, Watts: 22}})
+	stats, err := s.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("want 1 target, got %v", stats)
+	}
+	st := stats[0]
+	if st.Samples != 2 || st.First != seconds(3) || st.Last != seconds(4) {
+		t.Fatalf("query must see only post-reattach samples, got %+v", st)
+	}
+	if st.AvgWatts != 21 || st.MaxWatts != 22 || st.LastWatts != 22 {
+		t.Fatalf("post-reattach aggregates wrong: %+v", st)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	s := NewStore(4)
+	if targets, samples := s.Occupancy(); targets != 0 || samples != 0 {
+		t.Fatalf("empty store occupancy = (%d, %d)", targets, samples)
+	}
+	s.RecordBatch(seconds(1), []TargetSample{
+		{Target: target.Process(1), Watts: 1},
+		{Target: target.VM("vm-a"), Watts: 2},
+	})
+	s.RecordBatch(seconds(2), []TargetSample{{Target: target.Process(1), Watts: 3}})
+	targets, samples := s.Occupancy()
+	if targets != 2 || samples != 3 {
+		t.Fatalf("occupancy = (%d, %d), want (2, 3)", targets, samples)
+	}
+	// Rings are capacity-bounded, so occupancy is too.
+	for i := 3; i < 20; i++ {
+		s.RecordBatch(seconds(i), []TargetSample{{Target: target.Process(1), Watts: 1}})
+	}
+	if _, samples := s.Occupancy(); samples != 4+1 {
+		t.Fatalf("bounded occupancy = %d, want 5", samples)
+	}
+}

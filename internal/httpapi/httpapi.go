@@ -6,9 +6,13 @@
 //
 // Endpoints:
 //
-//	GET    /metrics                 per-target watts, totals, pipeline counters
+//	GET    /metrics                 per-target watts, totals, pipeline and
+//	                                subscription counters, history occupancy
 //	GET    /api/v1/targets          monitored targets and shard placement
 //	GET    /api/v1/query            windowed avg/max/p95 per target (WithHistory)
+//	POST   /api/v1/targets          attach one target by spec ("pid:12",
+//	                                "cgroup:web/api", "vm:vma")
+//	DELETE /api/v1/targets          detach one target by spec
 //	POST   /api/v1/targets/{pid}    attach one process
 //	DELETE /api/v1/targets/{pid}    detach one process
 //
@@ -68,6 +72,8 @@ func New(mon *core.PowerAPI) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/v1/targets", s.handleTargets)
 	s.mux.HandleFunc("GET /api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/v1/targets", s.handleAttachTarget)
+	s.mux.HandleFunc("DELETE /api/v1/targets", s.handleDetachTarget)
 	s.mux.HandleFunc("POST /api/v1/targets/{pid}", s.handleAttach)
 	s.mux.HandleFunc("DELETE /api/v1/targets/{pid}", s.handleDetach)
 	return s, nil
@@ -140,6 +146,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, path := range paths {
 		fmt.Fprintf(&b, "powerapi_target_watts{kind=\"cgroup\",id=\"%s\"} %g\n", escapeLabel(path), report.PerCgroup[path])
 	}
+	vmNames := make([]string, 0, len(report.PerVM))
+	for name := range report.PerVM {
+		vmNames = append(vmNames, name)
+	}
+	sort.Strings(vmNames)
+	for _, name := range vmNames {
+		fmt.Fprintf(&b, "powerapi_target_watts{kind=\"vm\",id=\"%s\"} %g\n", escapeLabel(name), report.PerVM[name])
+	}
 	groups := make([]string, 0, len(report.PerGroup))
 	for group := range report.PerGroup {
 		groups = append(groups, group)
@@ -175,6 +189,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# HELP powerapi_subscriptions Live report subscriptions on the fanout.\n")
 	b.WriteString("# TYPE powerapi_subscriptions gauge\n")
 	fmt.Fprintf(&b, "powerapi_subscriptions %d\n", s.mon.Subscriptions())
+	if stats := s.mon.SubscriptionStats(); len(stats) > 0 {
+		b.WriteString("# HELP powerapi_subscription_delivered_total Reports placed into one subscription's channel.\n")
+		b.WriteString("# TYPE powerapi_subscription_delivered_total counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "powerapi_subscription_delivered_total{id=\"%d\",name=\"%s\",policy=\"%s\"} %d\n",
+				st.ID, escapeLabel(st.Name), st.Policy, st.Delivered)
+		}
+		b.WriteString("# HELP powerapi_subscription_dropped_total Delivered reports evicted unread from one subscription's channel.\n")
+		b.WriteString("# TYPE powerapi_subscription_dropped_total counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "powerapi_subscription_dropped_total{id=\"%d\",name=\"%s\",policy=\"%s\"} %d\n",
+				st.ID, escapeLabel(st.Name), st.Policy, st.Dropped)
+		}
+	}
+	if store := s.mon.History(); store != nil {
+		targets, samples := store.Occupancy()
+		b.WriteString("# HELP powerapi_history_targets Targets with retained samples in the history store.\n")
+		b.WriteString("# TYPE powerapi_history_targets gauge\n")
+		fmt.Fprintf(&b, "powerapi_history_targets %d\n", targets)
+		b.WriteString("# HELP powerapi_history_samples Retained samples across all history rings.\n")
+		b.WriteString("# TYPE powerapi_history_samples gauge\n")
+		fmt.Fprintf(&b, "powerapi_history_samples %d\n", samples)
+		b.WriteString("# HELP powerapi_history_capacity Ring capacity per target (the occupancy ceiling is targets times this).\n")
+		b.WriteString("# TYPE powerapi_history_capacity gauge\n")
+		fmt.Fprintf(&b, "powerapi_history_capacity %d\n", store.Capacity())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }
@@ -285,8 +325,10 @@ func parseQuery(r *http.Request) (core.QueryOptions, error) {
 			q.Kinds = append(q.Kinds, target.KindCgroup)
 		case "machine":
 			q.Kinds = append(q.Kinds, target.KindMachine)
+		case "vm":
+			q.Kinds = append(q.Kinds, target.KindVM)
 		default:
-			return q, fmt.Errorf("invalid kind %q (want process, cgroup or machine)", v)
+			return q, fmt.Errorf("invalid kind %q (want process, cgroup, vm or machine)", v)
 		}
 	}
 	q.CgroupSubtree = params.Get("cgroup")
@@ -298,6 +340,52 @@ func parseQuery(r *http.Request) (core.QueryOptions, error) {
 		q.MinWatts = minWatts
 	}
 	return q, nil
+}
+
+// targetSpecRequest is the body of POST/DELETE /api/v1/targets: one target
+// in its string form ("pid:12", "cgroup:web/api", "vm:vma").
+type targetSpecRequest struct {
+	Target string `json:"target"`
+}
+
+// parseTargetSpec decodes and parses the request body's target spec.
+func parseTargetSpec(r *http.Request) (target.Target, error) {
+	var req targetSpecRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return target.Target{}, fmt.Errorf("invalid body (want {\"target\": \"cgroup:PATH\"}): %w", err)
+	}
+	return target.Parse(req.Target)
+}
+
+// handleAttachTarget starts monitoring one target given by spec — the
+// dynamic-attach path for cgroup and vm targets, which the {pid} endpoint
+// cannot express. Attaching a cgroup monitors its member processes
+// (descendants included), re-synchronised every round.
+func (s *Server) handleAttachTarget(w http.ResponseWriter, r *http.Request) {
+	t, err := parseTargetSpec(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.mon.AttachTargets(t); err != nil {
+		jsonError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, map[string]any{"attached": t.String(), "kind": t.Kind.String()})
+}
+
+// handleDetachTarget stops monitoring one target given by spec.
+func (s *Server) handleDetachTarget(w http.ResponseWriter, r *http.Request) {
+	t, err := parseTargetSpec(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.mon.DetachTargets(t); err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, map[string]any{"detached": t.String(), "kind": t.Kind.String()})
 }
 
 // handleAttach starts monitoring one process.

@@ -1,0 +1,194 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"powerapi/internal/core"
+	"powerapi/internal/cpu"
+	"powerapi/internal/machine"
+	"powerapi/internal/target"
+	"powerapi/internal/workload"
+)
+
+func bodyRequest(t *testing.T, handler http.Handler, method, url, body string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	req := httptest.NewRequest(method, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	return rec, rec.Body.String()
+}
+
+// TestAttachTargetSpecRoundTrip drives the spec-based dynamic attach: a
+// cgroup target posted as its string form attaches, lists back under the
+// same string (the parse round-trip), and detaches again.
+func TestAttachTargetSpecRoundTrip(t *testing.T) {
+	_, mon, srv, _ := newServedMonitor(t)
+
+	// The monitor starts with only process targets; "cgroup:web" is dynamic.
+	rec, body := bodyRequest(t, srv.Handler(), http.MethodPost, "/api/v1/targets", `{"target":"cgroup:web"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("attach cgroup status %d: %s", rec.Code, body)
+	}
+	var attached struct {
+		Attached string `json:"attached"`
+		Kind     string `json:"kind"`
+	}
+	if err := json.Unmarshal([]byte(body), &attached); err != nil {
+		t.Fatal(err)
+	}
+	if attached.Attached != "cgroup:web" || attached.Kind != "cgroup" {
+		t.Fatalf("attach response %s", body)
+	}
+
+	// Round-trip: every listed target's string form parses back to itself.
+	rec, body = get(t, srv.Handler(), "/api/v1/targets")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("targets status %d: %s", rec.Code, body)
+	}
+	var listing struct {
+		Targets []struct {
+			Name string `json:"name"`
+		} `json:"targets"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range listing.Targets {
+		parsed, err := target.Parse(row.Name)
+		if err != nil {
+			t.Fatalf("listed target %q does not parse: %v", row.Name, err)
+		}
+		if got := parsed.String(); got != row.Name {
+			t.Fatalf("round trip %q -> %q", row.Name, got)
+		}
+		if row.Name == "cgroup:web" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cgroup:web missing from listing %s", body)
+	}
+
+	// Detach by spec; a second detach is 404.
+	rec, body = bodyRequest(t, srv.Handler(), http.MethodDelete, "/api/v1/targets", `{"target":"cgroup:web"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detach cgroup status %d: %s", rec.Code, body)
+	}
+	rec, _ = bodyRequest(t, srv.Handler(), http.MethodDelete, "/api/v1/targets", `{"target":"cgroup:web"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("double detach status %d", rec.Code)
+	}
+
+	// Malformed bodies and specs are 400s; an unknown cgroup is a 409.
+	for _, bad := range []string{``, `{`, `{"target":"nonsense"}`, `{"target":"cgroup:"}`} {
+		rec, _ = bodyRequest(t, srv.Handler(), http.MethodPost, "/api/v1/targets", bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("body %q status %d, want 400", bad, rec.Code)
+		}
+	}
+	rec, _ = bodyRequest(t, srv.Handler(), http.MethodPost, "/api/v1/targets", `{"target":"cgroup:no-such-group"}`)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("unknown cgroup status %d, want 409", rec.Code)
+	}
+	_ = mon
+}
+
+// TestMetricsVMRowsAndObservabilityGauges covers the new exposition: per-VM
+// watts, per-subscription delivered/dropped counters and history ring
+// occupancy.
+func TestMetricsVMRowsAndObservabilityGauges(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Governor = cpu.GovernorPerformance
+	cfg.PowerNoiseStdDevWatts = 0
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := make([]int, 0, 2)
+	for _, level := range []float64{0.9, 0.4} {
+		gen, gerr := workload.CPUStress(level, 0)
+		if gerr != nil {
+			t.Fatal(gerr)
+		}
+		p, serr := m.Spawn(gen)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		pids = append(pids, p.PID())
+	}
+	mon, err := core.New(m, testModel(),
+		core.WithHistory(16),
+		core.WithVMs(core.VMDef{Name: "vm-a", PIDs: pids}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mon.Shutdown)
+	if err := mon.Attach(pids...); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	reports, err := mon.RunMonitored(3*time.Second, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := reports[len(reports)-1]
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if r, ok := srv.Latest(); ok && r.Timestamp == final.Timestamp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never observed the final round")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The history writer is its own asynchronous subscriber; wait until it
+	// has recorded every round (machine + 2 processes + 1 vm per round)
+	// before asserting the occupancy gauges.
+	for {
+		targets, samples := mon.History().Occupancy()
+		if targets == 4 && samples == 4*len(reports) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history never filled: %d targets, %d samples", targets, samples)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rec, body := get(t, srv.Handler(), "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d: %s", rec.Code, body)
+	}
+	for _, want := range []string{
+		`powerapi_target_watts{kind="vm",id="vm-a"}`,
+		"# TYPE powerapi_subscription_delivered_total counter",
+		`name="httpapi",policy="conflate"`,
+		`name="history",policy="block"`,
+		"# TYPE powerapi_subscription_dropped_total counter",
+		"powerapi_history_targets 4\n", // machine + 2 processes + 1 vm
+		"powerapi_history_samples 12\n",
+		"powerapi_history_capacity 16\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// The history subscriber is lossless: it must have delivered every round
+	// with zero drops.
+	if !strings.Contains(body, fmt.Sprintf(`name="history",policy="block"} %d`, len(reports))) {
+		t.Fatalf("history subscription counters missing in:\n%s", body)
+	}
+}

@@ -137,10 +137,19 @@ const (
 	// attributes it by per-PID counter activity through the learned formula
 	// — the Kepler-style ratio split.
 	ModeBlended
+	// ModeDelegated is the guest side of the VM bridge: the machine total is
+	// whatever the host-side PowerAPI instance delegated for this VM (a
+	// vmbridge.DelegatedSource), attributed across the guest's processes by
+	// their counter activity through the learned formula. The guest's
+	// per-process estimates therefore sum exactly to the host-delegated VM
+	// power — the nested instance conserves the host's attribution.
+	ModeDelegated
 )
 
 // Modes lists every sensing mode in declaration order.
-func Modes() []Mode { return []Mode{ModeHPC, ModeProcfs, ModeRAPL, ModeBlended} }
+func Modes() []Mode {
+	return []Mode{ModeHPC, ModeProcfs, ModeRAPL, ModeBlended, ModeDelegated}
+}
 
 // String implements fmt.Stringer.
 func (m Mode) String() string {
@@ -153,6 +162,8 @@ func (m Mode) String() string {
 		return "rapl"
 	case ModeBlended:
 		return "blended"
+	case ModeDelegated:
+		return "delegated"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -160,7 +171,12 @@ func (m Mode) String() string {
 
 // Valid reports whether m is a known sensing mode.
 func (m Mode) Valid() bool {
-	return m == ModeHPC || m == ModeProcfs || m == ModeRAPL || m == ModeBlended
+	switch m {
+	case ModeHPC, ModeProcfs, ModeRAPL, ModeBlended, ModeDelegated:
+		return true
+	default:
+		return false
+	}
 }
 
 // Attributed reports whether the mode distributes a measured machine total

@@ -3,7 +3,7 @@ package target
 import "testing"
 
 func TestParseRoundTrips(t *testing.T) {
-	for _, tgt := range []Target{Process(1000), Cgroup("web/api"), Machine()} {
+	for _, tgt := range []Target{Process(1000), Cgroup("web/api"), Machine(), VM("vm-web")} {
 		parsed, err := Parse(tgt.String())
 		if err != nil {
 			t.Fatalf("Parse(%q): %v", tgt.String(), err)
@@ -15,7 +15,7 @@ func TestParseRoundTrips(t *testing.T) {
 }
 
 func TestParseRejectsMalformedTargets(t *testing.T) {
-	for _, s := range []string{"", "pid:", "pid:abc", "pid:0", "pid:-3", "cgroup:", "machines", "web"} {
+	for _, s := range []string{"", "pid:", "pid:abc", "pid:0", "pid:-3", "cgroup:", "vm:", "machines", "web"} {
 		if _, err := Parse(s); err == nil {
 			t.Fatalf("Parse(%q) should fail", s)
 		}

@@ -26,6 +26,10 @@ const (
 	KindCgroup
 	// KindMachine identifies the whole machine (machine-scope measurements).
 	KindMachine
+	// KindVM identifies a virtual machine by name: a cgroup subtree or PID
+	// set designated as a VM on the host, whose power the host delegates to a
+	// nested guest-side PowerAPI instance over the VM bridge.
+	KindVM
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +41,8 @@ func (k Kind) String() string {
 		return "cgroup"
 	case KindMachine:
 		return "machine"
+	case KindVM:
+		return "vm"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -56,6 +62,8 @@ type Target struct {
 	PID int `json:"pid,omitempty"`
 	// Path is the hierarchy path of cgroup targets ("web/api").
 	Path string `json:"path,omitempty"`
+	// Name is the name of VM targets ("vm-web").
+	Name string `json:"name,omitempty"`
 }
 
 // Process returns the target identifying one OS process.
@@ -67,21 +75,27 @@ func Cgroup(path string) Target { return Target{Kind: KindCgroup, Path: path} }
 // Machine returns the target identifying the whole machine.
 func Machine() Target { return Target{Kind: KindMachine} }
 
+// VM returns the target identifying a virtual machine by name.
+func VM(name string) Target { return Target{Kind: KindVM, Name: name} }
+
 // Valid reports whether the target is well-formed.
 func (t Target) Valid() bool {
 	switch t.Kind {
 	case KindProcess:
-		return t.PID > 0 && t.Path == ""
+		return t.PID > 0 && t.Path == "" && t.Name == ""
 	case KindCgroup:
-		return t.Path != "" && t.PID == 0
+		return t.Path != "" && t.PID == 0 && t.Name == ""
 	case KindMachine:
-		return t.PID == 0 && t.Path == ""
+		return t.PID == 0 && t.Path == "" && t.Name == ""
+	case KindVM:
+		return t.Name != "" && t.PID == 0 && t.Path == ""
 	default:
 		return false
 	}
 }
 
-// String implements fmt.Stringer ("pid:1000", "cgroup:web/api", "machine").
+// String implements fmt.Stringer ("pid:1000", "cgroup:web/api", "vm:vm-web",
+// "machine").
 func (t Target) String() string {
 	switch t.Kind {
 	case KindProcess:
@@ -90,13 +104,15 @@ func (t Target) String() string {
 		return "cgroup:" + t.Path
 	case KindMachine:
 		return "machine"
+	case KindVM:
+		return "vm:" + t.Name
 	default:
 		return fmt.Sprintf("target(%d)", int(t.Kind))
 	}
 }
 
 // Parse resolves the string form produced by String back into a target:
-// "pid:1000", "cgroup:web/api" or "machine".
+// "pid:1000", "cgroup:web/api", "vm:vm-web" or "machine".
 func Parse(s string) (Target, error) {
 	switch {
 	case s == "machine":
@@ -113,8 +129,14 @@ func Parse(s string) (Target, error) {
 			return Target{}, fmt.Errorf("target: empty cgroup path in %q", s)
 		}
 		return Cgroup(path), nil
+	case strings.HasPrefix(s, "vm:"):
+		name := strings.TrimPrefix(s, "vm:")
+		if name == "" {
+			return Target{}, fmt.Errorf("target: empty vm name in %q", s)
+		}
+		return VM(name), nil
 	default:
-		return Target{}, fmt.Errorf("target: cannot parse %q (want \"pid:N\", \"cgroup:PATH\" or \"machine\")", s)
+		return Target{}, fmt.Errorf("target: cannot parse %q (want \"pid:N\", \"cgroup:PATH\", \"vm:NAME\" or \"machine\")", s)
 	}
 }
 
@@ -130,6 +152,11 @@ func (t Target) RouteKey() uint64 {
 		h := fnv.New64a()
 		h.Write([]byte("cgroup:"))
 		h.Write([]byte(t.Path))
+		return h.Sum64()
+	case KindVM:
+		h := fnv.New64a()
+		h.Write([]byte("vm:"))
+		h.Write([]byte(t.Name))
 		return h.Sum64()
 	default:
 		return 0

@@ -1,0 +1,113 @@
+package vmbridge
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"powerapi/internal/core"
+)
+
+// Publisher is the host side of the bridge: a subscriber on the host monitor
+// that turns every sampling round's per-VM rollup into VMPowerFrames on a
+// Transport. The subscription is lossless (Block policy), so every completed
+// host round yields exactly one frame per VM — the transports, not the
+// publisher, are where a slow guest sheds load.
+type Publisher struct {
+	sub *core.Subscription
+	tr  Transport
+	wg  sync.WaitGroup
+
+	seq       atomic.Uint64
+	published atomic.Uint64
+	sendErrs  atomic.Uint64
+	lastErr   atomic.Value // error
+
+	closeOnce sync.Once
+}
+
+// NewPublisher subscribes a frame publisher to the monitor's report fanout
+// and starts streaming. The monitor must have VM definitions (core.WithVMs) —
+// without them no round ever carries a per-VM rollup and the bridge would
+// silently stream nothing. The publisher owns the transport: Close shuts both
+// the subscription and the transport down.
+func NewPublisher(mon *core.PowerAPI, tr Transport) (*Publisher, error) {
+	if mon == nil {
+		return nil, errors.New("vmbridge: nil monitor")
+	}
+	if tr == nil {
+		return nil, errors.New("vmbridge: nil transport")
+	}
+	if len(mon.VMs()) == 0 {
+		return nil, errors.New("vmbridge: the monitor defines no VMs (core.WithVMs)")
+	}
+	sub, err := mon.Subscribe(core.SubscribeOptions{Name: "vmbridge-publisher", Policy: core.Block})
+	if err != nil {
+		return nil, fmt.Errorf("vmbridge: subscribe: %w", err)
+	}
+	p := &Publisher{sub: sub, tr: tr}
+	p.wg.Add(1)
+	go p.run()
+	return p, nil
+}
+
+func (p *Publisher) run() {
+	defer p.wg.Done()
+	for report := range p.sub.C() {
+		if len(report.PerVM) == 0 {
+			continue
+		}
+		// Deterministic frame order per round: sorted VM names, one global
+		// monotonic sequence across all VMs.
+		names := make([]string, 0, len(report.PerVM))
+		for name := range report.PerVM {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			frame := VMPowerFrame{
+				VM:             name,
+				Seq:            p.seq.Add(1),
+				Timestamp:      report.Timestamp,
+				Watts:          report.PerVM[name],
+				HostTotalWatts: report.TotalWatts,
+				SourceMode:     report.SourceMode,
+			}
+			if err := p.tr.Send(frame); err != nil {
+				p.sendErrs.Add(1)
+				p.lastErr.Store(err)
+				continue
+			}
+			p.published.Add(1)
+		}
+	}
+}
+
+// Published returns how many frames were handed to the transport so far.
+func (p *Publisher) Published() uint64 { return p.published.Load() }
+
+// SendErrors returns how many frames the transport refused.
+func (p *Publisher) SendErrors() uint64 { return p.sendErrs.Load() }
+
+// LastError returns the most recent transport error (nil if none).
+func (p *Publisher) LastError() error {
+	if v := p.lastErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Close detaches the publisher from the monitor and closes the transport, so
+// connected guests observe link loss. It is idempotent and safe while rounds
+// are in flight.
+func (p *Publisher) Close() error {
+	var err error
+	p.closeOnce.Do(func() {
+		p.sub.Close()
+		p.wg.Wait()
+		err = p.tr.Close()
+	})
+	return err
+}

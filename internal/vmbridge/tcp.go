@@ -1,0 +1,260 @@
+package vmbridge
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxFrameLine bounds one JSON-encoded frame on the wire; a line beyond it is
+// a protocol violation, not a bigger buffer waiting to happen.
+const maxFrameLine = 64 * 1024
+
+// TCPPublisher is the wire transport of the bridge, the virtio-serial
+// stand-in: it listens on a TCP address and streams every published frame to
+// every connected guest as one JSON object per line. Connections are
+// broadcast fan-out — a guest dialing in receives the frames of every VM and
+// filters by name (DelegatedSource does). A slow or dead connection sheds
+// frames drop-oldest and is dropped on write failure; it never backpressures
+// the host pipeline.
+type TCPPublisher struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[uint64]*tcpConn
+	nextID uint64
+	closed bool
+
+	sent    atomic.Uint64
+	dropped atomic.Uint64
+}
+
+type tcpConn struct {
+	conn  net.Conn
+	lines *frameChan // frames pending for this connection, drop-oldest
+}
+
+// ListenTCP starts a frame publisher on addr ("127.0.0.1:9191"; port 0 picks
+// a free one — see Addr).
+func ListenTCP(addr string) (*TCPPublisher, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("vmbridge: listen on %s: %w", addr, err)
+	}
+	p := &TCPPublisher{ln: ln, conns: make(map[uint64]*tcpConn)}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address the publisher listens on.
+func (p *TCPPublisher) Addr() net.Addr { return p.ln.Addr() }
+
+// Connections returns how many guests are currently connected.
+func (p *TCPPublisher) Connections() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// Sent returns how many frame deliveries reached a connection's wire so far.
+func (p *TCPPublisher) Sent() uint64 { return p.sent.Load() }
+
+// Dropped returns how many frame deliveries were lost to dead connections
+// (write failures); frames shed by a slow connection's drop-oldest queue are
+// not counted here, mirroring a serial port's silent overrun.
+func (p *TCPPublisher) Dropped() uint64 { return p.dropped.Load() }
+
+func (p *TCPPublisher) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := &tcpConn{conn: conn, lines: newFrameChan()}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.nextID++
+		id := p.nextID
+		p.conns[id] = c
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.writeLoop(id, c)
+	}
+}
+
+// writeLoop drains one connection's frame queue onto the wire. A write
+// failure (guest went away) drops the connection.
+func (p *TCPPublisher) writeLoop(id uint64, c *tcpConn) {
+	defer p.wg.Done()
+	defer c.conn.Close()
+	w := bufio.NewWriter(c.conn)
+	for frame := range c.lines.ch {
+		line, err := json.Marshal(frame)
+		if err != nil {
+			p.dropped.Add(1)
+			continue
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			p.dropConn(id)
+			return
+		}
+		// One flush per frame keeps latency at one round, not one buffer
+		// fill; the queue already batches bursts.
+		if err := w.Flush(); err != nil {
+			p.dropConn(id)
+			return
+		}
+		p.sent.Add(1)
+	}
+}
+
+func (p *TCPPublisher) dropConn(id uint64) {
+	p.mu.Lock()
+	c, ok := p.conns[id]
+	delete(p.conns, id)
+	p.mu.Unlock()
+	if ok {
+		p.dropped.Add(1)
+		c.lines.close()
+		c.conn.Close()
+	}
+}
+
+// Send implements Transport: the frame is queued for every live connection
+// (drop-oldest per connection). With no guest connected the frame is simply
+// lost, like writing to an unattached serial port.
+func (p *TCPPublisher) Send(frame VMPowerFrame) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	snapshot := make([]*tcpConn, 0, len(p.conns))
+	for _, c := range p.conns {
+		snapshot = append(snapshot, c)
+	}
+	p.mu.Unlock()
+	for _, c := range snapshot {
+		c.lines.deliver(frame)
+	}
+	return nil
+}
+
+// Close implements Transport: the listener and every connection shut down,
+// so connected guests observe link loss. It is idempotent.
+func (p *TCPPublisher) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	remaining := make([]*tcpConn, 0, len(p.conns))
+	for _, c := range p.conns {
+		remaining = append(remaining, c)
+	}
+	p.conns = make(map[uint64]*tcpConn)
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range remaining {
+		c.lines.close()
+		c.conn.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// TCPReceiver consumes the JSON-lines frame stream of a TCPPublisher. When
+// the connection drops (or the publisher closes), the Frames channel closes —
+// the guest-side DelegatedSource turns that into its staleness policy.
+type TCPReceiver struct {
+	conn   net.Conn
+	frames *frameChan
+	wg     sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+
+	decodeErrs atomic.Uint64
+}
+
+// DialTCP connects to a TCPPublisher at addr.
+func DialTCP(addr string) (*TCPReceiver, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("vmbridge: dial %s: %w", addr, err)
+	}
+	r := &TCPReceiver{conn: conn, frames: newFrameChan()}
+	r.wg.Add(1)
+	go r.readLoop()
+	return r, nil
+}
+
+func (r *TCPReceiver) readLoop() {
+	defer r.wg.Done()
+	// The read loop is the only deliverer; frames.close afterwards waits out
+	// the last deliver, so consumers see every decoded frame, then the close.
+	defer r.frames.close()
+	scanner := bufio.NewScanner(r.conn)
+	scanner.Buffer(make([]byte, 4096), maxFrameLine)
+	for scanner.Scan() {
+		var frame VMPowerFrame
+		if err := json.Unmarshal(scanner.Bytes(), &frame); err != nil {
+			// A torn line is a transport glitch, not a reason to kill the
+			// link; count it and resync on the next newline.
+			r.decodeErrs.Add(1)
+			continue
+		}
+		r.frames.deliver(frame)
+	}
+}
+
+// Frames implements Receiver.
+func (r *TCPReceiver) Frames() <-chan VMPowerFrame { return r.frames.ch }
+
+// DecodeErrors returns how many wire lines failed to decode as frames.
+func (r *TCPReceiver) DecodeErrors() uint64 { return r.decodeErrs.Load() }
+
+// Close implements Receiver: the connection closes and the Frames channel
+// closes once the read loop drains. It is idempotent.
+func (r *TCPReceiver) Close() error {
+	r.closeOnce.Do(func() {
+		r.closeErr = r.conn.Close()
+		r.wg.Wait()
+	})
+	return r.closeErr
+}
+
+// DialTCPWithRetry dials a TCPPublisher, retrying up to attempts times with
+// the given pause — a guest daemon typically races the host daemon's
+// listener, the way a VM boots before its management agent is up.
+func DialTCPWithRetry(addr string, attempts int, pause time.Duration) (*TCPReceiver, error) {
+	if attempts < 1 {
+		return nil, errors.New("vmbridge: dial attempts must be at least 1")
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(pause)
+		}
+		r, err := DialTCP(addr)
+		if err == nil {
+			return r, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("vmbridge: dial %s: gave up after %d attempts: %w", addr, attempts, lastErr)
+}

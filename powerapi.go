@@ -48,6 +48,7 @@ import (
 	"powerapi/internal/sched"
 	"powerapi/internal/source"
 	"powerapi/internal/target"
+	"powerapi/internal/vmbridge"
 	"powerapi/internal/workload"
 )
 
@@ -134,6 +135,44 @@ type (
 	// APIServer serves a Monitor over HTTP: Prometheus /metrics plus the
 	// JSON query/attach/detach API (see NewAPIServer).
 	APIServer = httpapi.Server
+	// VMDef designates a named virtual machine on the host: a cgroup subtree
+	// or an explicit PID set whose power the Monitor rolls up per round
+	// (MonitorReport.PerVM) and the VM bridge delegates to a nested guest
+	// instance.
+	VMDef = core.VMDef
+	// VMPowerFrame is one delegated power figure on the VM bridge: the
+	// host-side estimate of one VM's draw for one sampling round.
+	VMPowerFrame = vmbridge.VMPowerFrame
+	// VMBridgeTransport is the host-side half of a VM bridge (Send frames).
+	VMBridgeTransport = vmbridge.Transport
+	// VMBridgeReceiver is the guest-side half of a VM bridge (a frame
+	// stream).
+	VMBridgeReceiver = vmbridge.Receiver
+	// VMPublisher streams a host Monitor's per-VM power over a bridge
+	// transport, one frame per VM per sampling round (see NewVMPublisher).
+	VMPublisher = vmbridge.Publisher
+	// DelegatedSource is the guest side of the bridge: a machine-scope
+	// sensor source whose measured watts is the latest host-delegated figure
+	// (see NewDelegatedSource and WithVMBridge).
+	DelegatedSource = vmbridge.DelegatedSource
+	// DelegatedSourceOption customises a DelegatedSource (staleness policy
+	// and tolerance).
+	DelegatedSourceOption = vmbridge.DelegatedOption
+	// StalePolicy tells a DelegatedSource what to report once delegated
+	// frames stop arriving: StaleZero or StaleHold.
+	StalePolicy = vmbridge.StalePolicy
+	// LoopbackBridge is the in-process bridge transport for tests, examples
+	// and simulated guests (see NewLoopbackBridge).
+	LoopbackBridge = vmbridge.Loopback
+	// TCPBridgePublisher is the TCP/JSON-lines bridge transport a host
+	// serves (see ListenVMBridge).
+	TCPBridgePublisher = vmbridge.TCPPublisher
+	// TCPBridgeReceiver consumes a TCP bridge's frame stream on the guest
+	// side (see DialVMBridge).
+	TCPBridgeReceiver = vmbridge.TCPReceiver
+	// SubscriptionInfo is one live subscription's diagnostic snapshot
+	// (Monitor.SubscriptionStats): name, policy, delivered/dropped counters.
+	SubscriptionInfo = core.SubscriptionInfo
 )
 
 // Backpressure policies (see SubscribeOptions.Policy).
@@ -172,6 +211,21 @@ const (
 	// SourceBlended measures the total with the RAPL package domain and
 	// attributes it by per-PID counter activity (Kepler-style).
 	SourceBlended = source.ModeBlended
+	// SourceDelegated is the guest side of the VM bridge: the machine total
+	// is whatever the host delegated for this VM, attributed across the
+	// guest's processes by counter activity (see WithVMBridge).
+	SourceDelegated = source.ModeDelegated
+)
+
+// Staleness policies of a DelegatedSource (see NewDelegatedSource).
+const (
+	// StaleZero stops reporting a measurement once delegated frames stop
+	// arriving, so the guest's estimates collapse to zero instead of
+	// freezing. The default.
+	StaleZero = vmbridge.StaleZero
+	// StaleHold keeps reporting the last delegated figure while the link is
+	// quiet.
+	StaleHold = vmbridge.StaleHold
 )
 
 // ParseSourceMode resolves a sensing-mode name such as "blended".
@@ -185,6 +239,8 @@ const (
 	TargetCgroup = target.KindCgroup
 	// TargetMachine identifies the whole machine.
 	TargetMachine = target.KindMachine
+	// TargetVM identifies a virtual machine by name (see WithVMs).
+	TargetVM = target.KindVM
 )
 
 // ProcessTarget returns the target identifying one OS process.
@@ -196,6 +252,9 @@ func CgroupTarget(path string) Target { return target.Cgroup(path) }
 
 // MachineTarget returns the target identifying the whole machine.
 func MachineTarget() Target { return target.Machine() }
+
+// VMTarget returns the target identifying a virtual machine by name.
+func VMTarget(name string) Target { return target.VM(name) }
 
 // NewCgroupHierarchy creates an empty control-group hierarchy. Populate it
 // with Create/Add and hand it to a Monitor through WithCgroups.
@@ -360,6 +419,70 @@ func WithCgroups(h *CgroupHierarchy) MonitorOption { return core.WithCgroups(h) 
 // per-PID and per-timestamp dimensions.
 func WithProcessNameGrouping(m *Machine) MonitorOption {
 	return core.WithProcessNameGrouping(m)
+}
+
+// WithVMs designates named virtual machines on the host Monitor: each VMDef
+// maps a VM name to a cgroup subtree or an explicit PID set. Every sampling
+// round the report carries each VM's power (MonitorReport.PerVM) — the exact
+// sum of its members' per-process estimates, every PID counted into the
+// machine total exactly once — and vm targets (VMTarget) become attachable.
+// Definitions must not overlap. A VMPublisher delegates these figures to
+// nested guest instances over the VM bridge.
+func WithVMs(defs ...VMDef) MonitorOption { return core.WithVMs(defs...) }
+
+// WithVMBridge turns a Monitor into the guest side of the host↔guest VM
+// bridge: the sensing mode becomes SourceDelegated and the machine total of
+// every round is the latest power figure the host delegated for this VM (the
+// given DelegatedSource), re-attributed across the guest's processes by their
+// counter activity so the guest's estimates sum exactly to the delegated
+// watts. The Monitor owns the source and closes it on Shutdown.
+func WithVMBridge(src *DelegatedSource) MonitorOption { return core.WithVMBridge(src) }
+
+// NewVMPublisher is the host side of the VM bridge: it subscribes to the
+// Monitor's report fanout (losslessly) and streams one VMPowerFrame per
+// defined VM per sampling round over the transport — the in-process loopback
+// (NewLoopbackBridge) or the TCP/JSON-lines link (ListenVMBridge). The
+// Monitor must define VMs (WithVMs). Close the publisher to end the stream;
+// it owns the transport.
+func NewVMPublisher(m *Monitor, tr VMBridgeTransport) (*VMPublisher, error) {
+	return vmbridge.NewPublisher(m, tr)
+}
+
+// NewDelegatedSource creates the guest side of the VM bridge: a machine-scope
+// sensor source consuming the host's frames for the named VM from recv, with
+// staleness detection — after WithStaleAfter rounds without a fresh frame the
+// WithStalePolicy policy applies (zero by default), so a severed link never
+// yields frozen watts. Plug it into a Monitor with WithVMBridge.
+func NewDelegatedSource(recv VMBridgeReceiver, vm string, opts ...DelegatedSourceOption) (*DelegatedSource, error) {
+	return vmbridge.NewDelegatedSource(recv, vm, opts...)
+}
+
+// WithStalePolicy selects what a DelegatedSource reports once delegated
+// frames stop arriving: StaleZero (default) or StaleHold.
+func WithStalePolicy(p StalePolicy) DelegatedSourceOption { return vmbridge.WithStalePolicy(p) }
+
+// WithStaleAfter overrides how many consecutive sampling rounds without a
+// fresh frame a DelegatedSource tolerates before its policy applies.
+func WithStaleAfter(rounds int) DelegatedSourceOption { return vmbridge.WithStaleAfter(rounds) }
+
+// ParseStalePolicy resolves a staleness-policy name ("zero", "hold").
+func ParseStalePolicy(s string) (StalePolicy, error) { return vmbridge.ParseStalePolicy(s) }
+
+// NewLoopbackBridge creates the in-process VM bridge transport: Send fans
+// every frame out to every receiver created with NewReceiver. It connects a
+// host Monitor and nested guest Monitors inside one process (tests, examples,
+// simulated guests).
+func NewLoopbackBridge() *LoopbackBridge { return vmbridge.NewLoopback() }
+
+// ListenVMBridge starts the TCP/JSON-lines VM bridge transport on addr — the
+// virtio-serial stand-in the daemon serves with -vm-publish. Hand it to
+// NewVMPublisher; guests dial it with DialVMBridge.
+func ListenVMBridge(addr string) (*TCPBridgePublisher, error) { return vmbridge.ListenTCP(addr) }
+
+// DialVMBridge connects a guest to a TCP VM bridge served by ListenVMBridge,
+// retrying until the host is up (attempts × pause).
+func DialVMBridge(addr string, attempts int, pause time.Duration) (*TCPBridgeReceiver, error) {
+	return vmbridge.DialTCPWithRetry(addr, attempts, pause)
 }
 
 // WithCSVReporter adds a Reporter that appends one CSV row per monitored
