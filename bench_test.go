@@ -188,7 +188,7 @@ func BenchmarkMonitoringCollect(b *testing.B) {
 // Formula → Aggregator hot path. The pids/s metric is the number of
 // per-process attributions produced per wall-clock second.
 func BenchmarkMonitorShards(b *testing.B) {
-	for _, pidCount := range []int{100, 1000, 10000} {
+	for _, pidCount := range []int{100, 1000, 10000, 100000} {
 		for _, shards := range []int{1, 4, 8} {
 			b.Run(fmt.Sprintf("pids=%d/shards=%d", pidCount, shards), func(b *testing.B) {
 				benchmarkMonitorTick(b, pidCount, shards)

@@ -1,0 +1,235 @@
+// Command powerapi-bench measures the steady-state cost of a sampling round
+// across a matrix of monitored-target counts and shard-pool sizes, and writes
+// the result as a JSON benchmark report (BENCH_PR6.json at the repo root is
+// the checked-in trajectory). Unlike `go test -bench`, which averages the
+// warm-up into the figures, this harness warms each cell first and then
+// meters only steady-state rounds, so allocs/round reflects the pooled hot
+// path rather than first-round map growth.
+//
+// With -budget the run additionally enforces a checked-in regression budget:
+// any measured cell whose allocs/round exceeds its budget entry fails the
+// run, which is how CI pins the allocation behaviour of the pipeline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	powerapi "powerapi"
+)
+
+// Cell is one measured point of the matrix.
+type Cell struct {
+	// Targets and Shards identify the cell.
+	Targets int `json:"targets"`
+	Shards  int `json:"shards"`
+	// Rounds is how many steady-state rounds were metered (after warm-up).
+	Rounds int `json:"rounds"`
+	// RoundsPerSec is the sampling-round throughput.
+	RoundsPerSec float64 `json:"roundsPerSec"`
+	// NsPerTarget is the per-target share of one round's wall time.
+	NsPerTarget float64 `json:"nsPerTarget"`
+	// AllocsPerRound / BytesPerRound are the heap allocation count and volume
+	// of one steady-state round, whole-process (pipeline goroutines included).
+	AllocsPerRound float64 `json:"allocsPerRound"`
+	BytesPerRound  float64 `json:"bytesPerRound"`
+}
+
+// Report is the file layout of BENCH_PR6.json.
+type Report struct {
+	PR        string `json:"pr"`
+	GoVersion string `json:"goVersion"`
+	CPUs      int    `json:"cpus"`
+	Cells     []Cell `json:"cells"`
+}
+
+// BudgetEntry caps the allocs/round of one cell. Cells without an entry are
+// reported but not enforced.
+type BudgetEntry struct {
+	Targets           int     `json:"targets"`
+	Shards            int     `json:"shards"`
+	MaxAllocsPerRound float64 `json:"maxAllocsPerRound"`
+}
+
+func main() {
+	var (
+		scalesFlag = flag.String("scales", "1000,10000,100000", "comma-separated monitored-target counts")
+		shardsFlag = flag.String("shards", "1,4,8", "comma-separated shard-pool sizes")
+		rounds     = flag.Int("rounds", 50, "steady-state rounds metered per cell")
+		warmup     = flag.Int("warmup", 20, "warm-up rounds per cell (excluded from the figures)")
+		out        = flag.String("out", "", "write the JSON report to this file (default: stdout)")
+		budgetPath = flag.String("budget", "", "enforce the allocs/round budget file (JSON array of {targets,shards,maxAllocsPerRound})")
+		pr         = flag.String("pr", "PR6", "label recorded in the report")
+	)
+	flag.Parse()
+
+	scales, err := parseInts(*scalesFlag)
+	if err != nil {
+		fatalf("parse -scales: %v", err)
+	}
+	shardCounts, err := parseInts(*shardsFlag)
+	if err != nil {
+		fatalf("parse -shards: %v", err)
+	}
+	var budget []BudgetEntry
+	if *budgetPath != "" {
+		raw, err := os.ReadFile(*budgetPath)
+		if err != nil {
+			fatalf("read budget: %v", err)
+		}
+		if err := json.Unmarshal(raw, &budget); err != nil {
+			fatalf("parse budget: %v", err)
+		}
+	}
+
+	report := Report{PR: *pr, GoVersion: runtime.Version(), CPUs: runtime.NumCPU()}
+	for _, targets := range scales {
+		for _, shards := range shardCounts {
+			cell, err := measure(targets, shards, *warmup, *rounds)
+			if err != nil {
+				fatalf("measure targets=%d shards=%d: %v", targets, shards, err)
+			}
+			fmt.Fprintf(os.Stderr, "targets=%-7d shards=%d  %8.1f rounds/s  %8.1f ns/target  %10.1f allocs/round  %12.0f B/round\n",
+				cell.Targets, cell.Shards, cell.RoundsPerSec, cell.NsPerTarget, cell.AllocsPerRound, cell.BytesPerRound)
+			report.Cells = append(report.Cells, cell)
+		}
+	}
+
+	encoded, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("encode report: %v", err)
+	}
+	encoded = append(encoded, '\n')
+	if *out == "" {
+		os.Stdout.Write(encoded)
+	} else if err := os.WriteFile(*out, encoded, 0o644); err != nil {
+		fatalf("write report: %v", err)
+	}
+
+	if failed := checkBudget(report.Cells, budget); failed {
+		os.Exit(1)
+	}
+}
+
+// measure builds one simulated machine with the given number of monitored
+// processes, attaches them to a monitor with the given shard-pool size, warms
+// the pipeline up and meters steady-state rounds.
+func measure(targets, shards, warmup, rounds int) (Cell, error) {
+	cfg := powerapi.DefaultMachineConfig()
+	cfg.Governor = powerapi.GovernorPerformance
+	m, err := powerapi.NewMachine(cfg)
+	if err != nil {
+		return Cell{}, err
+	}
+	pids := make([]int, 0, targets)
+	for i := 0; i < targets; i++ {
+		// Vary the demand so shards don't all carry identical work (the same
+		// population BenchmarkMonitorShards uses).
+		gen, err := powerapi.CPUStress(0.1+0.8*float64(i%9)/8, 0)
+		if err != nil {
+			return Cell{}, err
+		}
+		p, err := m.Spawn(gen)
+		if err != nil {
+			return Cell{}, err
+		}
+		pids = append(pids, p.PID())
+	}
+	monitor, err := powerapi.NewMonitor(m, powerapi.PaperReferenceModel(), powerapi.WithShards(shards))
+	if err != nil {
+		return Cell{}, err
+	}
+	defer monitor.Shutdown()
+	if err := monitor.Attach(pids...); err != nil {
+		return Cell{}, err
+	}
+
+	tick := func() error {
+		if _, err := m.Run(m.Tick()); err != nil {
+			return err
+		}
+		report, err := monitor.Collect()
+		if err != nil {
+			return err
+		}
+		if len(report.PerPID) != targets {
+			return fmt.Errorf("round attributed %d targets, want %d", len(report.PerPID), targets)
+		}
+		return nil
+	}
+	for i := 0; i < warmup; i++ {
+		if err := tick(); err != nil {
+			return Cell{}, err
+		}
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := tick(); err != nil {
+			return Cell{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	perRound := elapsed.Seconds() / float64(rounds)
+	return Cell{
+		Targets:        targets,
+		Shards:         shards,
+		Rounds:         rounds,
+		RoundsPerSec:   1 / perRound,
+		NsPerTarget:    perRound * 1e9 / float64(targets),
+		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(rounds),
+		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+	}, nil
+}
+
+// checkBudget reports whether any measured cell blew its budget entry.
+func checkBudget(cells []Cell, budget []BudgetEntry) bool {
+	failed := false
+	for _, b := range budget {
+		for _, c := range cells {
+			if c.Targets != b.Targets || c.Shards != b.Shards {
+				continue
+			}
+			if c.AllocsPerRound > b.MaxAllocsPerRound {
+				fmt.Fprintf(os.Stderr, "BUDGET EXCEEDED: targets=%d shards=%d allocs/round %.1f > budget %.1f\n",
+					c.Targets, c.Shards, c.AllocsPerRound, b.MaxAllocsPerRound)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "budget ok: targets=%d shards=%d allocs/round %.1f <= %.1f\n",
+					c.Targets, c.Shards, c.AllocsPerRound, b.MaxAllocsPerRound)
+			}
+		}
+	}
+	return failed
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "powerapi-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

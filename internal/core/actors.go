@@ -25,6 +25,12 @@ type sensorShardBehavior struct {
 	shards        int
 	topic         string // per-shard sensor topic feeding the paired formula shard
 	sampleTimeout time.Duration
+
+	// pidSlots/otherSlots remember the round slot (+1; 0 means none) the
+	// facade assigned to each attached target, so every tick can stamp the
+	// source's samples without the facade on the hot path.
+	pidSlots   map[int]int32
+	otherSlots map[target.Target]int32
 }
 
 func newSensorShardBehavior(attr, total source.Source, shard, shards int, sampleTimeout time.Duration) *sensorShardBehavior {
@@ -35,6 +41,8 @@ func newSensorShardBehavior(attr, total source.Source, shard, shards int, sample
 		shards:        shards,
 		topic:         SensorShardTopic(shard),
 		sampleTimeout: sampleTimeout,
+		pidSlots:      make(map[int]int32),
+		otherSlots:    make(map[target.Target]int32),
 	}
 }
 
@@ -42,7 +50,7 @@ func newSensorShardBehavior(attr, total source.Source, shard, shards int, sample
 func (s *sensorShardBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 	switch m := msg.(type) {
 	case attachRequest:
-		m.Reply <- s.attach(m.Target)
+		m.Reply <- s.attach(m)
 	case detachRequest:
 		m.Reply <- s.detach(m.Target)
 	case tickRequest:
@@ -55,13 +63,20 @@ func (s *sensorShardBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 	}
 }
 
-func (s *sensorShardBehavior) attach(t target.Target) error {
+func (s *sensorShardBehavior) attach(req attachRequest) error {
 	dyn, ok := s.attr.(source.Dynamic)
 	if !ok {
 		return fmt.Errorf("core: %s source does not support attaching targets", s.attr.Name())
 	}
-	if err := dyn.Add(t); err != nil {
+	if err := dyn.Add(req.Target); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	if req.Slot >= 0 {
+		if req.Target.Kind == target.KindProcess {
+			s.pidSlots[req.Target.PID] = req.Slot + 1
+		} else {
+			s.otherSlots[req.Target] = req.Slot + 1
+		}
 	}
 	return nil
 }
@@ -74,11 +89,18 @@ func (s *sensorShardBehavior) detach(t target.Target) error {
 	if err := dyn.Remove(t); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	if t.Kind == target.KindProcess {
+		delete(s.pidSlots, t.PID)
+	} else {
+		delete(s.otherSlots, t)
+	}
 	return nil
 }
 
 // tick samples the shard's sources and publishes ONE batch. An idle shard
 // publishes an empty batch so the Aggregator can still complete the round.
+// The batch's sample slice is pooled: the paired formula shard (the topic's
+// sole consumer) hands it back through source.PutTargetSlice once estimated.
 func (s *sensorShardBehavior) tick(ctx *actor.Context, req tickRequest) {
 	batch := SensorReportBatch{
 		Timestamp: req.Timestamp,
@@ -105,6 +127,17 @@ func (s *sensorShardBehavior) tick(ctx *actor.Context, req tickRequest) {
 	// count and hands the slice over (it never reuses it), so the batch can
 	// adopt it wholesale instead of reallocating and copying per tick.
 	batch.Samples = sample.Targets
+	// Stamp each sample with its round slot; a target the facade never
+	// assigned one (a custom source emitting extra targets) keeps 0 and flows
+	// through the aggregator's map fallback.
+	for i := range batch.Samples {
+		ts := &batch.Samples[i]
+		if ts.Target.Kind == target.KindProcess {
+			ts.Slot = s.pidSlots[ts.Target.PID]
+		} else {
+			ts.Slot = s.otherSlots[ts.Target]
+		}
+	}
 	if s.total != nil {
 		ts, err := s.total.Sample(sampleCtx)
 		if err != nil {
@@ -136,13 +169,24 @@ func (s *sensorShardBehavior) tick(ctx *actor.Context, req tickRequest) {
 // share-based modes it forwards the source weights untouched. The behaviour
 // is stateless, so its supervisor restarts it from a fresh instance after a
 // panic.
+//
+// The model is compiled once at construction: the per-batch frequency resolves
+// to a pre-parsed formula a single time, and each target evaluates it on the
+// dense counter vector — no string parsing or map materialisation per sample.
 type formulaShardBehavior struct {
-	model *model.CPUPowerModel
-	mode  source.Mode
+	model    *model.CPUPowerModel
+	compiled *model.Compiled
+	mode     source.Mode
 }
 
 func newFormulaShardBehavior(m *model.CPUPowerModel, mode source.Mode) *formulaShardBehavior {
-	return &formulaShardBehavior{model: m, mode: mode}
+	f := &formulaShardBehavior{model: m, mode: mode}
+	// A model that validates but fails to compile falls back to the original
+	// per-sample evaluation path below.
+	if compiled, err := m.Compile(); err == nil {
+		f.compiled = compiled
+	}
+	return f
 }
 
 // Receive implements actor.Behavior.
@@ -167,16 +211,38 @@ func (f *formulaShardBehavior) estimateBatch(ctx *actor.Context, batch SensorRep
 		MeasuredWatts: batch.MeasuredWatts,
 		HasMeasured:   batch.HasMeasured,
 	}
-	if n := len(batch.Samples); n > 0 {
-		// Pre-sized to the batch: one estimate per sampled target, no growth
-		// reallocation on the hot path.
-		out.Estimates = make([]TargetEstimate, 0, n)
+	counterMode := f.mode == source.ModeHPC || f.mode == source.ModeBlended || f.mode == source.ModeDelegated
+	// Resolve the round's frequency to its compiled formula once per batch
+	// instead of once per target.
+	var cf *model.CompiledFrequency
+	if counterMode && f.compiled != nil && len(batch.Samples) > 0 {
+		var err error
+		if cf, err = f.compiled.ForFrequency(batch.FrequencyMHz); err != nil {
+			ctx.Publish(TopicErrors, PipelineError{
+				Stage: "formula",
+				Err:   fmt.Errorf("core: resolve frequency %d MHz: %w", batch.FrequencyMHz, err),
+			})
+		}
 	}
-	for _, sample := range batch.Samples {
-		est := TargetEstimate{Target: sample.Target}
-		switch f.mode {
-		case source.ModeHPC, source.ModeBlended, source.ModeDelegated:
-			watts, err := f.model.EstimateActiveWatts(batch.FrequencyMHz, sample.Deltas, batch.Window)
+	if n := len(batch.Samples); n > 0 {
+		// One pooled estimate per sampled target; the aggregator (the
+		// estimates topic's sole consumer) hands the slice back once merged.
+		out.Estimates = getEstimateSlice(n)
+	}
+	for i := range batch.Samples {
+		sample := &batch.Samples[i]
+		est := TargetEstimate{Target: sample.Target, Slot: sample.Slot}
+		if counterMode {
+			var watts float64
+			var err error
+			switch {
+			case cf != nil:
+				watts, err = cf.EstimateActiveWatts(&sample.Deltas, batch.Window)
+			case f.compiled == nil:
+				watts, err = f.model.EstimateActiveWatts(batch.FrequencyMHz, sample.Deltas.Counts(), batch.Window)
+			default:
+				// ForFrequency failed (already reported); estimates are zero.
+			}
 			if err != nil {
 				ctx.Publish(TopicErrors, PipelineError{
 					Stage: "formula",
@@ -189,12 +255,15 @@ func (f *formulaShardBehavior) estimateBatch(ctx *actor.Context, batch SensorRep
 			} else {
 				est.Weight = watts
 			}
-		default:
+		} else {
 			est.Weight = sample.Weight
 		}
 		out.Estimates = append(out.Estimates, est)
 	}
 	ctx.Publish(TopicPowerEstimates, out)
+	// The sample batch is fully consumed: hand its slice back to the source
+	// pool so the next tick reuses the backing array.
+	source.PutTargetSlice(batch.Samples)
 }
 
 // aggregatorBehavior merges the per-shard partial estimates of each sampling
@@ -209,6 +278,14 @@ func (f *formulaShardBehavior) estimateBatch(ctx *actor.Context, batch SensorRep
 // attribution. When a group resolver is configured it also aggregates along
 // that dimension (for example the application name), as the paper's
 // Aggregator description allows.
+//
+// The per-round hot path is allocation-free in steady state: slotted
+// estimates accumulate into an epoch-stamped sparse set (no per-round map
+// rebuild), round scratch is recycled through an aggregator-local freelist,
+// and published reports live in pooled buffers whose maps keep their buckets
+// across rounds (see round.go). Only slotless estimates — targets a custom
+// source emitted without ever being attached — fall back to direct map
+// merging.
 type aggregatorBehavior struct {
 	idleWatts float64
 	mode      source.Mode
@@ -217,17 +294,30 @@ type aggregatorBehavior struct {
 	// vms are the host's VM definitions in name order; every round the
 	// per-VM rollup projects the per-process estimates onto them.
 	vms     []VMDef
+	index   *slotIndex
 	pending map[time.Duration]*roundState
+	// spare recycles roundState scratch; the aggregator is a single goroutine
+	// so no locking is needed.
+	spare []*roundState
+	// prev* remember the previous round's breakdown cardinalities, presizing
+	// the maps a pool miss has to allocate.
+	prevPIDs, prevCgroups, prevVMs, prevGroups int
 }
 
-// roundState tracks one in-flight sampling round. In attributed modes the
-// per-target maps temporarily hold raw weights until finish scales them.
+// roundState tracks one in-flight sampling round. Slotted estimates
+// accumulate in set; slotless ones go straight into the report's maps (raw
+// weights until finish scales them, in attributed modes).
 type roundState struct {
-	report *AggregatedReport
+	buf *pooledReport
+	set sparseSet
 	// cgroupDirect holds the estimates cgroup-scope sources produced for
 	// whole groups (path → watts or raw weight). Kept apart from the rollup
-	// so the two cannot double-count each other.
+	// so the two cannot double-count each other. Never published; recycled
+	// with the round.
 	cgroupDirect map[string]float64
+	// claimed is the vmRollup's per-round duplicate-PID guard, recycled with
+	// the round.
+	claimed map[int]string
 	// batches counts PowerEstimateBatch arrivals; the round completes when
 	// all NumShards have reported.
 	batches int
@@ -235,17 +325,24 @@ type roundState struct {
 	// (at most one batch carries it).
 	measuredWatts float64
 	hasMeasured   bool
-	// sumWeight accumulates the raw attribution weights of every shard.
+	// sumWeight accumulates the raw attribution weights of every shard
+	// (attributed modes); activeSum accumulates the estimated watts
+	// (formula-driven mode).
 	sumWeight float64
+	activeSum float64
 }
 
-func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid int) string, hierarchy *cgroup.Hierarchy, vms []VMDef) *aggregatorBehavior {
+func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid int) string, hierarchy *cgroup.Hierarchy, vms []VMDef, index *slotIndex) *aggregatorBehavior {
+	if index == nil {
+		index = newSlotIndex()
+	}
 	return &aggregatorBehavior{
 		idleWatts: idleWatts,
 		mode:      mode,
 		resolve:   resolve,
 		hierarchy: hierarchy,
 		vms:       vms,
+		index:     index,
 		pending:   make(map[time.Duration]*roundState),
 	}
 }
@@ -259,9 +356,10 @@ func (a *aggregatorBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 			round.measuredWatts += m.MeasuredWatts
 			round.hasMeasured = true
 		}
-		for _, est := range m.Estimates {
-			a.merge(ctx, round, est)
+		for i := range m.Estimates {
+			a.merge(ctx, round, &m.Estimates[i])
 		}
+		putEstimateSlice(m.Estimates)
 		round.batches++
 		if round.batches >= m.NumShards {
 			a.finish(ctx, m.Timestamp, round)
@@ -286,15 +384,44 @@ func (a *aggregatorBehavior) round(ts time.Duration) *roundState {
 		if len(a.pending) >= maxPendingRounds {
 			a.evictOldest()
 		}
-		round = &roundState{report: &AggregatedReport{
-			Timestamp:  ts,
-			IdleWatts:  a.idleWatts,
-			SourceMode: a.mode.String(),
-			PerPID:     make(map[int]float64),
-		}}
+		round = a.getRoundState()
+		round.buf = getPooledReport(a.prevPIDs)
+		report := &round.buf.report
+		report.Timestamp = ts
+		report.IdleWatts = a.idleWatts
+		report.SourceMode = a.mode.String()
 		a.pending[ts] = round
 	}
 	return round
+}
+
+// getRoundState pops recycled round scratch (or makes fresh) ready for a new
+// round: counters zeroed, sparse set reset, scratch maps cleared.
+func (a *aggregatorBehavior) getRoundState() *roundState {
+	var round *roundState
+	if n := len(a.spare); n > 0 {
+		round = a.spare[n-1]
+		a.spare = a.spare[:n-1]
+	} else {
+		round = &roundState{}
+	}
+	round.set.reset()
+	return round
+}
+
+// putRoundState recycles a finished (or evicted) round's scratch. The report
+// buffer is NOT touched: ownership has moved to the published report's
+// holders (or was released by the caller).
+func (a *aggregatorBehavior) putRoundState(round *roundState) {
+	round.buf = nil
+	clear(round.cgroupDirect)
+	clear(round.claimed)
+	round.batches = 0
+	round.measuredWatts, round.sumWeight, round.activeSum = 0, 0, 0
+	round.hasMeasured = false
+	if len(a.spare) < maxPendingRounds {
+		a.spare = append(a.spare, round)
+	}
 }
 
 // evictOldest drops the stalest incomplete round. Its partial estimates are
@@ -310,94 +437,150 @@ func (a *aggregatorBehavior) evictOldest() {
 		}
 	}
 	if !first {
+		round := a.pending[oldest]
 		delete(a.pending, oldest)
+		round.buf.report.Release()
+		a.putRoundState(round)
 	}
 }
 
-func (a *aggregatorBehavior) merge(ctx *actor.Context, round *roundState, est TargetEstimate) {
+func (a *aggregatorBehavior) merge(ctx *actor.Context, round *roundState, est *TargetEstimate) {
 	value := est.Watts
 	if a.mode.Attributed() {
 		value = est.Weight
-		round.sumWeight += est.Weight
 	}
-	switch est.Target.Kind {
-	case target.KindProcess:
-		round.report.PerPID[est.Target.PID] += value
-	case target.KindCgroup:
-		if round.cgroupDirect == nil {
-			round.cgroupDirect = make(map[string]float64)
+	if est.Slot > 0 {
+		// The dense path: targets attached through the facade carry a round
+		// slot; kinds resolve at materialisation time from the slot index.
+		round.set.add(est.Slot-1, value)
+	} else {
+		switch est.Target.Kind {
+		case target.KindProcess:
+			round.buf.report.PerPID[est.Target.PID] += value
+		case target.KindCgroup:
+			if round.cgroupDirect == nil {
+				round.cgroupDirect = make(map[string]float64)
+			}
+			round.cgroupDirect[est.Target.Path] += value
+		default:
+			ctx.Publish(TopicErrors, PipelineError{
+				Stage: "aggregator",
+				Err:   fmt.Errorf("core: aggregator received estimate for unexpected target %v", est.Target),
+			})
+			return
 		}
-		round.cgroupDirect[est.Target.Path] += value
-	default:
-		ctx.Publish(TopicErrors, PipelineError{
-			Stage: "aggregator",
-			Err:   fmt.Errorf("core: aggregator received estimate for unexpected target %v", est.Target),
-		})
-		if a.mode.Attributed() {
-			round.sumWeight -= est.Weight
-		}
-		return
 	}
-	if !a.mode.Attributed() {
-		round.report.ActiveWatts += value
+	if a.mode.Attributed() {
+		round.sumWeight += value
+	} else {
+		round.activeSum += value
 	}
 }
 
 func (a *aggregatorBehavior) finish(ctx *actor.Context, ts time.Duration, round *roundState) {
-	report := round.report
+	report := &round.buf.report
 	// The raw measurement is surfaced in every mode: a custom machine-scope
 	// source plugged into the formula-driven pipeline still reports what it
 	// measured, it just does not drive the attribution there.
 	if round.hasMeasured {
 		report.MeasuredWatts = round.measuredWatts
 	}
+	// scale/even turn the dense raw values into published watts during
+	// materialisation; the slotless map entries are rewritten in place first.
+	scale, even := 1.0, false
 	if a.mode.Attributed() {
-		a.attribute(round)
+		total := round.measuredWatts
+		if !round.hasMeasured {
+			total = 0
+		}
+		report.ActiveWatts = total
+		entries := round.set.len() + len(report.PerPID) + len(round.cgroupDirect)
+		switch {
+		case round.sumWeight > 0:
+			scale = total / round.sumWeight
+			for pid, weight := range report.PerPID {
+				report.PerPID[pid] = weight * scale
+			}
+			for path, weight := range round.cgroupDirect {
+				round.cgroupDirect[path] = weight * scale
+			}
+		case entries > 0:
+			// An all-idle window splits the measurement evenly. With nothing
+			// monitored at all there is no map to re-iterate: the measurement
+			// is still reported as ActiveWatts, unattributed.
+			scale = total / float64(entries)
+			even = true
+			for pid := range report.PerPID {
+				report.PerPID[pid] = scale
+			}
+			for path := range round.cgroupDirect {
+				round.cgroupDirect[path] = scale
+			}
+		}
+	} else {
+		report.ActiveWatts = round.activeSum
+	}
+	// Materialise the dense slots into the published breakdown, resolving
+	// every slot of the round under a single index lock.
+	if round.set.len() > 0 {
+		lost := 0
+		a.index.view(func(targets []target.Target) {
+			for _, slot := range round.set.touched {
+				v := round.set.values[slot]
+				if a.mode.Attributed() {
+					if even {
+						v = scale
+					} else {
+						v *= scale
+					}
+				}
+				if int(slot) >= len(targets) {
+					// Detached and compacted away while the round was in
+					// flight: the owner is unknown, the row is dropped.
+					lost++
+					continue
+				}
+				t := targets[slot]
+				switch t.Kind {
+				case target.KindProcess:
+					report.PerPID[t.PID] += v
+				case target.KindCgroup:
+					if round.cgroupDirect == nil {
+						round.cgroupDirect = make(map[string]float64)
+					}
+					round.cgroupDirect[t.Path] += v
+				}
+			}
+		})
+		if lost > 0 {
+			ctx.Publish(TopicErrors, PipelineError{
+				Stage: "aggregator",
+				Err:   fmt.Errorf("core: dropped %d estimate(s) whose slots were recycled mid-round", lost),
+			})
+		}
 	}
 	a.rollup(round)
 	a.vmRollup(ctx, round)
 	if a.resolve != nil && len(report.PerPID) > 0 {
-		report.PerGroup = make(map[string]float64)
+		perGroup := ensureStringMap(round.buf.perGroup, a.prevGroups)
+		round.buf.perGroup = perGroup
 		for pid, watts := range report.PerPID {
-			report.PerGroup[a.resolve(pid)] += watts
+			perGroup[a.resolve(pid)] += watts
 		}
+		report.PerGroup = perGroup
+		a.prevGroups = len(perGroup)
 	}
 	report.TotalWatts = report.IdleWatts + report.ActiveWatts
-	ctx.Publish(TopicAggregatedReports, *report)
+	a.prevPIDs = len(report.PerPID)
+	// The published copy carries the round's lease with one reference, owned
+	// by the reports topic's consumer (the facade's fanout releases it after
+	// delivering to every subscription). With no consumer the round strands
+	// to the garbage collector, which is merely the pre-pooling behaviour.
+	if delivered := ctx.Publish(TopicAggregatedReports, *report); delivered == 0 {
+		report.Release()
+	}
 	delete(a.pending, ts)
-}
-
-// attribute distributes the round's measured machine power across the
-// monitored targets proportionally to their weights, so the per-target
-// estimates sum exactly to the measurement. Zero total weight (an all-idle
-// window) splits the measurement evenly; with nothing monitored the
-// measurement is still reported as the machine's active power, unattributed.
-func (a *aggregatorBehavior) attribute(round *roundState) {
-	report := round.report
-	total := round.measuredWatts
-	if !round.hasMeasured {
-		total = 0
-	}
-	report.ActiveWatts = total
-	entries := len(report.PerPID) + len(round.cgroupDirect)
-	switch {
-	case round.sumWeight > 0:
-		scale := total / round.sumWeight
-		for pid, weight := range report.PerPID {
-			report.PerPID[pid] = weight * scale
-		}
-		for path, weight := range round.cgroupDirect {
-			round.cgroupDirect[path] = weight * scale
-		}
-	case entries > 0:
-		even := total / float64(entries)
-		for pid := range report.PerPID {
-			report.PerPID[pid] = even
-		}
-		for path := range round.cgroupDirect {
-			round.cgroupDirect[path] = even
-		}
-	}
+	a.putRoundState(round)
 }
 
 // rollup fills report.PerCgroup: every hierarchy group's power is the sum of
@@ -408,11 +591,12 @@ func (a *aggregatorBehavior) attribute(round *roundState) {
 // ActiveWatts and merely projected into the group view; nested groups roll
 // up to their parents by construction.
 func (a *aggregatorBehavior) rollup(round *roundState) {
-	report := round.report
+	report := &round.buf.report
 	if a.hierarchy == nil && len(round.cgroupDirect) == 0 {
 		return
 	}
-	perCgroup := make(map[string]float64)
+	perCgroup := ensureStringMap(round.buf.perCgroup, a.prevCgroups)
+	round.buf.perCgroup = perCgroup
 	if a.hierarchy != nil {
 		for _, path := range a.hierarchy.Paths() {
 			sum := 0.0
@@ -436,6 +620,7 @@ func (a *aggregatorBehavior) rollup(round *roundState) {
 	}
 	if len(perCgroup) > 0 {
 		report.PerCgroup = perCgroup
+		a.prevCgroups = len(perCgroup)
 	}
 }
 
@@ -451,9 +636,12 @@ func (a *aggregatorBehavior) vmRollup(ctx *actor.Context, round *roundState) {
 	if len(a.vms) == 0 {
 		return
 	}
-	report := round.report
-	perVM := make(map[string]float64, len(a.vms))
-	claimed := make(map[int]string)
+	report := &round.buf.report
+	perVM := ensureStringMap(round.buf.perVM, a.prevVMs)
+	round.buf.perVM = perVM
+	if round.claimed == nil {
+		round.claimed = make(map[int]string)
+	}
 	for _, def := range a.vms {
 		pids := def.PIDs
 		if def.cgroupBacked() {
@@ -466,14 +654,14 @@ func (a *aggregatorBehavior) vmRollup(ctx *actor.Context, round *roundState) {
 			if !ok {
 				continue // not monitored this round
 			}
-			if owner, dup := claimed[pid]; dup {
+			if owner, dup := round.claimed[pid]; dup {
 				ctx.Publish(TopicErrors, PipelineError{
 					Stage: "aggregator",
 					Err:   fmt.Errorf("core: pid %d belongs to both VM %q and VM %q; counted for %q only", pid, owner, def.Name, owner),
 				})
 				continue
 			}
-			claimed[pid] = def.Name
+			round.claimed[pid] = def.Name
 			sum += watts
 			counted = true
 		}
@@ -483,6 +671,7 @@ func (a *aggregatorBehavior) vmRollup(ctx *actor.Context, round *roundState) {
 	}
 	if len(perVM) > 0 {
 		report.PerVM = perVM
+		a.prevVMs = len(perVM)
 	}
 }
 

@@ -80,8 +80,11 @@ type tickRequest struct {
 
 // attachRequest asks a Sensor shard to start monitoring a target. It is sent
 // through actor.Ask; Reply receives nil on success or the error encountered.
+// Slot is the dense round slot the facade's slot index assigned to the target;
+// the shard remembers it and stamps every sample of the target with it.
 type attachRequest struct {
 	Target target.Target
+	Slot   int32
 	Reply  chan<- actor.Message
 }
 
@@ -126,9 +129,14 @@ type SensorReportBatch struct {
 // TargetEstimate is one target's power estimate within a PowerEstimateBatch.
 // In the formula-driven mode Watts is the final per-target power; in
 // attributed modes Weight is the raw attribution key the Aggregator
-// normalizes against the round's measured total.
+// normalizes against the round's measured total. Slot carries the sample's
+// dense round slot through the formula stage, encoded as slot+1 so the zero
+// value means "no slot" (messages built outside the pipeline safely take the
+// map path); the Aggregator subtracts one and accumulates into its
+// slot-indexed sparse sets.
 type TargetEstimate struct {
 	Target target.Target `json:"target"`
+	Slot   int32         `json:"-"`
 	Watts  float64       `json:"watts"`
 	Weight float64       `json:"weight,omitempty"`
 }
@@ -149,6 +157,17 @@ type PowerEstimateBatch struct {
 
 // AggregatedReport is the per-round output of the Aggregator: the total
 // machine power estimate plus its per-process breakdown.
+//
+// Retention contract: reports delivered through subscriptions, reporter
+// callbacks and Collect are POOLED — their breakdown maps live in a recycled
+// buffer that is reused for a later round once every holder has released it.
+// A report is a stable read-only view for the natural lifetime of its
+// delivery: a subscription handler may read it until it releases it (or
+// returns, for WithReporter callbacks), a Collect caller until the next
+// Collect on the same monitor. To keep a round beyond that, Clone it; to hand
+// a round back early (enabling buffer reuse), Release it. Mutating a
+// delivered report's maps is never allowed. Expired reports whether a copy
+// outlived its buffer.
 type AggregatedReport struct {
 	// Timestamp is the simulated instant of the round.
 	Timestamp time.Duration `json:"timestamp"`
@@ -189,6 +208,11 @@ type AggregatedReport struct {
 	// unless a custom machine-scope source was installed, in which case the
 	// measurement is reported but does not drive the attribution.
 	MeasuredWatts float64 `json:"measuredWatts,omitempty"`
+
+	// lease/gen tie this copy to its pooled buffer (nil/0 for clones and
+	// filtered copies, which own their maps). See Release, Clone, Expired.
+	lease *reportLease
+	gen   uint64
 }
 
 // PipelineError is published on TopicErrors when a stage fails.

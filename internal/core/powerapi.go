@@ -272,6 +272,7 @@ type PowerAPI struct {
 	model          *model.CPUPowerModel
 	system         *actor.System
 	sensors        *actor.Router
+	slots          *slotIndex
 	shards         int
 	mode           source.Mode
 	collectTimeout time.Duration
@@ -308,6 +309,11 @@ type PowerAPI struct {
 	monitored map[target.Target]bool
 	members   map[int]bool
 	closed    bool
+	// lastReport is the pooled round the most recent Collect returned; it is
+	// released when the next Collect replaces it (the Collect retention
+	// contract) or on Shutdown.
+	lastReport AggregatedReport
+	hasLast    bool
 }
 
 // New wires a PowerAPI pipeline onto a machine using the given power model.
@@ -372,6 +378,7 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (a
 		machine:        m,
 		model:          powerModel,
 		system:         actor.NewSystem("powerapi"),
+		slots:          newSlotIndex(),
 		shards:         cfg.shards,
 		mode:           cfg.mode,
 		collectTimeout: cfg.collectTimeout,
@@ -507,7 +514,7 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (a
 	if cfg.mode == source.ModeRAPL || cfg.mode == source.ModeBlended || cfg.mode == source.ModeDelegated {
 		idleWatts = 0
 	}
-	aggregatorBhv := newAggregatorBehavior(idleWatts, cfg.mode, cfg.groupResolver, cfg.hierarchy, sortedVMDefs(vms))
+	aggregatorBhv := newAggregatorBehavior(idleWatts, cfg.mode, cfg.groupResolver, cfg.hierarchy, sortedVMDefs(vms), api.slots)
 	aggregator, err := api.system.SpawnSupervised("aggregator",
 		func() actor.Behavior { return aggregatorBhv }, 0, supervised("aggregator"))
 	if err != nil {
@@ -678,10 +685,12 @@ func (p *PowerAPI) fanout(report AggregatedReport) {
 	p.collectMu.Lock()
 	if waiter, ok := p.collectWaiters[report.Timestamp]; ok {
 		delete(p.collectWaiters, report.Timestamp)
+		report.retain()  // the Collect caller's reference (released at its next Collect)
 		waiter <- report // buffered one deep; the fanout is the only sender
 	}
 	p.collectMu.Unlock()
-	p.subs.publish(report)
+	p.subs.publish(report) // each delivered channel send holds its own reference
+	report.Release()       // the aggregator's publishing reference
 }
 
 // recordError surfaces a failure through the pipeline's error counter and
@@ -716,6 +725,9 @@ func (p *PowerAPI) spawnReporterSubscriber(name string, deliver func(AggregatedR
 		defer p.drainWG.Done()
 		for report := range sub.C() {
 			deliverSafely(report)
+			// The round is pooled: a callback that wants to keep it past its
+			// return must Clone (the retention contract on AggregatedReport).
+			report.Release()
 		}
 	}()
 	return nil
@@ -748,6 +760,7 @@ func (p *PowerAPI) spawnHistorySubscriber() error {
 				batch = append(batch, history.TargetSample{Target: target.VM(name), Watts: watts})
 			}
 			p.history.RecordBatch(report.Timestamp, batch)
+			report.Release()
 		}
 	}()
 	return nil
@@ -968,14 +981,28 @@ func cgroupPathsOverlap(a, b string) bool {
 	return strings.HasPrefix(a, b+cgroup.Separator) || strings.HasPrefix(b, a+cgroup.Separator)
 }
 
+// askAttach is the single choke point for attaching a target to its sensor
+// shard: it assigns the target's dense round slot first, so the shard can
+// stamp every sample with it, and gives a newly-assigned slot back if the
+// shard rejects the attach.
 func (p *PowerAPI) askAttach(t target.Target) error {
+	slot, existed := p.slots.assign(t)
 	res, err := p.sensors.Ask(t.RouteKey(), func(reply chan<- actor.Message) actor.Message {
-		return attachRequest{Target: t, Reply: reply}
+		return attachRequest{Target: t, Slot: slot, Reply: reply}
 	}, p.collectTimeout)
 	if err != nil {
+		if !existed {
+			p.slots.release(t)
+		}
 		return fmt.Errorf("core: %w", err)
 	}
-	return asError(res)
+	if aerr := asError(res); aerr != nil {
+		if !existed {
+			p.slots.release(t)
+		}
+		return aerr
+	}
+	return nil
 }
 
 func (p *PowerAPI) askDetach(t target.Target) error {
@@ -985,7 +1012,11 @@ func (p *PowerAPI) askDetach(t target.Target) error {
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	return asError(res)
+	if aerr := asError(res); aerr != nil {
+		return aerr
+	}
+	p.slots.release(t)
+	return nil
 }
 
 // asError converts an Ask reply carrying an error (or nil) back to an error.
@@ -1181,6 +1212,10 @@ func (p *PowerAPI) MonitoredTargets() []target.Target {
 
 // Collect performs one synchronous sampling round covering the simulated time
 // elapsed since the previous round and returns the aggregated report.
+//
+// The returned report is a pooled read-only view, valid until the next Collect
+// on this monitor (which recycles it) or Shutdown. Clone it to keep a round
+// longer; see the retention contract on AggregatedReport.
 func (p *PowerAPI) Collect() (AggregatedReport, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -1220,6 +1255,15 @@ func (p *PowerAPI) Collect() (AggregatedReport, error) {
 	}
 	select {
 	case report := <-waiter:
+		// Swap the caller's pooled round in for the previous one: releasing the
+		// old report here is what bounds a Collect caller's view to "until the
+		// next Collect".
+		p.mu.Lock()
+		if p.hasLast {
+			p.lastReport.Release()
+		}
+		p.lastReport, p.hasLast = report, true
+		p.mu.Unlock()
 		return report, nil
 	case <-time.After(p.collectTimeout):
 		return AggregatedReport{}, fmt.Errorf("core: timed out waiting for the report of round %v", now)
@@ -1271,7 +1315,9 @@ func (p *PowerAPI) RunMonitoredContext(ctx context.Context, duration, interval t
 			// is exhausted, copying the bounded window, never the full run.
 			out = out[1:]
 		}
-		out = append(out, report)
+		// The retained run outlives the pooled round (the next Collect recycles
+		// it), so keep a deep copy; the callback still sees the pooled view.
+		out = append(out, report.Clone())
 		if onReport != nil {
 			onReport(report)
 		}
@@ -1314,4 +1360,11 @@ func (p *PowerAPI) Shutdown() {
 			p.lastErr.Store(errBox{fmt.Errorf("core: close %s source: %w", src.Name(), err)})
 		}
 	}
+	// Give the last Collect round back to the pool; no further Collect will.
+	p.mu.Lock()
+	if p.hasLast {
+		p.lastReport.Release()
+		p.hasLast = false
+	}
+	p.mu.Unlock()
 }

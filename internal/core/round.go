@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the allocation machinery of the per-round hot path: the
+// slot-indexed sparse accumulator the aggregator merges shard batches into,
+// the pooled report buffers aggregated rounds are published from (recycled by
+// reference counting once the last holder releases a round), and the pooled
+// estimate slices the formula shards hand to the aggregator.
+
+// sparseSet accumulates one float64 per slot for a single round without
+// clearing its backing arrays between rounds: an epoch stamp per slot tells
+// stale values from live ones, so reset is O(1) and only the slots actually
+// touched by a round are ever visited again.
+type sparseSet struct {
+	epoch   uint32
+	epochs  []uint32
+	values  []float64
+	touched []int32
+}
+
+// reset starts a new round. Amortised O(1): the epoch bump invalidates every
+// stale slot at once (with a full wipe every 2^32 rounds when it wraps).
+func (s *sparseSet) reset() {
+	s.touched = s.touched[:0]
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.epochs)
+		s.epoch = 1
+	}
+}
+
+// add accumulates v into the slot, growing the backing arrays on demand.
+func (s *sparseSet) add(slot int32, v float64) {
+	if int(slot) >= len(s.epochs) {
+		grown := int(slot) + 1
+		if grown < 2*len(s.epochs) {
+			grown = 2 * len(s.epochs)
+		}
+		epochs := make([]uint32, grown)
+		values := make([]float64, grown)
+		copy(epochs, s.epochs)
+		copy(values, s.values)
+		s.epochs, s.values = epochs, values
+	}
+	if s.epochs[slot] != s.epoch {
+		s.epochs[slot] = s.epoch
+		s.values[slot] = v
+		s.touched = append(s.touched, slot)
+		return
+	}
+	s.values[slot] += v
+}
+
+// len returns how many distinct slots the current round touched.
+func (s *sparseSet) len() int { return len(s.touched) }
+
+// reportLease is the shared recycling state behind every copy of a pooled
+// AggregatedReport. refs counts the holders that promised to release the
+// round; gen increments when the buffer is recycled, expiring every
+// outstanding copy (Expired detects use-after-release).
+type reportLease struct {
+	refs atomic.Int32
+	gen  atomic.Uint64
+	home *pooledReport
+}
+
+// pooledReport is one recyclable report buffer: the report struct plus the
+// maps it publishes. The maps are retained across rounds (clearing a map
+// keeps its buckets), so a steady-state round repopulates warm buckets
+// instead of growing fresh maps from scratch.
+type pooledReport struct {
+	report    AggregatedReport
+	lease     reportLease
+	perPID    map[int]float64
+	perCgroup map[string]float64
+	perVM     map[string]float64
+	perGroup  map[string]float64
+}
+
+var reportPool = sync.Pool{New: func() any {
+	p := &pooledReport{}
+	p.lease.home = p
+	return p
+}}
+
+// getPooledReport leases a report buffer for one round with one reference (the
+// producer's). The hint presizes the per-PID map on a pool miss so the first
+// round at a given scale grows it once instead of doubling up.
+func getPooledReport(hintPID int) *pooledReport {
+	p := reportPool.Get().(*pooledReport)
+	p.lease.refs.Store(1)
+	p.report = AggregatedReport{lease: &p.lease, gen: p.lease.gen.Load()}
+	if p.perPID == nil {
+		p.perPID = make(map[int]float64, hintPID)
+	} else {
+		clear(p.perPID)
+	}
+	p.report.PerPID = p.perPID
+	clear(p.perCgroup)
+	clear(p.perVM)
+	clear(p.perGroup)
+	return p
+}
+
+// ensureStringMap returns a cleared map ready for reuse, allocating a presized
+// one on first use.
+func ensureStringMap(m map[string]float64, hint int) map[string]float64 {
+	if m == nil {
+		return make(map[string]float64, hint)
+	}
+	clear(m)
+	return m
+}
+
+// retain registers one more holder of a pooled round. A no-op for unpooled
+// reports (filtered copies, clones).
+func (r AggregatedReport) retain() {
+	if r.lease != nil {
+		r.lease.refs.Add(1)
+	}
+}
+
+// Release hands this copy of the report back to the pipeline. Every report
+// received from a subscription channel or returned through a waiter holds one
+// reference on its pooled round; releasing the last one recycles the buffer
+// for a future round. Releasing is optional — a holder that never releases
+// merely strands the round to the garbage collector (the pre-pooling
+// behaviour) — but a holder MUST NOT touch the report's maps after releasing
+// it: the buffer may be serving a newer round already (see Expired). Release
+// each received copy at most once; it is a no-op on clones and filtered
+// copies, which own their maps outright.
+func (r AggregatedReport) Release() {
+	l := r.lease
+	if l == nil || l.gen.Load() != r.gen {
+		return // unpooled, or a stale copy of an already-recycled round
+	}
+	if l.refs.Add(-1) == 0 {
+		l.gen.Add(1) // expire every outstanding copy before the buffer is reused
+		reportPool.Put(l.home)
+	}
+}
+
+// Expired reports whether this copy's pooled round has been recycled — i.e.
+// the copy was released (by this holder or the pipeline) and its maps may now
+// carry a different round's data. It is the debug check behind the retention
+// contract: a subscriber that keeps a report past its handler without Clone
+// can assert !report.Expired() before reading. Always false for clones and
+// filtered copies.
+func (r AggregatedReport) Expired() bool {
+	return r.lease != nil && r.lease.gen.Load() != r.gen
+}
+
+// Clone returns a deep copy of the report that is safe to retain forever: the
+// copy owns its maps and is never recycled. Cloning is how a consumer opts out
+// of the pooling contract for rounds it wants to keep.
+func (r AggregatedReport) Clone() AggregatedReport {
+	out := r
+	out.lease, out.gen = nil, 0
+	out.PerPID = cloneMap(r.PerPID)
+	out.PerCgroup = cloneMap(r.PerCgroup)
+	out.PerVM = cloneMap(r.PerVM)
+	out.PerGroup = cloneMap(r.PerGroup)
+	return out
+}
+
+func cloneMap[K comparable](m map[K]float64) map[K]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[K]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// estimatePool recycles the per-round estimate slices flowing from the
+// formula shards to the aggregator. The aggregator is the sole consumer of
+// TopicPowerEstimates, so it hands each batch's slice back once merged.
+var estimatePool = sync.Pool{New: func() any { return new([]TargetEstimate) }}
+
+// getEstimateSlice returns an empty estimate slice with at least the given
+// capacity, reusing a pooled backing array when one is available.
+func getEstimateSlice(capacity int) []TargetEstimate {
+	s := *estimatePool.Get().(*[]TargetEstimate)
+	if cap(s) < capacity {
+		return make([]TargetEstimate, 0, capacity)
+	}
+	return s[:0]
+}
+
+// putEstimateSlice hands an estimate slice back for reuse. The caller must be
+// the batch's final consumer.
+func putEstimateSlice(s []TargetEstimate) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	estimatePool.Put(&s)
+}

@@ -169,7 +169,9 @@ func (s *Subscription) Close() {
 }
 
 // offer runs on the fanout goroutine: it applies decimation and filters, then
-// delivers the report according to the backpressure policy.
+// delivers the report according to the backpressure policy. A delivery placed
+// into the channel carries one reference on the pooled round (released again
+// when Conflate/DropOldest evict it unread); the consumer releases the rest.
 func (s *Subscription) offer(report AggregatedReport) {
 	s.rounds++
 	if every := s.opts.Every; every > 1 && (s.rounds-1)%uint64(every) != 0 {
@@ -186,17 +188,23 @@ func (s *Subscription) offer(report AggregatedReport) {
 		return
 	default:
 	}
+	// The channel's reference on the pooled round (a no-op for filtered
+	// copies, which own their maps).
+	filtered.retain()
 	if s.opts.Policy == Block {
 		select {
 		case s.ch <- filtered:
 			s.delivered.Add(1)
 		case <-s.done:
+			filtered.Release()
 		}
 		return
 	}
 	// Conflate and DropOldest: evict the oldest unread report until the new
 	// one fits. The fanout is the only sender, so the loop terminates — the
-	// consumer can only make room, never fill it.
+	// consumer can only make room, never fill it. Evicted rounds hand their
+	// reference straight back, so an unconsumed conflating subscription never
+	// pins more than one pooled buffer.
 	for {
 		select {
 		case s.ch <- filtered:
@@ -205,7 +213,8 @@ func (s *Subscription) offer(report AggregatedReport) {
 		default:
 		}
 		select {
-		case <-s.ch:
+		case old := <-s.ch:
+			old.Release()
 			s.dropped.Add(1)
 		default:
 		}
@@ -217,30 +226,69 @@ func (s *Subscription) offer(report AggregatedReport) {
 // PerPID and PerCgroup are reduced to the rows every configured filter
 // accepts. When filters are configured and no row survives, the round is
 // skipped entirely (ok is false).
+//
+// The filtered copy owns its maps outright (it is never recycled), and it is
+// built from only the accepted rows: a subscription filtering on an explicit
+// target set iterates its own small filter sets instead of copying the full
+// report, so a narrow subscriber costs the fanout a few lookups per round
+// even at 100k monitored targets.
 func (s *Subscription) filter(report AggregatedReport) (AggregatedReport, bool) {
 	if !s.opts.filtering() {
 		return report, true
 	}
 	out := report
+	out.lease, out.gen = nil, 0
+	targeted := s.pidSet != nil || s.pathSet != nil || s.vmSet != nil
 	out.PerPID = make(map[int]float64)
-	for pid, watts := range report.PerPID {
-		if s.acceptProcess(pid, watts) {
-			out.PerPID[pid] = watts
+	switch {
+	case targeted && s.pidSet == nil:
+		// A target filter without process targets rejects every process row.
+	case s.pidSet != nil && len(s.pidSet) < len(report.PerPID):
+		for pid := range s.pidSet {
+			if watts, ok := report.PerPID[pid]; ok && s.acceptProcess(pid, watts) {
+				out.PerPID[pid] = watts
+			}
+		}
+	default:
+		for pid, watts := range report.PerPID {
+			if s.acceptProcess(pid, watts) {
+				out.PerPID[pid] = watts
+			}
 		}
 	}
 	if len(report.PerCgroup) > 0 {
 		out.PerCgroup = make(map[string]float64)
-		for path, watts := range report.PerCgroup {
-			if s.acceptCgroup(path, watts) {
-				out.PerCgroup[path] = watts
+		switch {
+		case targeted && s.pathSet == nil:
+		case s.pathSet != nil && len(s.pathSet) < len(report.PerCgroup):
+			for path := range s.pathSet {
+				if watts, ok := report.PerCgroup[path]; ok && s.acceptCgroup(path, watts) {
+					out.PerCgroup[path] = watts
+				}
+			}
+		default:
+			for path, watts := range report.PerCgroup {
+				if s.acceptCgroup(path, watts) {
+					out.PerCgroup[path] = watts
+				}
 			}
 		}
 	}
 	if len(report.PerVM) > 0 {
 		out.PerVM = make(map[string]float64)
-		for name, watts := range report.PerVM {
-			if s.acceptVM(name, watts) {
-				out.PerVM[name] = watts
+		switch {
+		case targeted && s.vmSet == nil:
+		case s.vmSet != nil && len(s.vmSet) < len(report.PerVM):
+			for name := range s.vmSet {
+				if watts, ok := report.PerVM[name]; ok && s.acceptVM(name, watts) {
+					out.PerVM[name] = watts
+				}
+			}
+		default:
+			for name, watts := range report.PerVM {
+				if s.acceptVM(name, watts) {
+					out.PerVM[name] = watts
+				}
 			}
 		}
 	}
@@ -314,6 +362,10 @@ type subscriptionRegistry struct {
 	nextID uint64
 	subs   map[uint64]*Subscription
 	closed bool
+
+	// snap is publish's reusable snapshot buffer. Only the Reporter actor
+	// goroutine calls publish, so the buffer needs no further guarding.
+	snap []*Subscription
 }
 
 func newSubscriptionRegistry(hierarchy *cgroup.Hierarchy) *subscriptionRegistry {
@@ -405,18 +457,20 @@ func (r *subscriptionRegistry) remove(id uint64) {
 }
 
 // publish fans one report out to every live subscription. It runs on the
-// Reporter actor goroutine; the snapshot keeps Subscribe/Close concurrent
-// with an in-flight round race-free (a subscription added mid-round starts
-// with the next one).
+// Reporter actor goroutine (which owns the reusable snapshot buffer); the
+// snapshot keeps Subscribe/Close concurrent with an in-flight round race-free
+// (a subscription added mid-round starts with the next one).
 func (r *subscriptionRegistry) publish(report AggregatedReport) {
 	r.mu.RLock()
-	snapshot := make([]*Subscription, 0, len(r.subs))
+	snapshot := r.snap[:0]
 	for _, s := range r.subs {
 		snapshot = append(snapshot, s)
 	}
+	r.snap = snapshot
 	r.mu.RUnlock()
-	for _, s := range snapshot {
+	for i, s := range snapshot {
 		s.offer(report)
+		snapshot[i] = nil // no stale *Subscription pins past the round
 	}
 }
 

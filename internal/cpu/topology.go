@@ -23,7 +23,7 @@ type Topology struct {
 	spec     Spec
 	logical  []LogicalCPU
 	byCore   map[int][]int // physical core index -> logical cpu ids
-	coreOf   map[int]int   // logical cpu id -> physical core index
+	coreOf   []int         // logical cpu id -> physical core index (ids are dense)
 	socketOf map[int]int   // logical cpu id -> socket index
 }
 
@@ -37,7 +37,7 @@ func NewTopology(spec Spec) (*Topology, error) {
 	t := &Topology{
 		spec:     spec,
 		byCore:   make(map[int][]int),
-		coreOf:   make(map[int]int),
+		coreOf:   make([]int, spec.LogicalCPUs()),
 		socketOf: make(map[int]int),
 	}
 	cores := spec.PhysicalCores()
@@ -72,12 +72,17 @@ func (t *Topology) NumCores() int { return t.spec.PhysicalCores() }
 
 // CoreOf returns the physical core a logical CPU belongs to.
 func (t *Topology) CoreOf(logicalID int) (int, error) {
-	core, ok := t.coreOf[logicalID]
-	if !ok {
+	if logicalID < 0 || logicalID >= len(t.coreOf) {
 		return 0, fmt.Errorf("cpu: unknown logical cpu %d", logicalID)
 	}
-	return core, nil
+	return t.coreOf[logicalID], nil
 }
+
+// CoreMap returns the dense logical-cpu -> physical-core mapping. The
+// returned slice is the topology's own immutable storage: callers must not
+// mutate it. Schedulers use it on the per-tick hot path to avoid per-lookup
+// error handling and per-call copies.
+func (t *Topology) CoreMap() []int { return t.coreOf }
 
 // SiblingsOf returns the logical CPUs sharing a physical core with
 // logicalID, excluding logicalID itself.

@@ -64,10 +64,15 @@ type TargetSample struct {
 	Watts  float64
 }
 
-// Store retains the most recent samples of every observed target.
-type Store struct {
-	capacity int
+// numShards is the width of the store's lock sharding. Targets are spread
+// across shards by RouteKey, so concurrent writers (and a writer against
+// concurrent readers) mostly touch disjoint locks; 16 is comfortably wider
+// than the pipelines a process realistically runs.
+const numShards = 16
 
+// storeShard is one lock-domain of the store: a private mutex over a slice of
+// the target space.
+type storeShard struct {
 	mu    sync.RWMutex
 	rings map[target.Target]*ring
 	// tombstones records, per removed target, the last round it could have
@@ -79,17 +84,45 @@ type Store struct {
 	tombstones map[target.Target]time.Duration
 }
 
+// Store retains the most recent samples of every observed target. Its state
+// is lock-sharded by target: every operation on a single target takes exactly
+// one shard lock, and RecordBatch takes each involved shard's lock once per
+// round.
+//
+// Atomicity is per shard, not per round: a concurrent Query can observe a
+// round's samples for the targets of one shard before those of another. Within
+// a shard a round is still all-or-nothing, and per-target sample order is
+// always timestamp order — only the cross-target cut of an in-flight round is
+// relaxed. That trade buys the write path a ~numShards reduction in lock
+// contention against concurrent queries at 100k-target scale.
+type Store struct {
+	capacity int
+	shards   [numShards]storeShard
+
+	// batchMu serialises RecordBatch so the per-shard grouping scratch below
+	// can be reused round over round without allocation. Rounds arrive from a
+	// single FIFO subscription, so this lock is uncontended in practice.
+	batchMu sync.Mutex
+	grouped [numShards][]TargetSample
+}
+
 // NewStore creates a store retaining up to capacity samples per target
 // (DefaultCapacity when capacity is not positive).
 func NewStore(capacity int) *Store {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Store{
-		capacity:   capacity,
-		rings:      make(map[target.Target]*ring),
-		tombstones: make(map[target.Target]time.Duration),
+	s := &Store{capacity: capacity}
+	for i := range s.shards {
+		s.shards[i].rings = make(map[target.Target]*ring)
+		s.shards[i].tombstones = make(map[target.Target]time.Duration)
 	}
+	return s
+}
+
+// shardFor maps a target to its lock-domain.
+func (s *Store) shardFor(t target.Target) *storeShard {
+	return &s.shards[t.RouteKey()%numShards]
 }
 
 // Capacity returns the per-target ring capacity.
@@ -98,44 +131,58 @@ func (s *Store) Capacity() int { return s.capacity }
 // Record retains one observation of one target. Older samples beyond the
 // capacity are evicted, oldest first.
 func (s *Store) Record(t target.Target, ts time.Duration, watts float64) {
-	s.mu.Lock()
-	s.recordLocked(t, ts, watts)
-	s.mu.Unlock()
+	sh := s.shardFor(t)
+	sh.mu.Lock()
+	sh.recordLocked(t, ts, watts, s.capacity)
+	sh.mu.Unlock()
 }
 
-// RecordBatch retains one round's samples for many targets under a single
-// lock acquisition: the whole round becomes visible to queries atomically,
-// so a concurrent Query never observes a torn round (some targets updated,
-// others not), and the hot path pays one lock per round instead of one per
-// target. Rounds reach the store in timestamp order (the pipeline's history
-// writer is a FIFO subscription), so tombstones older than this round can no
-// longer match any future sample and are pruned — the tombstone map stays
-// bounded by the targets removed since the previous round, not by every
+// RecordBatch retains one round's samples for many targets, taking each
+// involved shard's lock exactly once: the round becomes visible to queries
+// atomically per shard (see the Store contract for the cross-shard cut), and
+// the hot path pays at most numShards lock acquisitions per round instead of
+// one per target. Rounds reach the store in timestamp order (the pipeline's
+// history writer is a FIFO subscription), so tombstones older than this round
+// can no longer match any future sample and are pruned — the tombstone maps
+// stay bounded by the targets removed since the previous round, not by every
 // target that ever existed.
 func (s *Store) RecordBatch(ts time.Duration, samples []TargetSample) {
-	s.mu.Lock()
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	for i := range s.grouped {
+		s.grouped[i] = s.grouped[i][:0]
+	}
 	for _, sm := range samples {
-		s.recordLocked(sm.Target, ts, sm.Watts)
+		i := sm.Target.RouteKey() % numShards
+		s.grouped[i] = append(s.grouped[i], sm)
 	}
-	for t, cutoff := range s.tombstones {
-		if cutoff < ts {
-			delete(s.tombstones, t)
+	for i := range s.shards {
+		group := s.grouped[i]
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, sm := range group {
+			sh.recordLocked(sm.Target, ts, sm.Watts, s.capacity)
 		}
+		for t, cutoff := range sh.tombstones {
+			if cutoff < ts {
+				delete(sh.tombstones, t)
+			}
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 }
 
-func (s *Store) recordLocked(t target.Target, ts time.Duration, watts float64) {
-	if cutoff, ok := s.tombstones[t]; ok {
+func (sh *storeShard) recordLocked(t target.Target, ts time.Duration, watts float64, capacity int) {
+	if cutoff, ok := sh.tombstones[t]; ok {
 		if ts <= cutoff {
 			return // late sample of a removed target
 		}
-		delete(s.tombstones, t) // the target is genuinely back
+		delete(sh.tombstones, t) // the target is genuinely back
 	}
-	r, ok := s.rings[t]
+	r, ok := sh.rings[t]
 	if !ok {
-		r = &ring{capacity: s.capacity}
-		s.rings[t] = r
+		r = &ring{capacity: capacity}
+		sh.rings[t] = r
 	}
 	r.push(Sample{Timestamp: ts, Watts: watts})
 }
@@ -147,9 +194,10 @@ func (s *Store) recordLocked(t target.Target, ts time.Duration, watts float64) {
 // daemon's store stays bounded by the live target set instead of
 // accumulating rings for every PID that ever existed.
 func (s *Store) Remove(t target.Target, cutoff time.Duration) {
-	s.mu.Lock()
-	s.removeLocked(t, cutoff)
-	s.mu.Unlock()
+	sh := s.shardFor(t)
+	sh.mu.Lock()
+	sh.removeLocked(t, cutoff)
+	sh.mu.Unlock()
 }
 
 // RemoveSubtree removes every cgroup target inside the subtree rooted at
@@ -158,20 +206,36 @@ func (s *Store) Remove(t target.Target, cutoff time.Duration) {
 // Subtree groups that are still monitored in their own right repopulate from
 // the next round.
 func (s *Store) RemoveSubtree(root string, cutoff time.Duration) {
-	s.mu.Lock()
-	for t := range s.rings {
-		if t.Kind == target.KindCgroup && cgroup.InSubtree(t.Path, root) {
-			s.removeLocked(t, cutoff)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for t := range sh.rings {
+			if t.Kind == target.KindCgroup && cgroup.InSubtree(t.Path, root) {
+				sh.removeLocked(t, cutoff)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 }
 
-func (s *Store) removeLocked(t target.Target, cutoff time.Duration) {
-	delete(s.rings, t)
-	if cutoff >= s.tombstones[t] {
-		s.tombstones[t] = cutoff
+func (sh *storeShard) removeLocked(t target.Target, cutoff time.Duration) {
+	delete(sh.rings, t)
+	if cutoff >= sh.tombstones[t] {
+		sh.tombstones[t] = cutoff
 	}
+}
+
+// tombstoneCount returns how many removed targets still carry a tombstone
+// across all shards (tests and diagnostics).
+func (s *Store) tombstoneCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.tombstones)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Occupancy reports how full the store is: the number of targets with
@@ -179,22 +243,29 @@ func (s *Store) removeLocked(t target.Target, cutoff time.Duration) {
 // layer exposes both as gauges, so an operator can watch the ring memory a
 // long-lived daemon actually holds against targets × Capacity.
 func (s *Store) Occupancy() (targets, samples int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, r := range s.rings {
-		samples += len(r.samples)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		targets += len(sh.rings)
+		for _, r := range sh.rings {
+			samples += len(r.samples)
+		}
+		sh.mu.RUnlock()
 	}
-	return len(s.rings), samples
+	return targets, samples
 }
 
 // Targets returns every target the store has retained samples for, sorted by
 // their string form.
 func (s *Store) Targets() []target.Target {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]target.Target, 0, len(s.rings))
-	for t := range s.rings {
-		out = append(out, t)
+	var out []target.Target
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for t := range sh.rings {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
@@ -202,9 +273,10 @@ func (s *Store) Targets() []target.Target {
 
 // Samples returns a copy of the retained samples of one target, oldest first.
 func (s *Store) Samples(t target.Target) []Sample {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.rings[t]
+	sh := s.shardFor(t)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.rings[t]
 	if !ok {
 		return nil
 	}
@@ -280,41 +352,46 @@ func (s *Store) Query(q Query) ([]Stats, error) {
 		}
 	}
 
-	s.mu.RLock()
+	// The snapshot is taken shard by shard: a round being recorded concurrently
+	// may be cut between shards, but each target's series is consistent.
 	type entry struct {
 		t       target.Target
 		samples []Sample
 	}
-	entries := make([]entry, 0, len(s.rings))
+	var entries []entry
 	scratch := make([]Sample, 0, s.capacity)
-	for t, r := range s.rings {
-		if targetSet != nil && !targetSet[t] {
-			continue
-		}
-		if kindSet != nil && !kindSet[t.Kind] {
-			continue
-		}
-		if q.CgroupSubtree != "" {
-			if t.Kind != target.KindCgroup || !cgroup.InSubtree(t.Path, q.CgroupSubtree) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for t, r := range sh.rings {
+			if targetSet != nil && !targetSet[t] {
 				continue
 			}
-		}
-		scratch = r.snapshot(scratch[:0])
-		selected := make([]Sample, 0, len(scratch))
-		for _, sm := range scratch {
-			if sm.Timestamp < q.From {
+			if kindSet != nil && !kindSet[t.Kind] {
 				continue
 			}
-			if q.To != 0 && sm.Timestamp > q.To {
-				continue
+			if q.CgroupSubtree != "" {
+				if t.Kind != target.KindCgroup || !cgroup.InSubtree(t.Path, q.CgroupSubtree) {
+					continue
+				}
 			}
-			selected = append(selected, sm)
+			scratch = r.snapshot(scratch[:0])
+			selected := make([]Sample, 0, len(scratch))
+			for _, sm := range scratch {
+				if sm.Timestamp < q.From {
+					continue
+				}
+				if q.To != 0 && sm.Timestamp > q.To {
+					continue
+				}
+				selected = append(selected, sm)
+			}
+			if len(selected) > 0 {
+				entries = append(entries, entry{t: t, samples: selected})
+			}
 		}
-		if len(selected) > 0 {
-			entries = append(entries, entry{t: t, samples: selected})
-		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 
 	out := make([]Stats, 0, len(entries))
 	for _, e := range entries {

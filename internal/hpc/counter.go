@@ -232,6 +232,24 @@ func (s *CounterSet) ReadDelta() (Counts, error) {
 	return out, nil
 }
 
+// ReadDeltaVec is the allocation-free form of ReadDelta: it zeroes dst and
+// fills one slot per counter with the delta accumulated since the previous
+// read. This is the Sensor's per-round read — a fresh Counts map per target
+// per round previously accounted for a fifth of the pipeline's allocations.
+func (s *CounterSet) ReadDeltaVec(dst *CountsVec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst.Zero()
+	for e, c := range s.counters {
+		v, err := c.TakeDelta()
+		if err != nil {
+			return fmt.Errorf("hpc: read %v: %w", e, err)
+		}
+		dst[e] = v
+	}
+	return nil
+}
+
 // Close closes every counter of the set.
 func (s *CounterSet) Close() error {
 	s.mu.Lock()

@@ -105,6 +105,64 @@ func PaperEvents() []Event {
 	return []Event{Instructions, CacheReferences, CacheMisses}
 }
 
+// MaxEvent is the highest-numbered generic event, which bounds the dense
+// CountsVec representation.
+const MaxEvent = StalledCyclesBackend
+
+// CountsVec is a dense, fixed-size snapshot of event values indexed by Event.
+// It is the allocation-free counterpart of Counts used on the per-round hot
+// path: the whole event space fits in one small array, so vectors live on the
+// stack or inside pooled batches instead of materialising a map per read.
+// Index 0 is unused (events start at 1).
+type CountsVec [MaxEvent + 1]uint64
+
+// Get returns the value for e (0 when out of range).
+func (v *CountsVec) Get(e Event) uint64 {
+	if e < 1 || e > MaxEvent {
+		return 0
+	}
+	return v[e]
+}
+
+// Set stores the value for e (ignored when out of range).
+func (v *CountsVec) Set(e Event, value uint64) {
+	if e < 1 || e > MaxEvent {
+		return
+	}
+	v[e] = value
+}
+
+// Zero clears every slot.
+func (v *CountsVec) Zero() { *v = CountsVec{} }
+
+// AddVec accumulates other into v.
+func (v *CountsVec) AddVec(other *CountsVec) {
+	for i := range v {
+		v[i] += other[i]
+	}
+}
+
+// AddCounts accumulates a map-form snapshot into v.
+func (v *CountsVec) AddCounts(c Counts) {
+	for e, value := range c {
+		if e >= 1 && e <= MaxEvent {
+			v[e] += value
+		}
+	}
+}
+
+// Counts materialises the vector as a map, keeping only non-zero slots. This
+// is for cold paths and API boundaries; hot paths should stay on the vector.
+func (v *CountsVec) Counts() Counts {
+	out := make(Counts)
+	for i := 1; i <= int(MaxEvent); i++ {
+		if v[i] != 0 {
+			out[Event(i)] = v[i]
+		}
+	}
+	return out
+}
+
 // Counts is a snapshot of event values.
 type Counts map[Event]uint64
 

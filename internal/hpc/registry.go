@@ -9,22 +9,30 @@ import (
 // accumulates per-(pid, cpu) event deltas into it every tick; Counters opened
 // by monitoring code read from it.
 //
+// Internally the registry stores dense CountsVec blocks instead of maps: the
+// event space is tiny and fixed, so one small array per (pid, cpu) scope
+// removes the per-tick map churn that dominated the allocation profile. A
+// per-PID aggregate (across CPUs) is maintained alongside the per-(pid, cpu)
+// detail so the AllCPUs wildcard — the Sensor's per-round read — resolves in
+// one map lookup instead of a per-CPU scan.
+//
 // A Registry is safe for concurrent use.
 type Registry struct {
 	mu sync.RWMutex
 	// perPIDCPU[pid][cpu] -> counts
-	perPIDCPU map[int]map[int]Counts
+	perPIDCPU map[int]map[int]*CountsVec
+	// perPID[pid] -> counts summed across CPUs (the AllCPUs fast path)
+	perPID map[int]*CountsVec
 	// perCPU[cpu] -> counts (all pids, including kernel/idle work)
-	perCPU map[int]Counts
-	system Counts
+	perCPU []CountsVec
+	system CountsVec
 }
 
 // NewRegistry returns an empty counter registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		perPIDCPU: make(map[int]map[int]Counts),
-		perCPU:    make(map[int]Counts),
-		system:    make(Counts),
+		perPIDCPU: make(map[int]map[int]*CountsVec),
+		perPID:    make(map[int]*CountsVec),
 	}
 }
 
@@ -32,6 +40,15 @@ func NewRegistry() *Registry {
 // records CPU activity not attributable to any process (idle loops, kernel
 // housekeeping); it still contributes to per-CPU and system totals.
 func (r *Registry) Accumulate(pid, cpu int, deltas Counts) error {
+	var vec CountsVec
+	vec.AddCounts(deltas)
+	return r.AccumulateVec(pid, cpu, &vec)
+}
+
+// AccumulateVec is the allocation-free form of Accumulate: the machine
+// simulator builds the delta block on its stack and hands it over by pointer;
+// the registry copies the values into its own storage.
+func (r *Registry) AccumulateVec(pid, cpu int, deltas *CountsVec) error {
 	if cpu < 0 {
 		return fmt.Errorf("hpc: accumulate on invalid cpu %d", cpu)
 	}
@@ -40,23 +57,27 @@ func (r *Registry) Accumulate(pid, cpu int, deltas Counts) error {
 	if pid != AllPIDs {
 		byCPU, ok := r.perPIDCPU[pid]
 		if !ok {
-			byCPU = make(map[int]Counts)
+			byCPU = make(map[int]*CountsVec)
 			r.perPIDCPU[pid] = byCPU
 		}
-		counts, ok := byCPU[cpu]
+		vec, ok := byCPU[cpu]
 		if !ok {
-			counts = make(Counts)
-			byCPU[cpu] = counts
+			vec = new(CountsVec)
+			byCPU[cpu] = vec
 		}
-		counts.Add(deltas)
+		vec.AddVec(deltas)
+		agg, ok := r.perPID[pid]
+		if !ok {
+			agg = new(CountsVec)
+			r.perPID[pid] = agg
+		}
+		agg.AddVec(deltas)
 	}
-	cpuCounts, ok := r.perCPU[cpu]
-	if !ok {
-		cpuCounts = make(Counts)
-		r.perCPU[cpu] = cpuCounts
+	for cpu >= len(r.perCPU) {
+		r.perCPU = append(r.perCPU, CountsVec{})
 	}
-	cpuCounts.Add(deltas)
-	r.system.Add(deltas)
+	r.perCPU[cpu].AddVec(deltas)
+	r.system.AddVec(deltas)
 	return nil
 }
 
@@ -64,11 +85,10 @@ func (r *Registry) Accumulate(pid, cpu int, deltas Counts) error {
 func (r *Registry) ReadPID(pid int) Counts {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(Counts)
-	for _, counts := range r.perPIDCPU[pid] {
-		out.Add(counts)
+	if vec, ok := r.perPID[pid]; ok {
+		return vec.Counts()
 	}
-	return out
+	return make(Counts)
 }
 
 // ReadPIDOnCPU returns the cumulative counts of pid on one CPU.
@@ -76,8 +96,8 @@ func (r *Registry) ReadPIDOnCPU(pid, cpu int) Counts {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if byCPU, ok := r.perPIDCPU[pid]; ok {
-		if counts, ok := byCPU[cpu]; ok {
-			return counts.Clone()
+		if vec, ok := byCPU[cpu]; ok {
+			return vec.Counts()
 		}
 	}
 	return make(Counts)
@@ -87,8 +107,8 @@ func (r *Registry) ReadPIDOnCPU(pid, cpu int) Counts {
 func (r *Registry) ReadCPU(cpu int) Counts {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if counts, ok := r.perCPU[cpu]; ok {
-		return counts.Clone()
+	if cpu >= 0 && cpu < len(r.perCPU) {
+		return r.perCPU[cpu].Counts()
 	}
 	return make(Counts)
 }
@@ -97,7 +117,7 @@ func (r *Registry) ReadCPU(cpu int) Counts {
 func (r *Registry) ReadSystem() Counts {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.system.Clone()
+	return r.system.Counts()
 }
 
 // Read resolves a (pid, cpu) pair with perf wildcard semantics: AllPIDs
@@ -118,8 +138,8 @@ func (r *Registry) Read(pid, cpu int) Counts {
 // ReadEvent resolves one event of a (pid, cpu) pair with perf wildcard
 // semantics, without materialising a Counts map. This is the monitoring hot
 // path: the Sensor reads every counter of every monitored PID each tick, and
-// building (then discarding) a full per-scope map per read dominated the
-// pipeline's allocation profile.
+// the (pid, AllCPUs) case resolves through the per-PID aggregate in one map
+// lookup plus one array index.
 func (r *Registry) ReadEvent(pid, cpu int, event Event) uint64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -127,15 +147,22 @@ func (r *Registry) ReadEvent(pid, cpu int, event Event) uint64 {
 	case pid == AllPIDs && cpu == AllCPUs:
 		return r.system.Get(event)
 	case pid == AllPIDs:
-		return r.perCPU[cpu].Get(event)
-	case cpu == AllCPUs:
-		var total uint64
-		for _, counts := range r.perPIDCPU[pid] {
-			total += counts.Get(event)
+		if cpu >= 0 && cpu < len(r.perCPU) {
+			return r.perCPU[cpu].Get(event)
 		}
-		return total
+		return 0
+	case cpu == AllCPUs:
+		if vec, ok := r.perPID[pid]; ok {
+			return vec.Get(event)
+		}
+		return 0
 	default:
-		return r.perPIDCPU[pid][cpu].Get(event)
+		if byCPU, ok := r.perPIDCPU[pid]; ok {
+			if vec, ok := byCPU[cpu]; ok {
+				return vec.Get(event)
+			}
+		}
+		return 0
 	}
 }
 
@@ -155,4 +182,5 @@ func (r *Registry) Forget(pid int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.perPIDCPU, pid)
+	delete(r.perPID, pid)
 }

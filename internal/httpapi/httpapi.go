@@ -65,7 +65,10 @@ func New(mon *core.PowerAPI) (*Server, error) {
 	go func() {
 		defer s.wg.Done()
 		for report := range sub.C() {
-			r := report
+			// Handlers read the stored round concurrently and unboundedly, so
+			// take a private deep copy and give the pooled buffer straight back.
+			r := report.Clone()
+			report.Release()
 			s.latest.Store(&r)
 		}
 	}()

@@ -81,6 +81,12 @@ type Machine struct {
 	lastFreqMHz  []int
 	thermalState float64
 	procExitHook func(pid int)
+
+	// scratch holds per-tick buffers reused across Step calls so that a
+	// steady-state tick allocates nothing. Step is single-threaded (the
+	// simulation loop), so the scratch needs no locking; the committed
+	// per-core slices are double-buffered through it (see Step).
+	scratch stepScratch
 }
 
 // New builds a machine from cfg, filling in defaults for zero fields.

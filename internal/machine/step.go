@@ -30,12 +30,33 @@ type execution struct {
 	freqMHz      int
 }
 
+// stepScratch is the per-tick working set of Step, retained on the Machine so
+// steady-state ticks reuse it instead of reallocating. The spare slices
+// double-buffer the per-core state committed under the mutex: Step writes the
+// next tick into the spare, then swaps it with the committed slice, so
+// concurrent readers (which copy under the same mutex) never observe a slice
+// being rewritten.
+type stepScratch struct {
+	runnable           []*proc.Process
+	candidates         []sched.Candidate
+	demands            map[int]workload.Demand
+	processes          map[int]*proc.Process
+	busyThreadsPerCore []int
+	executions         []execution
+	logicalUtilSpare   []float64
+	coreUtilSpare      []float64
+	idleForSpare       []time.Duration
+	freqsSpare         []int
+}
+
 // Step advances the simulation by one tick: it schedules runnable processes,
 // executes their demands (accruing hardware counters), lets the DVFS governor
 // and the C-state logic react, and updates the hidden ground-truth power.
+// Step must not be called concurrently with itself.
 func (m *Machine) Step() error {
 	now := m.clock.Now()
 	tickSec := m.cfg.Tick.Seconds()
+	s := &m.scratch
 
 	// 1. Reap workloads that finished before this tick.
 	reaped := m.procs.Reap(now)
@@ -51,10 +72,17 @@ func (m *Machine) Step() error {
 	}
 
 	// 2. Collect demands and schedule.
-	runnable := m.procs.Runnable()
-	candidates := make([]sched.Candidate, 0, len(runnable))
-	demands := make(map[int]workload.Demand, len(runnable))
-	processes := make(map[int]*proc.Process, len(runnable))
+	runnable := m.procs.RunnableAppend(s.runnable[:0])
+	s.runnable = runnable
+	candidates := s.candidates[:0]
+	if s.demands == nil {
+		s.demands = make(map[int]workload.Demand, len(runnable))
+		s.processes = make(map[int]*proc.Process, len(runnable))
+	} else {
+		clear(s.demands)
+		clear(s.processes)
+	}
+	demands, processes := s.demands, s.processes
 	for _, p := range runnable {
 		d := p.Demand(now)
 		demands[p.PID()] = d
@@ -65,6 +93,7 @@ func (m *Machine) Step() error {
 			Affinity:    p.Affinity(),
 		})
 	}
+	s.candidates = candidates
 	assignments, err := m.scheduler.Assign(candidates, m.topo)
 	if err != nil {
 		return fmt.Errorf("machine: schedule at %v: %w", now, err)
@@ -72,28 +101,39 @@ func (m *Machine) Step() error {
 
 	// 3. Determine SMT sharing: which physical cores have more than one busy
 	// hyperthread this tick.
-	busyThreadsPerCore := make(map[int]int)
-	coreOfLogical := make(map[int]int, m.topo.NumLogical())
+	coreOf := m.topo.CoreMap()
+	if len(s.busyThreadsPerCore) < m.topo.NumCores() {
+		s.busyThreadsPerCore = make([]int, m.topo.NumCores())
+	}
+	busyThreadsPerCore := s.busyThreadsPerCore[:m.topo.NumCores()]
+	for i := range busyThreadsPerCore {
+		busyThreadsPerCore[i] = 0
+	}
 	for _, a := range assignments {
-		core, err := m.topo.CoreOf(a.LogicalCPU)
-		if err != nil {
-			return fmt.Errorf("machine: %w", err)
+		if a.LogicalCPU < 0 || a.LogicalCPU >= len(coreOf) {
+			return fmt.Errorf("machine: cpu: unknown logical cpu %d", a.LogicalCPU)
 		}
-		coreOfLogical[a.LogicalCPU] = core
 		if a.Share > 0 {
-			busyThreadsPerCore[core]++
+			busyThreadsPerCore[coreOf[a.LogicalCPU]]++
 		}
 	}
 
 	// 4. Execute the assignments.
-	executions := make([]execution, 0, len(assignments))
-	logicalUtil := make([]float64, m.topo.NumLogical())
+	executions := s.executions[:0]
+	if len(s.logicalUtilSpare) < m.topo.NumLogical() {
+		s.logicalUtilSpare = make([]float64, m.topo.NumLogical())
+	}
+	logicalUtil := s.logicalUtilSpare[:m.topo.NumLogical()]
+	for i := range logicalUtil {
+		logicalUtil[i] = 0
+	}
+	var counts hpc.CountsVec
 	for _, a := range assignments {
 		if a.Share <= 0 {
 			continue
 		}
 		d := demands[a.PID]
-		core := coreOfLogical[a.LogicalCPU]
+		core := coreOf[a.LogicalCPU]
 		freqMHz, err := m.dvfs.FrequencyOfCore(core)
 		if err != nil {
 			return fmt.Errorf("machine: %w", err)
@@ -114,19 +154,18 @@ func (m *Machine) Step() error {
 		busCycles := cycles * (0.02 + 0.25*d.MemoryBoundFraction)
 		refCycles := float64(m.cfg.Spec.BaseFrequencyMHz) * 1e6 * tickSec * a.Share
 
-		counts := hpc.Counts{
-			hpc.Instructions:          uint64(instructions),
-			hpc.CacheReferences:       uint64(cacheRefs),
-			hpc.CacheMisses:           uint64(cacheMisses),
-			hpc.Cycles:                uint64(cycles),
-			hpc.RefCycles:             uint64(refCycles),
-			hpc.BranchInstructions:    uint64(branches),
-			hpc.BranchMisses:          uint64(branchMisses),
-			hpc.BusCycles:             uint64(busCycles),
-			hpc.StalledCyclesFrontend: uint64(stalledFrontend),
-			hpc.StalledCyclesBackend:  uint64(stalledBackend),
-		}
-		if err := m.registry.Accumulate(a.PID, a.LogicalCPU, counts); err != nil {
+		counts = hpc.CountsVec{}
+		counts[hpc.Instructions] = uint64(instructions)
+		counts[hpc.CacheReferences] = uint64(cacheRefs)
+		counts[hpc.CacheMisses] = uint64(cacheMisses)
+		counts[hpc.Cycles] = uint64(cycles)
+		counts[hpc.RefCycles] = uint64(refCycles)
+		counts[hpc.BranchInstructions] = uint64(branches)
+		counts[hpc.BranchMisses] = uint64(branchMisses)
+		counts[hpc.BusCycles] = uint64(busCycles)
+		counts[hpc.StalledCyclesFrontend] = uint64(stalledFrontend)
+		counts[hpc.StalledCyclesBackend] = uint64(stalledBackend)
+		if err := m.registry.AccumulateVec(a.PID, a.LogicalCPU, &counts); err != nil {
 			return fmt.Errorf("machine: %w", err)
 		}
 		if p := processes[a.PID]; p != nil {
@@ -147,26 +186,23 @@ func (m *Machine) Step() error {
 			freqMHz:      freqMHz,
 		})
 	}
+	s.executions = executions
 
 	// 5. Kernel housekeeping on every logical CPU (charged to no PID).
 	for lcpuID := 0; lcpuID < m.topo.NumLogical(); lcpuID++ {
-		core, err := m.topo.CoreOf(lcpuID)
-		if err != nil {
-			return fmt.Errorf("machine: %w", err)
-		}
+		core := coreOf[lcpuID]
 		freqMHz, err := m.dvfs.FrequencyOfCore(core)
 		if err != nil {
 			return fmt.Errorf("machine: %w", err)
 		}
 		cycles := float64(freqMHz) * 1e6 * tickSec * housekeepingUtilization
 		instr := cycles * 1.0
-		counts := hpc.Counts{
-			hpc.Instructions:    uint64(instr),
-			hpc.Cycles:          uint64(cycles),
-			hpc.CacheReferences: uint64(instr * 0.004),
-			hpc.CacheMisses:     uint64(instr * 0.001),
-		}
-		if err := m.registry.Accumulate(hpc.AllPIDs, lcpuID, counts); err != nil {
+		counts = hpc.CountsVec{}
+		counts[hpc.Instructions] = uint64(instr)
+		counts[hpc.Cycles] = uint64(cycles)
+		counts[hpc.CacheReferences] = uint64(instr * 0.004)
+		counts[hpc.CacheMisses] = uint64(instr * 0.001)
+		if err := m.registry.AccumulateVec(hpc.AllPIDs, lcpuID, &counts); err != nil {
 			return fmt.Errorf("machine: %w", err)
 		}
 	}
@@ -174,18 +210,22 @@ func (m *Machine) Step() error {
 	// 6. Per-core utilisation, C-state residency and DVFS reaction.
 	// A core's utilisation is the utilisation of its busiest hyperthread,
 	// which is what the ondemand governor reacts to.
-	coreUtil := make([]float64, m.topo.NumCores())
+	if len(s.coreUtilSpare) < m.topo.NumCores() {
+		s.coreUtilSpare = make([]float64, m.topo.NumCores())
+		s.idleForSpare = make([]time.Duration, m.topo.NumCores())
+		s.freqsSpare = make([]int, m.topo.NumCores())
+	}
+	coreUtil := s.coreUtilSpare[:m.topo.NumCores()]
+	for i := range coreUtil {
+		coreUtil[i] = 0
+	}
 	for lcpuID, u := range logicalUtil {
-		core := 0
-		if c, err := m.topo.CoreOf(lcpuID); err == nil {
-			core = c
-		}
-		if u > coreUtil[core] {
+		if core := coreOf[lcpuID]; u > coreUtil[core] {
 			coreUtil[core] = u
 		}
 	}
-	newIdleFor := make([]time.Duration, m.topo.NumCores())
-	freqs := make([]int, m.topo.NumCores())
+	newIdleFor := s.idleForSpare[:m.topo.NumCores()]
+	freqs := s.freqsSpare[:m.topo.NumCores()]
 	activeCores := 0
 	for core := 0; core < m.topo.NumCores(); core++ {
 		if coreUtil[core] > 1 {
@@ -237,7 +277,10 @@ func (m *Machine) Step() error {
 	}
 	dramPower := m.truth.dramRefreshW*float64(m.cfg.Spec.Sockets) + dramDynW
 
-	// 8. Commit state and advance the clock.
+	// 8. Commit state and advance the clock. The freshly written per-core
+	// slices swap with the previously committed ones, which become next
+	// tick's spares; readers copy under the same mutex, so the swap never
+	// exposes a slice mid-write.
 	m.mu.Lock()
 	m.truePowerW = wallPower
 	m.cpuPowerW = cpuPower
@@ -245,10 +288,10 @@ func (m *Machine) Step() error {
 	m.cpuEnergyJ += cpuPower * tickSec
 	m.dramEnergyJ += dramPower * tickSec
 	m.dramPowerW = dramPower
-	m.coreUtil = coreUtil
-	m.logicalUtil = logicalUtil
-	m.coreIdleFor = newIdleFor
-	m.lastFreqMHz = freqs
+	m.coreUtil, s.coreUtilSpare = coreUtil, m.coreUtil
+	m.logicalUtil, s.logicalUtilSpare = logicalUtil, m.logicalUtil
+	m.coreIdleFor, s.idleForSpare = newIdleFor, m.coreIdleFor
+	m.lastFreqMHz, s.freqsSpare = freqs, m.lastFreqMHz
 	m.activeCores = activeCores
 	m.thermalState = thermalState
 	m.ticks++

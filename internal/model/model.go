@@ -223,6 +223,100 @@ func (m *CPUPowerModel) Events() ([]hpc.Event, error) {
 	return out, nil
 }
 
+// compiledTerm is one pre-resolved coefficient: the event name has been
+// parsed once, so evaluation is an array index instead of a string parse.
+type compiledTerm struct {
+	event hpc.Event
+	coeff float64
+}
+
+// CompiledFrequency is the pre-resolved formula of one DVFS step.
+type CompiledFrequency struct {
+	freqMHz int
+	terms   []compiledTerm
+}
+
+// FrequencyMHz returns the DVFS step the compiled formula applies to.
+func (cf *CompiledFrequency) FrequencyMHz() int { return cf.freqMHz }
+
+// EstimateActiveWatts evaluates the pre-resolved formula on a dense counter
+// vector. This is the per-target per-round hot path: no string parsing, no
+// map lookups, no allocations.
+func (cf *CompiledFrequency) EstimateActiveWatts(deltas *hpc.CountsVec, window time.Duration) (float64, error) {
+	if window <= 0 {
+		return 0, fmt.Errorf("model: non-positive estimation window %v", window)
+	}
+	seconds := window.Seconds()
+	var watts float64
+	for _, term := range cf.terms {
+		watts += term.coeff * (float64(deltas[term.event]) / seconds)
+	}
+	if watts < 0 {
+		watts = 0
+	}
+	return watts, nil
+}
+
+// Compiled is an immutable, pre-resolved form of a CPUPowerModel built for
+// the estimation hot path. The original model parses every term's event name
+// on every evaluation; a Compiled model resolves them once. A Compiled model
+// is safe for concurrent use.
+type Compiled struct {
+	idleWatts float64
+	freqs     []CompiledFrequency // ascending by frequency
+}
+
+// Compile validates the model and pre-resolves every term.
+func (m *CPUPowerModel) Compile() (*Compiled, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{idleWatts: m.IdleWatts, freqs: make([]CompiledFrequency, 0, len(m.Frequencies))}
+	for _, fm := range m.Frequencies {
+		cf := CompiledFrequency{freqMHz: fm.FrequencyMHz, terms: make([]compiledTerm, 0, len(fm.Terms))}
+		for _, term := range fm.Terms {
+			e, err := hpc.ParseEvent(term.Event)
+			if err != nil {
+				return nil, fmt.Errorf("model: frequency %d: %w", fm.FrequencyMHz, err)
+			}
+			cf.terms = append(cf.terms, compiledTerm{event: e, coeff: term.WattsPerEventPerSecond})
+		}
+		c.freqs = append(c.freqs, cf)
+	}
+	sort.Slice(c.freqs, func(i, j int) bool { return c.freqs[i].freqMHz < c.freqs[j].freqMHz })
+	return c, nil
+}
+
+// IdleWatts returns the idle constant of the compiled model.
+func (c *Compiled) IdleWatts() float64 { return c.idleWatts }
+
+// ForFrequency returns the compiled formula nearest to freqMHz (same
+// fallback semantics as ModelForFrequency). Rounds resolve the frequency once
+// per batch and reuse the returned formula for every target in it.
+func (c *Compiled) ForFrequency(freqMHz int) (*CompiledFrequency, error) {
+	if len(c.freqs) == 0 {
+		return nil, ErrNoModels
+	}
+	best := &c.freqs[0]
+	bestDist := math.Abs(float64(best.freqMHz - freqMHz))
+	for i := 1; i < len(c.freqs); i++ {
+		if d := math.Abs(float64(c.freqs[i].freqMHz - freqMHz)); d < bestDist {
+			best, bestDist = &c.freqs[i], d
+		}
+	}
+	return best, nil
+}
+
+// EstimateActiveWatts estimates the active power of the activity described by
+// the dense counter vector observed over window at freqMHz.
+func (c *Compiled) EstimateActiveWatts(freqMHz int, deltas *hpc.CountsVec, window time.Duration) (float64, error) {
+	cf, err := c.ForFrequency(freqMHz)
+	if err != nil {
+		return 0, err
+	}
+	return cf.EstimateActiveWatts(deltas, window)
+}
+
 // Equation renders the whole model in the paper's two-level style.
 func (m *CPUPowerModel) Equation() string {
 	var b strings.Builder

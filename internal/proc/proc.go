@@ -7,7 +7,6 @@ package proc
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -155,6 +154,11 @@ type Table struct {
 	mu      sync.RWMutex
 	nextPID int
 	procs   map[int]*Process
+	// sorted caches every process in PID order. PIDs are handed out
+	// monotonically, so Spawn appends in order; the cache never needs a
+	// re-sort, which keeps the per-tick Runnable scan O(n) instead of
+	// O(n log n) at 100k processes.
+	sorted []*Process
 }
 
 // NewTable creates an empty process table. PIDs start at 1000 to look like a
@@ -183,6 +187,7 @@ func (t *Table) Spawn(gen workload.Generator, at time.Duration, opts ...SpawnOpt
 		opt(p)
 	}
 	t.procs[pid] = p
+	t.sorted = append(t.sorted, p)
 	return p, nil
 }
 
@@ -211,24 +216,26 @@ func (t *Table) Kill(pid int, at time.Duration) error {
 func (t *Table) List() []*Process {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]*Process, 0, len(t.procs))
-	for _, p := range t.procs {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
-	return out
+	return append([]*Process(nil), t.sorted...)
 }
 
 // Runnable returns the runnable processes ordered by PID.
 func (t *Table) Runnable() []*Process {
-	all := t.List()
-	out := make([]*Process, 0, len(all))
-	for _, p := range all {
+	return t.RunnableAppend(nil)
+}
+
+// RunnableAppend appends the runnable processes in PID order to dst and
+// returns the extended slice. Passing a slice retained across ticks makes the
+// scan allocation-free, which is what the machine simulator's tick loop does.
+func (t *Table) RunnableAppend(dst []*Process) []*Process {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, p := range t.sorted {
 		if p.State() == StateRunnable {
-			out = append(out, p)
+			dst = append(dst, p)
 		}
 	}
-	return out
+	return dst
 }
 
 // PIDs returns the PIDs of runnable processes.
@@ -244,11 +251,13 @@ func (t *Table) PIDs() []int {
 // Reap transitions processes whose workload has completed to the exited
 // state and returns the PIDs reaped.
 func (t *Table) Reap(at time.Duration) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var reaped []int
-	for _, p := range t.Runnable() {
-		if p.WorkloadDone(at) {
+	for _, p := range t.sorted {
+		if p.State() == StateRunnable && p.WorkloadDone(at) {
 			p.exit(at)
-			reaped = append(reaped, p.PID())
+			reaped = append(reaped, p.pid)
 		}
 	}
 	return reaped

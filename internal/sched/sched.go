@@ -76,9 +76,12 @@ func allowedCPUs(c Candidate, topo *cpu.Topology) []int {
 }
 
 // rebalanceShares scales the shares on oversubscribed CPUs so that the total
-// share per logical CPU never exceeds 1.
-func rebalanceShares(assignments []Assignment) {
-	totals := make(map[int]float64)
+// share per logical CPU never exceeds 1. totals is a caller-provided scratch
+// slice of at least NumLogical entries; it is zeroed and refilled here.
+func rebalanceShares(assignments []Assignment, totals []float64) {
+	for i := range totals {
+		totals[i] = 0
+	}
 	for _, a := range assignments {
 		totals[a.LogicalCPU] += a.Share
 	}
@@ -93,7 +96,18 @@ func rebalanceShares(assignments []Assignment) {
 // loaded permissible logical CPU, preferring to keep physical cores' second
 // hyperthreads free until every core has work (the way the Linux scheduler's
 // SMT-aware load balancing behaves).
-type LoadBalancer struct{}
+//
+// A LoadBalancer keeps per-instance scratch buffers so that steady-state
+// Assign calls allocate nothing: it is NOT safe for concurrent use, and the
+// returned slice is only valid until the next Assign call — exactly the
+// contract the machine simulator's single-threaded tick loop needs.
+type LoadBalancer struct {
+	ordered  []Candidate
+	out      []Assignment
+	load     []float64 // per logical cpu
+	coreLoad []float64 // per physical core
+	totals   []float64 // rebalance scratch, per logical cpu
+}
 
 var _ Scheduler = (*LoadBalancer)(nil)
 
@@ -108,8 +122,23 @@ func (l *LoadBalancer) Assign(candidates []Candidate, topo *cpu.Topology) ([]Ass
 	if err := validateCandidates(candidates, topo); err != nil {
 		return nil, err
 	}
-	load := make([]float64, topo.NumLogical())
-	ordered := append([]Candidate(nil), candidates...)
+	numLogical := topo.NumLogical()
+	coreOf := topo.CoreMap()
+	if len(l.load) < numLogical {
+		l.load = make([]float64, numLogical)
+		l.totals = make([]float64, numLogical)
+		l.coreLoad = make([]float64, topo.NumCores())
+	}
+	load := l.load[:numLogical]
+	coreLoad := l.coreLoad[:topo.NumCores()]
+	for i := range load {
+		load[i] = 0
+	}
+	for i := range coreLoad {
+		coreLoad[i] = 0
+	}
+	ordered := append(l.ordered[:0], candidates...)
+	l.ordered = ordered
 	// Heaviest demands first so they land on empty CPUs; PID breaks ties for
 	// determinism.
 	sort.SliceStable(ordered, func(i, j int) bool {
@@ -118,40 +147,40 @@ func (l *LoadBalancer) Assign(candidates []Candidate, topo *cpu.Topology) ([]Ass
 		}
 		return ordered[i].PID < ordered[j].PID
 	})
-	var out []Assignment
+	out := l.out[:0]
 	for _, c := range ordered {
 		if c.Utilization <= 0 {
 			continue
 		}
-		allowed := allowedCPUs(c, topo)
 		best := -1
 		bestKey := [2]float64{0, 0}
-		for _, id := range allowed {
+		pick := func(id int) {
 			// Primary key: load of the whole physical core (prefer an idle
 			// core over the sibling of a busy one); secondary: load of the
-			// logical CPU itself.
-			core, err := topo.CoreOf(id)
-			if err != nil {
-				return nil, err
-			}
-			siblings, err := topo.ThreadsOfCore(core)
-			if err != nil {
-				return nil, err
-			}
-			var coreLoad float64
-			for _, s := range siblings {
-				coreLoad += load[s]
-			}
-			key := [2]float64{coreLoad, load[id]}
+			// logical CPU itself. The incremental coreLoad slice replaces the
+			// per-candidate sibling walk (and its per-call slice copy) the
+			// previous implementation paid for.
+			key := [2]float64{coreLoad[coreOf[id]], load[id]}
 			if best == -1 || key[0] < bestKey[0] || (key[0] == bestKey[0] && key[1] < bestKey[1]) {
 				best = id
 				bestKey = key
 			}
 		}
+		if len(c.Affinity) == 0 {
+			for id := 0; id < numLogical; id++ {
+				pick(id)
+			}
+		} else {
+			for _, id := range c.Affinity {
+				pick(id)
+			}
+		}
 		out = append(out, Assignment{PID: c.PID, LogicalCPU: best, Share: c.Utilization})
 		load[best] += c.Utilization
+		coreLoad[coreOf[best]] += c.Utilization
 	}
-	rebalanceShares(out)
+	l.out = out
+	rebalanceShares(out, l.totals[:numLogical])
 	return out, nil
 }
 
@@ -212,7 +241,7 @@ func (p *Packing) Assign(candidates []Candidate, topo *cpu.Topology) ([]Assignme
 			capacity[target] = 0
 		}
 	}
-	rebalanceShares(out)
+	rebalanceShares(out, make([]float64, topo.NumLogical()))
 	return out, nil
 }
 
@@ -246,6 +275,6 @@ func (r *RoundRobin) Assign(candidates []Candidate, topo *cpu.Topology) ([]Assig
 		out = append(out, Assignment{PID: c.PID, LogicalCPU: target, Share: c.Utilization})
 		slot++
 	}
-	rebalanceShares(out)
+	rebalanceShares(out, make([]float64, topo.NumLogical()))
 	return out, nil
 }

@@ -11,13 +11,22 @@ import (
 	"powerapi/internal/target"
 )
 
+// hpcEntry pairs an attached target with its open counter set. Entries live
+// in a dense slice so the per-round sample loop walks contiguous memory
+// instead of iterating a map.
+type hpcEntry struct {
+	target target.Target
+	set    *hpc.CounterSet
+}
+
 // HPC is the hardware-performance-counter backend, the paper's original
 // Sensor path: one perf-style counter set per attached process target,
 // sampled as deltas each round.
 type HPC struct {
 	machine *machine.Machine
 	events  []hpc.Event
-	sets    map[target.Target]*hpc.CounterSet
+	entries []hpcEntry
+	index   map[target.Target]int // target -> entries position
 	closed  bool
 }
 
@@ -32,7 +41,7 @@ func NewHPC(m *machine.Machine, events []hpc.Event) (*HPC, error) {
 	return &HPC{
 		machine: m,
 		events:  append([]hpc.Event(nil), events...),
-		sets:    make(map[target.Target]*hpc.CounterSet),
+		index:   make(map[target.Target]int),
 	}, nil
 }
 
@@ -63,7 +72,7 @@ func (s *HPC) Add(t target.Target) error {
 	if t.Kind != target.KindProcess {
 		return fmt.Errorf("source: hpc source cannot sample %v targets", t.Kind)
 	}
-	if _, exists := s.sets[t]; exists {
+	if _, exists := s.index[t]; exists {
 		return nil
 	}
 	if _, err := s.machine.Processes().Get(t.PID); err != nil {
@@ -76,20 +85,30 @@ func (s *HPC) Add(t target.Target) error {
 	if err := set.Enable(); err != nil {
 		return fmt.Errorf("source: enable counters for pid %d: %w", t.PID, err)
 	}
-	s.sets[t] = set
+	s.index[t] = len(s.entries)
+	s.entries = append(s.entries, hpcEntry{target: t, set: set})
 	return nil
 }
 
-// Remove implements Dynamic.
+// Remove implements Dynamic. The vacated entry is filled by swapping the last
+// one in, keeping the slice dense.
 func (s *HPC) Remove(t target.Target) error {
 	if s.closed {
 		return errors.New("source: hpc source is closed")
 	}
-	set, exists := s.sets[t]
+	pos, exists := s.index[t]
 	if !exists {
 		return fmt.Errorf("source: detach: %v is not monitored", t)
 	}
-	delete(s.sets, t)
+	set := s.entries[pos].set
+	last := len(s.entries) - 1
+	if pos != last {
+		s.entries[pos] = s.entries[last]
+		s.index[s.entries[pos].target] = pos
+	}
+	s.entries[last] = hpcEntry{}
+	s.entries = s.entries[:last]
+	delete(s.index, t)
 	if err := set.Close(); err != nil {
 		return fmt.Errorf("source: detach %v: %w", t, err)
 	}
@@ -97,25 +116,27 @@ func (s *HPC) Remove(t target.Target) error {
 }
 
 // Sample implements Source: it reads the counter deltas of every attached
-// target. A failing target contributes zero deltas and its error is joined
-// into the returned error; the sample stays usable either way.
+// target into a pooled batch. A failing target contributes zero deltas and
+// its error is joined into the returned error; the sample stays usable either
+// way.
 func (s *HPC) Sample(_ context.Context) (Sample, error) {
 	if s.closed {
 		return Sample{}, errors.New("source: hpc source is closed")
 	}
 	out := Sample{FrequencyMHz: s.machine.DominantFrequencyMHz()}
-	if len(s.sets) == 0 {
+	if len(s.entries) == 0 {
 		return out, nil
 	}
-	out.Targets = make([]TargetSample, 0, len(s.sets))
+	out.Targets = GetTargetSlice(len(s.entries))
 	var errs []error
-	for t, set := range s.sets {
-		deltas, err := set.ReadDelta()
-		if err != nil {
-			errs = append(errs, fmt.Errorf("source: read counters for %v: %w", t, err))
-			deltas = hpc.Counts{}
+	for i := range s.entries {
+		e := &s.entries[i]
+		out.Targets = append(out.Targets, TargetSample{Target: e.target})
+		ts := &out.Targets[len(out.Targets)-1]
+		if err := e.set.ReadDeltaVec(&ts.Deltas); err != nil {
+			errs = append(errs, fmt.Errorf("source: read counters for %v: %w", e.target, err))
+			ts.Deltas.Zero()
 		}
-		out.Targets = append(out.Targets, TargetSample{Target: t, Deltas: deltas})
 	}
 	return out, errors.Join(errs...)
 }
@@ -126,17 +147,15 @@ func (s *HPC) Close() error {
 		return nil
 	}
 	s.closed = true
-	targets := make([]target.Target, 0, len(s.sets))
-	for t := range s.sets {
-		targets = append(targets, t)
-	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].PID < targets[j].PID })
+	entries := append([]hpcEntry(nil), s.entries...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].target.PID < entries[j].target.PID })
 	var errs []error
-	for _, t := range targets {
-		if err := s.sets[t].Close(); err != nil {
-			errs = append(errs, fmt.Errorf("source: close counters of %v: %w", t, err))
+	for _, e := range entries {
+		if err := e.set.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("source: close counters of %v: %w", e.target, err))
 		}
 	}
-	s.sets = nil
+	s.entries = nil
+	s.index = nil
 	return errors.Join(errs...)
 }

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"powerapi/internal/hpc"
 	"powerapi/internal/target"
@@ -59,12 +60,45 @@ func (s Scope) String() string {
 type TargetSample struct {
 	// Target identifies the monitored target (process or cgroup).
 	Target target.Target `json:"target"`
+	// Slot is the dense round-slot index the pipeline assigned to the target
+	// at attach time, encoded as slot+1 so the zero value means "no slot"
+	// (the sensor shard stamps it). It lets the aggregator accumulate into
+	// slice-backed sparse sets instead of rebuilding maps every round.
+	// Sources leave it alone.
+	Slot int32 `json:"-"`
 	// Deltas are the hardware-counter increments since the previous sample
-	// (counter-backed sources; nil otherwise).
-	Deltas hpc.Counts `json:"-"`
+	// (counter-backed sources; zero otherwise). The dense vector form keeps
+	// per-round sampling allocation-free.
+	Deltas hpc.CountsVec `json:"-"`
 	// Weight is the attribution weight of the target for the window
 	// (share-based sources; the pipeline normalizes weights per round).
 	Weight float64 `json:"weight,omitempty"`
+}
+
+// targetSlicePool recycles the per-round Targets slices that sources hand
+// over to the pipeline. The pipeline returns a round's slice through
+// PutTargetSlice once the formula stage has consumed it, so steady-state
+// rounds allocate no sample batches at all.
+var targetSlicePool = sync.Pool{New: func() any { return new([]TargetSample) }}
+
+// GetTargetSlice returns an empty slice with at least the given capacity,
+// reusing a pooled backing array when one is available.
+func GetTargetSlice(capacity int) []TargetSample {
+	s := *targetSlicePool.Get().(*[]TargetSample)
+	if cap(s) < capacity {
+		return make([]TargetSample, 0, capacity)
+	}
+	return s[:0]
+}
+
+// PutTargetSlice hands a sample slice back for reuse. The caller must not
+// touch the slice afterwards.
+func PutTargetSlice(s []TargetSample) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	targetSlicePool.Put(&s)
 }
 
 // Sample is one sampling round's output from a Source.

@@ -57,6 +57,7 @@ func (p *Publisher) run() {
 	defer p.wg.Done()
 	for report := range p.sub.C() {
 		if len(report.PerVM) == 0 {
+			report.Release()
 			continue
 		}
 		// Deterministic frame order per round: sorted VM names, one global
@@ -82,6 +83,7 @@ func (p *Publisher) run() {
 			}
 			p.published.Add(1)
 		}
+		report.Release()
 	}
 }
 
