@@ -7,16 +7,20 @@
 // path rather than first-round map growth.
 //
 // With -budget the run additionally enforces a checked-in regression budget:
-// any measured cell whose allocs/round exceeds its budget entry fails the
-// run, which is how CI pins the allocation behaviour of the pipeline.
+// any measured cell whose allocs/round — or steady-state round-latency p99,
+// when the entry carries maxRoundP99Seconds — exceeds its budget entry fails
+// the run, which is how CI pins the allocation and latency behaviour of the
+// pipeline.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +43,10 @@ type Cell struct {
 	// of one steady-state round, whole-process (pipeline goroutines included).
 	AllocsPerRound float64 `json:"allocsPerRound"`
 	BytesPerRound  float64 `json:"bytesPerRound"`
+	// RoundP99Seconds is the 99th-percentile wall time of one steady-state
+	// round — the same quantity /metrics exposes as
+	// powerapi_round_duration_seconds, but restricted to the metered rounds.
+	RoundP99Seconds float64 `json:"roundP99Seconds"`
 }
 
 // Report is the file layout of BENCH_PR6.json.
@@ -49,12 +57,14 @@ type Report struct {
 	Cells     []Cell `json:"cells"`
 }
 
-// BudgetEntry caps the allocs/round of one cell. Cells without an entry are
-// reported but not enforced.
+// BudgetEntry caps the allocs/round and round-latency p99 of one cell. Cells
+// without an entry are reported but not enforced; a zero MaxRoundP99Seconds
+// leaves the latency unenforced for that cell.
 type BudgetEntry struct {
-	Targets           int     `json:"targets"`
-	Shards            int     `json:"shards"`
-	MaxAllocsPerRound float64 `json:"maxAllocsPerRound"`
+	Targets            int     `json:"targets"`
+	Shards             int     `json:"shards"`
+	MaxAllocsPerRound  float64 `json:"maxAllocsPerRound"`
+	MaxRoundP99Seconds float64 `json:"maxRoundP99Seconds,omitempty"`
 }
 
 func main() {
@@ -95,8 +105,8 @@ func main() {
 			if err != nil {
 				fatalf("measure targets=%d shards=%d: %v", targets, shards, err)
 			}
-			fmt.Fprintf(os.Stderr, "targets=%-7d shards=%d  %8.1f rounds/s  %8.1f ns/target  %10.1f allocs/round  %12.0f B/round\n",
-				cell.Targets, cell.Shards, cell.RoundsPerSec, cell.NsPerTarget, cell.AllocsPerRound, cell.BytesPerRound)
+			fmt.Fprintf(os.Stderr, "targets=%-7d shards=%d  %8.1f rounds/s  %8.1f ns/target  %10.1f allocs/round  %12.0f B/round  %8.1f ms p99\n",
+				cell.Targets, cell.Shards, cell.RoundsPerSec, cell.NsPerTarget, cell.AllocsPerRound, cell.BytesPerRound, cell.RoundP99Seconds*1e3)
 			report.Cells = append(report.Cells, cell)
 		}
 	}
@@ -169,27 +179,50 @@ func measure(targets, shards, warmup, rounds int) (Cell, error) {
 		}
 	}
 
+	// Per-round wall times feed the p99; the slice is allocated up front so
+	// metering itself adds nothing to the allocs/round figure.
+	durations := make([]float64, 0, rounds)
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < rounds; i++ {
+		roundStart := time.Now()
 		if err := tick(); err != nil {
 			return Cell{}, err
 		}
+		durations = append(durations, time.Since(roundStart).Seconds())
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 
 	perRound := elapsed.Seconds() / float64(rounds)
 	return Cell{
-		Targets:        targets,
-		Shards:         shards,
-		Rounds:         rounds,
-		RoundsPerSec:   1 / perRound,
-		NsPerTarget:    perRound * 1e9 / float64(targets),
-		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(rounds),
-		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+		Targets:         targets,
+		Shards:          shards,
+		Rounds:          rounds,
+		RoundsPerSec:    1 / perRound,
+		NsPerTarget:     perRound * 1e9 / float64(targets),
+		AllocsPerRound:  float64(after.Mallocs-before.Mallocs) / float64(rounds),
+		BytesPerRound:   float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+		RoundP99Seconds: percentile(durations, 0.99),
 	}, nil
+}
+
+// percentile returns the q-quantile of the values (nearest-rank method).
+func percentile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
 }
 
 // checkBudget reports whether any measured cell blew its budget entry.
@@ -207,6 +240,17 @@ func checkBudget(cells []Cell, budget []BudgetEntry) bool {
 			} else {
 				fmt.Fprintf(os.Stderr, "budget ok: targets=%d shards=%d allocs/round %.1f <= %.1f\n",
 					c.Targets, c.Shards, c.AllocsPerRound, b.MaxAllocsPerRound)
+			}
+			if b.MaxRoundP99Seconds <= 0 {
+				continue
+			}
+			if c.RoundP99Seconds > b.MaxRoundP99Seconds {
+				fmt.Fprintf(os.Stderr, "BUDGET EXCEEDED: targets=%d shards=%d round p99 %.3fs > budget %.3fs\n",
+					c.Targets, c.Shards, c.RoundP99Seconds, b.MaxRoundP99Seconds)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "budget ok: targets=%d shards=%d round p99 %.3fs <= %.3fs\n",
+					c.Targets, c.Shards, c.RoundP99Seconds, b.MaxRoundP99Seconds)
 			}
 		}
 	}

@@ -18,6 +18,10 @@
 //	powerapi-daemon -cgroups "web=1,4;db=2"  # container-level rollup over the
 //	                                         # 1-based workload indices
 //	powerapi-daemon -listen 127.0.0.1:9090   # Prometheus /metrics + JSON API
+//	powerapi-daemon -debug-addr 127.0.0.1:6060
+//	                                         # net/http/pprof profiling surface
+//	powerapi-daemon -log-level debug -log-format json
+//	powerapi-daemon -self-power=false        # drop the powerapi-self row
 //	powerapi-daemon -vms "vma=1,2;vmb=3" -vm-publish 127.0.0.1:9191
 //	                                         # host side of the VM bridge
 //	powerapi-daemon -vm-delegate 127.0.0.1:9191 -vm-name vma
@@ -31,9 +35,16 @@
 // With -listen the daemon mounts the HTTP serving layer: Prometheus-style
 // text exposition on /metrics and the JSON API under /api/v1 (target
 // listing, windowed history queries over the -history retention window,
-// dynamic attach/detach). Once the monitoring run completes the daemon keeps
-// serving the retained figures until SIGINT/SIGTERM (disable with
-// -linger=false).
+// dynamic attach/detach, and the /api/v1/debug observability surface: the
+// per-round stage timeline and the stats snapshot). Once the monitoring run
+// completes the daemon keeps serving the retained figures until
+// SIGINT/SIGTERM (disable with -linger=false).
+//
+// Observability: the daemon attributes its own consumption as a
+// "powerapi-self" row by default (-self-power=false disables it), logs
+// structured events through log/slog (-log-level, -log-format) and exposes
+// Go's pprof profiling endpoints on a separate -debug-addr listener, kept
+// apart from -listen so profiling is never reachable from the scrape port.
 //
 // The VM bridge connects two daemons across the host/guest boundary. On the
 // host, -vms designates named VMs over the workload indices and -vm-publish
@@ -51,8 +62,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr serves the default mux's /debug/pprof
 	"os"
 	"os/signal"
 	"sort"
@@ -60,6 +73,7 @@ import (
 	"time"
 
 	"powerapi"
+	"powerapi/internal/actor"
 	"powerapi/internal/advisor"
 	"powerapi/internal/calibration"
 	"powerapi/internal/cgroup"
@@ -95,7 +109,11 @@ func run(args []string) error {
 		jsonlPath = fs.String("jsonl", "", "write one JSON object per round to this file")
 		cgroups   = fs.String("cgroups", "", `group workloads into control groups, e.g. "web=1,2;web/api=3;db=4" (1-based workload indices)`)
 		listen    = fs.String("listen", "", `serve Prometheus /metrics and the JSON /api/v1 endpoints on this address (e.g. "127.0.0.1:9090")`)
-		linger    = fs.Bool("linger", true, "with -listen, keep serving after the monitoring run completes until SIGINT/SIGTERM")
+		debugAddr = fs.String("debug-addr", "", `serve Go's net/http/pprof profiling endpoints on this address (e.g. "127.0.0.1:6060"); kept separate from -listen`)
+		logLevel  = fs.String("log-level", "info", "minimum structured-log level: debug|info|warn|error")
+		logFormat = fs.String("log-format", "text", "structured-log output format: text|json")
+		selfPower = fs.Bool("self-power", true, "attribute the daemon's own consumption as a powerapi-self target row")
+		linger    = fs.Bool("linger", true, "with -listen or -debug-addr, keep serving after the monitoring run completes until SIGINT/SIGTERM")
 		histCap   = fs.Int("history", 1024, "retained samples per target for /api/v1/query; only effective with -listen (0 disables the history store)")
 		retention = fs.Int("retention", 300, "most recent rounds RunMonitored keeps in memory (0 keeps all)")
 		vms       = fs.String("vms", "", `designate named VMs over the workloads, e.g. "vma=1,2;vmb=3" (1-based workload indices)`)
@@ -135,6 +153,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Structured logging is configured before anything can emit an event; the
+	// pipeline, the actor runtime and the subscription registry all route
+	// through this logger.
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+	actor.SetLogger(logger)
 	// Like -cgroups, the -vms layout parses before the slow calibration; VM
 	// names reuse the spec syntax with single-segment paths.
 	var vmSpec *cgroup.Spec
@@ -156,6 +183,26 @@ func run(args []string) error {
 			return fmt.Errorf("listen on %s: %w", *listen, lerr)
 		}
 		defer listener.Close()
+	}
+	// The pprof surface gets its own socket so profiling endpoints are never
+	// reachable through the scrape/API port. It serves from claim time on:
+	// profiling the calibration phase is exactly what the flag is for.
+	var debugListener net.Listener
+	if *debugAddr != "" {
+		var derr error
+		debugListener, derr = net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			return fmt.Errorf("listen on %s: %w", *debugAddr, derr)
+		}
+		defer debugListener.Close()
+		debugSrv := &http.Server{Handler: http.DefaultServeMux}
+		defer debugSrv.Close()
+		go func() {
+			if serveErr := debugSrv.Serve(debugListener); serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+				logger.Error("pprof server failed", "addr", *debugAddr, "err", serveErr)
+			}
+		}()
+		fmt.Printf("Serving pprof on http://%s/debug/pprof/\n", debugListener.Addr())
 	}
 	// The bridge socket is claimed before calibration for the same reasons —
 	// and so a guest daemon can already connect while this host calibrates,
@@ -277,7 +324,13 @@ func run(args []string) error {
 		core.WithSources(mode),
 		core.WithCollectTimeout(*timeout),
 		core.WithReportRetention(*retention),
+		core.WithLogger(logger),
 		powerapi.WithAdvisorFeed(adv, *interval),
+	}
+	// The daemon's own consumption becomes a first-class row by default — the
+	// paper's low-overhead claim, continuously measured instead of asserted.
+	if *selfPower {
+		opts = append(opts, core.WithSelfPower())
 	}
 	// The store only pays off when something can read it: /api/v1/query.
 	// Without -listen the recording work and ring memory would be dead
@@ -435,6 +488,12 @@ func run(args []string) error {
 			fmt.Printf("%-10s %-14s %10d %12.2f\n",
 				r.Timestamp.Truncate(time.Second), names[pid], pid, r.PerPID[pid])
 		}
+		if r.SelfWatts > 0 {
+			// The meter metering itself: the daemon process's real CPU cost,
+			// scaled to the simulated machine's TDP.
+			fmt.Printf("%-10s %-14s %10s %12.2f\n",
+				r.Timestamp.Truncate(time.Second), "powerapi-self", "-", r.SelfWatts)
+		}
 		if len(r.PerCgroup) > 0 {
 			paths := make([]string, 0, len(r.PerCgroup))
 			for path := range r.PerCgroup {
@@ -467,11 +526,18 @@ func run(args []string) error {
 		return err
 	}
 
-	// With -listen the daemon lingers once the run completes: the retained
-	// history and the latest round keep serving /metrics and /api/v1 until a
-	// signal arrives (so scrapers and operators get at the figures).
-	if listener != nil && *linger && ctx.Err() == nil {
-		fmt.Printf("Monitoring run complete; serving http://%s until interrupted (SIGINT/SIGTERM)\n", listener.Addr())
+	// With -listen or -debug-addr the daemon lingers once the run completes:
+	// the retained history and the latest round keep serving /metrics and
+	// /api/v1, and the pprof surface stays up for post-run profiling, until a
+	// signal arrives. A simulated run finishes in wall-clock milliseconds, so
+	// without the linger the profiling socket would close before anyone could
+	// reach it.
+	if (listener != nil || debugListener != nil) && *linger && ctx.Err() == nil {
+		if listener != nil {
+			fmt.Printf("Monitoring run complete; serving http://%s until interrupted (SIGINT/SIGTERM)\n", listener.Addr())
+		} else {
+			fmt.Printf("Monitoring run complete; serving pprof on http://%s/debug/pprof/ until interrupted (SIGINT/SIGTERM)\n", debugListener.Addr())
+		}
 		<-ctx.Done()
 		fmt.Fprintln(os.Stderr, "powerapi-daemon: interrupted, draining pipeline")
 	}
@@ -523,6 +589,33 @@ func fileReporter(path string, build func(w io.Writer) (core.Option, func() erro
 		return f.Close()
 	}
 	return opt, closeFile, nil
+}
+
+// buildLogger maps the -log-level/-log-format flags onto a slog logger
+// writing to stderr (stdout stays reserved for the report table).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("invalid log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid log-format %q (want text|json)", format)
+	}
 }
 
 func loadOrCalibrate(path string, spec cpu.Spec) (*model.CPUPowerModel, error) {

@@ -3,8 +3,9 @@ package actor
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime/debug"
+	"sync/atomic"
 )
 
 // This file implements the supervision layer of the actor runtime. Akka — the
@@ -93,13 +94,36 @@ func supervise(ref *Ref, ctx *Context, behavior Behavior, factory func() Behavio
 	}
 }
 
-// notify reports a recovered panic through the policy's hook, or to stderr
-// when no hook is installed — a recovery must never be completely silent.
+// pkgLogger is the package's structured logger (SetLogger); nil falls back to
+// slog.Default(), whose handler and level the application controls — the
+// runtime never writes to stderr unconditionally.
+var pkgLogger atomic.Pointer[slog.Logger]
+
+// SetLogger routes the runtime's log events (recovered panics, restart
+// decisions) through the given slog logger. Pass nil to revert to
+// slog.Default(). Safe to call concurrently with running actors.
+func SetLogger(l *slog.Logger) { pkgLogger.Store(l) }
+
+func logger() *slog.Logger {
+	if l := pkgLogger.Load(); l != nil {
+		return l
+	}
+	return slog.Default()
+}
+
+// notify reports a recovered panic through the policy's hook, or through the
+// package logger when no hook is installed — a recovery must never be
+// completely silent.
 func notify(name string, restarts int, value any, stack []byte, policy RestartPolicy) {
 	if policy.OnPanic == nil {
-		log.Printf("actor: %s panicked (restart %d): %v\n%s", name, restarts, value, stack)
+		logger().Error("actor panicked, restarting",
+			"actor", name, "restarts", restarts, "panic", value, "stack", string(stack))
 		return
 	}
+	// A hook is installed: it owns the reporting, the runtime only traces the
+	// restart event at debug level for pipelines that want the full timeline.
+	logger().Debug("actor panicked, invoking supervision hook",
+		"actor", name, "restarts", restarts, "panic", value)
 	// The hook runs under its own recover: a panicking hook must not take
 	// down the supervision loop it reports for.
 	defer func() { _ = recover() }()

@@ -8,6 +8,7 @@ import (
 	"powerapi/internal/actor"
 	"powerapi/internal/cgroup"
 	"powerapi/internal/model"
+	"powerapi/internal/obs"
 	"powerapi/internal/source"
 	"powerapi/internal/target"
 )
@@ -25,6 +26,7 @@ type sensorShardBehavior struct {
 	shards        int
 	topic         string // per-shard sensor topic feeding the paired formula shard
 	sampleTimeout time.Duration
+	tracer        *obs.Tracer
 
 	// pidSlots/otherSlots remember the round slot (+1; 0 means none) the
 	// facade assigned to each attached target, so every tick can stamp the
@@ -33,7 +35,7 @@ type sensorShardBehavior struct {
 	otherSlots map[target.Target]int32
 }
 
-func newSensorShardBehavior(attr, total source.Source, shard, shards int, sampleTimeout time.Duration) *sensorShardBehavior {
+func newSensorShardBehavior(attr, total source.Source, shard, shards int, sampleTimeout time.Duration, tracer *obs.Tracer) *sensorShardBehavior {
 	return &sensorShardBehavior{
 		attr:          attr,
 		total:         total,
@@ -41,6 +43,7 @@ func newSensorShardBehavior(attr, total source.Source, shard, shards int, sample
 		shards:        shards,
 		topic:         SensorShardTopic(shard),
 		sampleTimeout: sampleTimeout,
+		tracer:        tracer,
 		pidSlots:      make(map[int]int32),
 		otherSlots:    make(map[target.Target]int32),
 	}
@@ -102,6 +105,7 @@ func (s *sensorShardBehavior) detach(t target.Target) error {
 // The batch's sample slice is pooled: the paired formula shard (the topic's
 // sole consumer) hands it back through source.PutTargetSlice once estimated.
 func (s *sensorShardBehavior) tick(ctx *actor.Context, req tickRequest) {
+	traceStart := s.tracer.Now()
 	batch := SensorReportBatch{
 		Timestamp: req.Timestamp,
 		Window:    req.Window,
@@ -159,6 +163,7 @@ func (s *sensorShardBehavior) tick(ctx *actor.Context, req tickRequest) {
 			Err:   fmt.Errorf("core: sensor shard %d has no formula subscriber", s.shard),
 		})
 	}
+	s.tracer.Record(req.Timestamp, obs.StageSensor, s.shard, traceStart, s.tracer.Now())
 }
 
 // formulaShardBehavior converts one shard's batched sensor reports into a
@@ -177,10 +182,11 @@ type formulaShardBehavior struct {
 	model    *model.CPUPowerModel
 	compiled *model.Compiled
 	mode     source.Mode
+	tracer   *obs.Tracer
 }
 
-func newFormulaShardBehavior(m *model.CPUPowerModel, mode source.Mode) *formulaShardBehavior {
-	f := &formulaShardBehavior{model: m, mode: mode}
+func newFormulaShardBehavior(m *model.CPUPowerModel, mode source.Mode, tracer *obs.Tracer) *formulaShardBehavior {
+	f := &formulaShardBehavior{model: m, mode: mode, tracer: tracer}
 	// A model that validates but fails to compile falls back to the original
 	// per-sample evaluation path below.
 	if compiled, err := m.Compile(); err == nil {
@@ -203,6 +209,7 @@ func (f *formulaShardBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 }
 
 func (f *formulaShardBehavior) estimateBatch(ctx *actor.Context, batch SensorReportBatch) {
+	traceStart := f.tracer.Now()
 	out := PowerEstimateBatch{
 		Timestamp:     batch.Timestamp,
 		FrequencyMHz:  batch.FrequencyMHz,
@@ -264,6 +271,7 @@ func (f *formulaShardBehavior) estimateBatch(ctx *actor.Context, batch SensorRep
 	// The sample batch is fully consumed: hand its slice back to the source
 	// pool so the next tick reuses the backing array.
 	source.PutTargetSlice(batch.Samples)
+	f.tracer.Record(batch.Timestamp, obs.StageFormula, batch.Shard, traceStart, f.tracer.Now())
 }
 
 // aggregatorBehavior merges the per-shard partial estimates of each sampling
@@ -293,8 +301,12 @@ type aggregatorBehavior struct {
 	hierarchy *cgroup.Hierarchy
 	// vms are the host's VM definitions in name order; every round the
 	// per-VM rollup projects the per-process estimates onto them.
-	vms     []VMDef
-	index   *slotIndex
+	vms    []VMDef
+	index  *slotIndex
+	tracer *obs.Tracer
+	// self attributes the monitoring process's own power into each report
+	// (WithSelfPower); nil when disabled.
+	self    *obs.SelfMeter
 	pending map[time.Duration]*roundState
 	// spare recycles roundState scratch; the aggregator is a single goroutine
 	// so no locking is needed.
@@ -332,7 +344,7 @@ type roundState struct {
 	activeSum float64
 }
 
-func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid int) string, hierarchy *cgroup.Hierarchy, vms []VMDef, index *slotIndex) *aggregatorBehavior {
+func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid int) string, hierarchy *cgroup.Hierarchy, vms []VMDef, index *slotIndex, tracer *obs.Tracer, self *obs.SelfMeter) *aggregatorBehavior {
 	if index == nil {
 		index = newSlotIndex()
 	}
@@ -343,6 +355,8 @@ func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid
 		hierarchy: hierarchy,
 		vms:       vms,
 		index:     index,
+		tracer:    tracer,
+		self:      self,
 		pending:   make(map[time.Duration]*roundState),
 	}
 }
@@ -351,6 +365,7 @@ func newAggregatorBehavior(idleWatts float64, mode source.Mode, resolve func(pid
 func (a *aggregatorBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 	switch m := msg.(type) {
 	case PowerEstimateBatch:
+		traceStart := a.tracer.Now()
 		round := a.round(m.Timestamp)
 		if m.HasMeasured {
 			round.measuredWatts += m.MeasuredWatts
@@ -364,6 +379,8 @@ func (a *aggregatorBehavior) Receive(ctx *actor.Context, msg actor.Message) {
 		if round.batches >= m.NumShards {
 			a.finish(ctx, m.Timestamp, round)
 		}
+		a.tracer.Record(m.Timestamp, obs.StageAggregate, m.Shard, traceStart, a.tracer.Now())
+		a.tracer.SetPendingRounds(len(a.pending))
 	default:
 		ctx.Publish(TopicErrors, PipelineError{
 			Stage: "aggregator",
@@ -571,6 +588,9 @@ func (a *aggregatorBehavior) finish(ctx *actor.Context, ts time.Duration, round 
 		a.prevGroups = len(perGroup)
 	}
 	report.TotalWatts = report.IdleWatts + report.ActiveWatts
+	// Self-power attribution: what the meter process itself cost this round,
+	// kept out of TotalWatts (the simulated machine's figure).
+	report.SelfWatts = a.self.Sample()
 	a.prevPIDs = len(report.PerPID)
 	// The published copy carries the round's lease with one reference, owned
 	// by the reports topic's consumer (the facade's fanout releases it after

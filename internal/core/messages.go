@@ -208,6 +208,13 @@ type AggregatedReport struct {
 	// unless a custom machine-scope source was installed, in which case the
 	// measurement is reported but does not drive the attribution.
 	MeasuredWatts float64 `json:"measuredWatts,omitempty"`
+	// SelfWatts is the power the meter itself cost during the round: the
+	// monitoring process's real CPU utilisation scaled by the host CPU's
+	// reference power (WithSelfPower). It attributes the middleware's own
+	// overhead — the paper's "lightweight enough for production" claim,
+	// continuously verified — and is NOT part of TotalWatts, which only
+	// covers the simulated machine. Zero when self-power is disabled.
+	SelfWatts float64 `json:"selfWatts,omitempty"`
 
 	// lease/gen tie this copy to its pooled buffer (nil/0 for clones and
 	// filtered copies, which own their maps). See Release, Clone, Expired.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -16,6 +18,7 @@ import (
 	"powerapi/internal/hpc"
 	"powerapi/internal/machine"
 	"powerapi/internal/model"
+	"powerapi/internal/obs"
 	"powerapi/internal/proc"
 	"powerapi/internal/rapl"
 	"powerapi/internal/source"
@@ -60,6 +63,9 @@ type options struct {
 	retention       int
 	historyEnabled  bool
 	historyCapacity int
+	traceRing       int
+	selfPower       bool
+	logger          *slog.Logger
 }
 
 type namedReporter struct {
@@ -193,6 +199,31 @@ func WithFlushingReporter(name string, deliver func(AggregatedReport) error, flu
 	}
 }
 
+// WithTraceRing sets how many recent round traces the pipeline's tracer
+// retains for the debug surfaces (obs.DefaultTraceRing when n <= 0). Tracing
+// itself is always on — its record path is lock-free and allocation-free —
+// so this only sizes the /api/v1/debug/rounds window.
+func WithTraceRing(n int) Option {
+	return func(o *options) { o.traceRing = n }
+}
+
+// WithSelfPower enables self-power attribution: every report's SelfWatts is
+// the power the monitoring process itself cost during the round, computed
+// from its real CPU utilisation (getrusage) scaled by the simulated CPU's
+// TDP. The daemon enables it by default so every report states what the
+// meter costs; it is opt-in for library use.
+func WithSelfPower() Option {
+	return func(o *options) { o.selfPower = true }
+}
+
+// WithLogger routes the pipeline's structured log events (supervisor
+// restarts, subscription lifecycle) through the given slog logger instead of
+// slog.Default(). Library code never writes to stderr unconditionally: the
+// handler and level of the configured logger decide what surfaces.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *options) { o.logger = l }
+}
+
 // WithCgroups attaches a control-group hierarchy to the pipeline. Cgroup
 // targets become attachable (AttachTargets): attaching a group monitors its
 // member processes (descendants included) and every sampling round the
@@ -281,6 +312,13 @@ type PowerAPI struct {
 	vms            map[string]VMDef
 	attrScope      source.Scope
 	flushes        []func() error
+	// tracer is the self-observability layer every stage stamps its spans
+	// into; it is always present (never nil). self attributes the meter's own
+	// power (nil unless WithSelfPower). logger carries the pipeline's
+	// structured log events.
+	tracer *obs.Tracer
+	self   *obs.SelfMeter
+	logger *slog.Logger
 
 	// subs is the fanout registry every aggregated report is published to;
 	// all consumers — Subscribe callers, the legacy Reports channel, the
@@ -391,6 +429,17 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (a
 		monitored:      make(map[target.Target]bool),
 		members:        make(map[int]bool),
 		lastCollect:    m.Now(),
+		tracer:         obs.NewTracer(cfg.traceRing),
+		logger:         cfg.logger,
+	}
+	if api.logger == nil {
+		api.logger = slog.Default()
+	}
+	api.subs.logger = api.logger
+	if cfg.selfPower {
+		// The meter's baseline is construction time, so the pipeline's own
+		// setup cost is attributed to it from round one.
+		api.self = obs.NewSelfMeter(m.Spec().TDPWatts, runtime.NumCPU())
 	}
 	for _, extra := range cfg.extraReporters {
 		if extra.flush != nil {
@@ -426,6 +475,8 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (a
 			OnPanic: func(info actor.PanicInfo) {
 				api.errCount.Add(1)
 				api.lastErr.Store(errBox{fmt.Errorf("core: %s actor %s panicked (restart %d): %v", stage, info.Actor, info.Restarts, info.Value)})
+				api.logger.Warn("pipeline actor panicked, restarting",
+					"stage", stage, "actor", info.Actor, "restarts", info.Restarts, "panic", info.Value)
 			},
 		}
 	}
@@ -453,7 +504,7 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (a
 	for i := 0; i < cfg.shards; i++ {
 		// The formula shard is stateless: restart from a fresh instance.
 		formula, err := api.system.SpawnSupervised(fmt.Sprintf("formula-%d", i),
-			func() actor.Behavior { return newFormulaShardBehavior(powerModel, cfg.mode) }, 0, supervised("formula"))
+			func() actor.Behavior { return newFormulaShardBehavior(powerModel, cfg.mode, api.tracer) }, 0, supervised("formula"))
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -482,7 +533,7 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (a
 		}
 		// The sensor shard owns the sampling state of its PIDs, so a restart
 		// keeps the same behaviour instance (state preserved).
-		sensorShard := newSensorShardBehavior(attrSrc, shardTotal, i, cfg.shards, cfg.collectTimeout)
+		sensorShard := newSensorShardBehavior(attrSrc, shardTotal, i, cfg.shards, cfg.collectTimeout, api.tracer)
 		sensor, err := api.system.SpawnSupervised(fmt.Sprintf("sensor-%d", i),
 			func() actor.Behavior { return sensorShard }, 0, supervised("sensor"))
 		if err != nil {
@@ -514,7 +565,7 @@ func New(m *machine.Machine, powerModel *model.CPUPowerModel, opts ...Option) (a
 	if cfg.mode == source.ModeRAPL || cfg.mode == source.ModeBlended || cfg.mode == source.ModeDelegated {
 		idleWatts = 0
 	}
-	aggregatorBhv := newAggregatorBehavior(idleWatts, cfg.mode, cfg.groupResolver, cfg.hierarchy, sortedVMDefs(vms), api.slots)
+	aggregatorBhv := newAggregatorBehavior(idleWatts, cfg.mode, cfg.groupResolver, cfg.hierarchy, sortedVMDefs(vms), api.slots, api.tracer, api.self)
 	aggregator, err := api.system.SpawnSupervised("aggregator",
 		func() actor.Behavior { return aggregatorBhv }, 0, supervised("aggregator"))
 	if err != nil {
@@ -682,6 +733,8 @@ func sortedVMDefs(vms map[string]VMDef) []VMDef {
 // synchronous Collect (first, so a slow subscriber cannot delay the round's
 // own caller) and then publishes the report to every live subscription.
 func (p *PowerAPI) fanout(report AggregatedReport) {
+	traceStart := p.tracer.Now()
+	ts := report.Timestamp
 	p.collectMu.Lock()
 	if waiter, ok := p.collectWaiters[report.Timestamp]; ok {
 		delete(p.collectWaiters, report.Timestamp)
@@ -691,6 +744,10 @@ func (p *PowerAPI) fanout(report AggregatedReport) {
 	p.collectMu.Unlock()
 	p.subs.publish(report) // each delivered channel send holds its own reference
 	report.Release()       // the aggregator's publishing reference
+	p.tracer.Record(ts, obs.StageFanout, 0, traceStart, p.tracer.Now())
+	// The fanout is the last synchronous stage: every consumer holds the
+	// round now, so this stamp is the round's end-to-end duration.
+	p.tracer.FinishRound(ts)
 }
 
 // recordError surfaces a failure through the pipeline's error counter and
@@ -724,10 +781,13 @@ func (p *PowerAPI) spawnReporterSubscriber(name string, deliver func(AggregatedR
 	go func() {
 		defer p.drainWG.Done()
 		for report := range sub.C() {
+			ts := report.Timestamp
+			traceStart := p.tracer.Now()
 			deliverSafely(report)
 			// The round is pooled: a callback that wants to keep it past its
 			// return must Clone (the retention contract on AggregatedReport).
 			report.Release()
+			p.tracer.Record(ts, obs.StageReporter, 0, traceStart, p.tracer.Now())
 		}
 	}()
 	return nil
@@ -748,6 +808,8 @@ func (p *PowerAPI) spawnHistorySubscriber() error {
 		defer p.drainWG.Done()
 		var batch []history.TargetSample
 		for report := range sub.C() {
+			ts := report.Timestamp
+			traceStart := p.tracer.Now()
 			batch = batch[:0]
 			batch = append(batch, history.TargetSample{Target: target.Machine(), Watts: report.TotalWatts})
 			for pid, watts := range report.PerPID {
@@ -761,6 +823,7 @@ func (p *PowerAPI) spawnHistorySubscriber() error {
 			}
 			p.history.RecordBatch(report.Timestamp, batch)
 			report.Release()
+			p.tracer.Record(ts, obs.StageHistory, 0, traceStart, p.tracer.Now())
 		}
 	}()
 	return nil
@@ -1250,6 +1313,9 @@ func (p *PowerAPI) Collect() (AggregatedReport, error) {
 		p.collectMu.Unlock()
 	}()
 
+	// Claim the round's trace slot before the tick broadcast: Begin is the
+	// single round-origination point, so every stage's stamp finds the slot.
+	p.tracer.Begin(now)
 	if delivered := p.sensors.Broadcast(tickRequest{Timestamp: now, Window: window}); delivered < p.shards {
 		return AggregatedReport{}, fmt.Errorf("core: tick reached %d of %d sensor shards: %w", delivered, p.shards, actor.ErrStopped)
 	}

@@ -81,7 +81,24 @@ type pooledReport struct {
 	perGroup  map[string]float64
 }
 
+// Report-pool traffic counters, process-wide like the sync.Pool they meter:
+// gets/misses give the hit rate, gets-puts the outstanding leases. A steadily
+// growing outstanding figure is a lease leak — holders that never Release —
+// though buffers the GC reclaimed from the pool also show up here (puts only
+// counts explicit recycles).
+var (
+	reportPoolGets   atomic.Uint64
+	reportPoolMisses atomic.Uint64
+	reportPoolPuts   atomic.Uint64
+)
+
+// reportPoolCounters snapshots the process-wide pool counters.
+func reportPoolCounters() (gets, misses, puts uint64) {
+	return reportPoolGets.Load(), reportPoolMisses.Load(), reportPoolPuts.Load()
+}
+
 var reportPool = sync.Pool{New: func() any {
+	reportPoolMisses.Add(1)
 	p := &pooledReport{}
 	p.lease.home = p
 	return p
@@ -91,6 +108,7 @@ var reportPool = sync.Pool{New: func() any {
 // producer's). The hint presizes the per-PID map on a pool miss so the first
 // round at a given scale grows it once instead of doubling up.
 func getPooledReport(hintPID int) *pooledReport {
+	reportPoolGets.Add(1)
 	p := reportPool.Get().(*pooledReport)
 	p.lease.refs.Store(1)
 	p.report = AggregatedReport{lease: &p.lease, gen: p.lease.gen.Load()}
@@ -140,6 +158,7 @@ func (r AggregatedReport) Release() {
 	}
 	if l.refs.Add(-1) == 0 {
 		l.gen.Add(1) // expire every outstanding copy before the buffer is reused
+		reportPoolPuts.Add(1)
 		reportPool.Put(l.home)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -357,6 +358,10 @@ func (s *Subscription) acceptVM(name string, watts float64) bool {
 // publishes each round to a snapshot of it.
 type subscriptionRegistry struct {
 	hierarchy *cgroup.Hierarchy
+	// logger carries the registry's lifecycle events (subscription added,
+	// removed, registry closed) as structured debug logs — never raw stderr
+	// writes. Set once at pipeline construction, before any subscriber exists.
+	logger *slog.Logger
 
 	mu     sync.RWMutex
 	nextID uint64
@@ -440,20 +445,38 @@ func (r *subscriptionRegistry) add(opts SubscribeOptions) (*Subscription, error)
 	}
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return nil, errors.New("core: powerapi is shut down")
 	}
 	r.nextID++
 	s.id = r.nextID
 	r.subs[s.id] = s
+	live := len(r.subs)
+	r.mu.Unlock()
+	r.log().Debug("subscription added",
+		"id", s.id, "name", s.name, "policy", opts.Policy.String(), "live", live)
 	return s, nil
+}
+
+// log returns the registry's logger, falling back to slog.Default so events
+// stay routable even on a registry built outside New (tests).
+func (r *subscriptionRegistry) log() *slog.Logger {
+	if r.logger != nil {
+		return r.logger
+	}
+	return slog.Default()
 }
 
 func (r *subscriptionRegistry) remove(id uint64) {
 	r.mu.Lock()
+	_, existed := r.subs[id]
 	delete(r.subs, id)
+	live := len(r.subs)
 	r.mu.Unlock()
+	if existed {
+		r.log().Debug("subscription removed", "id", id, "live", live)
+	}
 }
 
 // publish fans one report out to every live subscription. It runs on the
@@ -525,6 +548,9 @@ func (r *subscriptionRegistry) closeAll() {
 		remaining = append(remaining, s)
 	}
 	r.mu.Unlock()
+	if len(remaining) > 0 {
+		r.log().Debug("closing subscriptions on shutdown", "count", len(remaining))
+	}
 	for _, s := range remaining {
 		s.Close()
 	}

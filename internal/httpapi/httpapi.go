@@ -73,6 +73,8 @@ func New(mon *core.PowerAPI) (*Server, error) {
 		}
 	}()
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/v1/debug/rounds", s.handleDebugRounds)
+	s.mux.HandleFunc("GET /api/v1/debug/stats", s.handleDebugStats)
 	s.mux.HandleFunc("GET /api/v1/targets", s.handleTargets)
 	s.mux.HandleFunc("GET /api/v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /api/v1/targets", s.handleAttachTarget)
@@ -157,6 +159,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, name := range vmNames {
 		fmt.Fprintf(&b, "powerapi_target_watts{kind=\"vm\",id=\"%s\"} %g\n", escapeLabel(name), report.PerVM[name])
 	}
+	stats := s.mon.Stats()
+	if stats.Self.Enabled {
+		// The meter's own cost as a first-class target row: the paper's
+		// overhead claim, continuously verified next to the targets it meters.
+		fmt.Fprintf(&b, "powerapi_target_watts{kind=\"self\",id=\"powerapi-self\"} %g\n", report.SelfWatts)
+	}
 	groups := make([]string, 0, len(report.PerGroup))
 	for group := range report.PerGroup {
 		groups = append(groups, group)
@@ -188,36 +196,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "powerapi_round_timestamp_seconds %g\n", report.Timestamp.Seconds())
 	b.WriteString("# HELP powerapi_pipeline_errors_total Errors observed by the monitoring pipeline.\n")
 	b.WriteString("# TYPE powerapi_pipeline_errors_total counter\n")
-	fmt.Fprintf(&b, "powerapi_pipeline_errors_total %d\n", s.mon.ErrorCount())
+	fmt.Fprintf(&b, "powerapi_pipeline_errors_total %d\n", stats.Errors)
 	b.WriteString("# HELP powerapi_subscriptions Live report subscriptions on the fanout.\n")
 	b.WriteString("# TYPE powerapi_subscriptions gauge\n")
-	fmt.Fprintf(&b, "powerapi_subscriptions %d\n", s.mon.Subscriptions())
-	if stats := s.mon.SubscriptionStats(); len(stats) > 0 {
+	fmt.Fprintf(&b, "powerapi_subscriptions %d\n", len(stats.Subscriptions))
+	if len(stats.Subscriptions) > 0 {
 		b.WriteString("# HELP powerapi_subscription_delivered_total Reports placed into one subscription's channel.\n")
 		b.WriteString("# TYPE powerapi_subscription_delivered_total counter\n")
-		for _, st := range stats {
+		for _, st := range stats.Subscriptions {
 			fmt.Fprintf(&b, "powerapi_subscription_delivered_total{id=\"%d\",name=\"%s\",policy=\"%s\"} %d\n",
 				st.ID, escapeLabel(st.Name), st.Policy, st.Delivered)
 		}
 		b.WriteString("# HELP powerapi_subscription_dropped_total Delivered reports evicted unread from one subscription's channel.\n")
 		b.WriteString("# TYPE powerapi_subscription_dropped_total counter\n")
-		for _, st := range stats {
+		for _, st := range stats.Subscriptions {
 			fmt.Fprintf(&b, "powerapi_subscription_dropped_total{id=\"%d\",name=\"%s\",policy=\"%s\"} %d\n",
 				st.ID, escapeLabel(st.Name), st.Policy, st.Dropped)
 		}
 	}
-	if store := s.mon.History(); store != nil {
-		targets, samples := store.Occupancy()
+	if stats.History.Enabled {
 		b.WriteString("# HELP powerapi_history_targets Targets with retained samples in the history store.\n")
 		b.WriteString("# TYPE powerapi_history_targets gauge\n")
-		fmt.Fprintf(&b, "powerapi_history_targets %d\n", targets)
+		fmt.Fprintf(&b, "powerapi_history_targets %d\n", stats.History.Targets)
 		b.WriteString("# HELP powerapi_history_samples Retained samples across all history rings.\n")
 		b.WriteString("# TYPE powerapi_history_samples gauge\n")
-		fmt.Fprintf(&b, "powerapi_history_samples %d\n", samples)
+		fmt.Fprintf(&b, "powerapi_history_samples %d\n", stats.History.Samples)
 		b.WriteString("# HELP powerapi_history_capacity Ring capacity per target (the occupancy ceiling is targets times this).\n")
 		b.WriteString("# TYPE powerapi_history_capacity gauge\n")
-		fmt.Fprintf(&b, "powerapi_history_capacity %d\n", store.Capacity())
+		fmt.Fprintf(&b, "powerapi_history_capacity %d\n", stats.History.CapacityPerTarget)
 	}
+	writeObsMetrics(&b, stats)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }

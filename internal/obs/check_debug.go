@@ -1,0 +1,20 @@
+//go:build powerapidebug
+
+package obs
+
+import "fmt"
+
+// checkSpanOrder (powerapidebug builds only) asserts the invariants the
+// release-mode tracer merely assumes: a stage stamp never precedes the
+// round's begin stamp, and its interval is well-formed. Violations indicate a
+// stage reading timestamps from the wrong round or a non-monotonic clock, and
+// panic loudly rather than corrupting a trace silently.
+func checkSpanOrder(slot *traceSlot, stage Stage, startNs, endNs int64) {
+	begin := slot.beginNs.Load()
+	if startNs < begin {
+		panic(fmt.Sprintf("obs: stage %s stamped start %dns before round begin %dns", stage, startNs, begin))
+	}
+	if endNs < startNs {
+		panic(fmt.Sprintf("obs: stage %s stamped end %dns before start %dns", stage, endNs, startNs))
+	}
+}

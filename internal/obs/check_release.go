@@ -1,0 +1,7 @@
+//go:build !powerapidebug
+
+package obs
+
+// checkSpanOrder is compiled out by default; build with -tags powerapidebug
+// to enable the span-ordering assertions.
+func checkSpanOrder(*traceSlot, Stage, int64, int64) {}

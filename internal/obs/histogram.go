@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count of every latency histogram. Bucket i
+// holds durations whose nanosecond value has bit-length i+1, i.e. durations in
+// [2^i, 2^(i+1)) ns, except bucket 0 which also absorbs sub-nanosecond values
+// and the last bucket which absorbs everything above ~34s (2^35 ns). Log2
+// bucketing keeps Observe to a bits.Len64 plus one atomic add — no floats, no
+// branches on configuration — at the cost of coarse (2x) resolution, which is
+// plenty for stage latencies spanning nanoseconds to seconds.
+const histBuckets = 36
+
+// Histogram is a lock-free, fixed-size, log2-bucketed latency histogram.
+// Observe is wait-free (one atomic add per field) and allocation-free, so it
+// can sit on the per-round hot path. The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+}
+
+// Observe records one duration in nanoseconds. Negative durations (clock
+// anomalies) are clamped to zero rather than dropped, so count and sum stay
+// consistent with the number of calls.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	idx := bits.Len64(uint64(ns))
+	if idx > 0 {
+		idx--
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Counts are
+// per-bucket (not cumulative); BucketUpperNs gives each bucket's upper bound.
+type HistogramSnapshot struct {
+	Counts [histBuckets]uint64
+	Count  uint64
+	SumNs  int64
+}
+
+// Snapshot copies the histogram's counters. Under concurrent Observe calls
+// the copy is not a single atomic cut, but each field is individually
+// consistent — good enough for diagnostics.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sumNs.Load()
+	return s
+}
+
+// BucketUpperNs returns the exclusive upper bound of bucket i in nanoseconds;
+// the last bucket is unbounded (MaxInt64).
+func BucketUpperNs(i int) int64 {
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i+1)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in nanoseconds by linear
+// interpolation inside the bucket holding the q-th observation. Returns 0 when
+// the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := seen + float64(c)
+		if next >= rank {
+			lower := float64(int64(1) << uint(i))
+			if i == 0 {
+				lower = 0
+			}
+			upper := float64(BucketUpperNs(i))
+			if i == histBuckets-1 {
+				upper = 2 * lower // unbounded bucket: assume one octave
+			}
+			frac := (rank - seen) / float64(c)
+			return lower + frac*(upper-lower)
+		}
+		seen = next
+	}
+	return float64(BucketUpperNs(histBuckets - 1))
+}
+
+// MeanNs returns the arithmetic mean in nanoseconds, or 0 when empty.
+func (s HistogramSnapshot) MeanNs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}

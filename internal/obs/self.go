@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// selfMinWindow is the minimum wall window a utilisation figure is computed
+// over. Sampling rounds can be far shorter than this (simulated time runs
+// faster than wall time); between full windows the meter holds the last
+// figure, so the reported self-watts stay stable instead of jittering with
+// scheduler noise.
+const selfMinWindow = 25 * time.Millisecond
+
+// SelfMeter attributes the meter's own cost: it reads the current process's
+// cumulative CPU time from the OS and converts utilisation into watts with
+// the same TDP-proportional proxy the simulated machine uses for its targets
+// (watts = refWatts × cpuTime/(wallTime×cpus), capped at refWatts). On
+// platforms without rusage support the meter reports zero and Supported()
+// is false. Sample is allocation-free: the rusage buffer is reused under the
+// meter's lock.
+type SelfMeter struct {
+	mu        sync.Mutex
+	refWatts  float64
+	cpus      float64
+	epoch     time.Time
+	ru        rusageBuf
+	primed    bool
+	lastWall  int64
+	lastCPUNs int64
+	cpuNs     int64
+	watts     float64
+}
+
+// NewSelfMeter returns a meter that scales utilisation by refWatts (typically
+// the host CPU's TDP) across cpus logical CPUs. The construction instant is
+// the baseline: CPU burned from here on — calibration included — is the
+// meter's own.
+func NewSelfMeter(refWatts float64, cpus int) *SelfMeter {
+	if cpus <= 0 {
+		cpus = 1
+	}
+	m := &SelfMeter{refWatts: refWatts, cpus: float64(cpus), epoch: time.Now()}
+	if ns, ok := processCPUNs(&m.ru); ok {
+		m.lastCPUNs, m.cpuNs = ns, ns
+	}
+	return m
+}
+
+// Supported reports whether the platform exposes process CPU time.
+func (m *SelfMeter) Supported() bool {
+	return m != nil && selfMeterSupported
+}
+
+// Sample refreshes and returns the meter's current self-power estimate in
+// watts. Called once per round from the aggregator; windows shorter than
+// selfMinWindow return the previous figure (except the very first, so the
+// meter is nonzero from round one).
+func (m *SelfMeter) Sample() float64 {
+	if m == nil || !selfMeterSupported {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := int64(time.Since(m.epoch))
+	cpuNs, ok := processCPUNs(&m.ru)
+	if !ok {
+		return m.watts
+	}
+	m.cpuNs = cpuNs
+	wallDelta := now - m.lastWall
+	if wallDelta <= 0 || (m.primed && wallDelta < int64(selfMinWindow)) {
+		return m.watts
+	}
+	cpuDelta := cpuNs - m.lastCPUNs
+	if cpuDelta < 0 {
+		cpuDelta = 0
+	}
+	util := float64(cpuDelta) / (float64(wallDelta) * m.cpus)
+	if util > 1 {
+		util = 1
+	}
+	m.watts = m.refWatts * util
+	m.primed = true
+	m.lastWall, m.lastCPUNs = now, cpuNs
+	return m.watts
+}
+
+// Watts returns the last sampled self-power figure without refreshing it.
+func (m *SelfMeter) Watts() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.watts
+}
+
+// CPUSeconds returns the process's cumulative CPU time in seconds (user +
+// system), refreshed on every call.
+func (m *SelfMeter) CPUSeconds() float64 {
+	if m == nil || !selfMeterSupported {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ns, ok := processCPUNs(&m.ru); ok {
+		m.cpuNs = ns
+	}
+	return float64(m.cpuNs) / 1e9
+}

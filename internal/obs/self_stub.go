@@ -1,0 +1,10 @@
+//go:build !linux && !darwin
+
+package obs
+
+const selfMeterSupported = false
+
+// rusageBuf is empty on platforms without getrusage.
+type rusageBuf = struct{}
+
+func processCPUNs(*rusageBuf) (int64, bool) { return 0, false }

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSelfMeterSamplesNonzeroUnderLoad(t *testing.T) {
+	m := NewSelfMeter(65, 1)
+	if !m.Supported() {
+		t.Skip("platform without process CPU accounting")
+	}
+	// Burn CPU long enough that utilisation over the window is measurable.
+	deadline := time.Now().Add(50 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		x++
+	}
+	_ = x
+	w := m.Sample()
+	if w <= 0 {
+		t.Fatalf("self watts = %v, want > 0 after busy loop", w)
+	}
+	if w > 65 {
+		t.Fatalf("self watts = %v exceeds reference power", w)
+	}
+	if m.Watts() != w {
+		t.Fatal("Watts() should return the last sample")
+	}
+	if m.CPUSeconds() <= 0 {
+		t.Fatal("CPUSeconds should be positive")
+	}
+}
+
+func TestSelfMeterFirstSampleIsImmediate(t *testing.T) {
+	m := NewSelfMeter(65, 1)
+	if !m.Supported() {
+		t.Skip("platform without process CPU accounting")
+	}
+	time.Sleep(2 * time.Millisecond)
+	// The first sample must compute even though the window is shorter than
+	// selfMinWindow — the daemon's first report needs a nonzero figure.
+	_ = m.Sample()
+	if !m.primed {
+		t.Fatal("first sample did not prime the meter")
+	}
+}
+
+func TestSelfMeterHoldsBetweenWindows(t *testing.T) {
+	m := NewSelfMeter(65, 1)
+	if !m.Supported() {
+		t.Skip("platform without process CPU accounting")
+	}
+	time.Sleep(2 * time.Millisecond)
+	first := m.Sample()
+	// Immediately re-sampling inside the minimum window returns the held
+	// figure rather than a noisy near-zero one.
+	if again := m.Sample(); again != first {
+		t.Fatalf("sample inside window changed: %v -> %v", first, again)
+	}
+}
+
+func TestSelfMeterNilAndDefaults(t *testing.T) {
+	var m *SelfMeter
+	if m.Sample() != 0 || m.Watts() != 0 || m.CPUSeconds() != 0 || m.Supported() {
+		t.Fatal("nil meter must be inert")
+	}
+	if mm := NewSelfMeter(65, 0); mm.cpus != 1 {
+		t.Fatalf("cpus floor = %v, want 1", mm.cpus)
+	}
+}

@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package obs
+
+import "syscall"
+
+const selfMeterSupported = true
+
+// rusageBuf is the reusable getrusage buffer embedded in SelfMeter.
+type rusageBuf = syscall.Rusage
+
+// processCPUNs returns the calling process's cumulative CPU time (user +
+// system) in nanoseconds.
+func processCPUNs(ru *rusageBuf) (int64, bool) {
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, ru); err != nil {
+		return 0, false
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano(), true
+}

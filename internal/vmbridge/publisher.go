@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"powerapi/internal/core"
+	"powerapi/internal/obs"
 )
 
 // Publisher is the host side of the bridge: a subscriber on the host monitor
@@ -18,7 +19,11 @@ import (
 type Publisher struct {
 	sub *core.Subscription
 	tr  Transport
-	wg  sync.WaitGroup
+	// tracer is the host monitor's round tracer: every round's framing and
+	// transport sends are stamped as a publish span, so frame latency shows up
+	// in the host's debug timeline next to the pipeline's own stages.
+	tracer *obs.Tracer
+	wg     sync.WaitGroup
 
 	seq       atomic.Uint64
 	published atomic.Uint64
@@ -47,7 +52,7 @@ func NewPublisher(mon *core.PowerAPI, tr Transport) (*Publisher, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vmbridge: subscribe: %w", err)
 	}
-	p := &Publisher{sub: sub, tr: tr}
+	p := &Publisher{sub: sub, tr: tr, tracer: mon.Tracer()}
 	p.wg.Add(1)
 	go p.run()
 	return p, nil
@@ -60,6 +65,8 @@ func (p *Publisher) run() {
 			report.Release()
 			continue
 		}
+		ts := report.Timestamp
+		traceStart := p.tracer.Now()
 		// Deterministic frame order per round: sorted VM names, one global
 		// monotonic sequence across all VMs.
 		names := make([]string, 0, len(report.PerVM))
@@ -84,6 +91,7 @@ func (p *Publisher) run() {
 			p.published.Add(1)
 		}
 		report.Release()
+		p.tracer.Record(ts, obs.StagePublish, 0, traceStart, p.tracer.Now())
 	}
 }
 

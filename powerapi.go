@@ -32,6 +32,7 @@ package powerapi
 
 import (
 	"io"
+	"log/slog"
 	"time"
 
 	"powerapi/internal/advisor"
@@ -44,6 +45,7 @@ import (
 	"powerapi/internal/httpapi"
 	"powerapi/internal/machine"
 	"powerapi/internal/model"
+	"powerapi/internal/obs"
 	"powerapi/internal/powermeter"
 	"powerapi/internal/sched"
 	"powerapi/internal/source"
@@ -173,6 +175,20 @@ type (
 	// SubscriptionInfo is one live subscription's diagnostic snapshot
 	// (Monitor.SubscriptionStats): name, policy, delivered/dropped counters.
 	SubscriptionInfo = core.SubscriptionInfo
+	// MonitorStats is the one-call observability snapshot (Monitor.Stats):
+	// pipeline gauges, report-pool traffic, per-stage latency distributions
+	// and the self-power figures — the same collector every HTTP surface
+	// renders from, available to headless deployments.
+	MonitorStats = core.MonitorStats
+	// StageStats is one pipeline stage's latency summary (count, quantiles,
+	// cumulative buckets) inside MonitorStats.
+	StageStats = obs.StageStats
+	// RoundTrace is the per-stage timeline of one traced sampling round
+	// (Monitor.Tracer().Rounds(), also served at /api/v1/debug/rounds).
+	RoundTrace = obs.RoundView
+	// StageSpan is one stage's span within a RoundTrace: first/last instants
+	// relative to round begin, busy time and slowest-shard attribution.
+	StageSpan = obs.SpanView
 )
 
 // Backpressure policies (see SubscribeOptions.Policy).
@@ -385,6 +401,20 @@ func WithReportRetention(n int) MonitorOption { return core.WithReportRetention(
 // Monitor.Query — windowed avg/max/p95 watts per process, cgroup and the
 // machine total — plus the HTTP /api/v1/query endpoint.
 func WithHistory(capacity int) MonitorOption { return core.WithHistory(capacity) }
+
+// WithTraceRing sizes the per-round trace ring backing Monitor.Tracer() and
+// the /api/v1/debug/rounds endpoint (default 64 rounds; 0 keeps the default).
+func WithTraceRing(rounds int) MonitorOption { return core.WithTraceRing(rounds) }
+
+// WithSelfPower meters the monitoring process itself: every report carries
+// the daemon's own consumption (SelfWatts, the powerapi-self row) computed
+// from the process's real CPU time scaled to the machine spec's TDP.
+func WithSelfPower() MonitorOption { return core.WithSelfPower() }
+
+// WithLogger routes the pipeline's structured log events (subscription
+// lifecycle, actor restarts) through the given slog logger instead of
+// slog.Default().
+func WithLogger(l *slog.Logger) MonitorOption { return core.WithLogger(l) }
 
 // WithAdvisorFeed subscribes an Advisor to the monitor's report fanout:
 // every sampling round is fed to ObserveReport with the given interval, so
