@@ -1,0 +1,316 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"powerapi/internal/collector"
+	"powerapi/internal/vmbridge"
+)
+
+// The fleet mode meters the collector instead of the daemon pipeline: N
+// passive in-process nodes feed pre-encoded wire payloads straight into the
+// ingest queues (collector.FeedPayload — the exact worker/commit path a socket
+// reader drives, minus the socket), and every fleet round is one synchronous
+// Rollup over the committed contributions. The claim under test is twofold:
+// steady-state allocations per fleet round must not grow with the node count,
+// and the binary codec must ingest rows at least twice as fast as JSON-lines.
+
+// FleetCell is one measured point of the fleet matrix.
+type FleetCell struct {
+	// Nodes and TargetsPerNode identify the cell; Shards is the rollup width.
+	Nodes          int `json:"nodes"`
+	TargetsPerNode int `json:"targetsPerNode"`
+	Shards         int `json:"shards"`
+	// Rounds is how many steady-state fleet rounds were metered.
+	Rounds int `json:"rounds"`
+	// RoundsPerSec is the fleet-round throughput: ingest of every node's
+	// payload, commit, and the cross-node rollup.
+	RoundsPerSec float64 `json:"roundsPerSec"`
+	// NsPerTarget is the per-row share of one round (nodes × targetsPerNode
+	// rows flow per round).
+	NsPerTarget float64 `json:"nsPerTarget"`
+	// AllocsPerRound / BytesPerRound are whole-process heap figures of one
+	// steady-state round; flatness across the Nodes scales is the point.
+	AllocsPerRound float64 `json:"allocsPerRound"`
+	BytesPerRound  float64 `json:"bytesPerRound"`
+	// RoundP99Seconds is the 99th-percentile wall time of one fleet round.
+	RoundP99Seconds float64 `json:"roundP99Seconds"`
+	// IngestMBPerSec is the wire-payload volume decoded per second.
+	IngestMBPerSec float64 `json:"ingestMBPerSec"`
+}
+
+// CodecReport compares ingest throughput of the two wire codecs over the same
+// logical frames on identical collectors.
+type CodecReport struct {
+	Nodes             int     `json:"nodes"`
+	TargetsPerNode    int     `json:"targetsPerNode"`
+	Rounds            int     `json:"rounds"`
+	BinaryRowsPerSec  float64 `json:"binaryRowsPerSec"`
+	JSONRowsPerSec    float64 `json:"jsonRowsPerSec"`
+	BinaryMBPerSec    float64 `json:"binaryMBPerSec"`
+	JSONMBPerSec      float64 `json:"jsonMBPerSec"`
+	BinaryBytesPerRow float64 `json:"binaryBytesPerRow"`
+	JSONBytesPerRow   float64 `json:"jsonBytesPerRow"`
+	// RowRateRatio is binary over JSON rows/sec — the ≥2× claim.
+	RowRateRatio float64 `json:"rowRateRatio"`
+}
+
+// benchCollector builds one passive collector sized for the cell. Rounds are
+// driven manually (Interval 0); history capacity is kept small so its lazy
+// ring growth finishes inside the warm-up and steady state stays clean.
+func benchCollector(nodes, shards int, codec vmbridge.Codec) (*collector.Collector, []string, error) {
+	addrs := make([]string, nodes)
+	names := make([]string, nodes)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("bench://node-%04d", i)
+		names[i] = fmt.Sprintf("node-%04d", i)
+	}
+	col, err := collector.New(collector.Config{
+		Nodes:           addrs,
+		Passive:         true,
+		Shards:          shards,
+		StaleAfter:      time.Hour,
+		Codec:           codec,
+		HistoryCapacity: 16,
+	})
+	return col, names, err
+}
+
+// benchRows builds the shared per-node row set: the same service cgroups
+// deployed fleet-wide, so the rollup genuinely merges across nodes.
+func benchRows(targetsPerNode int) []vmbridge.TargetRow {
+	rows := make([]vmbridge.TargetRow, targetsPerNode)
+	for j := range rows {
+		rows[j] = vmbridge.TargetRow{Key: fmt.Sprintf("cgroup:svc-%04d", j), Watts: float64(j%40) + 0.5}
+	}
+	return rows
+}
+
+// measureFleet meters one fleet cell on the binary codec.
+func measureFleet(nodes, targetsPerNode, shards, warmup, rounds int) (FleetCell, error) {
+	col, names, err := benchCollector(nodes, shards, vmbridge.CodecBinary)
+	if err != nil {
+		return FleetCell{}, err
+	}
+	defer col.Close()
+
+	batch := []vmbridge.VMPowerFrame{{
+		Watts:          float64(targetsPerNode),
+		HostTotalWatts: float64(targetsPerNode),
+		SourceMode:     "bench",
+		Rows:           benchRows(targetsPerNode),
+	}}
+	var scratch []byte
+	var seq uint64
+	var wireBytes uint64
+	tick := func() error {
+		seq++
+		for i := 0; i < nodes; i++ {
+			// Encode into the reused scratch (allocation-free once grown) and
+			// feed the bare payload past the wire header.
+			batch[0].VM = names[i]
+			batch[0].Seq = seq
+			scratch = vmbridge.AppendBinaryBatch(scratch[:0], batch)
+			payload := scratch[vmbridge.BinaryMessageHeader:]
+			wireBytes += uint64(len(scratch))
+			if err := col.FeedPayload(i, payload); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < nodes; i++ {
+			for col.NodeLastSeq(i) < seq {
+				runtime.Gosched()
+			}
+		}
+		rep := col.Rollup()
+		live, keys := rep.Nodes, len(rep.PerTarget)
+		rep.Release()
+		if live != nodes {
+			return fmt.Errorf("round %d rolled up %d live nodes, want %d", seq, live, nodes)
+		}
+		if keys != targetsPerNode {
+			return fmt.Errorf("round %d rolled up %d fleet keys, want %d", seq, keys, targetsPerNode)
+		}
+		return nil
+	}
+	for i := 0; i < warmup; i++ {
+		if err := tick(); err != nil {
+			return FleetCell{}, err
+		}
+	}
+
+	durations := make([]float64, 0, rounds)
+	wireBytes = 0
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		roundStart := time.Now()
+		if err := tick(); err != nil {
+			return FleetCell{}, err
+		}
+		durations = append(durations, time.Since(roundStart).Seconds())
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	perRound := elapsed.Seconds() / float64(rounds)
+	return FleetCell{
+		Nodes:           nodes,
+		TargetsPerNode:  targetsPerNode,
+		Shards:          shards,
+		Rounds:          rounds,
+		RoundsPerSec:    1 / perRound,
+		NsPerTarget:     perRound * 1e9 / float64(nodes*targetsPerNode),
+		AllocsPerRound:  float64(after.Mallocs-before.Mallocs) / float64(rounds),
+		BytesPerRound:   float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+		RoundP99Seconds: percentile(durations, 0.99),
+		IngestMBPerSec:  float64(wireBytes) / 1e6 / elapsed.Seconds(),
+	}, nil
+}
+
+// measureCodecRate meters pure ingest throughput for one codec: payloads for
+// every (round, node) are pre-encoded, so the metered loop is feed → decode →
+// commit with no encoding cost inside. Returns rows/sec and wire bytes/sec.
+func measureCodecRate(codec vmbridge.Codec, nodes, targetsPerNode, warmup, rounds int, encode func(frame vmbridge.VMPowerFrame) []byte) (rowsPerSec, bytesPerSec float64, err error) {
+	col, names, err := benchCollector(nodes, 2, codec)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer col.Close()
+
+	rows := benchRows(targetsPerNode)
+	total := warmup + rounds
+	payloads := make([][][]byte, total)
+	for r := 0; r < total; r++ {
+		payloads[r] = make([][]byte, nodes)
+		for i := 0; i < nodes; i++ {
+			payloads[r][i] = encode(vmbridge.VMPowerFrame{
+				VM:             names[i],
+				Seq:            uint64(r + 1),
+				Watts:          float64(targetsPerNode),
+				HostTotalWatts: float64(targetsPerNode),
+				SourceMode:     "bench",
+				Rows:           rows,
+			})
+		}
+	}
+
+	feed := func(r int) error {
+		seq := uint64(r + 1)
+		for i := 0; i < nodes; i++ {
+			if err := col.FeedPayload(i, payloads[r][i]); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < nodes; i++ {
+			for col.NodeLastSeq(i) < seq {
+				runtime.Gosched()
+			}
+		}
+		return nil
+	}
+	for r := 0; r < warmup; r++ {
+		if err := feed(r); err != nil {
+			return 0, 0, err
+		}
+	}
+	var wireBytes uint64
+	for r := warmup; r < total; r++ {
+		for i := 0; i < nodes; i++ {
+			wireBytes += uint64(len(payloads[r][i]))
+		}
+	}
+	start := time.Now()
+	for r := warmup; r < total; r++ {
+		if err := feed(r); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+
+	// One rollup as an end-to-end sanity check of what was ingested.
+	rep := col.Rollup()
+	live, keys := rep.Nodes, len(rep.PerTarget)
+	rep.Release()
+	if live != nodes || keys != targetsPerNode {
+		return 0, 0, fmt.Errorf("codec %s ingested %d live nodes / %d keys, want %d / %d", codec, live, keys, nodes, targetsPerNode)
+	}
+	totalRows := float64(rounds) * float64(nodes) * float64(targetsPerNode)
+	return totalRows / elapsed, float64(wireBytes) / elapsed, nil
+}
+
+// measureCodecs runs the binary-vs-JSON ingest comparison.
+func measureCodecs(nodes, targetsPerNode, warmup, rounds int) (CodecReport, error) {
+	binRows, binBytes, err := measureCodecRate(vmbridge.CodecBinary, nodes, targetsPerNode, warmup, rounds,
+		func(frame vmbridge.VMPowerFrame) []byte {
+			msg := vmbridge.AppendBinaryBatch(nil, []vmbridge.VMPowerFrame{frame})
+			return msg[vmbridge.BinaryMessageHeader:]
+		})
+	if err != nil {
+		return CodecReport{}, fmt.Errorf("binary: %w", err)
+	}
+	jsonRows, jsonBytes, err := measureCodecRate(vmbridge.CodecJSON, nodes, targetsPerNode, warmup, rounds,
+		func(frame vmbridge.VMPowerFrame) []byte {
+			line, merr := json.Marshal(frame)
+			if merr != nil {
+				panic(merr)
+			}
+			return line
+		})
+	if err != nil {
+		return CodecReport{}, fmt.Errorf("json: %w", err)
+	}
+	return CodecReport{
+		Nodes:             nodes,
+		TargetsPerNode:    targetsPerNode,
+		Rounds:            rounds,
+		BinaryRowsPerSec:  binRows,
+		JSONRowsPerSec:    jsonRows,
+		BinaryMBPerSec:    binBytes / 1e6,
+		JSONMBPerSec:      jsonBytes / 1e6,
+		BinaryBytesPerRow: binBytes / binRows,
+		JSONBytesPerRow:   jsonBytes / jsonRows,
+		RowRateRatio:      binRows / jsonRows,
+	}, nil
+}
+
+// checkFleetBudget enforces fleet budget entries (Nodes > 0) against the
+// measured fleet cells; pipeline entries are ignored here.
+func checkFleetBudget(cells []FleetCell, budget []BudgetEntry) bool {
+	failed := false
+	for _, b := range budget {
+		if b.Nodes <= 0 {
+			continue
+		}
+		for _, c := range cells {
+			if c.Nodes != b.Nodes || c.TargetsPerNode != b.TargetsPerNode {
+				continue
+			}
+			if c.AllocsPerRound > b.MaxAllocsPerRound {
+				fmt.Fprintf(os.Stderr, "BUDGET EXCEEDED: nodes=%d targets/node=%d allocs/round %.1f > budget %.1f\n",
+					c.Nodes, c.TargetsPerNode, c.AllocsPerRound, b.MaxAllocsPerRound)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "budget ok: nodes=%d targets/node=%d allocs/round %.1f <= %.1f\n",
+					c.Nodes, c.TargetsPerNode, c.AllocsPerRound, b.MaxAllocsPerRound)
+			}
+			if b.MaxRoundP99Seconds <= 0 {
+				continue
+			}
+			if c.RoundP99Seconds > b.MaxRoundP99Seconds {
+				fmt.Fprintf(os.Stderr, "BUDGET EXCEEDED: nodes=%d targets/node=%d round p99 %.3fs > budget %.3fs\n",
+					c.Nodes, c.TargetsPerNode, c.RoundP99Seconds, b.MaxRoundP99Seconds)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "budget ok: nodes=%d targets/node=%d round p99 %.3fs <= %.3fs\n",
+					c.Nodes, c.TargetsPerNode, c.RoundP99Seconds, b.MaxRoundP99Seconds)
+			}
+		}
+	}
+	return failed
+}

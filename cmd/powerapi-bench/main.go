@@ -49,20 +49,28 @@ type Cell struct {
 	RoundP99Seconds float64 `json:"roundP99Seconds"`
 }
 
-// Report is the file layout of BENCH_PR6.json.
+// Report is the file layout of BENCH_PR6.json / BENCH_PR8.json. Pipeline runs
+// fill Cells; -fleet runs fill FleetCells and Codec instead.
 type Report struct {
-	PR        string `json:"pr"`
-	GoVersion string `json:"goVersion"`
-	CPUs      int    `json:"cpus"`
-	Cells     []Cell `json:"cells"`
+	PR         string       `json:"pr"`
+	GoVersion  string       `json:"goVersion"`
+	CPUs       int          `json:"cpus"`
+	Cells      []Cell       `json:"cells,omitempty"`
+	FleetCells []FleetCell  `json:"fleetCells,omitempty"`
+	Codec      *CodecReport `json:"codec,omitempty"`
 }
 
 // BudgetEntry caps the allocs/round and round-latency p99 of one cell. Cells
 // without an entry are reported but not enforced; a zero MaxRoundP99Seconds
-// leaves the latency unenforced for that cell.
+// leaves the latency unenforced for that cell. Pipeline entries carry
+// targets/shards; fleet entries carry nodes/targetsPerNode instead — giving
+// every fleet scale the same caps is how the budget pins allocs/fleet-round
+// to be independent of the node count.
 type BudgetEntry struct {
-	Targets            int     `json:"targets"`
-	Shards             int     `json:"shards"`
+	Targets            int     `json:"targets,omitempty"`
+	Shards             int     `json:"shards,omitempty"`
+	Nodes              int     `json:"nodes,omitempty"`
+	TargetsPerNode     int     `json:"targetsPerNode,omitempty"`
 	MaxAllocsPerRound  float64 `json:"maxAllocsPerRound"`
 	MaxRoundP99Seconds float64 `json:"maxRoundP99Seconds,omitempty"`
 }
@@ -76,6 +84,14 @@ func main() {
 		out        = flag.String("out", "", "write the JSON report to this file (default: stdout)")
 		budgetPath = flag.String("budget", "", "enforce the allocs/round budget file (JSON array of {targets,shards,maxAllocsPerRound})")
 		pr         = flag.String("pr", "PR6", "label recorded in the report")
+
+		fleet         = flag.Bool("fleet", false, "meter the fleet collector (nodes × targets-per-node ingest + rollup) instead of the daemon pipeline")
+		fleetNodes    = flag.String("fleet-nodes", "10,100,1000", "comma-separated node counts for the fleet matrix")
+		fleetTargets  = flag.Int("fleet-targets", 1000, "route keys per node frame in the fleet matrix")
+		fleetShards   = flag.Int("fleet-shards", 4, "rollup fan-out width of the fleet collector")
+		fleetRounds   = flag.Int("fleet-rounds", 25, "steady-state fleet rounds metered per cell")
+		fleetWarmup   = flag.Int("fleet-warmup", 20, "fleet warm-up rounds per cell (must outlast history ring growth)")
+		minCodecRatio = flag.Float64("min-codec-ratio", 0, "fail unless binary ingests rows at least this many times faster than JSON (0 reports only)")
 	)
 	flag.Parse()
 
@@ -99,16 +115,47 @@ func main() {
 	}
 
 	report := Report{PR: *pr, GoVersion: runtime.Version(), CPUs: runtime.NumCPU()}
-	for _, targets := range scales {
-		for _, shards := range shardCounts {
-			cell, err := measure(targets, shards, *warmup, *rounds)
-			if err != nil {
-				fatalf("measure targets=%d shards=%d: %v", targets, shards, err)
-			}
-			fmt.Fprintf(os.Stderr, "targets=%-7d shards=%d  %8.1f rounds/s  %8.1f ns/target  %10.1f allocs/round  %12.0f B/round  %8.1f ms p99\n",
-				cell.Targets, cell.Shards, cell.RoundsPerSec, cell.NsPerTarget, cell.AllocsPerRound, cell.BytesPerRound, cell.RoundP99Seconds*1e3)
-			report.Cells = append(report.Cells, cell)
+	failed := false
+	if *fleet {
+		nodeScales, err := parseInts(*fleetNodes)
+		if err != nil {
+			fatalf("parse -fleet-nodes: %v", err)
 		}
+		for _, nodes := range nodeScales {
+			cell, err := measureFleet(nodes, *fleetTargets, *fleetShards, *fleetWarmup, *fleetRounds)
+			if err != nil {
+				fatalf("measure fleet nodes=%d targets/node=%d: %v", nodes, *fleetTargets, err)
+			}
+			fmt.Fprintf(os.Stderr, "nodes=%-5d targets/node=%-5d shards=%d  %7.2f rounds/s  %7.1f ns/row  %10.1f allocs/round  %12.0f B/round  %8.1f ms p99  %8.1f MB/s ingest\n",
+				cell.Nodes, cell.TargetsPerNode, cell.Shards, cell.RoundsPerSec, cell.NsPerTarget, cell.AllocsPerRound, cell.BytesPerRound, cell.RoundP99Seconds*1e3, cell.IngestMBPerSec)
+			report.FleetCells = append(report.FleetCells, cell)
+		}
+		codec, err := measureCodecs(32, 250, 5, 30)
+		if err != nil {
+			fatalf("measure codecs: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "codec: binary %.0f rows/s (%.1f MB/s, %.1f B/row)  json %.0f rows/s (%.1f MB/s, %.1f B/row)  ratio %.2fx\n",
+			codec.BinaryRowsPerSec, codec.BinaryMBPerSec, codec.BinaryBytesPerRow,
+			codec.JSONRowsPerSec, codec.JSONMBPerSec, codec.JSONBytesPerRow, codec.RowRateRatio)
+		report.Codec = &codec
+		failed = checkFleetBudget(report.FleetCells, budget)
+		if *minCodecRatio > 0 && codec.RowRateRatio < *minCodecRatio {
+			fmt.Fprintf(os.Stderr, "BUDGET EXCEEDED: binary/JSON row-rate ratio %.2f < required %.2f\n", codec.RowRateRatio, *minCodecRatio)
+			failed = true
+		}
+	} else {
+		for _, targets := range scales {
+			for _, shards := range shardCounts {
+				cell, err := measure(targets, shards, *warmup, *rounds)
+				if err != nil {
+					fatalf("measure targets=%d shards=%d: %v", targets, shards, err)
+				}
+				fmt.Fprintf(os.Stderr, "targets=%-7d shards=%d  %8.1f rounds/s  %8.1f ns/target  %10.1f allocs/round  %12.0f B/round  %8.1f ms p99\n",
+					cell.Targets, cell.Shards, cell.RoundsPerSec, cell.NsPerTarget, cell.AllocsPerRound, cell.BytesPerRound, cell.RoundP99Seconds*1e3)
+				report.Cells = append(report.Cells, cell)
+			}
+		}
+		failed = checkBudget(report.Cells, budget)
 	}
 
 	encoded, err := json.MarshalIndent(report, "", "  ")
@@ -122,7 +169,7 @@ func main() {
 		fatalf("write report: %v", err)
 	}
 
-	if failed := checkBudget(report.Cells, budget); failed {
+	if failed {
 		os.Exit(1)
 	}
 }
@@ -225,10 +272,14 @@ func percentile(values []float64, q float64) float64 {
 	return sorted[rank]
 }
 
-// checkBudget reports whether any measured cell blew its budget entry.
+// checkBudget reports whether any measured cell blew its budget entry; fleet
+// entries (nodes > 0) belong to checkFleetBudget and are skipped here.
 func checkBudget(cells []Cell, budget []BudgetEntry) bool {
 	failed := false
 	for _, b := range budget {
+		if b.Nodes > 0 {
+			continue
+		}
 		for _, c := range cells {
 			if c.Targets != b.Targets || c.Shards != b.Shards {
 				continue

@@ -26,6 +26,8 @@
 //	                                         # host side of the VM bridge
 //	powerapi-daemon -vm-delegate 127.0.0.1:9191 -vm-name vma
 //	                                         # guest side: nested instance
+//	powerapi-daemon -fleet-publish 127.0.0.1:9292 -node-name node-a
+//	                                         # one node of a collector fleet
 //
 // With -cgroups the daemon groups the spawned workloads into a control-group
 // hierarchy (nested paths like "web/api" are allowed), reports each group's
@@ -54,6 +56,12 @@
 // delegated, re-attributed across the guest's own workloads — the nested
 // PowerAPI instance of the paper. -vm-stale selects what the guest reports
 // when frames stop arriving (zero|hold).
+//
+// With -fleet-publish the daemon becomes one node of a fleet: every completed
+// round streams one frame carrying the node total and its per-cgroup rows for
+// a powerapi-collector to gather. The collector negotiates the compact binary
+// codec per connection; legacy JSON receivers on the same socket keep their
+// JSON-lines stream.
 package main
 
 import (
@@ -116,6 +124,8 @@ func run(args []string) error {
 		linger    = fs.Bool("linger", true, "with -listen or -debug-addr, keep serving after the monitoring run completes until SIGINT/SIGTERM")
 		histCap   = fs.Int("history", 1024, "retained samples per target for /api/v1/query; only effective with -listen (0 disables the history store)")
 		retention = fs.Int("retention", 300, "most recent rounds RunMonitored keeps in memory (0 keeps all)")
+		fleetPub  = fs.String("fleet-publish", "", `fleet side of the bridge: stream this node's per-round power (total plus per-cgroup rows) over TCP on this address for a powerapi-collector to gather`)
+		nodeName  = fs.String("node-name", "", "with -fleet-publish, this node's name in the fleet rollup (default: the hostname)")
 		vms       = fs.String("vms", "", `designate named VMs over the workloads, e.g. "vma=1,2;vmb=3" (1-based workload indices)`)
 		vmPublish = fs.String("vm-publish", "", `host side of the VM bridge: stream per-VM power frames as JSON lines over TCP on this address (requires -vms)`)
 		vmDial    = fs.String("vm-delegate", "", `guest side of the VM bridge: dial a host's -vm-publish address and use the delegated figure as this instance's machine power`)
@@ -145,6 +155,13 @@ func run(args []string) error {
 	}
 	if *vmDial != "" && *vmName == "" {
 		return fmt.Errorf("-vm-delegate requires -vm-name")
+	}
+	if *nodeName == "" {
+		host, herr := os.Hostname()
+		if herr != nil {
+			host = "localhost"
+		}
+		*nodeName = host
 	}
 	if *vmDial != "" && *srcName != "hpc" {
 		return fmt.Errorf("-vm-delegate selects the delegated sensing mode; leave -source at its default")
@@ -216,6 +233,18 @@ func run(args []string) error {
 		}
 		defer bridgeTransport.Close()
 		fmt.Printf("Publishing VM power frames on %s once monitoring starts\n", bridgeTransport.Addr())
+	}
+	// Same early claim for the fleet socket: a collector may already be
+	// dialing while this node calibrates.
+	var fleetTransport *vmbridge.TCPPublisher
+	if *fleetPub != "" {
+		var ferr error
+		fleetTransport, ferr = vmbridge.ListenTCP(*fleetPub)
+		if ferr != nil {
+			return ferr
+		}
+		defer fleetTransport.Close()
+		fmt.Printf("Publishing node power frames on %s once monitoring starts (node %q)\n", fleetTransport.Addr(), *nodeName)
 	}
 	mode, err := source.ParseMode(*srcName)
 	if err != nil {
@@ -348,6 +377,7 @@ func run(args []string) error {
 	// the host publishes for -vm-name, so the per-process rows below conserve
 	// to the host-delegated figure instead of a local measurement.
 	var delegated *vmbridge.DelegatedSource
+	var guestRecv *vmbridge.TCPReceiver
 	if *vmDial != "" {
 		recv, derr := vmbridge.DialTCPWithRetry(*vmDial, 20, 250*time.Millisecond)
 		if derr != nil {
@@ -358,6 +388,7 @@ func run(args []string) error {
 			recv.Close()
 			return derr
 		}
+		guestRecv = recv
 		opts = append(opts, core.WithVMBridge(delegated))
 		fmt.Printf("Delegating machine power from %s (vm %q, %s stale policy)\n", *vmDial, *vmName, stalePolicy)
 	}
@@ -452,6 +483,18 @@ func run(args []string) error {
 		fmt.Printf("Publishing VM power frames on %s (%d VM(s))\n", bridgeTransport.Addr(), len(vmDefs))
 	}
 
+	// -fleet-publish makes this daemon one node of a fleet: every completed
+	// round streams one frame carrying the node total and its per-cgroup rows,
+	// batched so a connected collector reads one wire message per round.
+	if fleetTransport != nil {
+		np, nerr := vmbridge.NewNodePublisher(api, fleetTransport, *nodeName)
+		if nerr != nil {
+			return nerr
+		}
+		defer np.Close()
+		fmt.Printf("Publishing node power frames on %s (node %q)\n", fleetTransport.Addr(), *nodeName)
+	}
+
 	// Trap SIGINT/SIGTERM so an interrupted run still drains the pipeline and
 	// flushes its reporters instead of dying with half-written output.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -465,6 +508,12 @@ func run(args []string) error {
 			return serr
 		}
 		defer srv.Close()
+		// Bridge transports surface their per-connection counters on /metrics:
+		// frames sent and batches dropped per downstream link, decode errors
+		// per upstream link.
+		srv.RegisterBridgePublisher("vm-publish", bridgeTransport)
+		srv.RegisterBridgePublisher("fleet-publish", fleetTransport)
+		srv.RegisterBridgeReceiver("vm-delegate", guestRecv)
 		httpSrv := &http.Server{Handler: srv.Handler()}
 		defer httpSrv.Close()
 		go func() {

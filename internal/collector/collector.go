@@ -1,0 +1,355 @@
+// Package collector is the fleet tier of the middleware: one service that
+// gathers the per-node power frames of N daemons and rolls them up into
+// cluster-wide figures — per-node watts, per-cgroup watts across nodes, and
+// whole-fleet totals — behind the same Subscribe/Query/metrics surfaces a
+// single daemon offers for its own pipeline.
+//
+// The design carries the single-host pipeline's hot-path discipline one level
+// up. Ingest is a bounded concurrent-gather pool (the telegraf input model):
+// one cheap reader goroutine per node link feeds a small per-node drop-oldest
+// payload ring, and a fixed pool of workers decodes payloads into each node's
+// retained contribution — route keys resolved to dense fleet-global slots
+// (core.KeySlots) so the binary-codec steady state allocates nothing per
+// frame. Rollup is sharded: S shard workers sweep their subset of nodes into
+// epoch-reset accumulators (core.SparseSet) and the driver merges them into a
+// pooled, refcounted FleetReport whose maps are cleared, never reallocated —
+// steady-state allocations per fleet round depend on the shard count, not on
+// how many nodes or targets the fleet carries. A slow or silent node never
+// stalls a round: its last contribution is used until it goes stale
+// (Config.StaleAfter), then it is skipped and accounted as such.
+package collector
+
+import (
+	"fmt"
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerapi/internal/core"
+	"powerapi/internal/history"
+	"powerapi/internal/obs"
+	"powerapi/internal/target"
+	"powerapi/internal/vmbridge"
+)
+
+// Config shapes a Collector. The zero value is usable: no nodes yet (AddNode
+// joins them later), defaults everywhere else.
+type Config struct {
+	// Nodes are the daemon fleet-publish addresses to gather from.
+	Nodes []string
+	// Shards is the rollup fan-out width (default 4).
+	Shards int
+	// Workers bounds the ingest worker pool (default min(8, GOMAXPROCS)).
+	Workers int
+	// Interval is the fleet round period. Zero disables the internal ticker;
+	// rounds then happen only when Rollup is called (tests, benches).
+	Interval time.Duration
+	// StaleAfter is how long a node's last contribution stays eligible for
+	// rollup; beyond it the node is skipped (default 5s).
+	StaleAfter time.Duration
+	// Codec selects the wire encoding negotiated with each node
+	// (vmbridge.CodecJSON by default; CodecBinary for fleet-scale ingest).
+	Codec vmbridge.Codec
+	// DialBackoff is the base reconnect pause, growing exponentially with
+	// jitter up to an internal cap (default 100ms).
+	DialBackoff time.Duration
+	// HistoryCapacity is the per-target ring capacity of the fleet history
+	// store (history.DefaultCapacity when zero).
+	HistoryCapacity int
+	// TraceRing is the round-trace ring size (obs.DefaultTraceRing when zero).
+	TraceRing int
+	// SelfRefWatts is the reference power of one fully-busy core for the
+	// collector's own self-power meter; zero disables self metering.
+	SelfRefWatts float64
+	// Passive disables dialing entirely: node addresses name ingest queues an
+	// embedding process feeds itself through FeedPayload (benchmarks, tests).
+	Passive bool
+	// Logger receives connection lifecycle events (slog.Default when nil).
+	Logger *slog.Logger
+}
+
+// Collector gathers node frames and periodically rolls the fleet up.
+type Collector struct {
+	cfg    Config
+	log    *slog.Logger
+	tracer *obs.Tracer
+	self   *obs.SelfMeter
+	hist   *history.Store
+	keys   keyTable
+	subs   fleetRegistry
+
+	nodesMu sync.Mutex
+	nodes   []*nodeConn
+	byAddr  map[string]*nodeConn
+
+	notify chan *nodeConn // ingest work queue; a node appears at most once
+
+	// Rollup machinery: persistent shard workers plus the driver's reusable
+	// scratch, all sized once at start so a round allocates nothing here.
+	roundMu    sync.Mutex
+	shards     []*rollupShard
+	shardDone  chan struct{}
+	roundNodes []*nodeConn
+	merged     core.SparseSet
+	samples    []history.TargetSample
+	seq        atomic.Uint64
+	lastLive   atomic.Int64
+	lastStale  atomic.Int64
+	lastTotal  atomic.Uint64 // math.Float64bits
+
+	start     time.Time
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New starts a collector: node links begin dialing immediately, and with a
+// non-zero Interval fleet rounds begin ticking.
+func New(cfg Config) (*Collector, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = min(8, runtime.GOMAXPROCS(0))
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 5 * time.Second
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 100 * time.Millisecond
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	c := &Collector{
+		cfg:       cfg,
+		log:       cfg.Logger,
+		tracer:    obs.NewTracer(cfg.TraceRing),
+		hist:      history.NewStore(cfg.HistoryCapacity),
+		byAddr:    make(map[string]*nodeConn),
+		notify:    make(chan *nodeConn, 8192),
+		shardDone: make(chan struct{}, cfg.Shards),
+		start:     time.Now(),
+		done:      make(chan struct{}),
+	}
+	c.tracer.SetRequiredStages(obs.StageRollup, obs.StageFanout)
+	if cfg.SelfRefWatts > 0 {
+		c.self = obs.NewSelfMeter(cfg.SelfRefWatts, runtime.NumCPU())
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &rollupShard{idx: i, wake: make(chan struct{}, 1)}
+		c.shards = append(c.shards, sh)
+		c.wg.Add(1)
+		go c.shardLoop(sh)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		c.wg.Add(1)
+		go c.worker()
+	}
+	for _, addr := range cfg.Nodes {
+		if err := c.AddNode(addr); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	if cfg.Interval > 0 {
+		c.wg.Add(1)
+		go c.tickLoop()
+	}
+	return c, nil
+}
+
+func (c *Collector) tickLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+			c.Rollup().Release()
+		}
+	}
+}
+
+// AddNode joins one daemon address to the gather set; its link dials (and
+// keeps redialing) in the background — unless the collector is passive, in
+// which case the node only names an ingest queue for FeedPayload. Adding an
+// address twice is an error.
+func (c *Collector) AddNode(addr string) error {
+	n := &nodeConn{addr: addr}
+	c.nodesMu.Lock()
+	if _, dup := c.byAddr[addr]; dup {
+		c.nodesMu.Unlock()
+		return fmt.Errorf("collector: node %s already added", addr)
+	}
+	c.byAddr[addr] = n
+	c.nodes = append(c.nodes, n)
+	c.nodesMu.Unlock()
+	if !c.cfg.Passive {
+		c.wg.Add(1)
+		go c.nodeLoop(n)
+	}
+	return nil
+}
+
+// RemoveNode detaches one daemon address: its link closes, its loop exits,
+// and its watts leave the rollup at the next fleet round.
+func (c *Collector) RemoveNode(addr string) error {
+	c.nodesMu.Lock()
+	n, ok := c.byAddr[addr]
+	if ok {
+		delete(c.byAddr, addr)
+		for i, cand := range c.nodes {
+			if cand == n {
+				c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+				break
+			}
+		}
+	}
+	c.nodesMu.Unlock()
+	if !ok {
+		return fmt.Errorf("collector: node %s not found", addr)
+	}
+	n.retire()
+	return nil
+}
+
+// Tracer returns the collector's round tracer (rollup/fanout spans, ingest
+// histogram).
+func (c *Collector) Tracer() *obs.Tracer { return c.tracer }
+
+// Self returns the collector's self-power meter (nil when disabled).
+func (c *Collector) Self() *obs.SelfMeter { return c.self }
+
+// Query runs a fleet history query: node, cgroup and machine targets recorded
+// once per fleet round, with timestamps measured since the collector started.
+func (c *Collector) Query(q history.Query) ([]history.Stats, error) {
+	return c.hist.Query(q)
+}
+
+// NodeStats is the observable state of one gathered node link.
+type NodeStats struct {
+	// Addr is the dialed fleet-publish address.
+	Addr string `json:"addr"`
+	// Name is the node name learned from its frames ("" before the first).
+	Name string `json:"name,omitempty"`
+	// Connected reports whether the link is currently up.
+	Connected bool `json:"connected"`
+	// Watts is the node's last committed total.
+	Watts float64 `json:"watts"`
+	// AgeSeconds is how long ago the last contribution was committed (-1
+	// before the first).
+	AgeSeconds float64 `json:"ageSeconds"`
+	// Stale reports whether the rollup is currently skipping the node.
+	Stale bool `json:"stale"`
+	// LastSeq is the last accepted frame sequence number.
+	LastSeq uint64 `json:"lastSeq"`
+	// Frames counts accepted frame commits; Bytes counts wire bytes read.
+	Frames uint64 `json:"frames"`
+	Bytes  uint64 `json:"bytes"`
+	// DecodeErrors counts undecodable payloads; DroppedPayloads counts
+	// payloads shed by the node's drop-oldest ring; Reconnects counts link
+	// re-establishments; StaleSkips counts rounds that skipped the node.
+	DecodeErrors    uint64 `json:"decodeErrors"`
+	DroppedPayloads uint64 `json:"droppedPayloads"`
+	Reconnects      uint64 `json:"reconnects"`
+	StaleSkips      uint64 `json:"staleSkips"`
+}
+
+// Stats is the one-call observability snapshot of a collector.
+type Stats struct {
+	// Rounds counts completed fleet rounds.
+	Rounds uint64 `json:"rounds"`
+	// LiveNodes/StaleNodes are the last round's partial-success accounting.
+	LiveNodes  int `json:"liveNodes"`
+	StaleNodes int `json:"staleNodes"`
+	// TotalWatts is the last round's fleet total.
+	TotalWatts float64 `json:"totalWatts"`
+	// Keys is how many distinct route keys the fleet has ever reported.
+	Keys int `json:"keys"`
+	// Nodes is the per-link state, in join order.
+	Nodes []NodeStats `json:"nodes"`
+	// Subscriptions mirrors the monitor's per-subscription counters.
+	Subscriptions []core.SubscriptionInfo `json:"subscriptions,omitempty"`
+	// Self is the collector's own measured power draw.
+	Self core.SelfStats `json:"self"`
+}
+
+// Stats snapshots the collector. Cold path; allocates freely.
+func (c *Collector) Stats() Stats {
+	s := Stats{
+		Rounds:        c.seq.Load(),
+		LiveNodes:     int(c.lastLive.Load()),
+		StaleNodes:    int(c.lastStale.Load()),
+		TotalWatts:    loadFloat(&c.lastTotal),
+		Keys:          c.keys.len(),
+		Subscriptions: c.subs.stats(),
+	}
+	if c.self != nil {
+		c.self.Sample()
+		s.Self = core.SelfStats{Enabled: c.self.Supported(), Watts: c.self.Watts(), CPUSeconds: c.self.CPUSeconds()}
+	}
+	now := c.tracer.Now()
+	stale := int64(c.cfg.StaleAfter)
+	c.nodesMu.Lock()
+	nodes := append([]*nodeConn(nil), c.nodes...)
+	c.nodesMu.Unlock()
+	for _, n := range nodes {
+		n.mu.Lock()
+		ns := NodeStats{
+			Addr:       n.addr,
+			Name:       n.name,
+			Watts:      n.total,
+			AgeSeconds: -1,
+			Stale:      n.lastWall == 0 || now-n.lastWall > stale,
+			LastSeq:    n.lastSeq,
+		}
+		if n.lastWall != 0 {
+			ns.AgeSeconds = float64(now-n.lastWall) / 1e9
+		}
+		n.mu.Unlock()
+		ns.Connected = n.connected.Load()
+		ns.Frames = n.frames.Load()
+		ns.Bytes = n.bytes.Load()
+		ns.DecodeErrors = n.decodeErrs.Load()
+		ns.DroppedPayloads = n.ring.dropped.Load()
+		ns.Reconnects = n.reconnects.Load()
+		ns.StaleSkips = n.staleSkips.Load()
+		s.Nodes = append(s.Nodes, ns)
+	}
+	return s
+}
+
+// Close tears the collector down: links close, workers drain, subscriptions
+// close. Idempotent.
+func (c *Collector) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.nodesMu.Lock()
+		nodes := append([]*nodeConn(nil), c.nodes...)
+		c.nodesMu.Unlock()
+		for _, n := range nodes {
+			n.retire()
+		}
+		c.wg.Wait()
+		c.subs.closeAll()
+	})
+	return nil
+}
+
+func (c *Collector) closed() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// fleetTarget resolves a route-key slot to the target recorded in fleet
+// history.
+func (c *Collector) fleetTarget(slot int32) target.Target { return c.keys.target(slot) }

@@ -1,0 +1,451 @@
+package collector
+
+import (
+	"bufio"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerapi/internal/core"
+	"powerapi/internal/obs"
+	"powerapi/internal/target"
+	"powerapi/internal/vmbridge"
+)
+
+// Ingest is the gather half of the collector: per-node reader goroutines that
+// do nothing but blocking socket reads, per-node drop-oldest payload rings
+// with pooled buffers, and a bounded worker pool that decodes payloads into
+// each node's retained contribution. The split keeps the expensive work (the
+// decode) on a fixed number of goroutines however many nodes are connected,
+// and the ring keeps one slow decode from backing a socket up: a node that
+// outpaces its drainage sheds whole payloads, oldest first — the same
+// load-shedding contract the VM bridge transports make.
+
+// payloadRingSize is the per-node ring depth. A node publishes one payload
+// per daemon round, so a backlog deeper than a few rounds means the workers
+// are saturated and older rounds are worthless anyway.
+const payloadRingSize = 4
+
+// maxReconnectBackoff caps the exponential climb of a node link's redial
+// pause.
+const maxReconnectBackoff = 5 * time.Second
+
+// bufPool recycles payload buffers across all node links. Buffers travel as
+// *[]byte end to end — pool to ring to worker and back — so returning one
+// re-uses its box instead of allocating a fresh one per payload (the classic
+// sync.Pool re-boxing leak, which would cost one heap allocation per node per
+// round and break the allocation-flat ingest claim).
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { *b = (*b)[:0]; bufPool.Put(b) }
+
+// payloadRing is one node's pending-payload queue: push never blocks, evicting
+// the oldest payload (whose buffer the pusher recycles) when full.
+type payloadRing struct {
+	mu      sync.Mutex
+	items   [payloadRingSize]*[]byte
+	head, n int
+	dropped atomic.Uint64
+}
+
+// push enqueues a payload, returning the evicted oldest one (nil if none).
+func (r *payloadRing) push(p *[]byte) (evicted *[]byte) {
+	r.mu.Lock()
+	if r.n == payloadRingSize {
+		evicted = r.items[r.head]
+		r.items[r.head] = nil
+		r.head = (r.head + 1) % payloadRingSize
+		r.n--
+		r.dropped.Add(1)
+	}
+	r.items[(r.head+r.n)%payloadRingSize] = p
+	r.n++
+	r.mu.Unlock()
+	return evicted
+}
+
+// pop dequeues the oldest pending payload.
+func (r *payloadRing) pop() (*[]byte, bool) {
+	r.mu.Lock()
+	if r.n == 0 {
+		r.mu.Unlock()
+		return nil, false
+	}
+	p := r.items[r.head]
+	r.items[r.head] = nil
+	r.head = (r.head + 1) % payloadRingSize
+	r.n--
+	r.mu.Unlock()
+	return p, true
+}
+
+// nodeConn is one gathered daemon link: the dial/read goroutine's state, the
+// ingest queue, and the node's retained contribution the rollup sweeps.
+type nodeConn struct {
+	addr string
+
+	// Link state, guarded by connMu so retire can interrupt a blocked read.
+	connMu  sync.Mutex
+	conn    net.Conn
+	retired bool
+
+	// Ingest queue.
+	ring   payloadRing
+	queued atomic.Bool
+
+	// Decode scratch, guarded by drainMu (one worker drains a node at a
+	// time). building ping-pongs with the retained slices at commit, so the
+	// steady state allocates neither.
+	drainMu  sync.Mutex
+	building rowBuf
+	pending  pendingFrame
+
+	// Retained contribution, guarded by mu; the rollup reads it.
+	mu       sync.Mutex
+	name     string
+	source   string
+	lastSeq  uint64
+	lastTS   time.Duration
+	lastWall int64 // tracer-monotonic commit stamp; 0 = never
+	total    float64
+	slots    []int32
+	watts    []float64
+
+	connected  atomic.Bool
+	frames     atomic.Uint64
+	bytes      atomic.Uint64
+	decodeErrs atomic.Uint64
+	reconnects atomic.Uint64
+	staleSkips atomic.Uint64
+}
+
+type rowBuf struct {
+	slots []int32
+	watts []float64
+}
+
+// pendingFrame is the header of the frame currently being decoded; its byte
+// fields alias the payload under decode.
+type pendingFrame struct {
+	valid  bool
+	vm     []byte
+	source []byte
+	seq    uint64
+	ts     time.Duration
+	watts  float64
+}
+
+func (n *nodeConn) retire() {
+	n.connMu.Lock()
+	n.retired = true
+	if n.conn != nil {
+		n.conn.Close()
+	}
+	n.connMu.Unlock()
+}
+
+func (n *nodeConn) isRetired() bool {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	return n.retired
+}
+
+// setConn installs (or clears) the live connection, closing it instead if the
+// node was retired meanwhile.
+func (n *nodeConn) setConn(conn net.Conn) bool {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.retired && conn != nil {
+		conn.Close()
+		return false
+	}
+	n.conn = conn
+	return true
+}
+
+// nodeLoop owns one link: dial with capped exponential backoff and jitter,
+// read until link loss, reset and redial — forever, until the node is retired
+// or the collector closes.
+func (c *Collector) nodeLoop(n *nodeConn) {
+	defer c.wg.Done()
+	backoff := c.cfg.DialBackoff
+	for attempt := 1; ; attempt++ {
+		if c.closed() || n.isRetired() {
+			return
+		}
+		conn, err := net.Dial("tcp", n.addr)
+		if err == nil && c.cfg.Codec == vmbridge.CodecBinary {
+			if herr := vmbridge.RequestBinary(conn); herr != nil {
+				conn.Close()
+				err = herr
+			}
+		}
+		if err != nil {
+			c.log.Warn("collector: node dial failed, backing off",
+				"addr", n.addr, "attempt", attempt, "backoff", backoff, "err", err)
+			select {
+			case <-c.done:
+				return
+			case <-time.After(jitter(backoff)):
+			}
+			if backoff *= 2; backoff > maxReconnectBackoff {
+				backoff = maxReconnectBackoff
+			}
+			continue
+		}
+		if !n.setConn(conn) {
+			return
+		}
+		if attempt > 1 {
+			c.log.Info("collector: node connected after retries", "addr", n.addr, "attempt", attempt)
+		}
+		backoff, attempt = c.cfg.DialBackoff, 0
+		n.connected.Store(true)
+		c.readConn(n, conn)
+		n.connected.Store(false)
+		n.setConn(nil)
+		conn.Close()
+		n.reconnects.Add(1)
+		// The daemon restarts its sequence from 1 on reconnect; forget the
+		// old numbering so the fresh stream is accepted.
+		n.mu.Lock()
+		n.lastSeq = 0
+		n.mu.Unlock()
+	}
+}
+
+// jitter spreads a backoff pause uniformly over ±25% of its nominal value.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	spread := d / 2
+	return d - spread/2 + time.Duration(rand.Int63n(int64(spread)+1))
+}
+
+// readConn pumps one live connection's payloads into the node's ring until
+// link loss. On the binary codec a payload is one length-prefixed message; on
+// JSON-lines it is one line. Buffers come from the shared pool and return to
+// it when evicted or drained.
+func (c *Collector) readConn(n *nodeConn, conn net.Conn) {
+	if c.cfg.Codec == vmbridge.CodecBinary {
+		br := bufio.NewReaderSize(conn, 64*1024)
+		for {
+			pb := getBuf()
+			payload, err := vmbridge.ReadBinaryMessage(br, *pb)
+			if err != nil {
+				putBuf(pb)
+				return
+			}
+			*pb = payload // ReadBinaryMessage may have grown the backing array
+			n.bytes.Add(uint64(len(payload)) + vmbridge.BinaryMessageHeader)
+			c.enqueue(n, pb)
+		}
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 4096), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		n.bytes.Add(uint64(len(line)) + 1)
+		pb := getBuf()
+		*pb = append(*pb, line...)
+		c.enqueue(n, pb)
+	}
+}
+
+// enqueue hands one payload to the worker pool, shedding the node's oldest
+// pending payload if its ring is full.
+func (c *Collector) enqueue(n *nodeConn, payload *[]byte) {
+	if evicted := n.ring.push(payload); evicted != nil {
+		putBuf(evicted)
+	}
+	if n.queued.CompareAndSwap(false, true) {
+		select {
+		case c.notify <- n:
+		default:
+			// Queue saturated (cannot happen while nodes <= cap): unmark so
+			// the next payload retries rather than stranding the ring.
+			n.queued.Store(false)
+		}
+	}
+}
+
+// worker is one ingest worker: it drains whole node rings, decoding each
+// payload into the node's retained contribution.
+func (c *Collector) worker() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case n := <-c.notify:
+			n.queued.Store(false)
+			n.drainMu.Lock()
+			for {
+				payload, ok := n.ring.pop()
+				if !ok {
+					break
+				}
+				c.ingest(n, *payload)
+				putBuf(payload)
+			}
+			n.drainMu.Unlock()
+		}
+	}
+}
+
+// ingest decodes one payload and commits its frames. Caller holds n.drainMu.
+// The span is recorded against timestamp 0 — ingest happens between fleet
+// rounds, so it feeds the stage histogram without joining a round trace.
+func (c *Collector) ingest(n *nodeConn, payload []byte) {
+	start := c.tracer.Now()
+	if c.cfg.Codec == vmbridge.CodecBinary {
+		c.ingestBinary(n, payload)
+	} else {
+		c.ingestJSON(n, payload)
+	}
+	c.tracer.Record(0, obs.StageIngest, 0, start, c.tracer.Now())
+}
+
+// ingestBinary folds a binary batch allocation-free: row keys resolve to
+// fleet-global slots through the byte-keyed lookup, rows append into the
+// node's reusable building buffers, and commit swaps them into place.
+func (c *Collector) ingestBinary(n *nodeConn, payload []byte) {
+	n.pending.valid = false
+	n.building.reset()
+	err := vmbridge.DecodeBinaryBatch(payload,
+		func(h vmbridge.FrameHeader) bool {
+			c.commit(n) // frame boundary: land the previous one
+			n.pending = pendingFrame{valid: true, vm: h.VM, source: h.SourceMode, seq: h.Seq, ts: h.Timestamp, watts: h.Watts}
+			return true
+		},
+		func(key []byte, watts float64) {
+			n.building.slots = append(n.building.slots, c.keys.slotBytes(key))
+			n.building.watts = append(n.building.watts, watts)
+		})
+	if err != nil {
+		n.pending.valid = false
+		n.building.reset()
+		n.decodeErrs.Add(1)
+		return
+	}
+	c.commit(n)
+}
+
+// ingestJSON folds one JSON-lines frame — the compatibility path, which pays
+// per-frame allocation the way any JSON decode does.
+func (c *Collector) ingestJSON(n *nodeConn, payload []byte) {
+	var frame vmbridge.VMPowerFrame
+	if err := json.Unmarshal(payload, &frame); err != nil {
+		n.decodeErrs.Add(1)
+		return
+	}
+	n.building.reset()
+	for _, row := range frame.Rows {
+		n.building.slots = append(n.building.slots, c.keys.slot(row.Key))
+		n.building.watts = append(n.building.watts, row.Watts)
+	}
+	n.pending = pendingFrame{valid: true, vm: []byte(frame.VM), source: []byte(frame.SourceMode), seq: frame.Seq, ts: frame.Timestamp, watts: frame.Watts}
+	c.commit(n)
+}
+
+func (b *rowBuf) reset() {
+	b.slots = b.slots[:0]
+	b.watts = b.watts[:0]
+}
+
+// commit lands the pending frame as the node's retained contribution, unless
+// its sequence number is stale (a replay or reorder). The building buffers
+// swap with the retained ones, so both ping-pong without reallocating.
+func (c *Collector) commit(n *nodeConn) {
+	if !n.pending.valid {
+		return
+	}
+	n.pending.valid = false
+	n.mu.Lock()
+	if n.pending.seq <= n.lastSeq {
+		n.mu.Unlock()
+		n.building.reset()
+		return
+	}
+	n.lastSeq = n.pending.seq
+	if n.name != string(n.pending.vm) { // comparison converts without allocating
+		n.name = string(n.pending.vm)
+	}
+	if n.source != string(n.pending.source) {
+		n.source = string(n.pending.source)
+	}
+	n.lastTS = n.pending.ts
+	n.total = n.pending.watts
+	n.lastWall = c.tracer.Now()
+	n.slots, n.building.slots = n.building.slots, n.slots
+	n.watts, n.building.watts = n.building.watts, n.watts
+	n.mu.Unlock()
+	n.building.reset()
+	n.frames.Add(1)
+}
+
+// keyTable is the fleet-global route-key interner: string key ↔ dense slot,
+// with a parsed target per slot for history recording. Reads take the shared
+// lock and allocate nothing; only a never-seen key takes the exclusive lock.
+type keyTable struct {
+	mu      sync.RWMutex
+	ks      core.KeySlots
+	targets []target.Target
+}
+
+func (t *keyTable) slotBytes(key []byte) int32 {
+	t.mu.RLock()
+	s, ok := t.ks.LookupBytes(key)
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	return t.assign(string(key))
+}
+
+func (t *keyTable) slot(key string) int32 {
+	t.mu.RLock()
+	s, ok := t.ks.Lookup(key)
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	return t.assign(key)
+}
+
+func (t *keyTable) assign(key string) int32 {
+	t.mu.Lock()
+	s := t.ks.Assign(key)
+	for len(t.targets) < t.ks.Len() {
+		tg, err := target.Parse(t.ks.Key(int32(len(t.targets))))
+		if err != nil {
+			tg = target.Target{}
+		}
+		t.targets = append(t.targets, tg)
+	}
+	t.mu.Unlock()
+	return s
+}
+
+func (t *keyTable) key(slot int32) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ks.Key(slot)
+}
+
+func (t *keyTable) target(slot int32) target.Target {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.targets[slot]
+}
+
+func (t *keyTable) len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ks.Len()
+}

@@ -321,7 +321,7 @@ type aggregatorBehavior struct {
 // weights until finish scales them, in attributed modes).
 type roundState struct {
 	buf *pooledReport
-	set sparseSet
+	set SparseSet
 	// cgroupDirect holds the estimates cgroup-scope sources produced for
 	// whole groups (path → watts or raw weight). Kept apart from the rollup
 	// so the two cannot double-count each other. Never published; recycled
@@ -422,7 +422,7 @@ func (a *aggregatorBehavior) getRoundState() *roundState {
 	} else {
 		round = &roundState{}
 	}
-	round.set.reset()
+	round.set.Reset()
 	return round
 }
 
@@ -469,7 +469,7 @@ func (a *aggregatorBehavior) merge(ctx *actor.Context, round *roundState, est *T
 	if est.Slot > 0 {
 		// The dense path: targets attached through the facade carry a round
 		// slot; kinds resolve at materialisation time from the slot index.
-		round.set.add(est.Slot-1, value)
+		round.set.Add(est.Slot-1, value)
 	} else {
 		switch est.Target.Kind {
 		case target.KindProcess:
@@ -511,7 +511,7 @@ func (a *aggregatorBehavior) finish(ctx *actor.Context, ts time.Duration, round 
 			total = 0
 		}
 		report.ActiveWatts = total
-		entries := round.set.len() + len(report.PerPID) + len(round.cgroupDirect)
+		entries := round.set.Len() + len(report.PerPID) + len(round.cgroupDirect)
 		switch {
 		case round.sumWeight > 0:
 			scale = total / round.sumWeight
@@ -539,7 +539,7 @@ func (a *aggregatorBehavior) finish(ctx *actor.Context, ts time.Duration, round 
 	}
 	// Materialise the dense slots into the published breakdown, resolving
 	// every slot of the round under a single index lock.
-	if round.set.len() > 0 {
+	if round.set.Len() > 0 {
 		lost := 0
 		a.index.view(func(targets []target.Target) {
 			for _, slot := range round.set.touched {

@@ -11,20 +11,22 @@ import (
 // reference counting once the last holder releases a round), and the pooled
 // estimate slices the formula shards hand to the aggregator.
 
-// sparseSet accumulates one float64 per slot for a single round without
+// SparseSet accumulates one float64 per slot for a single round without
 // clearing its backing arrays between rounds: an epoch stamp per slot tells
 // stale values from live ones, so reset is O(1) and only the slots actually
-// touched by a round are ever visited again.
-type sparseSet struct {
+// touched by a round are ever visited again. The aggregator merges shard
+// batches into one; the fleet collector reuses it (keyed by KeySlots slots) to
+// roll nodes up without per-round map churn.
+type SparseSet struct {
 	epoch   uint32
 	epochs  []uint32
 	values  []float64
 	touched []int32
 }
 
-// reset starts a new round. Amortised O(1): the epoch bump invalidates every
+// Reset starts a new round. Amortised O(1): the epoch bump invalidates every
 // stale slot at once (with a full wipe every 2^32 rounds when it wraps).
-func (s *sparseSet) reset() {
+func (s *SparseSet) Reset() {
 	s.touched = s.touched[:0]
 	s.epoch++
 	if s.epoch == 0 {
@@ -33,8 +35,8 @@ func (s *sparseSet) reset() {
 	}
 }
 
-// add accumulates v into the slot, growing the backing arrays on demand.
-func (s *sparseSet) add(slot int32, v float64) {
+// Add accumulates v into the slot, growing the backing arrays on demand.
+func (s *SparseSet) Add(slot int32, v float64) {
 	if int(slot) >= len(s.epochs) {
 		grown := int(slot) + 1
 		if grown < 2*len(s.epochs) {
@@ -55,8 +57,24 @@ func (s *sparseSet) add(slot int32, v float64) {
 	s.values[slot] += v
 }
 
-// len returns how many distinct slots the current round touched.
-func (s *sparseSet) len() int { return len(s.touched) }
+// Len returns how many distinct slots the current round touched.
+func (s *SparseSet) Len() int { return len(s.touched) }
+
+// ForEach visits every slot the current round touched, in touch order, without
+// allocating.
+func (s *SparseSet) ForEach(fn func(slot int32, v float64)) {
+	for _, slot := range s.touched {
+		fn(slot, s.values[slot])
+	}
+}
+
+// Touched returns the slots the current round touched, in touch order. The
+// slice aliases the set's internals and is invalidated by Reset; together with
+// Value it lets a merge loop iterate without a closure.
+func (s *SparseSet) Touched() []int32 { return s.touched }
+
+// Value returns the accumulated value of a slot returned by Touched.
+func (s *SparseSet) Value(slot int32) float64 { return s.values[slot] }
 
 // reportLease is the shared recycling state behind every copy of a pooled
 // AggregatedReport. refs counts the holders that promised to release the

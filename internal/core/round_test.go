@@ -10,23 +10,23 @@ import (
 )
 
 func TestSparseSetAccumulatesAndResets(t *testing.T) {
-	var s sparseSet
-	s.reset()
-	s.add(3, 1.5)
-	s.add(3, 0.5)
-	s.add(0, 2)
-	if s.len() != 2 {
-		t.Fatalf("len = %d, want 2", s.len())
+	var s SparseSet
+	s.Reset()
+	s.Add(3, 1.5)
+	s.Add(3, 0.5)
+	s.Add(0, 2)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
 	}
 	if s.values[3] != 2 || s.values[0] != 2 {
 		t.Fatalf("values = %v", s.values[:4])
 	}
 	// A reset must invalidate every slot without clearing the arrays.
-	s.reset()
-	if s.len() != 0 {
-		t.Fatalf("len after reset = %d", s.len())
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("len after reset = %d", s.Len())
 	}
-	s.add(3, 7)
+	s.Add(3, 7)
 	if s.values[3] != 7 {
 		t.Fatalf("slot 3 after reset = %v, want the new round's value", s.values[3])
 	}

@@ -1,0 +1,308 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"powerapi/internal/collector"
+	"powerapi/internal/core"
+	"powerapi/internal/history"
+)
+
+// FleetServer serves one fleet collector over HTTP — the cluster tier's
+// counterpart of Server. The endpoint shape deliberately mirrors the daemon
+// so the same tooling scrapes both:
+//
+//	GET /metrics              fleet totals, per-node watts and link health,
+//	                          fleet-wide per-route-key watts, rollup latency
+//	GET /api/v1/fleet         the latest fleet round as JSON
+//	GET /api/v1/nodes         per-node link state (the gather health surface)
+//	GET /api/v1/query         windowed avg/max/p95 over fleet history
+//	                          (kind=node selects per-node series)
+//	GET /api/v1/debug/rounds  rollup/fanout stage timeline per fleet round
+//	GET /api/v1/debug/stats   the full collector.Stats snapshot
+//
+// Like Server, it keeps the latest round through its own Conflate
+// subscription, so scrape traffic never touches the rollup hot path.
+type FleetServer struct {
+	col    *collector.Collector
+	sub    *collector.Subscription
+	latest atomic.Pointer[collector.FleetReport]
+	mux    *http.ServeMux
+	wg     sync.WaitGroup
+}
+
+// NewFleet wires a fleet server onto a collector; Close releases its
+// subscription.
+func NewFleet(col *collector.Collector) (*FleetServer, error) {
+	if col == nil {
+		return nil, errors.New("httpapi: nil collector")
+	}
+	sub, err := col.Subscribe(collector.SubscribeOptions{Name: "httpapi-fleet", Policy: core.Conflate})
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: %w", err)
+	}
+	f := &FleetServer{col: col, sub: sub, mux: http.NewServeMux()}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for rep := range sub.C() {
+			// Handlers read the stored round concurrently; keep a private deep
+			// copy and give the pooled buffer straight back to the collector.
+			clone := rep.Clone()
+			rep.Release()
+			f.latest.Store(clone)
+		}
+	}()
+	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
+	f.mux.HandleFunc("GET /api/v1/fleet", f.handleFleet)
+	f.mux.HandleFunc("GET /api/v1/nodes", f.handleNodes)
+	f.mux.HandleFunc("GET /api/v1/query", f.handleQuery)
+	f.mux.HandleFunc("GET /api/v1/debug/rounds", f.handleDebugRounds)
+	f.mux.HandleFunc("GET /api/v1/debug/stats", f.handleDebugStats)
+	return f, nil
+}
+
+// Handler returns the HTTP handler serving every fleet endpoint.
+func (f *FleetServer) Handler() http.Handler { return f.mux }
+
+// Close releases the server's subscription; the last stored round keeps
+// serving. Safe to call more than once.
+func (f *FleetServer) Close() {
+	f.sub.Close()
+	f.wg.Wait()
+}
+
+// Latest returns the most recent fleet round the server has observed (nil
+// before the first completed round). The returned report is a private clone;
+// callers may read it freely and must not mutate it.
+func (f *FleetServer) Latest() *FleetReport { return f.latest.Load() }
+
+// FleetReport re-exports the collector's round type for Latest's callers.
+type FleetReport = collector.FleetReport
+
+// sortedKeys returns a map's keys in stable order (scrape output must be
+// deterministic; this is the cold serving path, allocation is fine here).
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// handleMetrics serves the Prometheus text exposition of the latest fleet
+// round plus the gather-link and rollup-latency families.
+func (f *FleetServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := f.latest.Load()
+	if rep == nil {
+		jsonError(w, http.StatusServiceUnavailable, errors.New("no completed fleet round yet"))
+		return
+	}
+	stats := f.col.Stats()
+	var b strings.Builder
+	b.WriteString("# HELP powerapi_fleet_total_watts Fleet-wide power of the latest round (sum of live node totals).\n")
+	b.WriteString("# TYPE powerapi_fleet_total_watts gauge\n")
+	fmt.Fprintf(&b, "powerapi_fleet_total_watts %g\n", rep.TotalWatts)
+	b.WriteString("# HELP powerapi_fleet_nodes Nodes by rollup state in the latest round.\n")
+	b.WriteString("# TYPE powerapi_fleet_nodes gauge\n")
+	fmt.Fprintf(&b, "powerapi_fleet_nodes{state=\"live\"} %d\n", rep.Nodes)
+	fmt.Fprintf(&b, "powerapi_fleet_nodes{state=\"stale\"} %d\n", rep.StaleNodes)
+	b.WriteString("# HELP powerapi_fleet_rounds_total Completed fleet rollup rounds.\n")
+	b.WriteString("# TYPE powerapi_fleet_rounds_total counter\n")
+	fmt.Fprintf(&b, "powerapi_fleet_rounds_total %d\n", stats.Rounds)
+	b.WriteString("# HELP powerapi_fleet_round_timestamp_seconds Instant of the latest fleet round since collector start.\n")
+	b.WriteString("# TYPE powerapi_fleet_round_timestamp_seconds gauge\n")
+	fmt.Fprintf(&b, "powerapi_fleet_round_timestamp_seconds %g\n", rep.Timestamp.Seconds())
+	b.WriteString("# HELP powerapi_fleet_keys Distinct route keys the fleet has ever reported.\n")
+	b.WriteString("# TYPE powerapi_fleet_keys gauge\n")
+	fmt.Fprintf(&b, "powerapi_fleet_keys %d\n", stats.Keys)
+
+	b.WriteString("# HELP powerapi_node_watts Power of one node in the latest fleet round.\n")
+	b.WriteString("# TYPE powerapi_node_watts gauge\n")
+	for _, name := range sortedKeys(rep.PerNode) {
+		fmt.Fprintf(&b, "powerapi_node_watts{node=%q} %g\n", escapeLabel(name), rep.PerNode[name])
+	}
+	b.WriteString("# HELP powerapi_fleet_target_watts Power of one route key summed across every node reporting it.\n")
+	b.WriteString("# TYPE powerapi_fleet_target_watts gauge\n")
+	for _, key := range sortedKeys(rep.PerTarget) {
+		fmt.Fprintf(&b, "powerapi_fleet_target_watts{key=%q} %g\n", escapeLabel(key), rep.PerTarget[key])
+	}
+	if stats.Self.Enabled {
+		// The collector's own cost as a first-class row next to the fleet it
+		// rolls up — the same continuously-verified overhead claim the daemon
+		// makes for its pipeline.
+		fmt.Fprintf(&b, "powerapi_fleet_target_watts{key=\"self:powerapi-self\"} %g\n", rep.SelfWatts)
+	}
+
+	writeNodeLinkMetrics(&b, stats.Nodes)
+
+	fmt.Fprintf(&b, "# HELP powerapi_subscriptions Live fleet-report subscriptions on the fanout.\n")
+	fmt.Fprintf(&b, "# TYPE powerapi_subscriptions gauge\n")
+	fmt.Fprintf(&b, "powerapi_subscriptions %d\n", len(stats.Subscriptions))
+	if len(stats.Subscriptions) > 0 {
+		b.WriteString("# HELP powerapi_subscription_delivered_total Reports placed into one subscription's channel.\n")
+		b.WriteString("# TYPE powerapi_subscription_delivered_total counter\n")
+		for _, st := range stats.Subscriptions {
+			fmt.Fprintf(&b, "powerapi_subscription_delivered_total{id=\"%d\",name=%q,policy=\"%s\"} %d\n",
+				st.ID, escapeLabel(st.Name), st.Policy, st.Delivered)
+		}
+		b.WriteString("# HELP powerapi_subscription_dropped_total Delivered reports evicted unread from one subscription's channel.\n")
+		b.WriteString("# TYPE powerapi_subscription_dropped_total counter\n")
+		for _, st := range stats.Subscriptions {
+			fmt.Fprintf(&b, "powerapi_subscription_dropped_total{id=\"%d\",name=%q,policy=\"%s\"} %d\n",
+				st.ID, escapeLabel(st.Name), st.Policy, st.Dropped)
+		}
+	}
+
+	tracer := f.col.Tracer()
+	b.WriteString("# HELP powerapi_fleet_round_duration_seconds End-to-end duration of one fleet rollup round.\n")
+	b.WriteString("# TYPE powerapi_fleet_round_duration_seconds histogram\n")
+	writeHistogramSeries(&b, "powerapi_fleet_round_duration_seconds", "", tracer.RoundStats())
+	b.WriteString("# HELP powerapi_fleet_round_duration_quantile_seconds Fleet round-duration quantiles since startup.\n")
+	b.WriteString("# TYPE powerapi_fleet_round_duration_quantile_seconds gauge\n")
+	writeQuantileSeries(&b, "powerapi_fleet_round_duration_quantile_seconds", "", tracer.RoundStats())
+	if stages := tracer.StageStats(); len(stages) > 0 {
+		b.WriteString("# HELP powerapi_stage_duration_seconds Latency of one collector stage span since startup.\n")
+		b.WriteString("# TYPE powerapi_stage_duration_seconds histogram\n")
+		for _, st := range stages {
+			writeHistogramSeries(&b, "powerapi_stage_duration_seconds", fmt.Sprintf("stage=%q,", st.Stage), st)
+		}
+		b.WriteString("# HELP powerapi_stage_duration_quantile_seconds Per-stage latency quantiles since startup.\n")
+		b.WriteString("# TYPE powerapi_stage_duration_quantile_seconds gauge\n")
+		for _, st := range stages {
+			writeQuantileSeries(&b, "powerapi_stage_duration_quantile_seconds", fmt.Sprintf("stage=%q,", st.Stage), st)
+		}
+	}
+	if stats.Self.Enabled {
+		b.WriteString("# HELP powerapi_self_watts Power attributed to the collector process itself.\n")
+		b.WriteString("# TYPE powerapi_self_watts gauge\n")
+		fmt.Fprintf(&b, "powerapi_self_watts %g\n", stats.Self.Watts)
+		b.WriteString("# HELP powerapi_self_cpu_seconds_total CPU time consumed by the collector process.\n")
+		b.WriteString("# TYPE powerapi_self_cpu_seconds_total counter\n")
+		fmt.Fprintf(&b, "powerapi_self_cpu_seconds_total %g\n", stats.Self.CPUSeconds)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeNodeLinkMetrics appends the per-link gather health families: one row
+// per joined node, labelled by dial address and learned node name.
+func writeNodeLinkMetrics(b *strings.Builder, nodes []collector.NodeStats) {
+	if len(nodes) == 0 {
+		return
+	}
+	row := func(name string, value func(collector.NodeStats) string) {
+		for _, n := range nodes {
+			fmt.Fprintf(b, "%s{addr=%q,node=%q} %s\n", name, escapeLabel(n.Addr), escapeLabel(n.Name), value(n))
+		}
+	}
+	bool01 := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	b.WriteString("# HELP powerapi_node_link_connected Whether the gather link to one node is up.\n")
+	b.WriteString("# TYPE powerapi_node_link_connected gauge\n")
+	row("powerapi_node_link_connected", func(n collector.NodeStats) string { return bool01(n.Connected) })
+	b.WriteString("# HELP powerapi_node_link_stale Whether the rollup is currently skipping one node.\n")
+	b.WriteString("# TYPE powerapi_node_link_stale gauge\n")
+	row("powerapi_node_link_stale", func(n collector.NodeStats) string { return bool01(n.Stale) })
+	b.WriteString("# HELP powerapi_node_link_frames_total Frames committed from one node.\n")
+	b.WriteString("# TYPE powerapi_node_link_frames_total counter\n")
+	row("powerapi_node_link_frames_total", func(n collector.NodeStats) string { return fmt.Sprintf("%d", n.Frames) })
+	b.WriteString("# HELP powerapi_node_link_bytes_total Wire bytes read from one node.\n")
+	b.WriteString("# TYPE powerapi_node_link_bytes_total counter\n")
+	row("powerapi_node_link_bytes_total", func(n collector.NodeStats) string { return fmt.Sprintf("%d", n.Bytes) })
+	b.WriteString("# HELP powerapi_node_link_decode_errors_total Undecodable payloads received from one node.\n")
+	b.WriteString("# TYPE powerapi_node_link_decode_errors_total counter\n")
+	row("powerapi_node_link_decode_errors_total", func(n collector.NodeStats) string { return fmt.Sprintf("%d", n.DecodeErrors) })
+	b.WriteString("# HELP powerapi_node_link_dropped_payloads_total Payloads shed by one node's drop-oldest ingest ring.\n")
+	b.WriteString("# TYPE powerapi_node_link_dropped_payloads_total counter\n")
+	row("powerapi_node_link_dropped_payloads_total", func(n collector.NodeStats) string { return fmt.Sprintf("%d", n.DroppedPayloads) })
+	b.WriteString("# HELP powerapi_node_link_reconnects_total Times the gather link to one node was re-established.\n")
+	b.WriteString("# TYPE powerapi_node_link_reconnects_total counter\n")
+	row("powerapi_node_link_reconnects_total", func(n collector.NodeStats) string { return fmt.Sprintf("%d", n.Reconnects) })
+	b.WriteString("# HELP powerapi_node_link_stale_skips_total Fleet rounds that skipped one node as stale.\n")
+	b.WriteString("# TYPE powerapi_node_link_stale_skips_total counter\n")
+	row("powerapi_node_link_stale_skips_total", func(n collector.NodeStats) string { return fmt.Sprintf("%d", n.StaleSkips) })
+}
+
+// handleFleet serves the latest fleet round as JSON.
+func (f *FleetServer) handleFleet(w http.ResponseWriter, r *http.Request) {
+	rep := f.latest.Load()
+	if rep == nil {
+		jsonError(w, http.StatusServiceUnavailable, errors.New("no completed fleet round yet"))
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// handleNodes serves the per-link gather state.
+func (f *FleetServer) handleNodes(w http.ResponseWriter, r *http.Request) {
+	stats := f.col.Stats()
+	writeJSON(w, map[string]any{
+		"nodes":      stats.Nodes,
+		"liveNodes":  stats.LiveNodes,
+		"staleNodes": stats.StaleNodes,
+		"keys":       stats.Keys,
+		"rounds":     stats.Rounds,
+	})
+}
+
+// handleQuery answers windowed aggregate queries over fleet history — the
+// daemon's query surface with node targets joining the kind set
+// (kind=node, target=node:NAME).
+func (f *FleetServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	stats, err := f.col.Query(q)
+	switch {
+	case errors.Is(err, history.ErrDisabled):
+		jsonError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows := make([]queryStatsRow, 0, len(stats))
+	for _, st := range stats {
+		rows = append(rows, queryStatsRow{
+			Target:       st.Target.String(),
+			Kind:         st.Target.Kind.String(),
+			Samples:      st.Samples,
+			FirstSeconds: st.First.Seconds(),
+			LastSeconds:  st.Last.Seconds(),
+			AvgWatts:     st.AvgWatts,
+			MaxWatts:     st.MaxWatts,
+			P95Watts:     st.P95Watts,
+			LastWatts:    st.LastWatts,
+		})
+	}
+	writeJSON(w, map[string]any{"results": rows})
+}
+
+// handleDebugRounds serves the per-round stage timeline of the last fleet
+// rounds retained by the trace ring.
+func (f *FleetServer) handleDebugRounds(w http.ResponseWriter, r *http.Request) {
+	tracer := f.col.Tracer()
+	writeJSON(w, map[string]any{
+		"capacity": tracer.Capacity(),
+		"rounds":   tracer.Rounds(),
+	})
+}
+
+// handleDebugStats serves the collector's full observability snapshot.
+func (f *FleetServer) handleDebugStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, f.col.Stats())
+}

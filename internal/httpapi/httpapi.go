@@ -41,11 +41,12 @@ import (
 // Server serves one monitor over HTTP. Create it with New and mount
 // Handler(); Close releases its subscription.
 type Server struct {
-	mon    *core.PowerAPI
-	sub    *core.Subscription
-	latest atomic.Pointer[core.AggregatedReport]
-	mux    *http.ServeMux
-	wg     sync.WaitGroup
+	mon     *core.PowerAPI
+	sub     *core.Subscription
+	latest  atomic.Pointer[core.AggregatedReport]
+	mux     *http.ServeMux
+	wg      sync.WaitGroup
+	bridges bridgeSet
 }
 
 // New wires a server onto a monitor. The server subscribes to the monitor's
@@ -226,6 +227,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "powerapi_history_capacity %d\n", stats.History.CapacityPerTarget)
 	}
 	writeObsMetrics(&b, stats)
+	s.bridges.writeBridgeMetrics(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }
@@ -338,8 +340,10 @@ func parseQuery(r *http.Request) (core.QueryOptions, error) {
 			q.Kinds = append(q.Kinds, target.KindMachine)
 		case "vm":
 			q.Kinds = append(q.Kinds, target.KindVM)
+		case "node":
+			q.Kinds = append(q.Kinds, target.KindNode)
 		default:
-			return q, fmt.Errorf("invalid kind %q (want process, cgroup, vm or machine)", v)
+			return q, fmt.Errorf("invalid kind %q (want process, cgroup, vm, node or machine)", v)
 		}
 	}
 	q.CgroupSubtree = params.Get("cgroup")

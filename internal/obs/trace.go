@@ -39,12 +39,21 @@ const (
 	// StagePublish covers the VM bridge publisher framing and sending the
 	// round to guests.
 	StagePublish
+	// StageIngest covers the fleet collector decoding one node frame and
+	// folding its rows into the node's retained contribution. Ingest happens
+	// between fleet rounds, so it feeds the stage histogram only (recorded
+	// with a zero timestamp) and never appears in a round trace.
+	StageIngest
+	// StageRollup covers the fleet collector's sharded rollup of every live
+	// node's contribution into one fleet report.
+	StageRollup
 	// NumStages is the number of stages; it is not itself a stage.
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"sensor", "formula", "aggregate", "fanout", "history", "reporter", "publish",
+	"ingest", "rollup",
 }
 
 // String returns the stable span name used in /metrics labels and debug JSON.
@@ -55,10 +64,12 @@ func (s Stage) String() string {
 	return "unknown"
 }
 
-// coreStages are the stages every round passes through regardless of which
-// optional consumers (history, reporters, bridge) are configured; a round
-// trace is complete once all of them have stamped and the round has finished.
-var coreStages = [...]Stage{StageSensor, StageFormula, StageAggregate, StageFanout}
+// coreStages are the stages every monitor round passes through regardless of
+// which optional consumers (history, reporters, bridge) are configured; a
+// round trace is complete once all of them have stamped and the round has
+// finished. Pipelines with a different shape (the fleet collector) override
+// the set with SetRequiredStages.
+var coreStages = []Stage{StageSensor, StageFormula, StageAggregate, StageFanout}
 
 // span accumulates the stamps of one stage within one round. Shards stamp
 // concurrently, so every field is atomic: first/last converge by CAS min/max,
@@ -144,6 +155,9 @@ type Tracer struct {
 	stageHists    [NumStages]Histogram
 	roundHist     Histogram
 	pendingRounds atomic.Int64
+	// required is the stage set a round must have stamped to count as
+	// complete (coreStages unless overridden by SetRequiredStages).
+	required []Stage
 }
 
 // NewTracer returns a tracer retaining the last capacity round traces
@@ -153,9 +167,27 @@ func NewTracer(capacity int) *Tracer {
 		capacity = DefaultTraceRing
 	}
 	return &Tracer{
-		epoch: time.Now(),
-		ring:  make([]traceSlot, capacity),
+		epoch:    time.Now(),
+		ring:     make([]traceSlot, capacity),
+		required: coreStages,
 	}
+}
+
+// SetRequiredStages overrides which stages a round must have stamped before
+// Rounds reports it complete — the monitor pipeline's sensor→fanout chain by
+// default; the fleet collector's rollup→fanout chain when it owns the tracer.
+// Call before the first Begin; stages must be valid.
+func (t *Tracer) SetRequiredStages(stages ...Stage) {
+	if t == nil || len(stages) == 0 {
+		return
+	}
+	required := make([]Stage, 0, len(stages))
+	for _, s := range stages {
+		if s < NumStages {
+			required = append(required, s)
+		}
+	}
+	t.required = required
 }
 
 // Capacity returns the ring size.
@@ -324,7 +356,7 @@ func (t *Tracer) Rounds() []RoundView {
 				SlowestSeconds: float64(packed>>8) / 1e9,
 			})
 		}
-		for _, st := range coreStages {
+		for _, st := range t.required {
 			if slot.spans[st].count.Load() == 0 {
 				complete = false
 			}

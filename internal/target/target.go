@@ -30,6 +30,11 @@ const (
 	// set designated as a VM on the host, whose power the host delegates to a
 	// nested guest-side PowerAPI instance over the VM bridge.
 	KindVM
+	// KindNode identifies one machine of a fleet by node name — the unit the
+	// fleet collector aggregates. A node's power is the total a daemon on that
+	// machine estimated for itself; it exists only in the collector tier and
+	// never appears inside a single host's pipeline.
+	KindNode
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +48,8 @@ func (k Kind) String() string {
 		return "machine"
 	case KindVM:
 		return "vm"
+	case KindNode:
+		return "node"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -78,6 +85,9 @@ func Machine() Target { return Target{Kind: KindMachine} }
 // VM returns the target identifying a virtual machine by name.
 func VM(name string) Target { return Target{Kind: KindVM, Name: name} }
 
+// Node returns the target identifying one fleet machine by node name.
+func Node(name string) Target { return Target{Kind: KindNode, Name: name} }
+
 // Valid reports whether the target is well-formed.
 func (t Target) Valid() bool {
 	switch t.Kind {
@@ -87,7 +97,7 @@ func (t Target) Valid() bool {
 		return t.Path != "" && t.PID == 0 && t.Name == ""
 	case KindMachine:
 		return t.PID == 0 && t.Path == "" && t.Name == ""
-	case KindVM:
+	case KindVM, KindNode:
 		return t.Name != "" && t.PID == 0 && t.Path == ""
 	default:
 		return false
@@ -106,6 +116,8 @@ func (t Target) String() string {
 		return "machine"
 	case KindVM:
 		return "vm:" + t.Name
+	case KindNode:
+		return "node:" + t.Name
 	default:
 		return fmt.Sprintf("target(%d)", int(t.Kind))
 	}
@@ -135,8 +147,14 @@ func Parse(s string) (Target, error) {
 			return Target{}, fmt.Errorf("target: empty vm name in %q", s)
 		}
 		return VM(name), nil
+	case strings.HasPrefix(s, "node:"):
+		name := strings.TrimPrefix(s, "node:")
+		if name == "" {
+			return Target{}, fmt.Errorf("target: empty node name in %q", s)
+		}
+		return Node(name), nil
 	default:
-		return Target{}, fmt.Errorf("target: cannot parse %q (want \"pid:N\", \"cgroup:PATH\", \"vm:NAME\" or \"machine\")", s)
+		return Target{}, fmt.Errorf("target: cannot parse %q (want \"pid:N\", \"cgroup:PATH\", \"vm:NAME\", \"node:NAME\" or \"machine\")", s)
 	}
 }
 
@@ -156,6 +174,11 @@ func (t Target) RouteKey() uint64 {
 	case KindVM:
 		h := fnv.New64a()
 		h.Write([]byte("vm:"))
+		h.Write([]byte(t.Name))
+		return h.Sum64()
+	case KindNode:
+		h := fnv.New64a()
+		h.Write([]byte("node:"))
 		h.Write([]byte(t.Name))
 		return h.Sum64()
 	default:

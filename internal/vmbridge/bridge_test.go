@@ -3,6 +3,7 @@ package vmbridge
 import (
 	"context"
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -79,7 +80,7 @@ func TestLoopbackFanout(t *testing.T) {
 	for i, r := range []Receiver{r1, r2} {
 		select {
 		case got := <-r.Frames():
-			if got != frame {
+			if !reflect.DeepEqual(got, frame) {
 				t.Fatalf("receiver %d: got %+v want %+v", i, got, frame)
 			}
 		case <-time.After(time.Second):

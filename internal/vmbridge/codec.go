@@ -1,0 +1,275 @@
+package vmbridge
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// The wire speaks two codecs. JSON-lines is the original format and the
+// default: one frame per line, self-describing, debuggable with nc. The binary
+// codec is for the fleet tier, where a collector ingests thousands of frames
+// per second and the JSON costs (quoting, float formatting, per-frame
+// allocation on decode) dominate: one length-prefixed message carries a whole
+// round's batch, strings are length-prefixed bytes, floats are raw IEEE 754.
+// A connection's codec is negotiated once, by the receiver: its first bytes
+// are either a codec hello line (binary from then on) or nothing (a legacy
+// receiver never writes, so the publisher falls back to JSON after a short
+// wait).
+
+// Codec identifies the wire encoding of one publisher connection.
+type Codec int
+
+// Wire codecs.
+const (
+	// CodecJSON is one JSON-encoded frame per newline-terminated line — the
+	// compatibility default.
+	CodecJSON Codec = iota
+	// CodecBinary is length-prefixed binary batches: one message per
+	// published batch, one write per round.
+	CodecBinary
+)
+
+// String implements fmt.Stringer ("json", "binary").
+func (c Codec) String() string {
+	if c == CodecBinary {
+		return "binary"
+	}
+	return "json"
+}
+
+// helloLine is the exact line a receiver writes as its very first bytes to
+// switch its connection to the binary codec.
+const helloLine = "powerapi-codec binary\n"
+
+// RequestBinary asks the publisher on the other end of the connection to
+// speak the binary codec. It must be the first thing the receiver writes,
+// before any frame has a chance to arrive; DialTCPCodec does this.
+func RequestBinary(w io.Writer) error {
+	_, err := io.WriteString(w, helloLine)
+	return err
+}
+
+// binaryMagic opens every binary message, so a receiver that accidentally
+// points at a JSON publisher (or vice versa) fails loudly instead of decoding
+// garbage.
+var binaryMagic = [4]byte{'P', 'W', 'B', '1'}
+
+// BinaryMessageHeader is the size of the fixed message prefix (magic plus
+// uint32 payload length). AppendBinaryBatch emits it; ReadBinaryMessage
+// consumes it and returns the bare payload — a feeder handing payloads
+// straight to a decoder (collector.FeedPayload) strips this many bytes.
+const BinaryMessageHeader = 8
+
+// maxBinaryPayload bounds one binary message. It is sized for a full fleet
+// round from one node (a million rows would still fit), so hitting it is a
+// protocol violation, not a bigger buffer waiting to happen.
+const maxBinaryPayload = 64 << 20
+
+// errBadMagic reports a binary message that does not start with the magic.
+var errBadMagic = errors.New("vmbridge: bad binary frame magic")
+
+// errMalformed reports a binary payload that ends mid-frame.
+var errMalformed = errors.New("vmbridge: malformed binary frame payload")
+
+// AppendBinaryBatch appends one binary wire message encoding the whole batch
+// to dst and returns the extended slice. Encoding allocates only when dst's
+// capacity is exceeded, so a publisher reusing its scratch buffer encodes
+// steady-state rounds allocation-free.
+//
+// Message layout: magic, uint32 LE payload length, payload. Payload layout:
+// uvarint frame count, then per frame: uvarint-prefixed VM name, uvarint Seq,
+// uvarint Timestamp (ns), float64 LE Watts, float64 LE HostTotalWatts,
+// uvarint-prefixed SourceMode, uvarint row count, then per row a
+// uvarint-prefixed key and a float64 LE watts.
+func AppendBinaryBatch(dst []byte, frames []VMPowerFrame) []byte {
+	dst = append(dst, binaryMagic[:]...)
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // payload length backfilled below
+	dst = binary.AppendUvarint(dst, uint64(len(frames)))
+	for i := range frames {
+		f := &frames[i]
+		dst = appendString(dst, f.VM)
+		dst = binary.AppendUvarint(dst, f.Seq)
+		dst = binary.AppendUvarint(dst, uint64(f.Timestamp))
+		dst = appendFloat(dst, f.Watts)
+		dst = appendFloat(dst, f.HostTotalWatts)
+		dst = appendString(dst, f.SourceMode)
+		dst = binary.AppendUvarint(dst, uint64(len(f.Rows)))
+		for _, row := range f.Rows {
+			dst = appendString(dst, row.Key)
+			dst = appendFloat(dst, row.Watts)
+		}
+	}
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendFloat(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// ReadBinaryMessage reads one binary message from r and returns its payload,
+// reusing buf's backing array when it is large enough. The returned slice is
+// only valid until the next call with the same buffer.
+func ReadBinaryMessage(r io.Reader, buf []byte) ([]byte, error) {
+	var head [BinaryMessageHeader]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err
+	}
+	if [4]byte(head[:4]) != binaryMagic {
+		return nil, errBadMagic
+	}
+	n := binary.LittleEndian.Uint32(head[4:])
+	if n > maxBinaryPayload {
+		return nil, fmt.Errorf("vmbridge: binary payload of %d bytes exceeds the %d limit", n, maxBinaryPayload)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// FrameHeader is the fixed part of one binary frame as the streaming decoder
+// yields it. VM and SourceMode alias the payload buffer — they are valid only
+// for the duration of the callback and must be copied to be retained.
+type FrameHeader struct {
+	VM             []byte
+	Seq            uint64
+	Timestamp      time.Duration
+	Watts          float64
+	HostTotalWatts float64
+	SourceMode     []byte
+	Rows           int
+}
+
+// DecodeBinaryBatch walks one binary payload, calling frame once per frame
+// and row once per row of that frame, in wire order. All byte slices handed
+// to the callbacks alias the payload — the zero-copy contract that lets the
+// collector fold a million rows per second into its slot maps without
+// allocating per row. If frame returns false the frame's rows are skipped
+// (decoded to advance, not reported). A nil row callback skips all rows.
+func DecodeBinaryBatch(payload []byte, frame func(h FrameHeader) bool, row func(key []byte, watts float64)) error {
+	count, payload, ok := takeUvarint(payload)
+	if !ok {
+		return errMalformed
+	}
+	for i := uint64(0); i < count; i++ {
+		var h FrameHeader
+		var seq, ts, rows uint64
+		if h.VM, payload, ok = takeBytes(payload); !ok {
+			return errMalformed
+		}
+		if seq, payload, ok = takeUvarint(payload); !ok {
+			return errMalformed
+		}
+		if ts, payload, ok = takeUvarint(payload); !ok {
+			return errMalformed
+		}
+		if h.Watts, payload, ok = takeFloat(payload); !ok {
+			return errMalformed
+		}
+		if h.HostTotalWatts, payload, ok = takeFloat(payload); !ok {
+			return errMalformed
+		}
+		if h.SourceMode, payload, ok = takeBytes(payload); !ok {
+			return errMalformed
+		}
+		if rows, payload, ok = takeUvarint(payload); !ok {
+			return errMalformed
+		}
+		h.Seq, h.Timestamp, h.Rows = seq, time.Duration(ts), int(rows)
+		want := frame(h) && row != nil
+		for j := uint64(0); j < rows; j++ {
+			var key []byte
+			var watts float64
+			if key, payload, ok = takeBytes(payload); !ok {
+				return errMalformed
+			}
+			if watts, payload, ok = takeFloat(payload); !ok {
+				return errMalformed
+			}
+			if want {
+				row(key, watts)
+			}
+		}
+	}
+	if len(payload) != 0 {
+		return errMalformed
+	}
+	return nil
+}
+
+// decodeBinaryFrames decodes a payload into owned VMPowerFrame values — the
+// guest receiver's channel path, where per-frame allocation is fine.
+func decodeBinaryFrames(payload []byte, dst []VMPowerFrame) ([]VMPowerFrame, error) {
+	err := DecodeBinaryBatch(payload,
+		func(h FrameHeader) bool {
+			f := VMPowerFrame{
+				VM:             string(h.VM),
+				Seq:            h.Seq,
+				Timestamp:      h.Timestamp,
+				Watts:          h.Watts,
+				HostTotalWatts: h.HostTotalWatts,
+				SourceMode:     string(h.SourceMode),
+			}
+			if h.Rows > 0 {
+				f.Rows = make([]TargetRow, 0, h.Rows)
+			}
+			dst = append(dst, f)
+			return true
+		},
+		func(key []byte, watts float64) {
+			f := &dst[len(dst)-1]
+			f.Rows = append(f.Rows, TargetRow{Key: string(key), Watts: watts})
+		})
+	return dst, err
+}
+
+func takeUvarint(b []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, false
+	}
+	return v, b[n:], true
+}
+
+func takeBytes(b []byte) ([]byte, []byte, bool) {
+	n, rest, ok := takeUvarint(b)
+	if !ok || uint64(len(rest)) < n {
+		return nil, b, false
+	}
+	return rest[:n], rest[n:], true
+}
+
+func takeFloat(b []byte) (float64, []byte, bool) {
+	if len(b) < 8 {
+		return 0, b, false
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], true
+}
+
+// readHello consumes a receiver's codec hello from the connection if one
+// arrives before the deadline expires. Legacy receivers never write, so a
+// timeout (or anything that is not the hello) selects JSON-lines.
+func readHello(r *bufio.Reader) Codec {
+	peek, err := r.Peek(len(helloLine))
+	if err != nil || string(peek) != helloLine {
+		return CodecJSON
+	}
+	r.Discard(len(helloLine))
+	return CodecBinary
+}

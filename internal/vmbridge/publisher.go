@@ -68,29 +68,33 @@ func (p *Publisher) run() {
 		ts := report.Timestamp
 		traceStart := p.tracer.Now()
 		// Deterministic frame order per round: sorted VM names, one global
-		// monotonic sequence across all VMs.
+		// monotonic sequence across all VMs. The round goes out as one batch,
+		// so the transport writes it in one flush and slow links shed whole
+		// rounds instead of tearing them. The batch is freshly allocated per
+		// round because the transport retains the slice until written.
 		names := make([]string, 0, len(report.PerVM))
 		for name := range report.PerVM {
 			names = append(names, name)
 		}
 		sort.Strings(names)
+		batch := make([]VMPowerFrame, 0, len(names))
 		for _, name := range names {
-			frame := VMPowerFrame{
+			batch = append(batch, VMPowerFrame{
 				VM:             name,
 				Seq:            p.seq.Add(1),
 				Timestamp:      report.Timestamp,
 				Watts:          report.PerVM[name],
 				HostTotalWatts: report.TotalWatts,
 				SourceMode:     report.SourceMode,
-			}
-			if err := p.tr.Send(frame); err != nil {
-				p.sendErrs.Add(1)
-				p.lastErr.Store(err)
-				continue
-			}
-			p.published.Add(1)
+			})
 		}
 		report.Release()
+		if err := p.tr.SendBatch(batch); err != nil {
+			p.sendErrs.Add(1)
+			p.lastErr.Store(err)
+		} else {
+			p.published.Add(uint64(len(batch)))
+		}
 		p.tracer.Record(ts, obs.StagePublish, 0, traceStart, p.tracer.Now())
 	}
 }

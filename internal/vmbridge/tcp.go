@@ -5,23 +5,36 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // maxFrameLine bounds one JSON-encoded frame on the wire; a line beyond it is
-// a protocol violation, not a bigger buffer waiting to happen.
-const maxFrameLine = 64 * 1024
+// a protocol violation, not a bigger buffer waiting to happen. It is sized
+// for a fleet frame carrying thousands of rows, not just the VM bridge's
+// row-less frames.
+const maxFrameLine = 1 << 20
+
+// codecHelloWait bounds how long a publisher connection waits for the
+// receiver's codec hello before falling back to JSON-lines. Legacy receivers
+// never write, so they cost exactly this once per connection.
+const codecHelloWait = 500 * time.Millisecond
 
 // TCPPublisher is the wire transport of the bridge, the virtio-serial
-// stand-in: it listens on a TCP address and streams every published frame to
-// every connected guest as one JSON object per line. Connections are
-// broadcast fan-out — a guest dialing in receives the frames of every VM and
-// filters by name (DelegatedSource does). A slow or dead connection sheds
-// frames drop-oldest and is dropped on write failure; it never backpressures
-// the host pipeline.
+// stand-in: it listens on a TCP address and streams every published batch to
+// every connected guest. Connections are broadcast fan-out — a guest dialing
+// in receives the frames of every VM and filters by name (DelegatedSource
+// does). Each connection speaks the codec its receiver negotiated: JSON-lines
+// (the default — one JSON object per line) or binary (the receiver opened
+// with a codec hello — one length-prefixed message per batch). A slow or dead
+// connection sheds whole batches drop-oldest and is dropped on write failure;
+// it never backpressures the host pipeline.
 type TCPPublisher struct {
 	ln net.Listener
 	wg sync.WaitGroup
@@ -36,8 +49,25 @@ type TCPPublisher struct {
 }
 
 type tcpConn struct {
-	conn  net.Conn
-	lines *frameChan // frames pending for this connection, drop-oldest
+	conn    net.Conn
+	remote  string
+	batches *frameChan[[]VMPowerFrame] // batches pending for this connection, drop-oldest
+	codec   atomic.Int32               // Codec, set once negotiated
+	sent    atomic.Uint64              // frames written to the wire
+}
+
+// ConnStats is the observable state of one live publisher connection, the
+// per-connection rows /metrics exposes.
+type ConnStats struct {
+	// Remote is the receiver's address.
+	Remote string
+	// Codec is the negotiated wire encoding ("json", "binary").
+	Codec Codec
+	// SentFrames counts frames written to this connection's wire.
+	SentFrames uint64
+	// DroppedBatches counts whole batches shed drop-oldest because the
+	// connection could not keep up.
+	DroppedBatches uint64
 }
 
 // ListenTCP starts a frame publisher on addr ("127.0.0.1:9191"; port 0 picks
@@ -63,12 +93,30 @@ func (p *TCPPublisher) Connections() int {
 	return len(p.conns)
 }
 
+// ConnStats snapshots every live connection, sorted by remote address.
+func (p *TCPPublisher) ConnStats() []ConnStats {
+	p.mu.Lock()
+	stats := make([]ConnStats, 0, len(p.conns))
+	for _, c := range p.conns {
+		stats = append(stats, ConnStats{
+			Remote:         c.remote,
+			Codec:          Codec(c.codec.Load()),
+			SentFrames:     c.sent.Load(),
+			DroppedBatches: c.batches.evicted.Load(),
+		})
+	}
+	p.mu.Unlock()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Remote < stats[j].Remote })
+	return stats
+}
+
 // Sent returns how many frame deliveries reached a connection's wire so far.
 func (p *TCPPublisher) Sent() uint64 { return p.sent.Load() }
 
 // Dropped returns how many frame deliveries were lost to dead connections
 // (write failures); frames shed by a slow connection's drop-oldest queue are
-// not counted here, mirroring a serial port's silent overrun.
+// not counted here, mirroring a serial port's silent overrun — ConnStats
+// surfaces those per connection.
 func (p *TCPPublisher) Dropped() uint64 { return p.dropped.Load() }
 
 func (p *TCPPublisher) acceptLoop() {
@@ -78,7 +126,7 @@ func (p *TCPPublisher) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		c := &tcpConn{conn: conn, lines: newFrameChan()}
+		c := &tcpConn{conn: conn, remote: conn.RemoteAddr().String(), batches: newFrameChan[[]VMPowerFrame]()}
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
@@ -94,30 +142,53 @@ func (p *TCPPublisher) acceptLoop() {
 	}
 }
 
-// writeLoop drains one connection's frame queue onto the wire. A write
-// failure (guest went away) drops the connection.
+// negotiate waits briefly for the receiver's codec hello; no hello (a legacy
+// receiver's first bytes, or silence until the deadline) keeps JSON-lines.
+func negotiate(conn net.Conn) Codec {
+	conn.SetReadDeadline(time.Now().Add(codecHelloWait))
+	defer conn.SetReadDeadline(time.Time{})
+	return readHello(bufio.NewReaderSize(conn, len(helloLine)))
+}
+
+// writeLoop drains one connection's batch queue onto the wire — one buffered
+// write+flush per batch on either codec, so a node's whole round costs one
+// syscall. A write failure (guest went away) drops the connection.
 func (p *TCPPublisher) writeLoop(id uint64, c *tcpConn) {
 	defer p.wg.Done()
 	defer c.conn.Close()
-	w := bufio.NewWriter(c.conn)
-	for frame := range c.lines.ch {
-		line, err := json.Marshal(frame)
+	codec := negotiate(c.conn)
+	c.codec.Store(int32(codec))
+	w := bufio.NewWriterSize(c.conn, 32*1024)
+	var scratch []byte // binary encoding buffer, reused across batches
+	for batch := range c.batches.ch {
+		var err error
+		written := len(batch)
+		if codec == CodecBinary {
+			scratch = AppendBinaryBatch(scratch[:0], batch)
+			_, err = w.Write(scratch)
+		} else {
+			for _, frame := range batch {
+				line, merr := json.Marshal(frame)
+				if merr != nil {
+					p.dropped.Add(1)
+					written--
+					continue
+				}
+				line = append(line, '\n')
+				if _, err = w.Write(line); err != nil {
+					break
+				}
+			}
+		}
+		if err == nil {
+			err = w.Flush()
+		}
 		if err != nil {
-			p.dropped.Add(1)
-			continue
-		}
-		line = append(line, '\n')
-		if _, err := w.Write(line); err != nil {
 			p.dropConn(id)
 			return
 		}
-		// One flush per frame keeps latency at one round, not one buffer
-		// fill; the queue already batches bursts.
-		if err := w.Flush(); err != nil {
-			p.dropConn(id)
-			return
-		}
-		p.sent.Add(1)
+		p.sent.Add(uint64(written))
+		c.sent.Add(uint64(written))
 	}
 }
 
@@ -128,15 +199,23 @@ func (p *TCPPublisher) dropConn(id uint64) {
 	p.mu.Unlock()
 	if ok {
 		p.dropped.Add(1)
-		c.lines.close()
+		c.batches.close()
 		c.conn.Close()
 	}
 }
 
-// Send implements Transport: the frame is queued for every live connection
-// (drop-oldest per connection). With no guest connected the frame is simply
-// lost, like writing to an unattached serial port.
+// Send implements Transport: the frame is queued as a single-frame batch for
+// every live connection (drop-oldest per connection). With no guest connected
+// the frame is simply lost, like writing to an unattached serial port.
 func (p *TCPPublisher) Send(frame VMPowerFrame) error {
+	return p.SendBatch([]VMPowerFrame{frame})
+}
+
+// SendBatch implements Transport: the batch is queued as a unit for every
+// live connection, so a connection that sheds load sheds whole rounds. The
+// publisher keeps a reference to the slice until every connection has written
+// it; the caller must not modify it after the call.
+func (p *TCPPublisher) SendBatch(frames []VMPowerFrame) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -147,8 +226,11 @@ func (p *TCPPublisher) Send(frame VMPowerFrame) error {
 		snapshot = append(snapshot, c)
 	}
 	p.mu.Unlock()
+	if len(frames) == 0 {
+		return nil
+	}
 	for _, c := range snapshot {
-		c.lines.deliver(frame)
+		c.batches.deliver(frames)
 	}
 	return nil
 }
@@ -170,19 +252,21 @@ func (p *TCPPublisher) Close() error {
 	p.mu.Unlock()
 	err := p.ln.Close()
 	for _, c := range remaining {
-		c.lines.close()
+		c.batches.close()
 		c.conn.Close()
 	}
 	p.wg.Wait()
 	return err
 }
 
-// TCPReceiver consumes the JSON-lines frame stream of a TCPPublisher. When
-// the connection drops (or the publisher closes), the Frames channel closes —
-// the guest-side DelegatedSource turns that into its staleness policy.
+// TCPReceiver consumes the frame stream of a TCPPublisher on either codec.
+// When the connection drops (or the publisher closes), the Frames channel
+// closes — the guest-side DelegatedSource turns that into its staleness
+// policy.
 type TCPReceiver struct {
 	conn   net.Conn
-	frames *frameChan
+	codec  Codec
+	frames *frameChan[VMPowerFrame]
 	wg     sync.WaitGroup
 
 	closeOnce sync.Once
@@ -191,13 +275,26 @@ type TCPReceiver struct {
 	decodeErrs atomic.Uint64
 }
 
-// DialTCP connects to a TCPPublisher at addr.
+// DialTCP connects to a TCPPublisher at addr on the JSON-lines codec.
 func DialTCP(addr string) (*TCPReceiver, error) {
+	return DialTCPCodec(addr, CodecJSON)
+}
+
+// DialTCPCodec connects to a TCPPublisher at addr on the given codec. Binary
+// connections open with the codec hello, so the publisher switches before its
+// first write.
+func DialTCPCodec(addr string, codec Codec) (*TCPReceiver, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("vmbridge: dial %s: %w", addr, err)
 	}
-	r := &TCPReceiver{conn: conn, frames: newFrameChan()}
+	if codec == CodecBinary {
+		if err := RequestBinary(conn); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("vmbridge: dial %s: send codec hello: %w", addr, err)
+		}
+	}
+	r := &TCPReceiver{conn: conn, codec: codec, frames: newFrameChan[VMPowerFrame]()}
 	r.wg.Add(1)
 	go r.readLoop()
 	return r, nil
@@ -208,6 +305,10 @@ func (r *TCPReceiver) readLoop() {
 	// The read loop is the only deliverer; frames.close afterwards waits out
 	// the last deliver, so consumers see every decoded frame, then the close.
 	defer r.frames.close()
+	if r.codec == CodecBinary {
+		r.readBinary()
+		return
+	}
 	scanner := bufio.NewScanner(r.conn)
 	scanner.Buffer(make([]byte, 4096), maxFrameLine)
 	for scanner.Scan() {
@@ -222,11 +323,45 @@ func (r *TCPReceiver) readLoop() {
 	}
 }
 
+func (r *TCPReceiver) readBinary() {
+	br := bufio.NewReaderSize(r.conn, 64*1024)
+	var buf []byte
+	var frames []VMPowerFrame
+	for {
+		payload, err := ReadBinaryMessage(br, buf[:0])
+		if err != nil {
+			// Binary framing cannot resync mid-stream: any read or framing
+			// error is link loss. Only a malformed message counts as a decode
+			// error; EOF and socket errors are just the link going away.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				r.decodeErrs.Add(1)
+			}
+			return
+		}
+		buf = payload
+		frames, err = decodeBinaryFrames(payload, frames[:0])
+		if err != nil {
+			r.decodeErrs.Add(1)
+			return
+		}
+		for _, f := range frames {
+			r.frames.deliver(f)
+		}
+	}
+}
+
 // Frames implements Receiver.
 func (r *TCPReceiver) Frames() <-chan VMPowerFrame { return r.frames.ch }
 
-// DecodeErrors returns how many wire lines failed to decode as frames.
+// Codec returns the wire encoding this receiver negotiated.
+func (r *TCPReceiver) Codec() Codec { return r.codec }
+
+// DecodeErrors returns how many wire messages failed to decode as frames.
 func (r *TCPReceiver) DecodeErrors() uint64 { return r.decodeErrs.Load() }
+
+// DroppedFrames returns how many decoded frames the receiver's buffer evicted
+// unread (a consumer slower than the wire).
+func (r *TCPReceiver) DroppedFrames() uint64 { return r.frames.evicted.Load() }
 
 // Close implements Receiver: the connection closes and the Frames channel
 // closes once the read loop drains. It is idempotent.
@@ -238,23 +373,57 @@ func (r *TCPReceiver) Close() error {
 	return r.closeErr
 }
 
-// DialTCPWithRetry dials a TCPPublisher, retrying up to attempts times with
-// the given pause — a guest daemon typically races the host daemon's
+// maxDialBackoff caps the pause between dial attempts however far the
+// exponential climb has gotten.
+const maxDialBackoff = 5 * time.Second
+
+// DialTCPWithRetry dials a TCPPublisher on the JSON-lines codec, retrying up
+// to attempts times — a guest daemon typically races the host daemon's
 // listener, the way a VM boots before its management agent is up.
-func DialTCPWithRetry(addr string, attempts int, pause time.Duration) (*TCPReceiver, error) {
+func DialTCPWithRetry(addr string, attempts int, base time.Duration) (*TCPReceiver, error) {
+	return DialTCPCodecWithRetry(addr, CodecJSON, attempts, base)
+}
+
+// DialTCPCodecWithRetry dials a TCPPublisher on the given codec, retrying up
+// to attempts times with capped exponential backoff: the pause starts at base,
+// doubles per attempt up to maxDialBackoff, and is jittered ±25% so a fleet
+// of receivers restarting together does not reconnect in lockstep. Failed
+// attempts and eventual success-after-retry are surfaced in slog with the
+// attempt count.
+func DialTCPCodecWithRetry(addr string, codec Codec, attempts int, base time.Duration) (*TCPReceiver, error) {
 	if attempts < 1 {
 		return nil, errors.New("vmbridge: dial attempts must be at least 1")
 	}
 	var lastErr error
+	pause := base
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(pause)
+			time.Sleep(jitter(pause))
+			if pause *= 2; pause > maxDialBackoff {
+				pause = maxDialBackoff
+			}
 		}
-		r, err := DialTCP(addr)
+		r, err := DialTCPCodec(addr, codec)
 		if err == nil {
+			if i > 0 {
+				slog.Info("vmbridge: dial succeeded after retries", "addr", addr, "attempt", i+1, "codec", codec.String())
+			}
 			return r, nil
 		}
 		lastErr = err
+		if i < attempts-1 {
+			slog.Warn("vmbridge: dial failed, backing off", "addr", addr, "attempt", i+1, "attempts", attempts, "backoff", pause, "err", err)
+		}
 	}
+	slog.Warn("vmbridge: dial gave up", "addr", addr, "attempts", attempts, "err", lastErr)
 	return nil, fmt.Errorf("vmbridge: dial %s: gave up after %d attempts: %w", addr, attempts, lastErr)
+}
+
+// jitter spreads a backoff pause uniformly over ±25% of its nominal value.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	spread := d / 2
+	return d - spread/2 + time.Duration(rand.Int63n(int64(spread)+1))
 }

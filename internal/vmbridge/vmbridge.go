@@ -23,6 +23,7 @@ package vmbridge
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,6 +44,18 @@ type VMPowerFrame struct {
 	HostTotalWatts float64 `json:"hostTotalWatts,omitempty"`
 	// SourceMode names the host's sensing mode ("blended", "rapl", …).
 	SourceMode string `json:"sourceMode,omitempty"`
+	// Rows optionally carries a per-target breakdown of the frame's watts —
+	// the fleet tier's payload, where a daemon publishes one frame per round
+	// with VM set to its node name and one row per attributed target. Frames
+	// on the host↔guest VM bridge carry no rows.
+	Rows []TargetRow `json:"rows,omitempty"`
+}
+
+// TargetRow is one entry of a frame's per-target breakdown: the target's
+// route string ("cgroup:web/api", "machine") and its watts for the round.
+type TargetRow struct {
+	Key   string  `json:"key"`
+	Watts float64 `json:"watts"`
 }
 
 // Transport is the host-side half of a bridge: Send publishes one frame to
@@ -52,6 +65,11 @@ type Transport interface {
 	// Send delivers a frame to every live receiver. Sending on a closed
 	// transport returns ErrClosed.
 	Send(frame VMPowerFrame) error
+	// SendBatch delivers one round's frames as a unit: receivers that shed
+	// load shed whole rounds, and wire transports write one round per flush
+	// (one message per round on the binary codec). The transport keeps a
+	// reference to the slice — the caller must not modify it after the call.
+	SendBatch(frames []VMPowerFrame) error
 	// Close tears the transport down; receivers observe their frame channel
 	// closing (link loss).
 	Close() error
@@ -75,24 +93,27 @@ var ErrClosed = errors.New("vmbridge: transport is closed")
 // holds only a bounded backlog before drop-oldest kicks in.
 const frameBuffer = 64
 
-// frameChan is a drop-oldest frame queue shared by the transports: the
-// sender-side deliver never blocks (it evicts the oldest unread frame to make
-// room) and close is race-free against an in-flight deliver, the same
-// send-mutex + done-channel handshake the monitor's subscription fanout uses.
-type frameChan struct {
-	ch        chan VMPowerFrame
+// frameChan is a drop-oldest queue shared by the transports — of frames on
+// the receiver side, of whole batches on the publisher side: the sender-side
+// deliver never blocks (it evicts the oldest unread element to make room) and
+// close is race-free against an in-flight deliver, the same send-mutex +
+// done-channel handshake the monitor's subscription fanout uses.
+type frameChan[T any] struct {
+	ch        chan T
 	done      chan struct{}
 	sendMu    sync.Mutex
 	closeOnce sync.Once
+	evicted   atomic.Uint64
 }
 
-func newFrameChan() *frameChan {
-	return &frameChan{ch: make(chan VMPowerFrame, frameBuffer), done: make(chan struct{})}
+func newFrameChan[T any]() *frameChan[T] {
+	return &frameChan[T]{ch: make(chan T, frameBuffer), done: make(chan struct{})}
 }
 
-// deliver enqueues one frame, evicting the oldest unread one when the buffer
-// is full. Safe against a concurrent close; only one goroutine may deliver.
-func (f *frameChan) deliver(frame VMPowerFrame) {
+// deliver enqueues one element, evicting the oldest unread one when the
+// buffer is full. Safe against a concurrent close; only one goroutine may
+// deliver.
+func (f *frameChan[T]) deliver(v T) {
 	f.sendMu.Lock()
 	defer f.sendMu.Unlock()
 	select {
@@ -102,19 +123,20 @@ func (f *frameChan) deliver(frame VMPowerFrame) {
 	}
 	for {
 		select {
-		case f.ch <- frame:
+		case f.ch <- v:
 			return
 		default:
 		}
 		select {
 		case <-f.ch:
+			f.evicted.Add(1)
 		default:
 		}
 	}
 }
 
 // close closes the frame channel once, waiting out any deliver in flight.
-func (f *frameChan) close() {
+func (f *frameChan[T]) close() {
 	f.closeOnce.Do(func() {
 		close(f.done)
 		f.sendMu.Lock()
@@ -143,7 +165,7 @@ func NewLoopback() *Loopback {
 // reaches it. A receiver created after Close is already closed (its Frames
 // channel is closed), mirroring a dial against a dead link.
 func (l *Loopback) NewReceiver() Receiver {
-	r := &loopbackReceiver{hub: l, frames: newFrameChan()}
+	r := &loopbackReceiver{hub: l, frames: newFrameChan[VMPowerFrame]()}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -175,6 +197,17 @@ func (l *Loopback) Send(frame VMPowerFrame) error {
 	return nil
 }
 
+// SendBatch implements Transport: the loopback has no wire to batch writes
+// on, so the batch degenerates to one Send per frame.
+func (l *Loopback) SendBatch(frames []VMPowerFrame) error {
+	for _, f := range frames {
+		if err := l.Send(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close implements Transport: every receiver's Frames channel closes (link
 // loss) and further Sends fail. It is idempotent.
 func (l *Loopback) Close() error {
@@ -195,7 +228,7 @@ func (l *Loopback) Close() error {
 type loopbackReceiver struct {
 	hub    *Loopback
 	id     uint64
-	frames *frameChan
+	frames *frameChan[VMPowerFrame]
 }
 
 // Frames implements Receiver.
