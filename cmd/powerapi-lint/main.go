@@ -1,0 +1,356 @@
+// Command powerapi-lint runs the repo's invariant analyzers — leasecheck,
+// hotpath, atomichygiene, locklint — over the module. It works in two modes:
+//
+// Standalone, whole-module (preferred: the Finish hooks see every package, so
+// cross-package lock cycles and atomic/plain mixes cannot hide):
+//
+//	powerapi-lint ./...
+//
+// As a go vet tool, speaking vet's package-at-a-time driver protocol
+// (-V=full / -flags / vet.cfg), with facts exchanged through vetx files:
+//
+//	go vet -vettool=$(which powerapi-lint) ./...
+//
+// Individual analyzers toggle off with -leasecheck=false etc. Exit status is
+// 2 when diagnostics were reported, 1 on operational errors, 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"powerapi/internal/analysis/atomichygiene"
+	"powerapi/internal/analysis/framework"
+	"powerapi/internal/analysis/hotpath"
+	"powerapi/internal/analysis/leasecheck"
+	"powerapi/internal/analysis/load"
+	"powerapi/internal/analysis/locklint"
+)
+
+// version participates in go vet's action cache key: bump it when analyzer
+// behavior changes so stale cached results are not replayed.
+const version = "v1.0.0"
+
+var all = []*framework.Analyzer{
+	leasecheck.Analyzer,
+	hotpath.Analyzer,
+	atomichygiene.Analyzer,
+	locklint.Analyzer,
+}
+
+func main() {
+	progName := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// go vet's probes come first and take no other flags.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full") {
+		fmt.Printf("%s version %s\n", progName, version)
+		return
+	}
+	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
+		printFlagDefs()
+		return
+	}
+
+	fs := flag.NewFlagSet(progName, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: %s [flags] [package pattern ...]\n\nAnalyzers:\n", progName)
+		for _, a := range all {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer")
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(1)
+	}
+	var analyzers []*framework.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	rest := fs.Args()
+
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(vetMode(rest[0], analyzers))
+	}
+	os.Exit(standalone(rest, analyzers))
+}
+
+// printFlagDefs answers vet's -flags probe: the JSON flag inventory the
+// driver forwards user-provided flags through.
+func printFlagDefs() {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	defs := make([]flagDef, 0, len(all))
+	for _, a := range all {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: "run the " + a.Name + " analyzer"})
+	}
+	out, _ := json.Marshal(defs)
+	fmt.Println(string(out))
+}
+
+// standalone is the whole-module mode: load every matched package, run the
+// analyzers in dependency order, fire the Finish hooks.
+func standalone(patterns []string, analyzers []*framework.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := load.GoList("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	findings, err := load.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is vet's per-package work unit, as the driver writes it.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetImporter resolves imports for one vet unit: source import paths go
+// through ImportMap (vendoring), then to the export data files the driver
+// listed in PackageFile.
+type vetImporter struct {
+	cfg *vetConfig
+	gc  types.ImporterFrom
+}
+
+func newVetImporter(fset *token.FileSet, cfg *vetConfig) *vetImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	return &vetImporter{cfg: cfg, gc: importer.ForCompiler(fset, compiler, lookup).(types.ImporterFrom)}
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	return v.ImportFrom(path, "", 0)
+}
+
+func (v *vetImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := v.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return v.gc.ImportFrom(path, dir, mode)
+}
+
+// vetMode analyzes one package per vet's driver protocol and returns the
+// process exit code.
+func vetMode(cfgPath string, analyzers []*framework.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing vet config: %v\n", cfgPath, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(&cfg, framework.NewStore())
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{
+		Importer: newVetImporter(fset, &cfg),
+		Sizes:    types.SizesFor("gc", envOr("GOARCH", runtime.GOARCH)),
+	}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(&cfg, framework.NewStore())
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// Facts of the dependencies, written by their own vet invocations.
+	store := framework.NewStore()
+	for path, vetxFile := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetxFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reading facts of %s: %v\n", path, err)
+			return 1
+		}
+		if err := store.DecodeAll(payload); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	allows := make(framework.AllowSet)
+	ownFiles := make(map[string]bool, len(files))
+	for _, f := range files {
+		allows.CollectAllows(fset, f)
+		ownFiles[fset.Position(f.Pos()).Filename] = true
+	}
+	isModulePkg := func(path string) bool {
+		return cfg.ModulePath != "" &&
+			(path == cfg.ModulePath || strings.HasPrefix(path, cfg.ModulePath+"/"))
+	}
+
+	var findings []load.Finding
+	report := func(name string) func(framework.Diagnostic) {
+		return func(d framework.Diagnostic) {
+			p := fset.Position(d.Pos)
+			// Only positions in this unit's files are reportable here; facts
+			// carry positions from other vet processes, which do not resolve
+			// in this FileSet.
+			if !ownFiles[p.Filename] || strings.HasSuffix(p.Filename, "_test.go") {
+				return
+			}
+			if allows.Allowed(fset, name, d.Pos) {
+				return
+			}
+			findings = append(findings, load.Finding{Analyzer: name, Pos: p, Message: d.Message})
+		}
+	}
+	for _, a := range analyzers {
+		pass := &framework.Pass{
+			Analyzer:    a,
+			Fset:        fset,
+			Files:       files,
+			Pkg:         tpkg,
+			TypesInfo:   info,
+			Deferred:    false,
+			IsModulePkg: isModulePkg,
+			Report:      report(a.Name),
+		}
+		pass.SetStore(store)
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "%s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+	}
+
+	if code := writeVetx(&cfg, store); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeVetx persists the unit's fact store where the driver asked for it.
+// The driver treats a missing output as a tool failure, so this runs even
+// when type-checking failed.
+func writeVetx(cfg *vetConfig, store *framework.Store) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	payload, err := store.EncodeAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}

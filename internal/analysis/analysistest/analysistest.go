@@ -1,0 +1,129 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture packages
+// and checks its diagnostics against `// want` comments, the same fixture
+// convention as golang.org/x/tools/go/analysis/analysistest (reimplemented
+// here over the standard library because the container has no module proxy).
+//
+// A want comment annotates the line the diagnostic lands on:
+//
+//	leak := src.Get() // want `neither Released`
+//	ok := src.Get()   // no comment: a diagnostic here fails the test
+//
+// Each backquoted string is a regular expression; every expectation on a line
+// must be matched by a distinct diagnostic on that line, and every diagnostic
+// must match an expectation. Lines without wants must produce nothing — the
+// negative cases are as load-bearing as the positive ones.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"powerapi/internal/analysis/framework"
+	"powerapi/internal/analysis/load"
+)
+
+// TestData returns the testdata/src root of the calling test's package.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("analysistest: getwd: %v", err)
+	}
+	return wd + "/testdata/src"
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture packages, applies the analyzer (including its Finish
+// hook), and diffs diagnostics against want comments.
+func Run(t *testing.T, srcDir string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	prog, err := load.Testdata(srcDir, pkgs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	findings, err := load.Run(prog, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					idx := strings.Index(text, "want ")
+					if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					exps, perr := parseWants(text[idx+len("want "):])
+					if perr != nil {
+						t.Fatalf("analysistest: %s: %v", key, perr)
+					}
+					wants[key] = append(wants[key], exps...)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(f.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", posRel(f.Pos), f.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("no diagnostic at %s matching %q", key, exp.re)
+			}
+		}
+	}
+}
+
+// parseWants splits a want payload into backquoted regexps.
+func parseWants(s string) ([]*expectation, error) {
+	var out []*expectation
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		if rest[0] != '`' {
+			return nil, fmt.Errorf("want expectations must be backquoted regexps, got %q", rest)
+		}
+		end := strings.IndexByte(rest[1:], '`')
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want expectation %q", rest)
+		}
+		re, err := regexp.Compile(rest[1 : 1+end])
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp: %w", err)
+		}
+		out = append(out, &expectation{re: re})
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}
+
+func posRel(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

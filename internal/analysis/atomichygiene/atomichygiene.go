@@ -1,0 +1,282 @@
+// Package atomichygiene enforces all-or-nothing atomicity: a variable or
+// struct field that is accessed through sync/atomic's raw functions anywhere
+// in the module must be accessed atomically everywhere — one plain read of a
+// counter that other goroutines Add to is a data race the race detector only
+// catches when the interleaving happens to occur, and a torn read on 32-bit
+// targets even when it does not.
+//
+// The analyzer records, for every field or package-level variable passed as
+// `&x` to a sync/atomic function, an "atomic" mark; every other reference to
+// the same object is a plain access. In a whole-module run the join happens
+// in the Finish hook, so the order packages are analyzed in cannot hide a
+// mixed access (atomic in one package, plain in a sibling). In vet's
+// package-at-a-time mode the join uses the facts of the dependencies
+// available to the current package.
+//
+// Fields of the typed sync/atomic wrappers (atomic.Int64 & co) are exempt by
+// construction — their API admits no plain access — which is also why they
+// are the repo's preferred form. For raw 64-bit atomics the analyzer
+// additionally checks 32-bit alignment: atomic.AddInt64(&s.f, ...) faults on
+// GOARCH=386/arm unless f's offset is 8-byte aligned; the typed wrappers
+// carry an align64 guarantee instead.
+//
+// Initialization inside a composite literal is exempt (the value is not yet
+// shared). Everything else goes through `//powerapi:allow atomichygiene
+// <reason>` if it is genuinely safe, so the exception documents itself.
+package atomichygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"powerapi/internal/analysis/framework"
+)
+
+// Name is the analyzer's name, shared by fact keys and allow directives.
+const Name = "atomichygiene"
+
+// Analyzer is the atomichygiene analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: Name,
+	Doc: "check that fields touched by sync/atomic are accessed atomically everywhere, " +
+		"and that raw 64-bit atomic fields are aligned for 32-bit targets",
+	Run:    run,
+	Finish: finish,
+}
+
+// SiteRef is one source position, process-local and rendered.
+type SiteRef struct {
+	Pos  token.Pos `json:"pos"` // meaningful within one process's FileSet
+	Site string    `json:"site"`
+}
+
+// Fact is the per-object hygiene record: where it was seen atomically, and
+// where it was seen plainly.
+type Fact struct {
+	Atomic *SiteRef  `json:"atomic,omitempty"`
+	Bits64 bool      `json:"bits64,omitempty"`
+	Plain  []SiteRef `json:"plain,omitempty"`
+}
+
+func run(pass *framework.Pass) error {
+	// Phase 1: find raw atomic accesses and the idents they sanction.
+	sanctioned := make(map[*ast.Ident]bool)
+	localAtomic := make(map[types.Object]SiteRef)
+	aligned64Checked := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			fn, is64 := atomicRawCall(pass, call)
+			if fn == "" || len(call.Args) == 0 {
+				return true
+			}
+			obj, id := addressedObject(pass, call.Args[0])
+			if obj == nil {
+				return true
+			}
+			sanctioned[id] = true
+			if _, seen := localAtomic[obj]; !seen {
+				localAtomic[obj] = SiteRef{Pos: call.Pos(), Site: pass.Fset.Position(call.Pos()).String()}
+			}
+			if is64 && !aligned64Checked[obj] {
+				aligned64Checked[obj] = true
+				checkAlignment(pass, call.Args[0], obj)
+			}
+			return true
+		})
+	}
+
+	// Merge local atomic marks into the facts.
+	for obj, site := range localAtomic {
+		var fact Fact
+		pass.ImportObjectFact(obj, &fact)
+		if fact.Atomic == nil {
+			s := site
+			fact.Atomic = &s
+		}
+		pass.ExportObjectFact(obj, fact)
+	}
+
+	// Phase 2: record plain accesses of every atomic-eligible object.
+	for _, file := range pass.Files {
+		var inComposite int
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CompositeLit:
+				// Keyed initialization is pre-publication and exempt.
+				inComposite++
+				for _, el := range e.Elts {
+					ast.Inspect(el, walk)
+				}
+				inComposite--
+				return false
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[e]
+				if obj == nil || sanctioned[e] || inComposite > 0 {
+					return true
+				}
+				if !atomicEligible(obj) {
+					return true
+				}
+				var fact Fact
+				pass.ImportObjectFact(obj, &fact)
+				fact.Plain = append(fact.Plain, SiteRef{Pos: e.Pos(), Site: pass.Fset.Position(e.Pos()).String()})
+				pass.ExportObjectFact(obj, fact)
+				if !pass.Deferred && fact.Atomic != nil {
+					if _, key, keyed := pass.Store().ObjectKey(obj); keyed {
+						reportPlain(pass.Report, e.Pos(), key, *fact.Atomic)
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil
+}
+
+// finish joins atomic marks and plain accesses module-wide.
+func finish(ctx *framework.FinishContext) {
+	for _, entry := range ctx.Store.Facts(Name) {
+		var fact Fact
+		if !ctx.Store.Get(Name, entry.Pkg, entry.Obj, &fact) {
+			continue
+		}
+		if fact.Atomic == nil {
+			continue
+		}
+		for _, p := range fact.Plain {
+			reportPlain(ctx.Report, p.Pos, entry.Obj, *fact.Atomic)
+		}
+	}
+}
+
+func reportPlain(report func(framework.Diagnostic), pos token.Pos, label string, atomic SiteRef) {
+	report(framework.Diagnostic{
+		Pos: pos,
+		Message: "plain access to " + label + ", which is accessed atomically at " + atomic.Site +
+			": every access to an atomic variable must go through sync/atomic",
+	})
+}
+
+// atomicRawCall recognizes calls to sync/atomic's raw functions (not the
+// typed wrappers' methods), returning the function name and whether it is a
+// 64-bit operation.
+func atomicRawCall(pass *framework.Pass, call *ast.CallExpr) (name string, is64 bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	fn, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFunc || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+		return "", false // typed wrapper method: hygienic by construction
+	}
+	return fn.Name(), strings.Contains(fn.Name(), "64")
+}
+
+// addressedObject resolves `&x` / `&s.f` to the variable object and the
+// identifier naming it.
+func addressedObject(pass *framework.Pass, arg ast.Expr) (types.Object, *ast.Ident) {
+	unary, isUnary := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !isUnary || unary.Op != token.AND {
+		return nil, nil
+	}
+	switch x := ast.Unparen(unary.X).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[x]; obj != nil {
+			return obj, x
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[x.Sel]; obj != nil {
+			return obj, x.Sel
+		}
+	}
+	return nil, nil
+}
+
+// atomicEligible limits plain-access recording to objects raw atomics can
+// target: fields and package-level variables of 32/64-bit integer, uintptr
+// or unsafe.Pointer type. (Typed atomic.XXX fields are named structs and
+// fall out here.)
+func atomicEligible(obj types.Object) bool {
+	v, isVar := obj.(*types.Var)
+	if !isVar {
+		return false
+	}
+	if !v.IsField() && (v.Pkg() == nil || v.Parent() != v.Pkg().Scope()) {
+		return false
+	}
+	b, isBasic := v.Type().Underlying().(*types.Basic)
+	if !isBasic {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int32, types.Uint32, types.Int64, types.Uint64, types.Uintptr, types.UnsafePointer:
+		return true
+	}
+	return false
+}
+
+// checkAlignment flags raw 64-bit atomic fields whose offset is not 8-byte
+// aligned under 32-bit struct layout (GOARCH=386/arm fault on such access).
+func checkAlignment(pass *framework.Pass, arg ast.Expr, obj types.Object) {
+	v, isVar := obj.(*types.Var)
+	if !isVar || !v.IsField() {
+		return // package vars and locals are allocator-aligned
+	}
+	unary, _ := ast.Unparen(arg).(*ast.UnaryExpr)
+	if unary == nil {
+		return
+	}
+	sel, isSel := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	if !isSel {
+		return
+	}
+	recv := pass.TypesInfo.Types[sel.X].Type
+	if ptr, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	st, isStruct := recv.Underlying().(*types.Struct)
+	if !isStruct {
+		return
+	}
+	sizes := types.SizesFor("gc", "386")
+	fields := make([]*types.Var, st.NumFields())
+	idx := -1
+	for i := 0; i < st.NumFields(); i++ {
+		fields[i] = st.Field(i)
+		if st.Field(i) == v {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	offsets := sizes.Offsetsof(fields)
+	if offsets[idx]%8 != 0 {
+		pass.Reportf(arg.Pos(),
+			"64-bit atomic access to field %s at 32-bit offset %d: not 8-byte aligned on 386/arm — move it first in the struct or use atomic.%s",
+			v.Name(), offsets[idx], typedWrapperFor(v.Type()))
+	}
+}
+
+func typedWrapperFor(t types.Type) string {
+	if b, isBasic := t.Underlying().(*types.Basic); isBasic {
+		switch b.Kind() {
+		case types.Int64:
+			return "Int64"
+		case types.Uint64:
+			return "Uint64"
+		}
+	}
+	return "Int64"
+}

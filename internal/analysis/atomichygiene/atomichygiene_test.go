@@ -1,0 +1,12 @@
+package atomichygiene_test
+
+import (
+	"testing"
+
+	"powerapi/internal/analysis/analysistest"
+	"powerapi/internal/analysis/atomichygiene"
+)
+
+func TestAtomicHygiene(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomichygiene.Analyzer, "atomix", "atomix/ext")
+}

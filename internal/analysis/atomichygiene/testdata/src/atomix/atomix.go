@@ -1,0 +1,102 @@
+// Package atomix is the atomichygiene fixture: fields and package variables
+// mixing sync/atomic and plain access (positives), all-atomic and
+// typed-atomic usage (negatives), and a 64-bit field misaligned under 32-bit
+// struct layout.
+package atomix
+
+import "sync/atomic"
+
+// Counter.n is accessed atomically in bumpAtomic, so every other access must
+// be atomic too. cold is never touched atomically and stays unchecked.
+type Counter struct {
+	n    int64
+	cold int64
+}
+
+// Stats.hits sits at offset 4 under 386 layout: raw 64-bit atomics fault.
+type Stats struct {
+	pad  int32
+	hits int64
+}
+
+// Aligned.hits leads the struct, so its offset is 0 on every target.
+type Aligned struct {
+	hits int64
+	pad  int32
+}
+
+// Typed uses the sync/atomic wrapper types, which cannot be accessed plainly.
+type Typed struct {
+	n atomic.Int64
+}
+
+// Shared is read plainly from the ext fixture package.
+type Shared struct {
+	Flag int32
+}
+
+var total int64
+
+func bumpAtomic(c *Counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func readAtomic(c *Counter) int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// SetFlag makes Shared.Flag atomic module-wide.
+func SetFlag(s *Shared) {
+	atomic.StoreInt32(&s.Flag, 1)
+}
+
+func bumpTotal() {
+	atomic.AddInt64(&total, 1)
+}
+
+// --- positive cases -------------------------------------------------------
+
+func readPlain(c *Counter) int64 {
+	return c.n // want `plain access to \(Counter\)\.n, which is accessed atomically at`
+}
+
+func writePlain(c *Counter) {
+	c.n = 0 // want `plain access to \(Counter\)\.n`
+}
+
+func readTotalPlain() int64 {
+	return total // want `plain access to var total`
+}
+
+func misaligned(s *Stats) {
+	atomic.AddInt64(&s.hits, 1) // want `64-bit atomic access to field hits at 32-bit offset 4: not 8-byte aligned`
+}
+
+// --- negative cases -------------------------------------------------------
+
+func allAtomic(c *Counter) int64 {
+	atomic.StoreInt64(&c.n, 7)
+	return atomic.LoadInt64(&c.n)
+}
+
+func coldIsUnchecked(c *Counter) {
+	c.cold++
+}
+
+func typedWrapperOK(t *Typed) int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+func compositeInitOK() *Counter {
+	return &Counter{n: 5}
+}
+
+func alignedOK(a *Aligned) {
+	atomic.AddInt64(&a.hits, 1)
+}
+
+func allowedPlain(c *Counter) int64 {
+	//powerapi:allow atomichygiene read before the counter is published
+	return c.n
+}

@@ -1,0 +1,15 @@
+// Package ext proves the module-wide join: atomix.Shared.Flag is written
+// atomically in package atomix, so this package's plain read is flagged even
+// though ext itself never imports sync/atomic.
+package ext
+
+import "atomix"
+
+func Peek(s *atomix.Shared) int32 {
+	return s.Flag // want `plain access to \(Shared\)\.Flag, which is accessed atomically at`
+}
+
+func PokeAllowed(s *atomix.Shared) {
+	//powerapi:allow atomichygiene test-only reset, no concurrent readers
+	s.Flag = 0
+}

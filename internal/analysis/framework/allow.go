@@ -1,0 +1,65 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression: a comment of the form
+//
+//	//powerapi:allow <analyzer> <reason>
+//
+// on the same line as a diagnostic, or on the line immediately above it,
+// silences that analyzer there. The reason is mandatory by convention (the
+// point is to document WHY the invariant does not apply — "amortized growth",
+// "init path, no concurrent readers yet") but not enforced mechanically.
+
+const allowPrefix = "//powerapi:allow "
+
+// AllowSet records which (analyzer, file, line) triples are suppressed.
+type AllowSet map[string]map[allowLine]bool
+
+type allowLine struct {
+	file string
+	line int
+}
+
+// CollectAllows scans a file's comments for allow directives. A directive
+// suppresses its own line and the line below it, so it works both as a
+// trailing comment and as a lead-in line above the excepted statement.
+func (a AllowSet) CollectAllows(fset *token.FileSet, file *ast.File) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			name, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			if name == "" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if a[name] == nil {
+				a[name] = make(map[allowLine]bool)
+			}
+			a[name][allowLine{pos.Filename, pos.Line}] = true
+			a[name][allowLine{pos.Filename, pos.Line + 1}] = true
+		}
+	}
+}
+
+// Allowed reports whether a diagnostic of the analyzer at pos is suppressed.
+func (a AllowSet) Allowed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	lines := a[analyzer]
+	if lines == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	return lines[allowLine{p.Filename, p.Line}]
+}
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,304 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// Facts are how analyzers pass knowledge across package boundaries: hotpath
+// exports per-function allocation summaries, atomichygiene marks struct
+// fields as atomically accessed, locklint exports its acquisition-order
+// edges. Facts are JSON documents keyed by (package path, object key,
+// analyzer name) — string-keyed rather than types.Object-keyed so the same
+// fact survives both a whole-module in-process run (where dependency objects
+// are shared) and vet's package-at-a-time protocol (where each process
+// re-imports dependencies from export data and object identity is lost).
+
+// Store is the fact database of one run.
+type Store struct {
+	mu    sync.Mutex
+	facts map[storeKey]json.RawMessage
+	// fieldKeys caches the struct-field → "(Type).field" resolution per
+	// package, built lazily by scanning the package scope.
+	fieldKeys map[*types.Package]map[*types.Var]string
+}
+
+type storeKey struct {
+	pkg, obj, analyzer string
+}
+
+// NewStore returns an empty fact store.
+func NewStore() *Store {
+	return &Store{facts: make(map[storeKey]json.RawMessage)}
+}
+
+// Entry is one stored fact, as Facts enumerates them.
+type Entry struct {
+	Pkg string
+	Obj string
+	Raw json.RawMessage
+}
+
+// Set records a fact document, replacing any previous one under the same key.
+func (s *Store) Set(analyzer, pkg, obj string, fact any) error {
+	raw, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("framework: marshal %s fact for %s.%s: %w", analyzer, pkg, obj, err)
+	}
+	s.mu.Lock()
+	s.facts[storeKey{pkg, obj, analyzer}] = raw
+	s.mu.Unlock()
+	return nil
+}
+
+// Get decodes the fact stored under the key into fact, reporting whether one
+// existed.
+func (s *Store) Get(analyzer, pkg, obj string, fact any) bool {
+	s.mu.Lock()
+	raw, ok := s.facts[storeKey{pkg, obj, analyzer}]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, fact) == nil
+}
+
+// Facts enumerates every fact of one analyzer, in deterministic order.
+func (s *Store) Facts(analyzer string) []Entry {
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.facts))
+	for k, raw := range s.facts {
+		if k.analyzer == analyzer {
+			out = append(out, Entry{Pkg: k.pkg, Obj: k.obj, Raw: raw})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Obj < out[j].Obj
+	})
+	return out
+}
+
+// vetxFile is the serialized form of one package's facts — powerapi-lint's
+// equivalent of unitchecker's .vetx files, exchanged between per-package vet
+// invocations.
+type vetxFile struct {
+	Facts []vetxFact `json:"facts"`
+}
+
+type vetxFact struct {
+	Obj      string          `json:"obj"`
+	Analyzer string          `json:"analyzer"`
+	Fact     json.RawMessage `json:"fact"`
+}
+
+// EncodePackage serializes every fact attached to one package.
+func (s *Store) EncodePackage(pkg string) ([]byte, error) {
+	var f vetxFile
+	s.mu.Lock()
+	for k, raw := range s.facts {
+		if k.pkg == pkg {
+			f.Facts = append(f.Facts, vetxFact{Obj: k.obj, Analyzer: k.analyzer, Fact: raw})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(f.Facts, func(i, j int) bool {
+		if f.Facts[i].Obj != f.Facts[j].Obj {
+			return f.Facts[i].Obj < f.Facts[j].Obj
+		}
+		return f.Facts[i].Analyzer < f.Facts[j].Analyzer
+	})
+	return json.Marshal(f)
+}
+
+// vetxAllFile is the multi-package serialization one vet invocation hands the
+// next: its own package's new facts plus every dependency fact it saw, so
+// facts propagate transitively without re-reading every ancestor's file.
+type vetxAllFile struct {
+	Facts []vetxAllFact `json:"facts"`
+}
+
+type vetxAllFact struct {
+	Pkg      string          `json:"pkg"`
+	Obj      string          `json:"obj"`
+	Analyzer string          `json:"analyzer"`
+	Fact     json.RawMessage `json:"fact"`
+}
+
+// EncodeAll serializes the entire store — the vetx payload of one vet-mode
+// invocation.
+func (s *Store) EncodeAll() ([]byte, error) {
+	var f vetxAllFile
+	s.mu.Lock()
+	for k, raw := range s.facts {
+		f.Facts = append(f.Facts, vetxAllFact{Pkg: k.pkg, Obj: k.obj, Analyzer: k.analyzer, Fact: raw})
+	}
+	s.mu.Unlock()
+	sort.Slice(f.Facts, func(i, j int) bool {
+		a, b := f.Facts[i], f.Facts[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return json.Marshal(f)
+}
+
+// DecodeAll merges a multi-package vetx payload into the store.
+func (s *Store) DecodeAll(data []byte) error {
+	var f vetxAllFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("framework: decode vetx payload: %w", err)
+	}
+	s.mu.Lock()
+	for _, ft := range f.Facts {
+		s.facts[storeKey{ft.Pkg, ft.Obj, ft.Analyzer}] = ft.Fact
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// DecodePackage loads facts previously encoded for pkg into the store.
+func (s *Store) DecodePackage(pkg string, data []byte) error {
+	var f vetxFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("framework: decode facts for %s: %w", pkg, err)
+	}
+	s.mu.Lock()
+	for _, ft := range f.Facts {
+		s.facts[storeKey{pkg, ft.Obj, ft.Analyzer}] = ft.Fact
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// ObjectKey derives the stable string key of an object facts attach to:
+// "F" for a package-level function, "(T).M" for a method (pointerness of the
+// receiver erased), "var V" for a package-level variable, "type T" for a type
+// name, and "(T).f" for a field of a package-level named struct type. Objects
+// without a stable cross-process name (locals, fields of anonymous structs)
+// report ok=false.
+func (s *Store) ObjectKey(obj types.Object) (pkg, key string, ok bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	pkg = obj.Pkg().Path()
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, _ := o.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			name, found := receiverTypeName(sig.Recv().Type())
+			if !found {
+				return "", "", false
+			}
+			return pkg, "(" + name + ")." + o.Name(), true
+		}
+		return pkg, o.Name(), true
+	case *types.TypeName:
+		return pkg, "type " + o.Name(), true
+	case *types.Var:
+		if !o.IsField() {
+			if o.Parent() == o.Pkg().Scope() {
+				return pkg, "var " + o.Name(), true
+			}
+			return "", "", false
+		}
+		if k := s.fieldKey(o); k != "" {
+			return pkg, k, true
+		}
+		return "", "", false
+	}
+	return "", "", false
+}
+
+// fieldKey resolves a struct field to "(OwnerType).field" by scanning the
+// owning package's scope once and caching the result.
+func (s *Store) fieldKey(v *types.Var) string {
+	p := v.Pkg()
+	s.mu.Lock()
+	if s.fieldKeys == nil {
+		s.fieldKeys = make(map[*types.Package]map[*types.Var]string)
+	}
+	m, ok := s.fieldKeys[p]
+	s.mu.Unlock()
+	if !ok {
+		m = make(map[*types.Var]string)
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			tn, isType := scope.Lookup(name).(*types.TypeName)
+			if !isType {
+				continue
+			}
+			st, isStruct := tn.Type().Underlying().(*types.Struct)
+			if !isStruct {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				m[st.Field(i)] = "(" + name + ")." + st.Field(i).Name()
+			}
+		}
+		s.mu.Lock()
+		s.fieldKeys[p] = m
+		s.mu.Unlock()
+	}
+	return m[v]
+}
+
+// receiverTypeName unwraps a method receiver type to its named type's name.
+func receiverTypeName(t types.Type) (string, bool) {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if n, isNamed := t.(*types.Named); isNamed {
+		return n.Obj().Name(), true
+	}
+	return "", false
+}
+
+// ExportObjectFact attaches a fact to obj for dependent packages. Objects
+// without a stable key are silently skipped (nothing downstream could name
+// them anyway).
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	pkg, key, ok := p.store.ObjectKey(obj)
+	if !ok {
+		return
+	}
+	_ = p.store.Set(p.Analyzer.Name, pkg, key, fact)
+}
+
+// ImportObjectFact decodes the fact attached to obj into fact, reporting
+// whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact any) bool {
+	pkg, key, ok := p.store.ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	return p.store.Get(p.Analyzer.Name, pkg, key, fact)
+}
+
+// ExportPackageFact attaches a fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact any) {
+	_ = p.store.Set(p.Analyzer.Name, p.Pkg.Path(), "", fact)
+}
+
+// ImportPackageFact decodes the package fact of path into fact.
+func (p *Pass) ImportPackageFact(path string, fact any) bool {
+	return p.store.Get(p.Analyzer.Name, path, "", fact)
+}
+
+// Store exposes the run's fact store (the driver wires it; analyzers should
+// prefer the typed Pass methods).
+func (p *Pass) Store() *Store { return p.store }
+
+// SetStore wires the fact store into a pass; the driver calls it once per
+// package.
+func (p *Pass) SetStore(s *Store) { p.store = s }

@@ -1,0 +1,85 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface the powerapi-lint analyzers need.
+// The container this module builds in has no module proxy access, so the
+// vendorable upstream framework is out of reach; this package keeps the same
+// shape (Analyzer, Pass, Diagnostic, object facts) over nothing but the
+// standard library's go/ast, go/types and go/token, plus two extensions the
+// upstream deliberately does not have:
+//
+//   - a Finish hook that runs once after every package of a whole-module run,
+//     for invariants that are only checkable module-wide (lock-order cycles,
+//     fields that are atomic in one package and plain in another), and
+//   - a uniform suppression comment, `//powerapi:allow <analyzer> <reason>`,
+//     honoured on the diagnostic's line or the line above it, so deliberate
+//     exceptions are spelled out in the code they except.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is the one-paragraph description multichecker help prints.
+	Doc string
+	// Run analyzes one package. Diagnostics go through Pass.Report; facts
+	// for dependent packages through Pass.ExportObjectFact and
+	// Pass.ExportPackageFact.
+	Run func(*Pass) error
+	// Finish, if set, runs once after every package of a whole-module run
+	// (never in vet's package-at-a-time mode — Pass.Deferred tells Run which
+	// mode it is in). It sees the accumulated fact store.
+	Finish func(*FinishContext)
+}
+
+// Diagnostic is one finding, positioned in the package under analysis.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Deferred is true in whole-module runs, where Finish will fire:
+	// analyzers that defer cross-package reporting to Finish should report
+	// immediately instead when it is false.
+	Deferred bool
+
+	// IsModulePkg reports whether an import path belongs to the module under
+	// analysis (same-module call-graph propagation stops at its boundary).
+	IsModulePkg func(path string) bool
+
+	// Report emits a diagnostic. The driver drops diagnostics on lines
+	// suppressed by an allow comment and, in vet mode, in _test.go files.
+	Report func(Diagnostic)
+
+	store *Store
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: sprintf(format, args...)})
+}
+
+// FinishContext is what a Finish hook sees: the module-wide fact store and a
+// position-aware reporter.
+type FinishContext struct {
+	Fset   *token.FileSet
+	Store  *Store
+	Report func(Diagnostic)
+}
+
+// Posn renders a token.Pos of the current run for inclusion in messages.
+func (f *FinishContext) Posn(pos token.Pos) string {
+	return f.Fset.Position(pos).String()
+}

@@ -1,0 +1,442 @@
+// Package hotpath turns the BENCH_BUDGET allocs/round caps from an
+// after-the-fact bench gate into a compile-time diagnostic. A function
+// annotated
+//
+//	//powerapi:hotpath
+//
+// in its doc comment — and, transitively, every same-module function it
+// statically calls — must contain no allocating construct:
+//
+//   - map, slice and function literals (closures), &T{...}
+//   - new(...) and make(...)
+//   - string concatenation and string<->[]byte/[]rune conversions (except
+//     the compiler-optimized comparison and map-index forms)
+//   - calls into the fmt package
+//   - interface boxing: a concrete value passed where an interface parameter
+//     is expected, or explicitly converted to an interface type
+//   - method values and go statements
+//
+// append is allowed: the hot path appends into retained, pre-sized buffers,
+// and growth amortizes to zero — the same argument that admits the guarded
+// `make` growth sites, which are instead suppressed one by one with
+// `//powerapi:allow hotpath <why amortized>` so each exception carries its
+// justification in the source.
+//
+// The analyzer computes an allocation summary for every function of every
+// package (sites + same-module static callees), exports the summaries as
+// facts, and reports from each annotated root: its own sites at their exact
+// positions, and reachable callee sites at the call edge that pulls them in.
+// Dynamic calls (function values, interface methods) and calls out of the
+// module are not followed — the check covers the static same-module call
+// graph, which is where the pipeline's hot rounds live.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"powerapi/internal/analysis/framework"
+)
+
+// Annotation marks a function whose static call graph must be allocation-free.
+const Annotation = "//powerapi:hotpath"
+
+// Name is the analyzer's name, shared by fact keys and allow directives.
+const Name = "hotpath"
+
+// Analyzer is the hotpath analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: Name,
+	Doc: "check that //powerapi:hotpath functions and their same-module callees " +
+		"contain no allocating constructs",
+	Run: run,
+}
+
+// AllocSite is one allocating construct inside a function.
+type AllocSite struct {
+	Pos  token.Pos `json:"-"`    // valid in-process only
+	Site string    `json:"site"` // rendered file:line:col, stable across processes
+	What string    `json:"what"`
+}
+
+// Callee is one static same-module call edge.
+type Callee struct {
+	Pkg  string    `json:"pkg"`
+	Key  string    `json:"key"`
+	Name string    `json:"name"`
+	Pos  token.Pos `json:"-"`
+	Site string    `json:"site"`
+}
+
+// Summary is the exported per-function fact.
+type Summary struct {
+	Allocs  []AllocSite `json:"allocs,omitempty"`
+	Callees []Callee    `json:"callees,omitempty"`
+}
+
+func run(pass *framework.Pass) error {
+	// Allow directives are honoured at the allocation SITE during
+	// summarization (not at report time): a callee's alloc reports at the
+	// call edge in the annotated function, so driver-level line suppression
+	// would never see the site's own line, and a suppressed site must also
+	// stay out of the exported facts.
+	allows := make(framework.AllowSet)
+	for _, file := range pass.Files {
+		allows.CollectAllows(pass.Fset, file)
+	}
+
+	// Pass 1: summarize every function in this package.
+	local := make(map[types.Object]*Summary)
+	var roots []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			sum := summarize(pass, fn, allows)
+			local[obj] = sum
+			pass.ExportObjectFact(obj, sum)
+			if annotated(fn) {
+				roots = append(roots, fn)
+			}
+		}
+	}
+
+	// Pass 2: walk each annotated root's reachable call graph.
+	for _, fn := range roots {
+		obj := pass.TypesInfo.Defs[fn.Name]
+		sum := local[obj]
+		// Own sites report at their exact positions.
+		for _, a := range sum.Allocs {
+			pass.Reportf(a.Pos, "%s in hot path %s (annotated %s)", a.What, fn.Name.Name, Annotation)
+		}
+		// Callee sites report at the call edge that reaches them.
+		seen := map[string]bool{keyOf(pass, obj): true}
+		for _, c := range sum.Callees {
+			walkCallee(pass, fn.Name.Name, c, []string{}, seen, local)
+		}
+	}
+	return nil
+}
+
+func keyOf(pass *framework.Pass, obj types.Object) string {
+	pkg, key, ok := pass.Store().ObjectKey(obj)
+	if !ok {
+		return ""
+	}
+	return pkg + "." + key
+}
+
+// walkCallee reports allocation sites reachable through one call edge,
+// following same-module static calls depth-first.
+func walkCallee(pass *framework.Pass, root string, c Callee, path []string, seen map[string]bool, local map[types.Object]*Summary) {
+	id := c.Pkg + "." + c.Key
+	if id == "" || seen[id] {
+		return
+	}
+	seen[id] = true
+	var sum Summary
+	if !lookupSummary(pass, c, local, &sum) {
+		return // no body in this module (external, assembly, interface)
+	}
+	chain := strings.Join(append(path, c.Name), " -> ")
+	if chain != "" {
+		chain = " via " + chain
+	}
+	for _, a := range sum.Allocs {
+		pass.Reportf(c.Pos, "call from hot path %s reaches %s at %s%s", root, a.What, a.Site, chain)
+	}
+	for _, next := range sum.Callees {
+		// Deeper edges keep reporting at the original call site in the
+		// annotated function, with the chain spelling out the route.
+		next.Pos = c.Pos
+		walkCallee(pass, root, next, append(path, c.Name), seen, local)
+	}
+}
+
+// lookupSummary finds a callee's summary: same-package summaries from the
+// local map (object identity), cross-package ones from the fact store.
+func lookupSummary(pass *framework.Pass, c Callee, local map[types.Object]*Summary, out *Summary) bool {
+	if c.Pkg == pass.Pkg.Path() {
+		for obj, sum := range local {
+			pkg, key, ok := pass.Store().ObjectKey(obj)
+			if ok && pkg == c.Pkg && key == c.Key {
+				*out = *sum
+				return true
+			}
+		}
+		return false
+	}
+	return pass.Store().Get(Name, c.Pkg, c.Key, out)
+}
+
+// annotated reports whether the function's doc comment carries the hotpath
+// annotation.
+func annotated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, Annotation) {
+			return true
+		}
+	}
+	return false
+}
+
+// summarize walks one function body recording allocation sites and static
+// same-module callees. Nested function literals are recorded as a single
+// closure-allocation site and not descended into (their body runs only if
+// called, and creating them already allocates).
+func summarize(pass *framework.Pass, fn *ast.FuncDecl, allows framework.AllowSet) *Summary {
+	sum := &Summary{}
+	add := func(pos token.Pos, what string) {
+		if allows.Allowed(pass.Fset, Name, pos) {
+			return
+		}
+		sum.Allocs = append(sum.Allocs, AllocSite{Pos: pos, Site: pass.Fset.Position(pos).String(), What: what})
+	}
+	var walk func(n ast.Node, parent ast.Node)
+	walk = func(n ast.Node, parent ast.Node) {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			add(e.Pos(), "closure literal allocates")
+			return
+		case *ast.GoStmt:
+			add(e.Pos(), "go statement allocates a goroutine")
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[e].Type.Underlying().(type) {
+			case *types.Slice:
+				add(e.Pos(), "slice literal allocates")
+			case *types.Map:
+				add(e.Pos(), "map literal allocates")
+			default:
+				if u, isUnary := parent.(*ast.UnaryExpr); isUnary && u.Op == token.AND {
+					add(u.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, e, parent, add, sum)
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value == nil && isString(tv.Type) {
+					add(e.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.SelectorExpr:
+			// A method used as a value (not called) allocates its binding.
+			if sel := pass.TypesInfo.Selections[e]; sel != nil && sel.Kind() == types.MethodVal {
+				if call, isCall := parent.(*ast.CallExpr); !isCall || call.Fun != ast.Expr(e) {
+					add(e.Pos(), "method value allocates")
+				}
+			}
+		}
+		// Manual descent so every child knows its parent.
+		children(n, func(child ast.Node) { walk(child, n) })
+	}
+	walk(fn.Body, fn)
+	return sum
+}
+
+// checkCall classifies one call expression: builtin allocators, conversions,
+// fmt calls, interface boxing of arguments, and same-module static callees.
+func checkCall(pass *framework.Pass, call *ast.CallExpr, parent ast.Node, add func(token.Pos, string), sum *Summary) {
+	// Conversions: string<->[]byte/[]rune allocate unless the compiler
+	// optimizes the form (comparison operand, map-index key).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if allocatingConversion(pass, call, tv.Type) && !optimizedConversionContext(parent) {
+			add(call.Pos(), "string conversion allocates")
+		}
+		if isInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, aok := pass.TypesInfo.Types[call.Args[0]]; aok && !isInterface(atv.Type) && !atv.IsNil() && !pointerShaped(atv.Type) {
+				add(call.Pos(), "conversion to interface boxes its operand")
+			}
+		}
+		return
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch pass.TypesInfo.Uses[fun] {
+		case types.Universe.Lookup("new"):
+			add(call.Pos(), "new(...) allocates")
+			return
+		case types.Universe.Lookup("make"):
+			add(call.Pos(), "make(...) allocates")
+			return
+		case types.Universe.Lookup("append"), types.Universe.Lookup("len"), types.Universe.Lookup("cap"),
+			types.Universe.Lookup("copy"), types.Universe.Lookup("delete"), types.Universe.Lookup("clear"),
+			types.Universe.Lookup("min"), types.Universe.Lookup("max"), types.Universe.Lookup("panic"),
+			types.Universe.Lookup("recover"), types.Universe.Lookup("print"), types.Universe.Lookup("println"):
+			return
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			// Fall through: the arguments still box into ...any.
+			add(call.Pos(), "fmt."+fun.Sel.Name+" call allocates")
+		}
+	}
+
+	// Interface boxing at the call site: a concrete argument bound to an
+	// interface parameter.
+	if sig, ok := calleeSignature(pass, call); ok {
+		checkBoxing(pass, call, sig, add)
+	}
+
+	// Static same-module callee?
+	if callee := staticCallee(pass, call); callee != nil {
+		pkgPath := callee.Pkg().Path()
+		if pass.IsModulePkg(pkgPath) {
+			if pkg, key, ok := pass.Store().ObjectKey(callee); ok {
+				sum.Callees = append(sum.Callees, Callee{
+					Pkg: pkg, Key: key, Name: callee.Name(),
+					Pos: call.Pos(), Site: pass.Fset.Position(call.Pos()).String(),
+				})
+			}
+		}
+	}
+}
+
+// staticCallee resolves a call to its *types.Func when the callee is a
+// package function or a concrete method (not an interface method or a
+// function value).
+func staticCallee(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, isFunc := pass.TypesInfo.Uses[fun].(*types.Func); isFunc {
+			return f
+		}
+	case *ast.SelectorExpr:
+		sel := pass.TypesInfo.Selections[fun]
+		if sel == nil {
+			// Package-qualified call: pkg.F.
+			if f, isFunc := pass.TypesInfo.Uses[fun.Sel].(*types.Func); isFunc {
+				return f
+			}
+			return nil
+		}
+		if sel.Kind() != types.MethodVal {
+			return nil
+		}
+		if isInterface(sel.Recv()) {
+			return nil // dynamic dispatch: not followed
+		}
+		if f, isFunc := sel.Obj().(*types.Func); isFunc {
+			return f
+		}
+	}
+	return nil
+}
+
+func calleeSignature(pass *framework.Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil, false
+	}
+	sig, isSig := tv.Type.Underlying().(*types.Signature)
+	return sig, isSig
+}
+
+// checkBoxing flags concrete arguments bound to interface parameters.
+func checkBoxing(pass *framework.Pass, call *ast.CallExpr, sig *types.Signature, add func(token.Pos, string)) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, isSlice := last.(*types.Slice); isSlice {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		atv, ok := pass.TypesInfo.Types[arg]
+		if !ok || atv.IsNil() || isInterface(atv.Type) || pointerShaped(atv.Type) {
+			continue
+		}
+		add(arg.Pos(), "argument boxes into interface parameter")
+	}
+}
+
+// allocatingConversion reports string<->[]byte/[]rune conversions.
+func allocatingConversion(pass *framework.Pass, call *ast.CallExpr, to types.Type) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	fromTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || fromTV.Value != nil { // constant-folded: no runtime conversion
+		return false
+	}
+	from := fromTV.Type
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+// optimizedConversionContext recognizes the forms the compiler does not
+// allocate for: `string(b) == s` comparisons and `m[string(b)]` lookups.
+func optimizedConversionContext(parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.BinaryExpr:
+		return p.Op == token.EQL || p.Op == token.NEQ || p.Op == token.LSS ||
+			p.Op == token.LEQ || p.Op == token.GTR || p.Op == token.GEQ
+	case *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, isBasic := s.Elem().Underlying().(*types.Basic)
+	return isBasic && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// pointerShaped reports types whose interface representation is the value
+// itself — boxing them does not allocate.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// children invokes fn for each direct child node of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(child ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if child != nil {
+			fn(child)
+		}
+		return false
+	})
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"powerapi/internal/analysis/analysistest"
+	"powerapi/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotpath.Analyzer, "hot/sub", "hot")
+}

@@ -1,0 +1,117 @@
+// Package hot is the hotpath fixture: annotated roots with allocating
+// constructs (positives), clean hot functions and unannotated allocators
+// (negatives), and propagation into the same-module callee package hot/sub.
+package hot
+
+import (
+	"fmt"
+
+	"hot/sub"
+)
+
+type state struct {
+	vals  []float64
+	byKey map[string]float64
+	total float64
+}
+
+//powerapi:hotpath
+func allocatesDirectly(s *state) {
+	s.vals = make([]float64, 8) // want `make\(\.\.\.\) allocates`
+	m := map[string]int{}       // want `map literal allocates`
+	_ = m
+}
+
+//powerapi:hotpath
+func allocatesLiteral() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+//powerapi:hotpath
+func allocatesClosure(s *state) func() {
+	return func() { s.total++ } // want `closure literal allocates`
+}
+
+//powerapi:hotpath
+func allocatesFmt(s *state) {
+	fmt.Println(s.total) // want `fmt\.Println call allocates` `argument boxes into interface parameter`
+}
+
+//powerapi:hotpath
+func allocatesConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//powerapi:hotpath
+func allocatesConversion(b []byte) string {
+	return string(b) // want `string conversion allocates`
+}
+
+//powerapi:hotpath
+func callsLocalAllocator(s *state) {
+	localAllocator(s) // want `call from hot path callsLocalAllocator reaches make`
+}
+
+func localAllocator(s *state) {
+	s.vals = make([]float64, 4)
+}
+
+//powerapi:hotpath
+func callsAcrossPackages(c *sub.Counter) {
+	c.Bump() // want `call from hot path callsAcrossPackages reaches slice literal allocates .* via Bump -> grow`
+}
+
+//powerapi:hotpath
+func transitiveLocal(s *state) {
+	hop(s) // want `call from hot path transitiveLocal reaches map literal allocates .* via hop -> landing`
+}
+
+func hop(s *state) { landing(s) }
+
+func landing(s *state) {
+	s.byKey = map[string]float64{}
+}
+
+// --- negative cases -------------------------------------------------------
+
+//powerapi:hotpath
+func cleanHot(s *state, key string) {
+	// Reads, arithmetic, map lookups, appends into retained buffers and
+	// optimized conversions are all allocation-free.
+	s.total += s.byKey[key]
+	s.vals = append(s.vals, s.total)
+	for i := range s.vals {
+		s.vals[i] *= 2
+	}
+}
+
+//powerapi:hotpath
+func comparisonConversionOK(b []byte, s string) bool {
+	return string(b) == s // compiler-optimized: no allocation
+}
+
+//powerapi:hotpath
+func mapIndexConversionOK(m map[string]int, b []byte) int {
+	return m[string(b)] // compiler-optimized: no allocation
+}
+
+//powerapi:hotpath
+func allowedGrowth(s *state, n int) {
+	if cap(s.vals) < n {
+		//powerapi:allow hotpath amortized growth, same argument as append
+		s.vals = make([]float64, 0, n)
+	}
+}
+
+//powerapi:hotpath
+func callsCleanCallee(s *state) {
+	cleanCallee(s)
+	sub.Clean(1)
+}
+
+func cleanCallee(s *state) { s.total++ }
+
+// Unannotated: allocates freely without diagnostics.
+func coldPath() []int {
+	return []int{1, 2, 3}
+}

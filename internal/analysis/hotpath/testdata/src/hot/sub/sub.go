@@ -1,0 +1,22 @@
+// Package sub proves hotpath propagation across package boundaries: hot's
+// annotated roots reach Bump -> grow, whose allocation is reported back at
+// the call edge in package hot.
+package sub
+
+type Counter struct {
+	buf []int
+	n   int
+}
+
+// Bump is called from an annotated root in package hot.
+func (c *Counter) Bump() {
+	c.n++
+	c.grow()
+}
+
+func (c *Counter) grow() {
+	c.buf = []int{c.n}
+}
+
+// Clean is allocation-free all the way down.
+func Clean(n int) int { return n * 2 }

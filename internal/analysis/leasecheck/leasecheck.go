@@ -1,0 +1,480 @@
+// Package leasecheck mechanizes the pooled-report retention contract
+// (AggregatedReport / FleetReport leases): a leased value obtained from a
+// producer call or received from a subscription channel must be Released,
+// Cloned, or explicitly handed off before its scope ends, and must never be
+// used again after this holder Released it.
+//
+// A type is "leased" when its method set (value or pointer) has both
+// Release() and Clone... — exactly the shape internal/core's pooled
+// AggregatedReport and internal/collector's *FleetReport expose. Obligations
+// arise intra-procedurally from:
+//
+//   - a receive from, or range over, a channel of leased type (every report
+//     placed in a subscription channel carries one reference the consumer
+//     owns), and
+//   - a call whose result is leased — except methods named Clone (the result
+//     is an owned deep copy, never pooled) and Collect (its lease is
+//     pipeline-managed: the reference is released at the caller's next
+//     Collect, per the documented contract).
+//
+// An obligation is discharged by calling Release or Clone on the value
+// (directly or deferred), or by any hand-off that moves the lease out of the
+// function's hands: passing it to a call, returning it, sending it on a
+// channel, storing it in a field, map, slice or package variable, capturing
+// it in a closure, or copying it to another variable. A leased producer
+// result that is discarded outright is reported too.
+//
+// Use-after-release is flagged flow-sensitively within a block: after a
+// statement `v.Release()`, any later use of v in that block is an error
+// except v.Expired() (the sanctioned post-release probe) and reassignment,
+// which starts a fresh value.
+package leasecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"powerapi/internal/analysis/framework"
+)
+
+// Analyzer is the leasecheck analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "leasecheck",
+	Doc: "check that pooled report leases (Release/Clone method pairs) are released, " +
+		"cloned or handed off before scope exit and never used after Release",
+	Run: run,
+}
+
+// exemptProducers are methods whose leased results carry no caller-side
+// obligation: Clone results are owned copies; Collect leases are released by
+// the pipeline at the caller's next Collect (the documented retention
+// contract in internal/core).
+var exemptProducers = map[string]bool{"Clone": true, "Collect": true}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isLeased reports whether t is (a pointer to) a named type whose method set
+// contains both Release() and Clone.
+func isLeased(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return hasMethod(t, "Release") && hasMethod(t, "Clone")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	// Look through the pointer method set so value-typed leases (core's
+	// AggregatedReport) and pointer leases (*collector.FleetReport) both hit.
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(derefType(t)), true, nil, name)
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// obligation is one leased value the current function must account for.
+type obligation struct {
+	obj   types.Object // the variable holding the lease (nil: discarded result)
+	pos   token.Pos    // acquisition site
+	what  string       // human description of the source
+	scope []ast.Stmt   // statements in which discharge may happen
+}
+
+// checkBody analyzes one function body: it collects acquisition sites with
+// their discharge scopes, then scans each scope for a discharging use, and
+// separately walks blocks for use-after-release.
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	var obls []obligation
+	collectObligations(pass, body.List, &obls)
+	for _, o := range obls {
+		if o.obj == nil {
+			pass.Reportf(o.pos, "leased %s is discarded: Release it, Clone it, or hand it off", o.what)
+			continue
+		}
+		if !discharged(pass, o.obj, o.scope) {
+			pass.Reportf(o.pos, "leased %s %q is neither Released, Cloned, nor handed off before scope exit", o.what, o.obj.Name())
+		}
+	}
+	checkUseAfterRelease(pass, body)
+}
+
+// collectObligations finds lease acquisitions in stmts (recursively), binding
+// each to the statement list in which its variable is scoped.
+func collectObligations(pass *framework.Pass, stmts []ast.Stmt, out *[]obligation) {
+	for i, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			scope := stmts[i+1:]
+			for vi, rhs := range s.Rhs {
+				if what, ok := leaseSource(pass, rhs); ok {
+					// Match RHS position to LHS: single call with multi-value
+					// results maps all LHS to index 0's call.
+					var lhs ast.Expr
+					if len(s.Lhs) == len(s.Rhs) {
+						lhs = s.Lhs[vi]
+					} else if leasedResultIndex(pass, rhs) >= 0 && leasedResultIndex(pass, rhs) < len(s.Lhs) {
+						lhs = s.Lhs[leasedResultIndex(pass, rhs)]
+					}
+					obj := lhsObject(pass, lhs)
+					if obj == nil {
+						// Assigned to blank, a field, or an index expression:
+						// blank discards; the others are hand-offs by storage.
+						if id, isIdent := lhs.(*ast.Ident); isIdent && id.Name == "_" {
+							*out = append(*out, obligation{pos: rhs.Pos(), what: what})
+						}
+						continue
+					}
+					*out = append(*out, obligation{obj: obj, pos: rhs.Pos(), what: what, scope: scope})
+				}
+			}
+		case *ast.ExprStmt:
+			// A leased producer result evaluated and dropped on the floor.
+			if call, isCall := s.X.(*ast.CallExpr); isCall {
+				if what, ok := leaseSource(pass, call); ok {
+					*out = append(*out, obligation{pos: call.Pos(), what: what})
+				}
+			}
+		case *ast.RangeStmt:
+			// Ranging a leased-element channel: one obligation per iteration,
+			// scoped to the loop body.
+			if t, isChan := pass.TypesInfo.Types[s.X].Type.(*types.Chan); isChan && isLeased(t.Elem()) && s.Key != nil && s.Body != nil {
+				if obj := lhsObject(pass, s.Key); obj != nil {
+					*out = append(*out, obligation{obj: obj, pos: s.Key.Pos(), what: "report received from channel range", scope: s.Body.List})
+				}
+			}
+			if s.Body != nil {
+				collectObligations(pass, s.Body.List, out)
+			}
+			continue
+		}
+		// Recurse into nested statement lists (blocks, switch/select clause
+		// bodies); the cases above handled this statement itself.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				if !containsStmtList(stmts, b) {
+					collectObligations(pass, b.List, out)
+					return false
+				}
+			case *ast.CaseClause:
+				collectObligations(pass, b.Body, out)
+				return false
+			case *ast.CommClause:
+				// `case v := <-ch:` scopes v to the clause body.
+				if as, isAssign := b.Comm.(*ast.AssignStmt); isAssign && len(as.Rhs) == 1 {
+					if what, ok := leaseSource(pass, as.Rhs[0]); ok && len(as.Lhs) > 0 {
+						if obj := lhsObject(pass, as.Lhs[0]); obj != nil {
+							*out = append(*out, obligation{obj: obj, pos: as.Rhs[0].Pos(), what: what, scope: b.Body})
+						}
+					}
+				}
+				collectObligations(pass, b.Body, out)
+				return false
+			case *ast.FuncLit:
+				checkBody(pass, b.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// lhsObject resolves an assignment target to its variable object; nil for
+// blank, field, index or other non-identifier targets.
+func lhsObject(pass *framework.Pass, lhs ast.Expr) types.Object {
+	id, isIdent := lhs.(*ast.Ident)
+	if !isIdent || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// containsStmtList reports whether block is literally one of the statements
+// (to avoid re-walking the list the caller is already iterating).
+func containsStmtList(stmts []ast.Stmt, block *ast.BlockStmt) bool {
+	for _, s := range stmts {
+		if s == block {
+			return true
+		}
+	}
+	return false
+}
+
+// leaseSource reports whether expr acquires a lease: a channel receive of a
+// leased element, or a non-exempt call returning a leased value.
+func leaseSource(pass *framework.Pass, expr ast.Expr) (string, bool) {
+	switch e := expr.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			if t, ok := pass.TypesInfo.Types[e.X].Type.(*types.Chan); ok && isLeased(t.Elem()) {
+				return "report received from channel", true
+			}
+		}
+	case *ast.CallExpr:
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok {
+			return "", false
+		}
+		if _, exempt := callName(pass, e); exempt {
+			return "", false
+		}
+		if isLeased(tv.Type) {
+			return "result of " + callLabel(pass, e), true
+		}
+		if tuple, isTuple := tv.Type.(*types.Tuple); isTuple {
+			for i := 0; i < tuple.Len(); i++ {
+				if isLeased(tuple.At(i).Type()) {
+					return "result of " + callLabel(pass, e), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// leasedResultIndex returns which result of a multi-value call is leased.
+func leasedResultIndex(pass *framework.Pass, expr ast.Expr) int {
+	call, isCall := expr.(*ast.CallExpr)
+	if !isCall {
+		return -1
+	}
+	if tuple, isTuple := pass.TypesInfo.Types[call].Type.(*types.Tuple); isTuple {
+		for i := 0; i < tuple.Len(); i++ {
+			if isLeased(tuple.At(i).Type()) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// callName resolves the called function's bare name; the bool reports whether
+// it is an exempt producer (or a type conversion, never a producer).
+func callName(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	if pass.TypesInfo.Types[call.Fun].IsType() {
+		return "", true // conversion: the operand's obligations already exist
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, exemptProducers[fun.Name]
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, exemptProducers[fun.Sel.Name]
+	}
+	return "", false
+}
+
+func callLabel(pass *framework.Pass, call *ast.CallExpr) string {
+	name, _ := callName(pass, call)
+	if name == "" {
+		return "call"
+	}
+	return name + "()"
+}
+
+// discharged scans the scope for any statement that settles the obligation on
+// obj: Release/Clone (incl. deferred), or a hand-off. A hand-off must move
+// the lease ITSELF — the bare identifier (or its address) passed, returned,
+// sent, stored or captured. Projections (v.PerPID, v.Total) are plain reads
+// and settle nothing; that is the point of the contract.
+func discharged(pass *framework.Pass, obj types.Object, scope []ast.Stmt) bool {
+	found := false
+	for _, stmt := range scope {
+		if found {
+			break
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				// v.Release() / v.Clone() settle; v as an argument hands off.
+				if sel, isSel := e.Fun.(*ast.SelectorExpr); isSel {
+					if isIdentOf(pass, sel.X, obj) && (sel.Sel.Name == "Release" || sel.Sel.Name == "Clone") {
+						found = true
+						return false
+					}
+				}
+				for _, arg := range e.Args {
+					if isIdentOf(pass, arg, obj) {
+						found = true
+						return false
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range e.Results {
+					if isIdentOf(pass, r, obj) {
+						found = true
+						return false
+					}
+				}
+			case *ast.SendStmt:
+				if isIdentOf(pass, e.Value, obj) {
+					found = true
+					return false
+				}
+			case *ast.AssignStmt:
+				// Storing the value itself anywhere (another variable, field,
+				// map or slice element, package var) moves the lease.
+				for _, rhs := range e.Rhs {
+					if isIdentOf(pass, rhs, obj) {
+						found = true
+						return false
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range e.Elts {
+					if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+						el = kv.Value
+					}
+					if isIdentOf(pass, el, obj) {
+						found = true
+						return false
+					}
+				}
+			case *ast.FuncLit:
+				// Captured by a closure: the closure inherits the lease.
+				if identUsedIn(pass, e.Body, obj) {
+					found = true
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// isIdentOf reports whether expr is exactly the identifier bound to obj, or
+// its address.
+func isIdentOf(pass *framework.Pass, expr ast.Expr, obj types.Object) bool {
+	if u, isUnary := expr.(*ast.UnaryExpr); isUnary && u.Op == token.AND {
+		expr = u.X
+	}
+	id, isIdent := expr.(*ast.Ident)
+	return isIdent && pass.TypesInfo.Uses[id] == obj
+}
+
+func identUsedIn(pass *framework.Pass, node ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, isIdent := n.(*ast.Ident); isIdent && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return !used
+	})
+	return used
+}
+
+// checkUseAfterRelease walks every block: a statement `v.Release()` poisons v
+// for the rest of that block; later uses (except v.Expired() and
+// reassignment) are reported. Nested function literals get their own walk.
+func checkUseAfterRelease(pass *framework.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // closures get their own checkBody walk
+		}
+		block, isBlock := n.(*ast.BlockStmt)
+		if !isBlock {
+			return true
+		}
+		released := make(map[types.Object]token.Pos)
+		for _, stmt := range block.List {
+			// Reassignment of a poisoned variable starts a fresh value.
+			if as, isAssign := stmt.(*ast.AssignStmt); isAssign {
+				for _, lhs := range as.Lhs {
+					if id, isIdent := lhs.(*ast.Ident); isIdent {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							delete(released, obj)
+						}
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							delete(released, obj)
+						}
+					}
+				}
+			}
+			if len(released) > 0 {
+				reportPoisonedUses(pass, stmt, released)
+			}
+			if obj := releaseStmtTarget(pass, stmt); obj != nil {
+				released[obj] = stmt.Pos()
+			}
+		}
+		return true
+	})
+}
+
+// releaseStmtTarget returns the leased local variable v when stmt is exactly
+// `v.Release()`.
+func releaseStmtTarget(pass *framework.Pass, stmt ast.Stmt) types.Object {
+	expr, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return nil
+	}
+	call, isCall := expr.X.(*ast.CallExpr)
+	if !isCall {
+		return nil
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Release" {
+		return nil
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !isLeased(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// reportPoisonedUses flags uses of released variables inside stmt.
+func reportPoisonedUses(pass *framework.Pass, stmt ast.Stmt, released map[types.Object]token.Pos) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		// v.Expired() is the sanctioned post-release probe.
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel && sel.Sel.Name == "Expired" {
+				if id, isIdent := sel.X.(*ast.Ident); isIdent {
+					if _, poisoned := released[pass.TypesInfo.Uses[id]]; poisoned {
+						return false
+					}
+				}
+			}
+		}
+		if id, isIdent := n.(*ast.Ident); isIdent {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if relPos, poisoned := released[obj]; poisoned {
+					rel := pass.Fset.Position(relPos)
+					pass.Reportf(id.Pos(), "use of leased %q after its Release at line %d: the pooled round may already be recycled (Clone before releasing to keep it)", id.Name, rel.Line)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package leasecheck_test
+
+import (
+	"testing"
+
+	"powerapi/internal/analysis/analysistest"
+	"powerapi/internal/analysis/leasecheck"
+)
+
+func TestLeaseCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), leasecheck.Analyzer, "leasefix")
+}

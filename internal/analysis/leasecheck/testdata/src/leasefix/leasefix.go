@@ -1,0 +1,164 @@
+// Package leasefix is the leasecheck fixture: Report mirrors the pooled
+// AggregatedReport shape (Release + Clone + Expired), Pool mirrors the
+// producers. `want` comments mark the true positives; every uncommented line
+// is a negative case the analyzer must stay silent on.
+package leasefix
+
+type Report struct {
+	PerPID map[int]float64
+	Total  float64
+}
+
+func (Report) Release()      {}
+func (Report) Clone() Report { return Report{} }
+func (Report) Expired() bool { return false }
+
+type Pool struct{ C chan Report }
+
+func (Pool) Rollup() Report           { return Report{} }
+func (Pool) Collect() (Report, error) { return Report{}, nil }
+
+var sink Report
+
+// --- true positives -------------------------------------------------------
+
+func leakFromProducer(p Pool) float64 {
+	r := p.Rollup() // want `neither Released, Cloned, nor handed off`
+	return r.Total  // a projection is a read, not a hand-off
+}
+
+func leakFromChannel(p Pool) {
+	r := <-p.C // want `neither Released, Cloned, nor handed off`
+	_ = r.Total
+}
+
+func leakFromRange(p Pool) {
+	for r := range p.C { // want `neither Released, Cloned, nor handed off`
+		_ = r.PerPID
+	}
+}
+
+func discardedResult(p Pool) {
+	p.Rollup() // want `discarded`
+}
+
+func discardedToBlank(p Pool) {
+	_ = p.Rollup() // want `discarded`
+}
+
+func useAfterRelease(p Pool) float64 {
+	r := p.Rollup()
+	r.Release()
+	return r.Total // want `use of leased "r" after its Release`
+}
+
+func useAfterReleaseMap(p Pool) float64 {
+	r := <-p.C
+	r.Release()
+	w := r.PerPID[1] // want `use of leased "r" after its Release`
+	return w
+}
+
+// --- negative cases -------------------------------------------------------
+
+func releases(p Pool) float64 {
+	r := p.Rollup()
+	total := r.Total
+	r.Release()
+	return total
+}
+
+func deferredRelease(p Pool) float64 {
+	r := p.Rollup()
+	defer r.Release()
+	return r.Total
+}
+
+func clones(p Pool) Report {
+	r := <-p.C
+	keep := r.Clone()
+	r.Release()
+	return keep
+}
+
+func drainLoop(p Pool) {
+	for r := range p.C {
+		sink.Total += r.Total
+		r.Release()
+	}
+}
+
+func handsOffToCall(p Pool, consume func(Report)) {
+	r := p.Rollup()
+	consume(r)
+}
+
+func handsOffByReturn(p Pool) Report {
+	r := p.Rollup()
+	return r
+}
+
+func handsOffBySend(p Pool, out chan Report) {
+	r := p.Rollup()
+	out <- r
+}
+
+func handsOffToField(p Pool) {
+	r := p.Rollup()
+	sink = r
+}
+
+func handsOffToClosure(p Pool) func() float64 {
+	r := p.Rollup()
+	return func() float64 { return r.Total }
+}
+
+func collectIsExempt(p Pool) float64 {
+	r, err := p.Collect() // pipeline-managed lease: released at next Collect
+	if err != nil {
+		return 0
+	}
+	return r.Total
+}
+
+func cloneIsExempt(r Report) float64 {
+	c := r.Clone() // owned copy, no obligation
+	return c.Total
+}
+
+func expiredProbeAllowed(p Pool) bool {
+	r := p.Rollup()
+	r.Release()
+	return r.Expired() // the sanctioned post-release check
+}
+
+func selectReceive(p Pool, done chan struct{}) {
+	select {
+	case r := <-p.C:
+		r.Release()
+	case <-done:
+	}
+}
+
+func selectReceiveLeaks(p Pool, done chan struct{}) {
+	select {
+	case r := <-p.C: // want `neither Released, Cloned, nor handed off`
+		_ = r.Total
+	case <-done:
+	}
+}
+
+func reassignmentResets(p Pool) float64 {
+	r := p.Rollup()
+	r.Release()
+	r = p.Rollup()
+	total := r.Total
+	r.Release()
+	return total
+}
+
+func allowComment(p Pool) float64 {
+	//powerapi:allow leasecheck fixture: proves the suppression path
+	r := p.Rollup()
+	return r.Total
+}

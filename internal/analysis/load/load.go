@@ -1,0 +1,394 @@
+// Package load turns Go packages into framework passes without any
+// dependency beyond the standard library and the go command itself. Two
+// loaders share one type-checking core:
+//
+//   - GoList shells out to `go list -deps -export -json`, source-parses the
+//     module packages matched by the patterns, and resolves every import from
+//     the compiler export data the go command just built — fully offline, no
+//     module proxy, no golang.org/x/tools.
+//   - Testdata loads GOPATH-style fixture trees (testdata/src/<pkg>/*.go) for
+//     analysistest, resolving fixture-internal imports from source and
+//     everything else from export data.
+//
+// Run then drives a set of analyzers over the loaded packages in dependency
+// order, wiring the shared fact store, the allow-comment suppression set and
+// the whole-module Finish hooks.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"powerapi/internal/analysis/framework"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a set of packages to analyze plus the context they share.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // in dependency order: a package follows its imports
+	// moduleOf reports whether an import path is "ours" for the purpose of
+	// same-module propagation (the module under analysis, or the fixture
+	// tree in testdata mode).
+	moduleOf func(path string) bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` on the patterns and returns the
+// decoded stream. dir is the working directory ("" for the current one).
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decode go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiler export data files.
+type exportImporter struct {
+	exports map[string]string
+	gc      types.ImporterFrom
+	// source maps import paths to already source-checked packages (testdata
+	// fixtures importing each other); consulted before export data.
+	source map[string]*types.Package
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	e := &exportImporter{exports: exports, source: make(map[string]*types.Package)}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := e.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	e.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := e.source[path]; ok {
+		return p, nil
+	}
+	return e.gc.ImportFrom(path, dir, mode)
+}
+
+// newInfo allocates the full types.Info the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// check parses files and type-checks one package.
+func check(fset *token.FileSet, imp types.ImporterFrom, path, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		full := name
+		if !filepath.IsAbs(full) {
+			full = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: parse %s: %w", full, err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := newInfo()
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// GoList loads the module packages matched by the patterns, ready to analyze.
+// dir is the directory to run the go command from ("" for the current one).
+func GoList(dir string, patterns []string) (*Program, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	modulePaths := make(map[string]bool)
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil {
+			modulePaths[p.ImportPath] = true
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	prog := &Program{
+		Fset:     fset,
+		moduleOf: func(path string) bool { return modulePaths[path] },
+	}
+	// go list -deps emits packages after their dependencies, so analyzing in
+	// listed order guarantees facts exist before their importers run.
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// Testdata loads fixture packages from a GOPATH-style tree: srcDir/<pkg>/*.go
+// for each named package, plus any fixture packages they import. Imports that
+// are not fixture directories resolve from compiler export data (the
+// standard library, typically).
+func Testdata(srcDir string, pkgs []string) (*Program, error) {
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	order := make([]string, 0, len(pkgs))
+	fixture := func(path string) bool {
+		st, err := os.Stat(filepath.Join(srcDir, path))
+		return err == nil && st.IsDir()
+	}
+
+	// Parse the requested packages and, transitively, the fixture packages
+	// they import, recording a dependency-respecting order.
+	var external []string
+	var visit func(path string) error
+	visiting := make(map[string]bool)
+	visit = func(path string) error {
+		if _, done := parsed[path]; done || visiting[path] {
+			return nil
+		}
+		visiting[path] = true
+		defer delete(visiting, path)
+		dir := filepath.Join(srcDir, path)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("load: fixture package %s: %w", path, err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("load: parse fixture %s: %w", e.Name(), err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("load: fixture package %s has no Go files", path)
+		}
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				ipath := strings.Trim(spec.Path.Value, `"`)
+				if fixture(ipath) {
+					if err := visit(ipath); err != nil {
+						return err
+					}
+				} else {
+					external = append(external, ipath)
+				}
+			}
+		}
+		parsed[path] = files
+		order = append(order, path)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resolve external (standard library) imports through one go list run.
+	exports := make(map[string]string)
+	if len(external) > 0 {
+		sort.Strings(external)
+		external = uniq(external)
+		listed, err := goList("", append([]string{"--"}, external...))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	imp := newExportImporter(fset, exports)
+	prog := &Program{Fset: fset, moduleOf: func(path string) bool {
+		_, ok := parsed[path]
+		return ok
+	}}
+	for _, path := range order {
+		pkg, err := checkFiles(fset, imp, path, parsed[path])
+		if err != nil {
+			return nil, err
+		}
+		imp.source[path] = pkg.Types
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+func checkFiles(fset *token.FileSet, imp types.ImporterFrom, path string, files []*ast.File) (*Package, error) {
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	info := newInfo()
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func uniq(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Finding is one diagnostic with its position resolved, as Run returns them.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run drives the analyzers over every package of the program in dependency
+// order, fires their Finish hooks, and returns the surviving findings sorted
+// by position. This is the whole-module mode: Pass.Deferred is true.
+func Run(prog *Program, analyzers []*framework.Analyzer) ([]Finding, error) {
+	store := framework.NewStore()
+	allows := make(framework.AllowSet)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			allows.CollectAllows(prog.Fset, f)
+		}
+	}
+	var findings []Finding
+	report := func(name string) func(framework.Diagnostic) {
+		return func(d framework.Diagnostic) {
+			if allows.Allowed(prog.Fset, name, d.Pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: prog.Fset.Position(d.Pos), Message: d.Message})
+		}
+	}
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			pass := &framework.Pass{
+				Analyzer:    a,
+				Fset:        prog.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.Info,
+				Deferred:    true,
+				IsModulePkg: prog.moduleOf,
+				Report:      report(a.Name),
+			}
+			pass.SetStore(store)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("load: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		a.Finish(&framework.FinishContext{Fset: prog.Fset, Store: store, Report: report(a.Name)})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

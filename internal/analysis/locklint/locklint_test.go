@@ -1,0 +1,12 @@
+package locklint_test
+
+import (
+	"testing"
+
+	"powerapi/internal/analysis/analysistest"
+	"powerapi/internal/analysis/locklint"
+)
+
+func TestLockLint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), locklint.Analyzer, "lockfix", "lockfix/peer")
+}

@@ -1,0 +1,134 @@
+// Package lockfix is the locklint fixture: opposite acquisition orders in
+// one package (A/B), one half of a cross-package inversion (C/D, completed
+// by lockfix/peer), callbacks invoked under a lock, and the negative idioms
+// the analyzer must accept — copy-then-publish, branch-local locking,
+// ordered sharded locks, stdlib interfaces.
+package lockfix
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// C and D export their mutexes so package peer can lock them in the
+// opposite order.
+type C struct{ Mu sync.Mutex }
+type D struct{ Mu sync.Mutex }
+
+// Notifier is a module interface: calling it under a lock is flagged.
+type Notifier interface{ Notify(int) }
+
+type Registry struct {
+	mu      sync.Mutex
+	subs    []func(int)
+	onEvent func(int)
+	sink    Notifier
+}
+
+type shard struct{ mu sync.Mutex }
+
+func cond() bool { return false }
+
+// --- positive cases -------------------------------------------------------
+
+// orderAB and orderBA take the same pair of locks in opposite orders: both
+// closing edges of the cycle are reported.
+func orderAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock order inversion: lockfix\.\(B\)\.mu acquired while holding lockfix\.\(A\)\.mu`
+	b.mu.Unlock()
+}
+
+func orderBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock order inversion: lockfix\.\(A\)\.mu acquired while holding lockfix\.\(B\)\.mu`
+	a.mu.Unlock()
+}
+
+// OrderCD is inverted by peer.OrderDC in the peer package.
+func OrderCD(c *C, d *D) {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	d.Mu.Lock() // want `lock order inversion: lockfix\.\(D\)\.Mu acquired while holding lockfix\.\(C\)\.Mu`
+	d.Mu.Unlock()
+}
+
+func (r *Registry) publishBad(v int) {
+	r.mu.Lock()
+	r.onEvent(v) // want `calls func-valued field onEvent while holding lockfix\.\(Registry\)\.mu`
+	r.mu.Unlock()
+}
+
+func (r *Registry) notifyBad(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink.Notify(v) // want `calls method Notifier\.Notify of a module interface while holding lockfix\.\(Registry\)\.mu`
+}
+
+// --- negative cases -------------------------------------------------------
+
+// copyThenPublish is the repo's fanout idiom: snapshot under the lock,
+// release, then call.
+func (r *Registry) copyThenPublish(v int) {
+	r.mu.Lock()
+	fns := make([]func(int), len(r.subs))
+	copy(fns, r.subs)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn(v)
+	}
+}
+
+// notifyGood releases before handing control to the callback.
+func (r *Registry) notifyGood(v int) {
+	r.mu.Lock()
+	v++
+	r.mu.Unlock()
+	r.sink.Notify(v)
+}
+
+// asyncNotify hands off to a goroutine, which runs without this goroutine's
+// locks.
+func (r *Registry) asyncNotify(v int) {
+	r.mu.Lock()
+	go r.sink.Notify(v)
+	r.mu.Unlock()
+}
+
+// branchLocal: a lock taken and released inside a branch is not held after
+// it.
+func branchLocal(a *A, b *B) {
+	if cond() {
+		a.mu.Lock()
+		a.mu.Unlock()
+	}
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// shardedOK: shards of one lock class taken in index order are one class —
+// no self-edges, no inversion.
+func shardedOK(shards []shard, i, j int) {
+	shards[i].mu.Lock()
+	shards[j].mu.Lock()
+	shards[j].mu.Unlock()
+	shards[i].mu.Unlock()
+}
+
+// stdlibIfaceOK: stdlib/universe interfaces are leaf calls, not module
+// callbacks.
+func stdlibIfaceOK(r *Registry, err error) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return err.Error()
+}
+
+// allowedCallback documents a deliberate exception.
+func (r *Registry) allowedCallback(v int) {
+	r.mu.Lock()
+	//powerapi:allow locklint callback is nonblocking by contract
+	r.onEvent(v)
+	r.mu.Unlock()
+}

@@ -1,0 +1,13 @@
+// Package peer completes the cross-package lock-order cycle: lockfix takes
+// C before D, this package takes D before C. Neither package alone has a
+// cycle — only the module-wide join sees it.
+package peer
+
+import "lockfix"
+
+func OrderDC(c *lockfix.C, d *lockfix.D) {
+	d.Mu.Lock()
+	defer d.Mu.Unlock()
+	c.Mu.Lock() // want `lock order inversion: lockfix\.\(C\)\.Mu acquired while holding lockfix\.\(D\)\.Mu`
+	c.Mu.Unlock()
+}

@@ -53,6 +53,8 @@ type payloadRing struct {
 }
 
 // push enqueues a payload, returning the evicted oldest one (nil if none).
+//
+//powerapi:hotpath
 func (r *payloadRing) push(p *[]byte) (evicted *[]byte) {
 	r.mu.Lock()
 	if r.n == payloadRingSize {
@@ -69,6 +71,8 @@ func (r *payloadRing) push(p *[]byte) (evicted *[]byte) {
 }
 
 // pop dequeues the oldest pending payload.
+//
+//powerapi:hotpath
 func (r *payloadRing) pop() (*[]byte, bool) {
 	r.mu.Lock()
 	if r.n == 0 {
@@ -99,10 +103,14 @@ type nodeConn struct {
 
 	// Decode scratch, guarded by drainMu (one worker drains a node at a
 	// time). building ping-pongs with the retained slices at commit, so the
-	// steady state allocates neither.
+	// steady state allocates neither. frameCB/rowCB are the decode callbacks,
+	// built once on the node's first binary payload and reused for every
+	// later message so the per-message ingest path stays allocation-free.
 	drainMu  sync.Mutex
 	building rowBuf
 	pending  pendingFrame
+	frameCB  func(h vmbridge.FrameHeader) bool
+	rowCB    func(key []byte, watts float64)
 
 	// Retained contribution, guarded by mu; the rollup reads it.
 	mu       sync.Mutex
@@ -259,6 +267,8 @@ func (c *Collector) readConn(n *nodeConn, conn net.Conn) {
 
 // enqueue hands one payload to the worker pool, shedding the node's oldest
 // pending payload if its ring is full.
+//
+//powerapi:hotpath
 func (c *Collector) enqueue(n *nodeConn, payload *[]byte) {
 	if evicted := n.ring.push(payload); evicted != nil {
 		putBuf(evicted)
@@ -314,19 +324,25 @@ func (c *Collector) ingest(n *nodeConn, payload []byte) {
 // ingestBinary folds a binary batch allocation-free: row keys resolve to
 // fleet-global slots through the byte-keyed lookup, rows append into the
 // node's reusable building buffers, and commit swaps them into place.
+//
+//powerapi:hotpath
 func (c *Collector) ingestBinary(n *nodeConn, payload []byte) {
 	n.pending.valid = false
 	n.building.reset()
-	err := vmbridge.DecodeBinaryBatch(payload,
-		func(h vmbridge.FrameHeader) bool {
+	if n.frameCB == nil {
+		//powerapi:allow hotpath closures built once per node on first payload, reused for every later message
+		n.frameCB = func(h vmbridge.FrameHeader) bool {
 			c.commit(n) // frame boundary: land the previous one
 			n.pending = pendingFrame{valid: true, vm: h.VM, source: h.SourceMode, seq: h.Seq, ts: h.Timestamp, watts: h.Watts}
 			return true
-		},
-		func(key []byte, watts float64) {
+		}
+		//powerapi:allow hotpath closures built once per node on first payload, reused for every later message
+		n.rowCB = func(key []byte, watts float64) {
 			n.building.slots = append(n.building.slots, c.keys.slotBytes(key))
 			n.building.watts = append(n.building.watts, watts)
-		})
+		}
+	}
+	err := vmbridge.DecodeBinaryBatch(payload, n.frameCB, n.rowCB)
 	if err != nil {
 		n.pending.valid = false
 		n.building.reset()
@@ -361,6 +377,8 @@ func (b *rowBuf) reset() {
 // commit lands the pending frame as the node's retained contribution, unless
 // its sequence number is stale (a replay or reorder). The building buffers
 // swap with the retained ones, so both ping-pong without reallocating.
+//
+//powerapi:hotpath
 func (c *Collector) commit(n *nodeConn) {
 	if !n.pending.valid {
 		return
@@ -374,9 +392,11 @@ func (c *Collector) commit(n *nodeConn) {
 	}
 	n.lastSeq = n.pending.seq
 	if n.name != string(n.pending.vm) { // comparison converts without allocating
+		//powerapi:allow hotpath name changes only on the node's first frame or a rename
 		n.name = string(n.pending.vm)
 	}
 	if n.source != string(n.pending.source) {
+		//powerapi:allow hotpath source mode changes only on the node's first frame or a reconfigure
 		n.source = string(n.pending.source)
 	}
 	n.lastTS = n.pending.ts
@@ -398,6 +418,7 @@ type keyTable struct {
 	targets []target.Target
 }
 
+//powerapi:hotpath
 func (t *keyTable) slotBytes(key []byte) int32 {
 	t.mu.RLock()
 	s, ok := t.ks.LookupBytes(key)
@@ -405,9 +426,11 @@ func (t *keyTable) slotBytes(key []byte) int32 {
 	if ok {
 		return s
 	}
+	//powerapi:allow hotpath miss path: a never-seen key interns once, every later round hits the byte-keyed lookup
 	return t.assign(string(key))
 }
 
+//powerapi:hotpath
 func (t *keyTable) slot(key string) int32 {
 	t.mu.RLock()
 	s, ok := t.ks.Lookup(key)
@@ -415,6 +438,7 @@ func (t *keyTable) slot(key string) int32 {
 	if ok {
 		return s
 	}
+	//powerapi:allow hotpath miss path: a never-seen key interns once, every later round hits the lookup
 	return t.assign(key)
 }
 

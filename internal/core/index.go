@@ -107,6 +107,8 @@ func (ix *slotIndex) release(t target.Target) {
 }
 
 // lookup returns the slot of t, or -1 when the target has none.
+//
+//powerapi:hotpath
 func (ix *slotIndex) lookup(t target.Target) int32 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -116,6 +118,7 @@ func (ix *slotIndex) lookup(t target.Target) int32 {
 	return -1
 }
 
+//powerapi:hotpath
 func (ix *slotIndex) lookupLocked(t target.Target) (int32, bool) {
 	if t.Kind == target.KindProcess {
 		slot, ok := ix.pidSlots[t.PID]
@@ -142,6 +145,8 @@ func (ix *slotIndex) size() int {
 // view calls f with the slot→target table while holding the read lock, so a
 // consumer (the aggregator's per-round materialisation) resolves every slot of
 // a round under one lock acquisition. f must not retain the slices.
+//
+//powerapi:hotpath
 func (ix *slotIndex) view(f func(targets []target.Target)) {
 	ix.mu.RLock()
 	f(ix.targets)

@@ -80,6 +80,22 @@ func NewCSVReporter(w io.Writer, resolve func(pid int) string, opts ...ReporterO
 
 // Report writes the rows of one aggregated report.
 func (r *CSVReporter) Report(report AggregatedReport) error {
+	// Resolve group names before taking the lock: resolve is a user-supplied
+	// callback and must not run under r.mu (it may block, or call back into
+	// the reporter and self-deadlock). It is immutable after construction, so
+	// reading it unlocked is safe.
+	pids := make([]int, 0, len(report.PerPID))
+	for pid := range report.PerPID {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	groups := make(map[int]string, len(pids))
+	if r.resolve != nil {
+		for _, pid := range pids {
+			groups[pid] = r.resolve(pid)
+		}
+	}
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.header {
@@ -94,16 +110,8 @@ func (r *CSVReporter) Report(report AggregatedReport) error {
 	}
 	seconds := strconv.FormatFloat(report.Timestamp.Seconds(), 'f', 3, 64)
 	total := strconv.FormatFloat(report.TotalWatts, 'f', 3, 64)
-	pids := make([]int, 0, len(report.PerPID))
-	for pid := range report.PerPID {
-		pids = append(pids, pid)
-	}
-	sort.Ints(pids)
 	for _, pid := range pids {
-		group := ""
-		if r.resolve != nil {
-			group = r.resolve(pid)
-		}
+		group := groups[pid]
 		watts := strconv.FormatFloat(report.PerPID[pid], 'f', 3, 64)
 		row := []string{seconds, strconv.Itoa(pid), group, watts, total}
 		if r.targets {

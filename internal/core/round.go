@@ -26,6 +26,8 @@ type SparseSet struct {
 
 // Reset starts a new round. Amortised O(1): the epoch bump invalidates every
 // stale slot at once (with a full wipe every 2^32 rounds when it wraps).
+//
+//powerapi:hotpath
 func (s *SparseSet) Reset() {
 	s.touched = s.touched[:0]
 	s.epoch++
@@ -36,13 +38,17 @@ func (s *SparseSet) Reset() {
 }
 
 // Add accumulates v into the slot, growing the backing arrays on demand.
+//
+//powerapi:hotpath
 func (s *SparseSet) Add(slot int32, v float64) {
 	if int(slot) >= len(s.epochs) {
 		grown := int(slot) + 1
 		if grown < 2*len(s.epochs) {
 			grown = 2 * len(s.epochs)
 		}
+		//powerapi:allow hotpath amortized doubling growth, same argument as append
 		epochs := make([]uint32, grown)
+		//powerapi:allow hotpath amortized doubling growth, same argument as append
 		values := make([]float64, grown)
 		copy(epochs, s.epochs)
 		copy(values, s.values)
@@ -58,10 +64,14 @@ func (s *SparseSet) Add(slot int32, v float64) {
 }
 
 // Len returns how many distinct slots the current round touched.
+//
+//powerapi:hotpath
 func (s *SparseSet) Len() int { return len(s.touched) }
 
 // ForEach visits every slot the current round touched, in touch order, without
 // allocating.
+//
+//powerapi:hotpath
 func (s *SparseSet) ForEach(fn func(slot int32, v float64)) {
 	for _, slot := range s.touched {
 		fn(slot, s.values[slot])
@@ -71,9 +81,13 @@ func (s *SparseSet) ForEach(fn func(slot int32, v float64)) {
 // Touched returns the slots the current round touched, in touch order. The
 // slice aliases the set's internals and is invalidated by Reset; together with
 // Value it lets a merge loop iterate without a closure.
+//
+//powerapi:hotpath
 func (s *SparseSet) Touched() []int32 { return s.touched }
 
 // Value returns the accumulated value of a slot returned by Touched.
+//
+//powerapi:hotpath
 func (s *SparseSet) Value(slot int32) float64 { return s.values[slot] }
 
 // reportLease is the shared recycling state behind every copy of a pooled
@@ -125,12 +139,15 @@ var reportPool = sync.Pool{New: func() any {
 // getPooledReport leases a report buffer for one round with one reference (the
 // producer's). The hint presizes the per-PID map on a pool miss so the first
 // round at a given scale grows it once instead of doubling up.
+//
+//powerapi:hotpath
 func getPooledReport(hintPID int) *pooledReport {
 	reportPoolGets.Add(1)
 	p := reportPool.Get().(*pooledReport)
 	p.lease.refs.Store(1)
 	p.report = AggregatedReport{lease: &p.lease, gen: p.lease.gen.Load()}
 	if p.perPID == nil {
+		//powerapi:allow hotpath pool-miss presize; steady state reuses the warm map
 		p.perPID = make(map[int]float64, hintPID)
 	} else {
 		clear(p.perPID)
@@ -154,6 +171,8 @@ func ensureStringMap(m map[string]float64, hint int) map[string]float64 {
 
 // retain registers one more holder of a pooled round. A no-op for unpooled
 // reports (filtered copies, clones).
+//
+//powerapi:hotpath
 func (r AggregatedReport) retain() {
 	if r.lease != nil {
 		r.lease.refs.Add(1)
@@ -169,6 +188,8 @@ func (r AggregatedReport) retain() {
 // it: the buffer may be serving a newer round already (see Expired). Release
 // each received copy at most once; it is a no-op on clones and filtered
 // copies, which own their maps outright.
+//
+//powerapi:hotpath
 func (r AggregatedReport) Release() {
 	l := r.lease
 	if l == nil || l.gen.Load() != r.gen {
@@ -187,6 +208,8 @@ func (r AggregatedReport) Release() {
 // contract: a subscriber that keeps a report past its handler without Clone
 // can assert !report.Expired() before reading. Always false for clones and
 // filtered copies.
+//
+//powerapi:hotpath
 func (r AggregatedReport) Expired() bool {
 	return r.lease != nil && r.lease.gen.Load() != r.gen
 }
@@ -222,9 +245,12 @@ var estimatePool = sync.Pool{New: func() any { return new([]TargetEstimate) }}
 
 // getEstimateSlice returns an empty estimate slice with at least the given
 // capacity, reusing a pooled backing array when one is available.
+//
+//powerapi:hotpath
 func getEstimateSlice(capacity int) []TargetEstimate {
 	s := *estimatePool.Get().(*[]TargetEstimate)
 	if cap(s) < capacity {
+		//powerapi:allow hotpath pool-miss growth; steady state reuses the pooled array
 		return make([]TargetEstimate, 0, capacity)
 	}
 	return s[:0]
@@ -232,6 +258,8 @@ func getEstimateSlice(capacity int) []TargetEstimate {
 
 // putEstimateSlice hands an estimate slice back for reuse. The caller must be
 // the batch's final consumer.
+//
+//powerapi:hotpath
 func putEstimateSlice(s []TargetEstimate) {
 	if cap(s) == 0 {
 		return

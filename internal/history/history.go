@@ -41,6 +41,7 @@ type ring struct {
 	head     int // index of the oldest sample once the ring is full
 }
 
+//powerapi:hotpath
 func (r *ring) push(s Sample) {
 	if len(r.samples) < r.capacity {
 		r.samples = append(r.samples, s)
@@ -121,6 +122,8 @@ func NewStore(capacity int) *Store {
 }
 
 // shardFor maps a target to its lock-domain.
+//
+//powerapi:hotpath
 func (s *Store) shardFor(t target.Target) *storeShard {
 	return &s.shards[t.RouteKey()%numShards]
 }
@@ -130,6 +133,8 @@ func (s *Store) Capacity() int { return s.capacity }
 
 // Record retains one observation of one target. Older samples beyond the
 // capacity are evicted, oldest first.
+//
+//powerapi:hotpath
 func (s *Store) Record(t target.Target, ts time.Duration, watts float64) {
 	sh := s.shardFor(t)
 	sh.mu.Lock()
@@ -146,6 +151,8 @@ func (s *Store) Record(t target.Target, ts time.Duration, watts float64) {
 // can no longer match any future sample and are pruned — the tombstone maps
 // stay bounded by the targets removed since the previous round, not by every
 // target that ever existed.
+//
+//powerapi:hotpath
 func (s *Store) RecordBatch(ts time.Duration, samples []TargetSample) {
 	s.batchMu.Lock()
 	defer s.batchMu.Unlock()
@@ -172,6 +179,7 @@ func (s *Store) RecordBatch(ts time.Duration, samples []TargetSample) {
 	}
 }
 
+//powerapi:hotpath
 func (sh *storeShard) recordLocked(t target.Target, ts time.Duration, watts float64, capacity int) {
 	if cutoff, ok := sh.tombstones[t]; ok {
 		if ts <= cutoff {
@@ -181,6 +189,7 @@ func (sh *storeShard) recordLocked(t target.Target, ts time.Duration, watts floa
 	}
 	r, ok := sh.rings[t]
 	if !ok {
+		//powerapi:allow hotpath one ring per target lifetime, not per round
 		r = &ring{capacity: capacity}
 		sh.rings[t] = r
 	}

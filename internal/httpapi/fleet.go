@@ -100,6 +100,7 @@ func sortedKeys(m map[string]float64) []string {
 // handleMetrics serves the Prometheus text exposition of the latest fleet
 // round plus the gather-link and rollup-latency families.
 func (f *FleetServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	//powerapi:allow leasecheck stored round is a private clone owned by this server, not a pooled lease
 	rep := f.latest.Load()
 	if rep == nil {
 		jsonError(w, http.StatusServiceUnavailable, errors.New("no completed fleet round yet"))

@@ -128,6 +128,7 @@ func escapeLabel(v string) string {
 
 // handleMetrics serves the Prometheus text exposition of the latest round.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	//powerapi:allow leasecheck Latest returns a private clone owned by this server, not a pooled lease
 	report, ok := s.Latest()
 	if !ok {
 		jsonError(w, http.StatusServiceUnavailable, errors.New("no completed monitoring round yet"))

@@ -27,6 +27,8 @@ type Histogram struct {
 // Observe records one duration in nanoseconds. Negative durations (clock
 // anomalies) are clamped to zero rather than dropped, so count and sum stay
 // consistent with the number of calls.
+//
+//powerapi:hotpath
 func (h *Histogram) Observe(ns int64) {
 	if h == nil {
 		return

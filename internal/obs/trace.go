@@ -91,6 +91,7 @@ func (sp *span) reset() {
 	sp.slowest.Store(0)
 }
 
+//powerapi:hotpath
 func (sp *span) record(shard int, startNs, endNs int64) {
 	if endNs < startNs {
 		endNs = startNs
@@ -246,6 +247,8 @@ func (t *Tracer) findSlot(ts time.Duration) *traceSlot {
 // startNs/endNs are tracer-monotonic stamps from Now. Stamps for rounds no
 // longer in the ring are dropped; the stage histogram observes the duration
 // either way, so aggregate latencies never lose samples.
+//
+//powerapi:hotpath
 func (t *Tracer) Record(ts time.Duration, stage Stage, shard int, startNs, endNs int64) {
 	if t == nil || stage >= NumStages {
 		return

@@ -96,20 +96,27 @@ func (p *Process) AddCPUTime(d time.Duration) {
 // instant relative to the machine epoch (the process translates it to its own
 // lifetime).
 func (p *Process) Demand(at time.Duration) workload.Demand {
+	// Snapshot under the lock, call the generator after releasing it: the
+	// generator is caller-provided code and must not run under p.mu.
+	// generator and startedAt are immutable after Spawn, so the unlocked call
+	// observes a consistent pair.
 	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.state != StateRunnable {
+	state := p.state
+	gen, startedAt := p.generator, p.startedAt
+	p.mu.RUnlock()
+	if state != StateRunnable {
 		return workload.Demand{}
 	}
-	return p.generator.Demand(at - p.startedAt)
+	return gen.Demand(at - startedAt)
 }
 
 // WorkloadDone reports whether the underlying workload has completed at the
 // given machine instant.
 func (p *Process) WorkloadDone(at time.Duration) bool {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.generator.Done(at - p.startedAt)
+	gen, startedAt := p.generator, p.startedAt
+	p.mu.RUnlock()
+	return gen.Done(at - startedAt)
 }
 
 // exit marks the process as exited at the given instant.
@@ -172,13 +179,14 @@ func (t *Table) Spawn(gen workload.Generator, at time.Duration, opts ...SpawnOpt
 	if gen == nil {
 		return nil, errors.New("proc: nil workload generator")
 	}
+	name := gen.Name() // caller-provided code; call it before taking t.mu
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	pid := t.nextPID
 	t.nextPID++
 	p := &Process{
 		pid:       pid,
-		name:      gen.Name(),
+		name:      name,
 		generator: gen,
 		state:     StateRunnable,
 		startedAt: at,

@@ -157,6 +157,7 @@ func (m *Meter) ReadRaw(socket int, domain Domain) (uint32, error) {
 	if st, ok := m.latch[key]; ok && st.set && m.cfg.UpdatePeriod > 0 && now-st.at < m.cfg.UpdatePeriod {
 		return st.raw, nil
 	}
+	//powerapi:allow locklint reader is a leaf driver; the latch lock deliberately serializes hardware reads
 	joules, err := m.reader.CumulativeJoules(socket, domain)
 	if err != nil {
 		return 0, fmt.Errorf("rapl: read %v energy of socket %d: %w", domain, socket, err)

@@ -1,0 +1,49 @@
+package target
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// referenceKey is the digest RouteKey produced before the inline rewrite:
+// FNV-1a over prefix+identity via hash/fnv. The rewrite must not move any
+// target to a different shard.
+func referenceKey(prefix, s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(prefix))
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func TestRouteKeyMatchesReferenceFNV(t *testing.T) {
+	cases := []struct {
+		target Target
+		want   uint64
+	}{
+		{Cgroup("web/api"), referenceKey("cgroup:", "web/api")},
+		{Cgroup(""), referenceKey("cgroup:", "")},
+		{VM("vm-web"), referenceKey("vm:", "vm-web")},
+		{Node("node-7"), referenceKey("node:", "node-7")},
+		{Process(1234), 1234},
+		{Machine(), 0},
+	}
+	for _, c := range cases {
+		if got := c.target.RouteKey(); got != c.want {
+			t.Errorf("RouteKey(%v) = %d, want %d", c.target, got, c.want)
+		}
+	}
+}
+
+func TestRouteKeyDoesNotAllocate(t *testing.T) {
+	targets := []Target{Cgroup("web/api/deep/path"), VM("vm-web"), Node("node-7"), Process(42)}
+	var sink uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, tg := range targets {
+			sink += tg.RouteKey()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RouteKey allocated %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}

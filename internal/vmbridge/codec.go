@@ -76,6 +76,13 @@ var errBadMagic = errors.New("vmbridge: bad binary frame magic")
 // errMalformed reports a binary payload that ends mid-frame.
 var errMalformed = errors.New("vmbridge: malformed binary frame payload")
 
+// minRowBytes is the smallest wire footprint of one row: a one-byte uvarint
+// for an empty key plus the eight-byte float. A frame claiming more rows than
+// the remaining payload could possibly hold is malformed, and rejecting it up
+// front keeps a hostile header from driving a huge presize in consumers that
+// trust FrameHeader.Rows (decodeBinaryFrames does).
+const minRowBytes = 9
+
 // AppendBinaryBatch appends one binary wire message encoding the whole batch
 // to dst and returns the extended slice. Encoding allocates only when dst's
 // capacity is exceeded, so a publisher reusing its scratch buffer encodes
@@ -86,6 +93,8 @@ var errMalformed = errors.New("vmbridge: malformed binary frame payload")
 // uvarint Timestamp (ns), float64 LE Watts, float64 LE HostTotalWatts,
 // uvarint-prefixed SourceMode, uvarint row count, then per row a
 // uvarint-prefixed key and a float64 LE watts.
+//
+//powerapi:hotpath
 func AppendBinaryBatch(dst []byte, frames []VMPowerFrame) []byte {
 	dst = append(dst, binaryMagic[:]...)
 	lenAt := len(dst)
@@ -109,11 +118,13 @@ func AppendBinaryBatch(dst []byte, frames []VMPowerFrame) []byte {
 	return dst
 }
 
+//powerapi:hotpath
 func appendString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
 }
 
+//powerapi:hotpath
 func appendFloat(dst []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 }
@@ -121,6 +132,8 @@ func appendFloat(dst []byte, v float64) []byte {
 // ReadBinaryMessage reads one binary message from r and returns its payload,
 // reusing buf's backing array when it is large enough. The returned slice is
 // only valid until the next call with the same buffer.
+//
+//powerapi:hotpath
 func ReadBinaryMessage(r io.Reader, buf []byte) ([]byte, error) {
 	var head [BinaryMessageHeader]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
@@ -131,9 +144,11 @@ func ReadBinaryMessage(r io.Reader, buf []byte) ([]byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(head[4:])
 	if n > maxBinaryPayload {
+		//powerapi:allow hotpath error path: only a malformed or hostile header reaches this
 		return nil, fmt.Errorf("vmbridge: binary payload of %d bytes exceeds the %d limit", n, maxBinaryPayload)
 	}
 	if uint32(cap(buf)) < n {
+		//powerapi:allow hotpath amortized growth: the caller reuses the returned buffer across reads
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
@@ -162,6 +177,8 @@ type FrameHeader struct {
 // collector fold a million rows per second into its slot maps without
 // allocating per row. If frame returns false the frame's rows are skipped
 // (decoded to advance, not reported). A nil row callback skips all rows.
+//
+//powerapi:hotpath
 func DecodeBinaryBatch(payload []byte, frame func(h FrameHeader) bool, row func(key []byte, watts float64)) error {
 	count, payload, ok := takeUvarint(payload)
 	if !ok {
@@ -189,6 +206,9 @@ func DecodeBinaryBatch(payload []byte, frame func(h FrameHeader) bool, row func(
 			return errMalformed
 		}
 		if rows, payload, ok = takeUvarint(payload); !ok {
+			return errMalformed
+		}
+		if rows > uint64(len(payload))/minRowBytes {
 			return errMalformed
 		}
 		h.Seq, h.Timestamp, h.Rows = seq, time.Duration(ts), int(rows)
@@ -239,6 +259,7 @@ func decodeBinaryFrames(payload []byte, dst []VMPowerFrame) ([]VMPowerFrame, err
 	return dst, err
 }
 
+//powerapi:hotpath
 func takeUvarint(b []byte) (uint64, []byte, bool) {
 	v, n := binary.Uvarint(b)
 	if n <= 0 {
@@ -247,6 +268,7 @@ func takeUvarint(b []byte) (uint64, []byte, bool) {
 	return v, b[n:], true
 }
 
+//powerapi:hotpath
 func takeBytes(b []byte) ([]byte, []byte, bool) {
 	n, rest, ok := takeUvarint(b)
 	if !ok || uint64(len(rest)) < n {
@@ -255,6 +277,7 @@ func takeBytes(b []byte) ([]byte, []byte, bool) {
 	return rest[:n], rest[n:], true
 }
 
+//powerapi:hotpath
 func takeFloat(b []byte) (float64, []byte, bool) {
 	if len(b) < 8 {
 		return 0, b, false

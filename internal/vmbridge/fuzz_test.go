@@ -1,0 +1,138 @@
+package vmbridge
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fuzzSeedFrames is a representative batch covering both bridge shapes: a
+// host↔guest frame (no rows) and a fleet frame (node name + per-target rows).
+func fuzzSeedFrames() []VMPowerFrame {
+	return []VMPowerFrame{
+		{VM: "vm-web", Seq: 7, Timestamp: 3 * time.Second, Watts: 12.5, HostTotalWatts: 80, SourceMode: "blended"},
+		{VM: "node-3", Seq: 41, Timestamp: 9 * time.Second, Watts: 55.25, SourceMode: "rapl", Rows: []TargetRow{
+			{Key: "cgroup:web/api", Watts: 30.5},
+			{Key: "machine", Watts: 24.75},
+		}},
+	}
+}
+
+// FuzzDecodeFrame exercises the JSON-lines receive path: one line, one frame,
+// exactly as TCPReceiver.readLoop unmarshals it. A decode error is fine (the
+// read loop counts it and resyncs on the next newline); a panic is not.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, frame := range fuzzSeedFrames() {
+		line, err := json.Marshal(frame)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(line)
+	}
+	f.Add([]byte(`{"vm":"a","seq":-1}`))
+	f.Add([]byte(`{"vm":"a","rows":[{"key":"x","watts":1e309}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var frame VMPowerFrame
+		if err := json.Unmarshal(line, &frame); err != nil {
+			return
+		}
+		// A frame that decoded must re-encode; Unmarshal rejects the
+		// non-finite floats that would make Marshal fail.
+		if _, err := json.Marshal(frame); err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeBatch exercises the binary codec's payload walk: the zero-copy
+// streaming decoder and the owning frame decoder must agree, never panic, and
+// never let a hostile header drive allocation past the payload itself.
+func FuzzDecodeBatch(f *testing.F) {
+	msg := AppendBinaryBatch(nil, fuzzSeedFrames())
+	f.Add(msg[BinaryMessageHeader:]) // well-formed payload
+	f.Add(msg[BinaryMessageHeader : len(msg)-5])
+	f.Add([]byte{})
+	f.Add(hostileRowsPayload())
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var streamRows int
+		streamErr := DecodeBinaryBatch(payload,
+			func(h FrameHeader) bool { return true },
+			func(key []byte, watts float64) { streamRows++ })
+		frames, ownErr := decodeBinaryFrames(payload, nil)
+		if (streamErr == nil) != (ownErr == nil) {
+			t.Fatalf("decoders disagree: stream=%v own=%v", streamErr, ownErr)
+		}
+		if streamErr != nil {
+			return
+		}
+		var ownRows int
+		for i := range frames {
+			ownRows += len(frames[i].Rows)
+		}
+		if ownRows != streamRows {
+			t.Fatalf("row counts disagree: stream=%d own=%d", streamRows, ownRows)
+		}
+		// A payload that decoded must survive a re-encode/re-decode round
+		// trip unchanged. Equality is checked on the re-encoded bytes, not the
+		// structs: floats round-trip as raw bits, and a NaN watts value is
+		// legal on the wire but never compares equal to itself.
+		enc := AppendBinaryBatch(nil, frames)[BinaryMessageHeader:]
+		again, err := decodeBinaryFrames(enc, nil)
+		if err != nil {
+			t.Fatalf("re-encoded payload does not decode: %v", err)
+		}
+		enc2 := AppendBinaryBatch(nil, again)[BinaryMessageHeader:]
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip changed the encoding:\n  first:  %x\n  second: %x", enc, enc2)
+		}
+	})
+}
+
+// hostileRowsPayload builds a tiny payload whose one frame claims 2^32 rows —
+// the input that made decodeBinaryFrames presize gigabytes before the row
+// count was bounded by the remaining payload.
+func hostileRowsPayload() []byte {
+	p := binary.AppendUvarint(nil, 1)          // one frame
+	p = append(p, 0)                           // empty VM name
+	p = binary.AppendUvarint(p, 1)             // seq
+	p = binary.AppendUvarint(p, 0)             // timestamp
+	p = append(p, make([]byte, 16)...)         // watts, hostTotalWatts
+	p = append(p, 0)                           // empty source mode
+	p = binary.AppendUvarint(p, uint64(1)<<32) // claimed row count
+	return p
+}
+
+// TestDecodeBinaryFramesRowsBound pins the fix for the unbounded presize: a
+// frame header claiming more rows than the remaining bytes could hold is
+// malformed, and rejecting it costs no allocation proportional to the claim.
+func TestDecodeBinaryFramesRowsBound(t *testing.T) {
+	payload := hostileRowsPayload()
+	if _, err := decodeBinaryFrames(payload, nil); err == nil {
+		t.Fatal("payload claiming 2^32 rows in a few bytes decoded without error")
+	}
+	err := DecodeBinaryBatch(payload, func(FrameHeader) bool { return true }, nil)
+	if err == nil {
+		t.Fatal("streaming decoder accepted a row count the payload cannot hold")
+	}
+	// The boundary itself still decodes: exactly as many rows as fit.
+	frames := []VMPowerFrame{{VM: "n", Rows: []TargetRow{{Key: "", Watts: 1}, {Key: "", Watts: 2}}}}
+	payload = AppendBinaryBatch(nil, frames)[BinaryMessageHeader:]
+	got, err := decodeBinaryFrames(payload, nil)
+	if err != nil || len(got) != 1 || len(got[0].Rows) != 2 {
+		t.Fatalf("minimal-size rows failed to decode: frames=%v err=%v", got, err)
+	}
+}
+
+// TestReadBinaryMessageHostileLength pins the header length bound: a header
+// claiming a payload past the limit errors without allocating it.
+func TestReadBinaryMessageHostileLength(t *testing.T) {
+	var head [BinaryMessageHeader]byte
+	copy(head[:], binaryMagic[:])
+	binary.LittleEndian.PutUint32(head[4:], maxBinaryPayload+1)
+	if _, err := ReadBinaryMessage(bytes.NewReader(head[:]), nil); err == nil {
+		t.Fatal("over-limit payload length accepted")
+	}
+}
