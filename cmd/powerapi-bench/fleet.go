@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"powerapi/internal/collector"
+	"powerapi/internal/core"
 	"powerapi/internal/vmbridge"
 )
 
@@ -25,6 +27,10 @@ type FleetCell struct {
 	Nodes          int `json:"nodes"`
 	TargetsPerNode int `json:"targetsPerNode"`
 	Shards         int `json:"shards"`
+	// Subscribers is how many draining fanout subscribers rode the rounds —
+	// the axis whose scaling must stay sub-linear (fanout is one retain +
+	// channel offer per subscriber, not a re-rollup).
+	Subscribers int `json:"subscribers,omitempty"`
 	// Rounds is how many steady-state fleet rounds were metered.
 	Rounds int `json:"rounds"`
 	// RoundsPerSec is the fleet-round throughput: ingest of every node's
@@ -90,13 +96,47 @@ func benchRows(targetsPerNode int) []vmbridge.TargetRow {
 	return rows
 }
 
-// measureFleet meters one fleet cell on the binary codec.
-func measureFleet(nodes, targetsPerNode, shards, warmup, rounds int) (FleetCell, error) {
+// measureFleet meters one fleet cell on the binary codec. Frames carry full
+// version-2 provenance stamps, so the metered path includes offset tracking,
+// the per-round health pass and the e2e latency histogram — the claim is
+// allocation-flat rounds with the whole observability layer live. With
+// subscribers > 0, that many Conflate subscribers drain the fanout while the
+// rounds run.
+func measureFleet(nodes, targetsPerNode, shards, subscribers, warmup, rounds int) (FleetCell, error) {
 	col, names, err := benchCollector(nodes, shards, vmbridge.CodecBinary)
 	if err != nil {
 		return FleetCell{}, err
 	}
 	defer col.Close()
+
+	var subWG sync.WaitGroup
+	subs := make([]*collector.Subscription, 0, subscribers)
+	for s := 0; s < subscribers; s++ {
+		sub, serr := col.Subscribe(collector.SubscribeOptions{
+			Name:   fmt.Sprintf("bench-sub-%03d", s),
+			Policy: core.Conflate,
+		})
+		if serr != nil {
+			return FleetCell{}, serr
+		}
+		subs = append(subs, sub)
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			for rep := range sub.C() {
+				// Touch the report the way a real consumer would before
+				// releasing, so the fanout cost is not optimised away.
+				_ = rep.TotalWatts
+				rep.Release()
+			}
+		}()
+	}
+	defer func() {
+		for _, s := range subs {
+			s.Close()
+		}
+		subWG.Wait()
+	}()
 
 	batch := []vmbridge.VMPowerFrame{{
 		Watts:          float64(targetsPerNode),
@@ -109,15 +149,18 @@ func measureFleet(nodes, targetsPerNode, shards, warmup, rounds int) (FleetCell,
 	var wireBytes uint64
 	tick := func() error {
 		seq++
+		emit := time.Duration(time.Now().UnixNano())
 		for i := 0; i < nodes; i++ {
 			// Encode into the reused scratch (allocation-free once grown) and
-			// feed the bare payload past the wire header.
+			// feed the whole wire message, header included.
 			batch[0].VM = names[i]
 			batch[0].Seq = seq
-			scratch = vmbridge.AppendBinaryBatch(scratch[:0], batch)
-			payload := scratch[vmbridge.BinaryMessageHeader:]
+			batch[0].EmitMono = emit
+			batch[0].Round = seq
+			batch[0].TraceID = vmbridge.FrameTraceID(names[i], seq)
+			scratch = vmbridge.AppendBinaryBatchVersion(scratch[:0], batch, vmbridge.BinaryVersionProvenance)
 			wireBytes += uint64(len(scratch))
-			if err := col.FeedPayload(i, payload); err != nil {
+			if err := col.FeedPayload(i, scratch); err != nil {
 				return err
 			}
 		}
@@ -163,6 +206,7 @@ func measureFleet(nodes, targetsPerNode, shards, warmup, rounds int) (FleetCell,
 		Nodes:           nodes,
 		TargetsPerNode:  targetsPerNode,
 		Shards:          shards,
+		Subscribers:     subscribers,
 		Rounds:          rounds,
 		RoundsPerSec:    1 / perRound,
 		NsPerTarget:     perRound * 1e9 / float64(nodes*targetsPerNode),
@@ -248,8 +292,12 @@ func measureCodecRate(codec vmbridge.Codec, nodes, targetsPerNode, warmup, round
 func measureCodecs(nodes, targetsPerNode, warmup, rounds int) (CodecReport, error) {
 	binRows, binBytes, err := measureCodecRate(vmbridge.CodecBinary, nodes, targetsPerNode, warmup, rounds,
 		func(frame vmbridge.VMPowerFrame) []byte {
-			msg := vmbridge.AppendBinaryBatch(nil, []vmbridge.VMPowerFrame{frame})
-			return msg[vmbridge.BinaryMessageHeader:]
+			// FeedPayload takes the whole message; version-2 framing so the
+			// measured decode includes the provenance fields.
+			frame.EmitMono = time.Duration(frame.Seq)
+			frame.Round = frame.Seq
+			frame.TraceID = vmbridge.FrameTraceID(frame.VM, frame.Seq)
+			return vmbridge.AppendBinaryBatchVersion(nil, []vmbridge.VMPowerFrame{frame}, vmbridge.BinaryVersionProvenance)
 		})
 	if err != nil {
 		return CodecReport{}, fmt.Errorf("binary: %w", err)
@@ -280,7 +328,9 @@ func measureCodecs(nodes, targetsPerNode, warmup, rounds int) (CodecReport, erro
 }
 
 // checkFleetBudget enforces fleet budget entries (Nodes > 0) against the
-// measured fleet cells; pipeline entries are ignored here.
+// measured fleet cells; pipeline entries are ignored here. An entry matches
+// on nodes, targets/node and subscriber count, so the subscriber axis is
+// pinned independently of the no-fanout cells.
 func checkFleetBudget(cells []FleetCell, budget []BudgetEntry) bool {
 	failed := false
 	for _, b := range budget {
@@ -288,27 +338,28 @@ func checkFleetBudget(cells []FleetCell, budget []BudgetEntry) bool {
 			continue
 		}
 		for _, c := range cells {
-			if c.Nodes != b.Nodes || c.TargetsPerNode != b.TargetsPerNode {
+			if c.Nodes != b.Nodes || c.TargetsPerNode != b.TargetsPerNode || c.Subscribers != b.Subscribers {
 				continue
 			}
+			label := fmt.Sprintf("nodes=%d targets/node=%d subscribers=%d", c.Nodes, c.TargetsPerNode, c.Subscribers)
 			if c.AllocsPerRound > b.MaxAllocsPerRound {
-				fmt.Fprintf(os.Stderr, "BUDGET EXCEEDED: nodes=%d targets/node=%d allocs/round %.1f > budget %.1f\n",
-					c.Nodes, c.TargetsPerNode, c.AllocsPerRound, b.MaxAllocsPerRound)
+				fmt.Fprintf(os.Stderr, "BUDGET EXCEEDED: %s allocs/round %.1f > budget %.1f\n",
+					label, c.AllocsPerRound, b.MaxAllocsPerRound)
 				failed = true
 			} else {
-				fmt.Fprintf(os.Stderr, "budget ok: nodes=%d targets/node=%d allocs/round %.1f <= %.1f\n",
-					c.Nodes, c.TargetsPerNode, c.AllocsPerRound, b.MaxAllocsPerRound)
+				fmt.Fprintf(os.Stderr, "budget ok: %s allocs/round %.1f <= %.1f\n",
+					label, c.AllocsPerRound, b.MaxAllocsPerRound)
 			}
 			if b.MaxRoundP99Seconds <= 0 {
 				continue
 			}
 			if c.RoundP99Seconds > b.MaxRoundP99Seconds {
-				fmt.Fprintf(os.Stderr, "BUDGET EXCEEDED: nodes=%d targets/node=%d round p99 %.3fs > budget %.3fs\n",
-					c.Nodes, c.TargetsPerNode, c.RoundP99Seconds, b.MaxRoundP99Seconds)
+				fmt.Fprintf(os.Stderr, "BUDGET EXCEEDED: %s round p99 %.3fs > budget %.3fs\n",
+					label, c.RoundP99Seconds, b.MaxRoundP99Seconds)
 				failed = true
 			} else {
-				fmt.Fprintf(os.Stderr, "budget ok: nodes=%d targets/node=%d round p99 %.3fs <= %.3fs\n",
-					c.Nodes, c.TargetsPerNode, c.RoundP99Seconds, b.MaxRoundP99Seconds)
+				fmt.Fprintf(os.Stderr, "budget ok: %s round p99 %.3fs <= %.3fs\n",
+					label, c.RoundP99Seconds, b.MaxRoundP99Seconds)
 			}
 		}
 	}

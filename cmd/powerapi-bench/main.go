@@ -71,6 +71,7 @@ type BudgetEntry struct {
 	Shards             int     `json:"shards,omitempty"`
 	Nodes              int     `json:"nodes,omitempty"`
 	TargetsPerNode     int     `json:"targetsPerNode,omitempty"`
+	Subscribers        int     `json:"subscribers,omitempty"`
 	MaxAllocsPerRound  float64 `json:"maxAllocsPerRound"`
 	MaxRoundP99Seconds float64 `json:"maxRoundP99Seconds,omitempty"`
 }
@@ -91,6 +92,7 @@ func main() {
 		fleetShards   = flag.Int("fleet-shards", 4, "rollup fan-out width of the fleet collector")
 		fleetRounds   = flag.Int("fleet-rounds", 25, "steady-state fleet rounds metered per cell")
 		fleetWarmup   = flag.Int("fleet-warmup", 20, "fleet warm-up rounds per cell (must outlast history ring growth)")
+		fleetSubs     = flag.String("fleet-subscribers", "0", "comma-separated fanout subscriber counts crossed with -fleet-nodes (0 allowed; fanout cost must stay sub-linear)")
 		minCodecRatio = flag.Float64("min-codec-ratio", 0, "fail unless binary ingests rows at least this many times faster than JSON (0 reports only)")
 	)
 	flag.Parse()
@@ -121,14 +123,20 @@ func main() {
 		if err != nil {
 			fatalf("parse -fleet-nodes: %v", err)
 		}
+		subScales, err := parseCounts(*fleetSubs)
+		if err != nil {
+			fatalf("parse -fleet-subscribers: %v", err)
+		}
 		for _, nodes := range nodeScales {
-			cell, err := measureFleet(nodes, *fleetTargets, *fleetShards, *fleetWarmup, *fleetRounds)
-			if err != nil {
-				fatalf("measure fleet nodes=%d targets/node=%d: %v", nodes, *fleetTargets, err)
+			for _, subscribers := range subScales {
+				cell, err := measureFleet(nodes, *fleetTargets, *fleetShards, subscribers, *fleetWarmup, *fleetRounds)
+				if err != nil {
+					fatalf("measure fleet nodes=%d targets/node=%d subscribers=%d: %v", nodes, *fleetTargets, subscribers, err)
+				}
+				fmt.Fprintf(os.Stderr, "nodes=%-5d targets/node=%-5d shards=%d subs=%-3d  %7.2f rounds/s  %7.1f ns/row  %10.1f allocs/round  %12.0f B/round  %8.1f ms p99  %8.1f MB/s ingest\n",
+					cell.Nodes, cell.TargetsPerNode, cell.Shards, cell.Subscribers, cell.RoundsPerSec, cell.NsPerTarget, cell.AllocsPerRound, cell.BytesPerRound, cell.RoundP99Seconds*1e3, cell.IngestMBPerSec)
+				report.FleetCells = append(report.FleetCells, cell)
 			}
-			fmt.Fprintf(os.Stderr, "nodes=%-5d targets/node=%-5d shards=%d  %7.2f rounds/s  %7.1f ns/row  %10.1f allocs/round  %12.0f B/round  %8.1f ms p99  %8.1f MB/s ingest\n",
-				cell.Nodes, cell.TargetsPerNode, cell.Shards, cell.RoundsPerSec, cell.NsPerTarget, cell.AllocsPerRound, cell.BytesPerRound, cell.RoundP99Seconds*1e3, cell.IngestMBPerSec)
-			report.FleetCells = append(report.FleetCells, cell)
 		}
 		codec, err := measureCodecs(32, 250, 5, 30)
 		if err != nil {
@@ -306,6 +314,24 @@ func checkBudget(cells []Cell, budget []BudgetEntry) bool {
 		}
 	}
 	return failed
+}
+
+// parseCounts parses a comma-separated list like parseInts but admits zero
+// (a subscriber count of 0 is a legitimate cell).
+func parseCounts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("value %d must be non-negative", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -15,6 +15,13 @@
 //	powerapi-collector -nodes ... -debug-addr 127.0.0.1:6060
 //	                                    # net/http/pprof profiling surface
 //	powerapi-collector -nodes ... -interval 500ms -stale-after 5s -shards 8
+//	powerapi-collector -nodes ... -output-jsonl 127.0.0.1:5170
+//	                                    # push rounds + events as JSON lines
+//	                                    # (file:PATH appends to a file)
+//	powerapi-collector -nodes ... -output-webhook http://alerts/hook
+//	                                    # POST batched JSON arrays, retried
+//	                                    # with capped backoff while the
+//	                                    # receiver is down
 //
 // Each node link dials with capped exponential backoff and reconnects for as
 // long as the collector runs; a silent node's last contribution is used until
@@ -70,6 +77,15 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "ingest worker pool size (0 picks min(8, GOMAXPROCS))")
 		histCap    = fs.Int("history", 1024, "retained samples per fleet target for /api/v1/query (0 disables)")
 		selfRef    = fs.Float64("self-ref-watts", 65, "reference watts of one fully busy core for the collector's self-power row (0 disables)")
+		lagAfter   = fs.Duration("lag-after", 0, "health model: contribution age or ingest lag beyond which a node turns lagging (0 picks 2x interval)")
+		goneAfter  = fs.Duration("gone-after", 0, "health model: how long past staleness a node stays stale before it is declared gone (0 picks 4x stale-after)")
+		spike      = fs.Float64("spike-factor", 4, "health model: flag a node total more than this multiple of its previous value as a power step spike")
+		journalCap = fs.Int("journal", collector.DefaultJournalCapacity, "event journal ring capacity (/api/v1/events)")
+		outputTCP  = fs.String("output-jsonl", "", `push JSON-lines fleet rounds and events to this sink ("host:port" dials TCP, "file:PATH" appends to a file)`)
+		outputURL  = fs.String("output-webhook", "", "POST batched fleet rounds and events as JSON arrays to this URL")
+		outBatch   = fs.Int("output-batch", 64, "documents per push-output batch")
+		outFlush   = fs.Duration("output-flush", time.Second, "how long a partial push-output batch waits before pushing")
+		outQueue   = fs.Int("output-queue", 4096, "pending documents a push output buffers before shedding oldest")
 		quiet      = fs.Bool("quiet", false, "suppress the per-round summary lines on stdout")
 		logLevel   = fs.String("log-level", "info", "minimum structured-log level: debug|info|warn|error")
 		logFormat  = fs.String("log-format", "text", "structured-log output format: text|json")
@@ -138,6 +154,10 @@ func run(args []string) error {
 		Workers:         *workers,
 		Interval:        *interval,
 		StaleAfter:      *staleAfter,
+		LagAfter:        *lagAfter,
+		GoneAfter:       *goneAfter,
+		SpikeFactor:     *spike,
+		JournalCapacity: *journalCap,
 		Codec:           codec,
 		HistoryCapacity: *histCap,
 		SelfRefWatts:    *selfRef,
@@ -147,6 +167,32 @@ func run(args []string) error {
 		return err
 	}
 	defer col.Close()
+
+	outCfg := collector.OutputConfig{
+		BatchSize:  *outBatch,
+		FlushEvery: *outFlush,
+		QueueDocs:  *outQueue,
+		Rounds:     true,
+		Events:     true,
+	}
+	if *outputTCP != "" {
+		var sink collector.Sink
+		if path, ok := strings.CutPrefix(*outputTCP, "file:"); ok {
+			sink = collector.NewJSONLFileSink(path)
+		} else {
+			sink = collector.NewJSONLTCPSink(*outputTCP)
+		}
+		if _, oerr := col.AddOutput(sink, outCfg); oerr != nil {
+			return oerr
+		}
+		fmt.Printf("Pushing JSON lines to %s\n", *outputTCP)
+	}
+	if *outputURL != "" {
+		if _, oerr := col.AddOutput(collector.NewWebhookSink(*outputURL, 0), outCfg); oerr != nil {
+			return oerr
+		}
+		fmt.Printf("Pushing webhook batches to %s\n", *outputURL)
+	}
 
 	if listener != nil {
 		srv, serr := httpapi.NewFleet(col)

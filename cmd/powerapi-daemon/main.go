@@ -126,6 +126,7 @@ func run(args []string) error {
 		retention = fs.Int("retention", 300, "most recent rounds RunMonitored keeps in memory (0 keeps all)")
 		fleetPub  = fs.String("fleet-publish", "", `fleet side of the bridge: stream this node's per-round power (total plus per-cgroup rows) over TCP on this address for a powerapi-collector to gather`)
 		nodeName  = fs.String("node-name", "", "with -fleet-publish, this node's name in the fleet rollup (default: the hostname)")
+		fleetProv = fs.Bool("fleet-provenance", true, "with -fleet-publish, stamp frames with emit time, round and trace id (off emulates a pre-provenance daemon)")
 		vms       = fs.String("vms", "", `designate named VMs over the workloads, e.g. "vma=1,2;vmb=3" (1-based workload indices)`)
 		vmPublish = fs.String("vm-publish", "", `host side of the VM bridge: stream per-VM power frames as JSON lines over TCP on this address (requires -vms)`)
 		vmDial    = fs.String("vm-delegate", "", `guest side of the VM bridge: dial a host's -vm-publish address and use the delegated figure as this instance's machine power`)
@@ -491,6 +492,7 @@ func run(args []string) error {
 		if nerr != nil {
 			return nerr
 		}
+		np.SetProvenance(*fleetProv)
 		defer np.Close()
 		fmt.Printf("Publishing node power frames on %s (node %q)\n", fleetTransport.Addr(), *nodeName)
 	}

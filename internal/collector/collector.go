@@ -49,6 +49,20 @@ type Config struct {
 	// StaleAfter is how long a node's last contribution stays eligible for
 	// rollup; beyond it the node is skipped (default 5s).
 	StaleAfter time.Duration
+	// LagAfter is the health model's lag threshold: a node whose contribution
+	// age or provenance ingest lag exceeds it turns lagging (default
+	// 2×Interval, or StaleAfter/2 when rounds are driven manually; clamped to
+	// StaleAfter).
+	LagAfter time.Duration
+	// GoneAfter is how long past staleness a node stays "stale" before the
+	// health model declares it gone (default 4×StaleAfter).
+	GoneAfter time.Duration
+	// SpikeFactor flags a node total more than this multiple of its previous
+	// fresh value as a power step spike (default 4; values <= 1 mean default).
+	SpikeFactor float64
+	// JournalCapacity bounds the event journal ring
+	// (DefaultJournalCapacity when zero).
+	JournalCapacity int
 	// Codec selects the wire encoding negotiated with each node
 	// (vmbridge.CodecJSON by default; CodecBinary for fleet-scale ingest).
 	Codec vmbridge.Codec
@@ -72,13 +86,18 @@ type Config struct {
 
 // Collector gathers node frames and periodically rolls the fleet up.
 type Collector struct {
-	cfg    Config
-	log    *slog.Logger
-	tracer *obs.Tracer
-	self   *obs.SelfMeter
-	hist   *history.Store
-	keys   keyTable
-	subs   fleetRegistry
+	cfg     Config
+	log     *slog.Logger
+	tracer  *obs.Tracer
+	self    *obs.SelfMeter
+	hist    *history.Store
+	keys    keyTable
+	subs    fleetRegistry
+	journal *Journal
+	e2eHist *obs.Histogram
+
+	outputsMu sync.Mutex
+	outputs   []*Output
 
 	nodesMu sync.Mutex
 	nodes   []*nodeConn
@@ -131,6 +150,8 @@ func New(cfg Config) (*Collector, error) {
 		byAddr:    make(map[string]*nodeConn),
 		notify:    make(chan *nodeConn, 8192),
 		shardDone: make(chan struct{}, cfg.Shards),
+		journal:   newJournal(cfg.JournalCapacity),
+		e2eHist:   &obs.Histogram{},
 		start:     time.Now(),
 		done:      make(chan struct{}),
 	}
@@ -189,6 +210,7 @@ func (c *Collector) AddNode(addr string) error {
 	c.byAddr[addr] = n
 	c.nodes = append(c.nodes, n)
 	c.nodesMu.Unlock()
+	c.journal.append(Event{Type: EventNodeJoin, Node: addr, Detail: "node added to gather set"})
 	if !c.cfg.Passive {
 		c.wg.Add(1)
 		go c.nodeLoop(n)
@@ -215,6 +237,13 @@ func (c *Collector) RemoveNode(addr string) error {
 		return fmt.Errorf("collector: node %s not found", addr)
 	}
 	n.retire()
+	name := addr
+	n.mu.Lock()
+	if n.name != "" {
+		name = n.name
+	}
+	n.mu.Unlock()
+	c.journal.append(Event{Type: EventNodeLeave, Node: name, Detail: "node removed from gather set"})
 	return nil
 }
 
@@ -258,6 +287,17 @@ type NodeStats struct {
 	DroppedPayloads uint64 `json:"droppedPayloads"`
 	Reconnects      uint64 `json:"reconnects"`
 	StaleSkips      uint64 `json:"staleSkips"`
+	// State is the node's health classification as of the last round.
+	State string `json:"state"`
+	// LagSeconds/SkewSeconds are the provenance-derived link estimates (zero
+	// without provenance-stamped frames); Round is the node's last frame
+	// round number; SeqGaps counts frames lost to sequence gaps; Violations
+	// counts contract violation edges.
+	LagSeconds  float64 `json:"lagSeconds"`
+	SkewSeconds float64 `json:"skewSeconds"`
+	Round       uint64  `json:"round,omitempty"`
+	SeqGaps     uint64  `json:"seqGaps"`
+	Violations  uint64  `json:"violations"`
 }
 
 // Stats is the one-call observability snapshot of a collector.
@@ -277,6 +317,12 @@ type Stats struct {
 	Subscriptions []core.SubscriptionInfo `json:"subscriptions,omitempty"`
 	// Self is the collector's own measured power draw.
 	Self core.SelfStats `json:"self"`
+	// Events is the per-type journal append tally; EventsDropped counts
+	// events the bounded ring overflowed away.
+	Events        map[string]uint64 `json:"events,omitempty"`
+	EventsDropped uint64            `json:"eventsDropped"`
+	// Outputs is the push-output layer's per-sink state.
+	Outputs []OutputStats `json:"outputs,omitempty"`
 }
 
 // Stats snapshots the collector. Cold path; allocates freely.
@@ -288,7 +334,22 @@ func (c *Collector) Stats() Stats {
 		TotalWatts:    loadFloat(&c.lastTotal),
 		Keys:          c.keys.len(),
 		Subscriptions: c.subs.stats(),
+		EventsDropped: c.journal.Dropped(),
 	}
+	counts := c.journal.Counts()
+	for t, n := range counts {
+		if n > 0 {
+			if s.Events == nil {
+				s.Events = make(map[string]uint64, len(counts))
+			}
+			s.Events[EventType(t).String()] = n
+		}
+	}
+	c.outputsMu.Lock()
+	for _, o := range c.outputs {
+		s.Outputs = append(s.Outputs, o.Stats())
+	}
+	c.outputsMu.Unlock()
 	if c.self != nil {
 		c.self.Sample()
 		s.Self = core.SelfStats{Enabled: c.self.Supported(), Watts: c.self.Watts(), CPUSeconds: c.self.CPUSeconds()}
@@ -311,7 +372,15 @@ func (c *Collector) Stats() Stats {
 		if n.lastWall != 0 {
 			ns.AgeSeconds = float64(now-n.lastWall) / 1e9
 		}
+		if n.lastEmit != 0 && n.hasOffset {
+			ns.LagSeconds = float64(n.lastOffset-n.minOffset) / 1e9
+			ns.SkewSeconds = (n.ewmaOffset - float64(n.baseOffset)) / 1e9
+		}
+		ns.Round = n.lastRound
+		ns.SeqGaps = n.seqGaps
 		n.mu.Unlock()
+		ns.State = NodeState(n.state.Load()).String()
+		ns.Violations = n.violations.Load()
 		ns.Connected = n.connected.Load()
 		ns.Frames = n.frames.Load()
 		ns.Bytes = n.bytes.Load()
@@ -336,6 +405,12 @@ func (c *Collector) Close() error {
 			n.retire()
 		}
 		c.wg.Wait()
+		c.outputsMu.Lock()
+		outs := append([]*Output(nil), c.outputs...)
+		c.outputsMu.Unlock()
+		for _, o := range outs {
+			o.Close()
+		}
 		c.subs.closeAll()
 	})
 	return nil

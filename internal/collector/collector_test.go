@@ -258,8 +258,8 @@ func TestPassiveFeed(t *testing.T) {
 			encode := func(node string, seq uint64, watts float64) []byte {
 				frame := nodeFrame(node, seq, watts, []vmbridge.TargetRow{{Key: "cgroup:app", Watts: watts}})
 				if codec == vmbridge.CodecBinary {
-					// FeedPayload wants the bare payload, post-framing.
-					return vmbridge.AppendBinaryBatch(nil, []vmbridge.VMPowerFrame{frame})[vmbridge.BinaryMessageHeader:]
+					// FeedPayload wants the whole wire message, header included.
+					return vmbridge.AppendBinaryBatch(nil, []vmbridge.VMPowerFrame{frame})
 				}
 				line, err := json.Marshal(frame)
 				if err != nil {
@@ -318,8 +318,14 @@ func TestIngestAllocationFlat(t *testing.T) {
 	ingestOnce := func() {
 		seq++
 		batch[0].Seq = seq
-		scratch = vmbridge.AppendBinaryBatch(scratch[:0], batch)
-		c.ingestBinary(n, scratch[8:]) // skip magic + length: the wire framing ReadBinaryMessage strips
+		// Provenance-stamped version-2 frames: the steady-state claim must
+		// hold with the new fields decoded and the offset tracking live.
+		batch[0].EmitMono = time.Duration(seq) * time.Millisecond
+		batch[0].Round = seq
+		batch[0].TraceID = vmbridge.FrameTraceID("bench-node", seq)
+		scratch = vmbridge.AppendBinaryBatchVersion(scratch[:0], batch, vmbridge.BinaryVersionProvenance)
+		// Skip magic + length: the wire framing ReadBinaryMessageVersion strips.
+		c.ingestBinary(n, scratch[vmbridge.BinaryMessageHeader:], vmbridge.BinaryVersionProvenance)
 	}
 	for i := 0; i < 10; i++ {
 		ingestOnce() // warm: intern keys, grow buffers
@@ -352,8 +358,11 @@ func TestRollupAllocationFlat(t *testing.T) {
 				{Key: "cgroup:web", Watts: 30},
 				{Key: fmt.Sprintf("cgroup:own-%04d", i), Watts: 20},
 			})
-			scratch := vmbridge.AppendBinaryBatch(nil, []vmbridge.VMPowerFrame{frame})
-			c.ingestBinary(n, scratch[8:])
+			frame.EmitMono = time.Millisecond
+			frame.Round = 1
+			frame.TraceID = vmbridge.FrameTraceID(frame.VM, 1)
+			scratch := vmbridge.AppendBinaryBatchVersion(nil, []vmbridge.VMPowerFrame{frame}, vmbridge.BinaryVersionProvenance)
+			c.ingestBinary(n, scratch[vmbridge.BinaryMessageHeader:], vmbridge.BinaryVersionProvenance)
 			c.nodesMu.Lock()
 			c.nodes = append(c.nodes, n)
 			c.nodesMu.Unlock()

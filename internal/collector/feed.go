@@ -1,6 +1,10 @@
 package collector
 
-import "fmt"
+import (
+	"fmt"
+
+	"powerapi/internal/vmbridge"
+)
 
 // In-process feeding: with Config.Passive the collector dials nothing and the
 // embedding process plays the daemons itself, pushing encoded wire payloads
@@ -9,20 +13,30 @@ import "fmt"
 // ring, worker decode, seq-strict commit — is exactly the one a socket reader
 // feeds, minus the socket.
 
-// FeedPayload hands one encoded wire message — a binary frame batch, or one
+// FeedPayload hands one encoded wire message — a complete binary message
+// (header included, so the declared version travels with the bytes), or one
 // JSON frame line, matching the collector's configured codec — to node i's
-// ingest queue exactly as the link reader would. The payload is copied into a
+// ingest queue exactly as the link reader would. The message is copied into a
 // pooled buffer, so the caller may reuse it immediately. Nodes are indexed in
 // Config.Nodes order.
-func (c *Collector) FeedPayload(node int, payload []byte) error {
+func (c *Collector) FeedPayload(node int, msg []byte) error {
 	n, err := c.nodeAt(node)
 	if err != nil {
 		return err
 	}
-	n.bytes.Add(uint64(len(payload)))
-	pb := getBuf()
-	*pb = append(*pb, payload...)
-	c.enqueue(n, pb)
+	item := payloadItem{buf: getBuf()}
+	if c.cfg.Codec == vmbridge.CodecBinary {
+		payload, wire, err := vmbridge.SplitBinaryMessage(msg)
+		if err != nil {
+			putBuf(item.buf)
+			return fmt.Errorf("collector: feed node %d: %w", node, err)
+		}
+		item.wire = uint8(wire)
+		msg = payload
+	}
+	n.bytes.Add(uint64(len(msg)))
+	*item.buf = append(*item.buf, msg...)
+	c.enqueue(n, item)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,23 +44,31 @@ var bufPool = sync.Pool{New: func() any { return new([]byte) }}
 func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
 func putBuf(b *[]byte) { *b = (*b)[:0]; bufPool.Put(b) }
 
+// payloadItem is one queued wire payload plus the binary wire version its
+// message header declared (0 on JSON-lines) — the version must travel with the
+// bytes because the decode worker never sees the stripped message header.
+type payloadItem struct {
+	buf  *[]byte
+	wire uint8
+}
+
 // payloadRing is one node's pending-payload queue: push never blocks, evicting
 // the oldest payload (whose buffer the pusher recycles) when full.
 type payloadRing struct {
 	mu      sync.Mutex
-	items   [payloadRingSize]*[]byte
+	items   [payloadRingSize]payloadItem
 	head, n int
 	dropped atomic.Uint64
 }
 
-// push enqueues a payload, returning the evicted oldest one (nil if none).
+// push enqueues a payload, returning the evicted oldest buffer (nil if none).
 //
 //powerapi:hotpath
-func (r *payloadRing) push(p *[]byte) (evicted *[]byte) {
+func (r *payloadRing) push(p payloadItem) (evicted *[]byte) {
 	r.mu.Lock()
 	if r.n == payloadRingSize {
-		evicted = r.items[r.head]
-		r.items[r.head] = nil
+		evicted = r.items[r.head].buf
+		r.items[r.head] = payloadItem{}
 		r.head = (r.head + 1) % payloadRingSize
 		r.n--
 		r.dropped.Add(1)
@@ -73,14 +82,14 @@ func (r *payloadRing) push(p *[]byte) (evicted *[]byte) {
 // pop dequeues the oldest pending payload.
 //
 //powerapi:hotpath
-func (r *payloadRing) pop() (*[]byte, bool) {
+func (r *payloadRing) pop() (payloadItem, bool) {
 	r.mu.Lock()
 	if r.n == 0 {
 		r.mu.Unlock()
-		return nil, false
+		return payloadItem{}, false
 	}
 	p := r.items[r.head]
-	r.items[r.head] = nil
+	r.items[r.head] = payloadItem{}
 	r.head = (r.head + 1) % payloadRingSize
 	r.n--
 	r.mu.Unlock()
@@ -122,8 +131,42 @@ type nodeConn struct {
 	total    float64
 	slots    []int32
 	watts    []float64
+	// Contract bookkeeping carried with the contribution: the sum of its
+	// top-level cgroup rows (the disjoint subset whose total must not exceed
+	// the node total — nested rows double-count by design) and how many rows
+	// carried non-finite or negative watts.
+	topWatts float64
+	badRows  int
+	// Provenance-derived link quality, meaningful only while lastEmit != 0
+	// (a version-1 peer never stamps). Offsets are arrival−emit deltas in
+	// nanoseconds across two unrelated monotonic clocks: only their movement
+	// means anything. minOffset approximates the true clock offset (the
+	// least-queued delivery ever seen), so lastOffset−minOffset estimates
+	// ingest lag and the EWMA's drift from baseOffset estimates clock skew.
+	lastEmit   time.Duration
+	lastRound  uint64
+	lastTrace  uint64
+	seqGaps    uint64
+	hasOffset  bool
+	baseOffset int64
+	minOffset  int64
+	lastOffset int64
+	ewmaOffset float64
+
+	// Health-pass state, touched only under the collector's roundMu (one
+	// health evaluation at a time); state itself is atomic for cheap reads
+	// from Stats and the HTTP surface.
+	state       atomic.Int32 // NodeState
+	violations  atomic.Uint64
+	violMask    uint32
+	prevSeq     uint64
+	prevSeqGaps uint64
+	prevRecon   uint64
+	prevTotal   float64
+	v1Noted     bool
 
 	connected  atomic.Bool
+	sawV1      atomic.Bool // binary wire version 1 seen while provenance was requested
 	frames     atomic.Uint64
 	bytes      atomic.Uint64
 	decodeErrs atomic.Uint64
@@ -132,8 +175,10 @@ type nodeConn struct {
 }
 
 type rowBuf struct {
-	slots []int32
-	watts []float64
+	slots    []int32
+	watts    []float64
+	topWatts float64
+	badRows  int
 }
 
 // pendingFrame is the header of the frame currently being decoded; its byte
@@ -145,6 +190,9 @@ type pendingFrame struct {
 	seq    uint64
 	ts     time.Duration
 	watts  float64
+	emit   time.Duration
+	round  uint64
+	trace  uint64
 }
 
 func (n *nodeConn) retire() {
@@ -187,7 +235,7 @@ func (c *Collector) nodeLoop(n *nodeConn) {
 		}
 		conn, err := net.Dial("tcp", n.addr)
 		if err == nil && c.cfg.Codec == vmbridge.CodecBinary {
-			if herr := vmbridge.RequestBinary(conn); herr != nil {
+			if herr := vmbridge.RequestBinaryProvenance(conn); herr != nil {
 				conn.Close()
 				err = herr
 			}
@@ -219,9 +267,14 @@ func (c *Collector) nodeLoop(n *nodeConn) {
 		conn.Close()
 		n.reconnects.Add(1)
 		// The daemon restarts its sequence from 1 on reconnect; forget the
-		// old numbering so the fresh stream is accepted.
+		// old numbering so the fresh stream is accepted. Its monotonic clock
+		// restarted too, so the offset baseline resets with it.
+		n.sawV1.Store(false)
 		n.mu.Lock()
 		n.lastSeq = 0
+		n.lastEmit = 0
+		n.hasOffset = false
+		n.v1Noted = false
 		n.mu.Unlock()
 	}
 }
@@ -244,14 +297,19 @@ func (c *Collector) readConn(n *nodeConn, conn net.Conn) {
 		br := bufio.NewReaderSize(conn, 64*1024)
 		for {
 			pb := getBuf()
-			payload, err := vmbridge.ReadBinaryMessage(br, *pb)
+			payload, wire, err := vmbridge.ReadBinaryMessageVersion(br, *pb)
 			if err != nil {
 				putBuf(pb)
 				return
 			}
-			*pb = payload // ReadBinaryMessage may have grown the backing array
+			*pb = payload // ReadBinaryMessageVersion may have grown the backing array
 			n.bytes.Add(uint64(len(payload)) + vmbridge.BinaryMessageHeader)
-			c.enqueue(n, pb)
+			if wire == vmbridge.BinaryVersionBase {
+				// Provenance was requested; a version-1 answer marks an old
+				// peer. The health pass turns this into a codec_fallback event.
+				n.sawV1.Store(true)
+			}
+			c.enqueue(n, payloadItem{buf: pb, wire: uint8(wire)})
 		}
 	}
 	scanner := bufio.NewScanner(conn)
@@ -261,7 +319,7 @@ func (c *Collector) readConn(n *nodeConn, conn net.Conn) {
 		n.bytes.Add(uint64(len(line)) + 1)
 		pb := getBuf()
 		*pb = append(*pb, line...)
-		c.enqueue(n, pb)
+		c.enqueue(n, payloadItem{buf: pb})
 	}
 }
 
@@ -269,8 +327,8 @@ func (c *Collector) readConn(n *nodeConn, conn net.Conn) {
 // pending payload if its ring is full.
 //
 //powerapi:hotpath
-func (c *Collector) enqueue(n *nodeConn, payload *[]byte) {
-	if evicted := n.ring.push(payload); evicted != nil {
+func (c *Collector) enqueue(n *nodeConn, item payloadItem) {
+	if evicted := n.ring.push(item); evicted != nil {
 		putBuf(evicted)
 	}
 	if n.queued.CompareAndSwap(false, true) {
@@ -296,12 +354,12 @@ func (c *Collector) worker() {
 			n.queued.Store(false)
 			n.drainMu.Lock()
 			for {
-				payload, ok := n.ring.pop()
+				item, ok := n.ring.pop()
 				if !ok {
 					break
 				}
-				c.ingest(n, *payload)
-				putBuf(payload)
+				c.ingest(n, *item.buf, int(item.wire))
+				putBuf(item.buf)
 			}
 			n.drainMu.Unlock()
 		}
@@ -311,10 +369,10 @@ func (c *Collector) worker() {
 // ingest decodes one payload and commits its frames. Caller holds n.drainMu.
 // The span is recorded against timestamp 0 — ingest happens between fleet
 // rounds, so it feeds the stage histogram without joining a round trace.
-func (c *Collector) ingest(n *nodeConn, payload []byte) {
+func (c *Collector) ingest(n *nodeConn, payload []byte, wire int) {
 	start := c.tracer.Now()
 	if c.cfg.Codec == vmbridge.CodecBinary {
-		c.ingestBinary(n, payload)
+		c.ingestBinary(n, payload, wire)
 	} else {
 		c.ingestJSON(n, payload)
 	}
@@ -323,26 +381,34 @@ func (c *Collector) ingest(n *nodeConn, payload []byte) {
 
 // ingestBinary folds a binary batch allocation-free: row keys resolve to
 // fleet-global slots through the byte-keyed lookup, rows append into the
-// node's reusable building buffers, and commit swaps them into place.
+// node's reusable building buffers (accumulating the top-level-row sum the
+// conservation contract checks), and commit swaps them into place. wire is
+// the message's declared version — provenance stamps land on version 2,
+// version 1 frames commit with zero stamps exactly as an old peer sent them.
 //
 //powerapi:hotpath
-func (c *Collector) ingestBinary(n *nodeConn, payload []byte) {
+func (c *Collector) ingestBinary(n *nodeConn, payload []byte, wire int) {
 	n.pending.valid = false
 	n.building.reset()
 	if n.frameCB == nil {
 		//powerapi:allow hotpath closures built once per node on first payload, reused for every later message
 		n.frameCB = func(h vmbridge.FrameHeader) bool {
 			c.commit(n) // frame boundary: land the previous one
-			n.pending = pendingFrame{valid: true, vm: h.VM, source: h.SourceMode, seq: h.Seq, ts: h.Timestamp, watts: h.Watts}
+			n.pending = pendingFrame{
+				valid: true, vm: h.VM, source: h.SourceMode, seq: h.Seq, ts: h.Timestamp, watts: h.Watts,
+				emit: h.EmitMono, round: h.Round, trace: h.TraceID,
+			}
 			return true
 		}
 		//powerapi:allow hotpath closures built once per node on first payload, reused for every later message
 		n.rowCB = func(key []byte, watts float64) {
-			n.building.slots = append(n.building.slots, c.keys.slotBytes(key))
+			slot, top := c.keys.slotBytesTop(key)
+			n.building.slots = append(n.building.slots, slot)
 			n.building.watts = append(n.building.watts, watts)
+			n.building.note(top, watts)
 		}
 	}
-	err := vmbridge.DecodeBinaryBatch(payload, n.frameCB, n.rowCB)
+	err := vmbridge.DecodeBinaryBatchVersion(payload, wire, n.frameCB, n.rowCB)
 	if err != nil {
 		n.pending.valid = false
 		n.building.reset()
@@ -353,7 +419,9 @@ func (c *Collector) ingestBinary(n *nodeConn, payload []byte) {
 }
 
 // ingestJSON folds one JSON-lines frame — the compatibility path, which pays
-// per-frame allocation the way any JSON decode does.
+// per-frame allocation the way any JSON decode does. Provenance fields decode
+// when the peer stamps them and stay zero otherwise (an old daemon's lines
+// simply lack the keys).
 func (c *Collector) ingestJSON(n *nodeConn, payload []byte) {
 	var frame vmbridge.VMPowerFrame
 	if err := json.Unmarshal(payload, &frame); err != nil {
@@ -362,21 +430,50 @@ func (c *Collector) ingestJSON(n *nodeConn, payload []byte) {
 	}
 	n.building.reset()
 	for _, row := range frame.Rows {
-		n.building.slots = append(n.building.slots, c.keys.slot(row.Key))
+		slot, top := c.keys.slotTop(row.Key)
+		n.building.slots = append(n.building.slots, slot)
 		n.building.watts = append(n.building.watts, row.Watts)
+		n.building.note(top, row.Watts)
 	}
-	n.pending = pendingFrame{valid: true, vm: []byte(frame.VM), source: []byte(frame.SourceMode), seq: frame.Seq, ts: frame.Timestamp, watts: frame.Watts}
+	n.pending = pendingFrame{
+		valid: true, vm: []byte(frame.VM), source: []byte(frame.SourceMode), seq: frame.Seq, ts: frame.Timestamp, watts: frame.Watts,
+		emit: frame.EmitMono, round: frame.Round, trace: frame.TraceID,
+	}
 	c.commit(n)
 }
 
 func (b *rowBuf) reset() {
 	b.slots = b.slots[:0]
 	b.watts = b.watts[:0]
+	b.topWatts = 0
+	b.badRows = 0
 }
+
+// note folds one row into the contract accumulators: the top-level sum the
+// conservation check compares against the node total, and the bad-row count
+// (NaN, negative or absurd watts — `w >= 0` is false for NaN).
+//
+//powerapi:hotpath
+func (b *rowBuf) note(top bool, w float64) {
+	if !(w >= 0 && w <= maxSaneRowWatts) {
+		b.badRows++
+		return
+	}
+	if top {
+		b.topWatts += w
+	}
+}
+
+// offsetAlpha is the EWMA weight of one fresh arrival−emit delta. At one
+// frame per 250ms round the estimate settles in a few seconds and a
+// steady clock drift shows as the EWMA walking away from the baseline.
+const offsetAlpha = 0.1
 
 // commit lands the pending frame as the node's retained contribution, unless
 // its sequence number is stale (a replay or reorder). The building buffers
-// swap with the retained ones, so both ping-pong without reallocating.
+// swap with the retained ones, so both ping-pong without reallocating. The
+// arrival stamp is taken before the lock — provenance math under the lock is
+// pure arithmetic.
 //
 //powerapi:hotpath
 func (c *Collector) commit(n *nodeConn) {
@@ -384,11 +481,17 @@ func (c *Collector) commit(n *nodeConn) {
 		return
 	}
 	n.pending.valid = false
+	now := c.tracer.Now()
 	n.mu.Lock()
 	if n.pending.seq <= n.lastSeq {
 		n.mu.Unlock()
 		n.building.reset()
 		return
+	}
+	if n.lastSeq != 0 && n.pending.seq > n.lastSeq+1 {
+		// Frames went missing between the last accepted sequence and this
+		// one (publisher shed load, or the wire dropped a round).
+		n.seqGaps += n.pending.seq - n.lastSeq - 1
 	}
 	n.lastSeq = n.pending.seq
 	if n.name != string(n.pending.vm) { // comparison converts without allocating
@@ -401,7 +504,25 @@ func (c *Collector) commit(n *nodeConn) {
 	}
 	n.lastTS = n.pending.ts
 	n.total = n.pending.watts
-	n.lastWall = c.tracer.Now()
+	n.lastWall = now
+	n.lastEmit = n.pending.emit
+	n.lastRound = n.pending.round
+	n.lastTrace = n.pending.trace
+	if n.pending.emit != 0 {
+		off := now - int64(n.pending.emit)
+		n.lastOffset = off
+		if !n.hasOffset {
+			n.hasOffset = true
+			n.baseOffset, n.minOffset, n.ewmaOffset = off, off, float64(off)
+		} else {
+			if off < n.minOffset {
+				n.minOffset = off
+			}
+			n.ewmaOffset += offsetAlpha * (float64(off) - n.ewmaOffset)
+		}
+	}
+	n.topWatts = n.building.topWatts
+	n.badRows = n.building.badRows
 	n.slots, n.building.slots = n.building.slots, n.slots
 	n.watts, n.building.watts = n.building.watts, n.watts
 	n.mu.Unlock()
@@ -409,13 +530,22 @@ func (c *Collector) commit(n *nodeConn) {
 	n.frames.Add(1)
 }
 
+// maxSaneRowWatts bounds a single row's plausible power draw; `w >= 0 &&
+// w <= maxSaneRowWatts` is false for NaN, negatives and absurd values alike,
+// so one comparison pair classifies a row as bad.
+const maxSaneRowWatts = 1e9
+
 // keyTable is the fleet-global route-key interner: string key ↔ dense slot,
-// with a parsed target per slot for history recording. Reads take the shared
-// lock and allocate nothing; only a never-seen key takes the exclusive lock.
+// with a parsed target per slot for history recording and a top-level flag
+// per slot for the conservation contract (only rows like "cgroup:x" — no
+// nested path — sum against the node total; "cgroup:x/y" double-counts its
+// parent by design). Reads take the shared lock and allocate nothing; only a
+// never-seen key takes the exclusive lock.
 type keyTable struct {
-	mu      sync.RWMutex
-	ks      core.KeySlots
-	targets []target.Target
+	mu       sync.RWMutex
+	ks       core.KeySlots
+	targets  []target.Target
+	topLevel []bool
 }
 
 //powerapi:hotpath
@@ -442,18 +572,68 @@ func (t *keyTable) slot(key string) int32 {
 	return t.assign(key)
 }
 
+// slotBytesTop is slotBytes plus the slot's top-level flag, resolved under
+// the same shared-lock acquisition so the ingest row callback pays one lock
+// round-trip per row, not two.
+//
+//powerapi:hotpath
+func (t *keyTable) slotBytesTop(key []byte) (int32, bool) {
+	t.mu.RLock()
+	s, ok := t.ks.LookupBytes(key)
+	if ok {
+		top := t.topLevel[s]
+		t.mu.RUnlock()
+		return s, top
+	}
+	t.mu.RUnlock()
+	//powerapi:allow hotpath miss path: a never-seen key interns once, every later round hits the byte-keyed lookup
+	s = t.assign(string(key))
+	return s, t.top(s)
+}
+
+//powerapi:hotpath
+func (t *keyTable) slotTop(key string) (int32, bool) {
+	t.mu.RLock()
+	s, ok := t.ks.Lookup(key)
+	if ok {
+		top := t.topLevel[s]
+		t.mu.RUnlock()
+		return s, top
+	}
+	t.mu.RUnlock()
+	//powerapi:allow hotpath miss path: a never-seen key interns once, every later round hits the lookup
+	s = t.assign(key)
+	return s, t.top(s)
+}
+
+func (t *keyTable) top(slot int32) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.topLevel[slot]
+}
+
 func (t *keyTable) assign(key string) int32 {
 	t.mu.Lock()
 	s := t.ks.Assign(key)
 	for len(t.targets) < t.ks.Len() {
-		tg, err := target.Parse(t.ks.Key(int32(len(t.targets))))
+		k := t.ks.Key(int32(len(t.targets)))
+		tg, err := target.Parse(k)
 		if err != nil {
 			tg = target.Target{}
 		}
 		t.targets = append(t.targets, tg)
+		t.topLevel = append(t.topLevel, isTopLevelKey(k))
 	}
 	t.mu.Unlock()
 	return s
+}
+
+// isTopLevelKey reports whether a route key names a top-level cgroup — the
+// rows whose watts are mutually exclusive and so must sum to at most the node
+// total under the conservation contract.
+func isTopLevelKey(key string) bool {
+	const p = "cgroup:"
+	return strings.HasPrefix(key, p) && !strings.Contains(key[len(p):], "/")
 }
 
 func (t *keyTable) key(slot int32) string {

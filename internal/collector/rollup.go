@@ -243,6 +243,10 @@ func (c *Collector) Rollup() *FleetReport {
 		c.self.Sample()
 		rep.SelfWatts = c.self.Watts()
 	}
+	// The anomaly pass rides the round while roundNodes is still this round's
+	// snapshot: health states, contract checks and the e2e latency histogram
+	// all describe exactly the contributions the rollup just swept.
+	c.evaluateHealth(c.tracer.Now())
 	c.lastLive.Store(int64(rep.Nodes))
 	c.lastStale.Store(int64(rep.StaleNodes))
 	c.lastTotal.Store(math.Float64bits(rep.TotalWatts))

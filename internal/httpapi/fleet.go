@@ -1,10 +1,13 @@
 package httpapi
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,9 +22,16 @@ import (
 // so the same tooling scrapes both:
 //
 //	GET /metrics              fleet totals, per-node watts and link health,
-//	                          fleet-wide per-route-key watts, rollup latency
+//	                          fleet-wide per-route-key watts, rollup latency,
+//	                          node health states and event counters
 //	GET /api/v1/fleet         the latest fleet round as JSON
 //	GET /api/v1/nodes         per-node link state (the gather health surface)
+//	POST /api/v1/nodes        join a daemon address to the gather set
+//	                          (body: {"addr":"host:port"})
+//	DELETE /api/v1/nodes      retire a daemon address (?addr=host:port)
+//	GET /api/v1/health        the node health model: states, lag/skew
+//	                          estimates, end-to-end latency distribution
+//	GET /api/v1/events        the event journal (?since=SEQ&limit=N)
 //	GET /api/v1/query         windowed avg/max/p95 over fleet history
 //	                          (kind=node selects per-node series)
 //	GET /api/v1/debug/rounds  rollup/fanout stage timeline per fleet round
@@ -62,6 +72,10 @@ func NewFleet(col *collector.Collector) (*FleetServer, error) {
 	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
 	f.mux.HandleFunc("GET /api/v1/fleet", f.handleFleet)
 	f.mux.HandleFunc("GET /api/v1/nodes", f.handleNodes)
+	f.mux.HandleFunc("POST /api/v1/nodes", f.handleNodeAdd)
+	f.mux.HandleFunc("DELETE /api/v1/nodes", f.handleNodeRemove)
+	f.mux.HandleFunc("GET /api/v1/health", f.handleHealth)
+	f.mux.HandleFunc("GET /api/v1/events", f.handleEvents)
 	f.mux.HandleFunc("GET /api/v1/query", f.handleQuery)
 	f.mux.HandleFunc("GET /api/v1/debug/rounds", f.handleDebugRounds)
 	f.mux.HandleFunc("GET /api/v1/debug/stats", f.handleDebugStats)
@@ -143,6 +157,16 @@ func (f *FleetServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	writeNodeLinkMetrics(&b, stats.Nodes)
+	writeNodeHealthMetrics(&b, stats)
+	writeEventMetrics(&b, stats)
+	if e2e := f.col.E2EStats(); e2e.Count > 0 {
+		b.WriteString("# HELP powerapi_fleet_e2e_latency_seconds End-to-end fleet latency: daemon frame emit to collector rollup, provenance-stamped frames only.\n")
+		b.WriteString("# TYPE powerapi_fleet_e2e_latency_seconds histogram\n")
+		writeHistogramSeries(&b, "powerapi_fleet_e2e_latency_seconds", "", e2e)
+		b.WriteString("# HELP powerapi_fleet_e2e_latency_quantile_seconds End-to-end fleet latency quantiles since startup.\n")
+		b.WriteString("# TYPE powerapi_fleet_e2e_latency_quantile_seconds gauge\n")
+		writeQuantileSeries(&b, "powerapi_fleet_e2e_latency_quantile_seconds", "", e2e)
+	}
 
 	fmt.Fprintf(&b, "# HELP powerapi_subscriptions Live fleet-report subscriptions on the fanout.\n")
 	fmt.Fprintf(&b, "# TYPE powerapi_subscriptions gauge\n")
@@ -234,6 +258,133 @@ func writeNodeLinkMetrics(b *strings.Builder, nodes []collector.NodeStats) {
 	b.WriteString("# HELP powerapi_node_link_stale_skips_total Fleet rounds that skipped one node as stale.\n")
 	b.WriteString("# TYPE powerapi_node_link_stale_skips_total counter\n")
 	row("powerapi_node_link_stale_skips_total", func(n collector.NodeStats) string { return fmt.Sprintf("%d", n.StaleSkips) })
+}
+
+// writeNodeHealthMetrics appends the health model's families: one 0/1 row
+// per node per state (the conventional state-set encoding, so dashboards sum
+// by state without knowing node names) plus the per-node provenance gauges.
+func writeNodeHealthMetrics(b *strings.Builder, stats collector.Stats) {
+	if len(stats.Nodes) == 0 {
+		return
+	}
+	b.WriteString("# HELP powerapi_fleet_node_state Node health state (1 on the node's current state, 0 elsewhere).\n")
+	b.WriteString("# TYPE powerapi_fleet_node_state gauge\n")
+	for _, n := range stats.Nodes {
+		for _, state := range collector.NodeStateNames() {
+			v := 0
+			if n.State == state {
+				v = 1
+			}
+			fmt.Fprintf(b, "powerapi_fleet_node_state{addr=%q,node=%q,state=%q} %d\n",
+				escapeLabel(n.Addr), escapeLabel(n.Name), state, v)
+		}
+	}
+	row := func(name string, value func(collector.NodeStats) string) {
+		for _, n := range stats.Nodes {
+			fmt.Fprintf(b, "%s{addr=%q,node=%q} %s\n", name, escapeLabel(n.Addr), escapeLabel(n.Name), value(n))
+		}
+	}
+	b.WriteString("# HELP powerapi_node_link_lag_seconds Provenance-estimated ingest lag of one node's last frame over its best-ever delivery.\n")
+	b.WriteString("# TYPE powerapi_node_link_lag_seconds gauge\n")
+	row("powerapi_node_link_lag_seconds", func(n collector.NodeStats) string { return fmt.Sprintf("%g", n.LagSeconds) })
+	b.WriteString("# HELP powerapi_node_link_skew_seconds Provenance-estimated clock drift of one node since connect (EWMA offset minus baseline).\n")
+	b.WriteString("# TYPE powerapi_node_link_skew_seconds gauge\n")
+	row("powerapi_node_link_skew_seconds", func(n collector.NodeStats) string { return fmt.Sprintf("%g", n.SkewSeconds) })
+	b.WriteString("# HELP powerapi_node_link_seq_gaps_total Frames lost to sequence gaps on one node's link.\n")
+	b.WriteString("# TYPE powerapi_node_link_seq_gaps_total counter\n")
+	row("powerapi_node_link_seq_gaps_total", func(n collector.NodeStats) string { return fmt.Sprintf("%d", n.SeqGaps) })
+	b.WriteString("# HELP powerapi_node_link_violations_total Contract violation edges detected on one node (conservation drift, power spikes, malformed rows, gaps).\n")
+	b.WriteString("# TYPE powerapi_node_link_violations_total counter\n")
+	row("powerapi_node_link_violations_total", func(n collector.NodeStats) string { return fmt.Sprintf("%d", n.Violations) })
+}
+
+// writeEventMetrics appends the journal counters: per-type append totals over
+// the journal's lifetime plus the overflow count of its bounded ring.
+func writeEventMetrics(b *strings.Builder, stats collector.Stats) {
+	b.WriteString("# HELP powerapi_fleet_events_total Journal events recorded, by type.\n")
+	b.WriteString("# TYPE powerapi_fleet_events_total counter\n")
+	for _, typ := range collector.EventTypeNames() {
+		fmt.Fprintf(b, "powerapi_fleet_events_total{type=%q} %d\n", typ, stats.Events[typ])
+	}
+	b.WriteString("# HELP powerapi_fleet_events_dropped_total Journal events evicted by the bounded ring.\n")
+	b.WriteString("# TYPE powerapi_fleet_events_dropped_total counter\n")
+	fmt.Fprintf(b, "powerapi_fleet_events_dropped_total %d\n", stats.EventsDropped)
+}
+
+// handleHealth serves the node health model.
+func (f *FleetServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, f.col.Health())
+}
+
+// handleEvents serves the event journal: every retained event with sequence
+// number above ?since (0 by default), capped at ?limit, oldest first. The
+// response carries lastSeq so a poller can resume exactly where it stopped.
+func (f *FleetServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	limit := 0
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+			return
+		}
+		since = n
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			jsonError(w, http.StatusBadRequest, errors.New("bad limit"))
+			return
+		}
+		limit = n
+	}
+	j := f.col.Journal()
+	events := j.Since(since, limit)
+	views := make([]collector.EventView, 0, len(events))
+	for _, e := range events {
+		views = append(views, e.View())
+	}
+	writeJSON(w, map[string]any{
+		"events":  views,
+		"lastSeq": j.LastSeq(),
+		"dropped": j.Dropped(),
+	})
+}
+
+// handleNodeAdd joins one daemon address to the gather set.
+func (f *FleetServer) handleNodeAdd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Addr string `json:"addr"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if req.Addr == "" {
+		jsonError(w, http.StatusBadRequest, errors.New("missing addr"))
+		return
+	}
+	if err := f.col.AddNode(req.Addr); err != nil {
+		jsonError(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(map[string]any{"status": "added", "addr": req.Addr})
+}
+
+// handleNodeRemove retires one daemon address (?addr=host:port).
+func (f *FleetServer) handleNodeRemove(w http.ResponseWriter, r *http.Request) {
+	addr := r.URL.Query().Get("addr")
+	if addr == "" {
+		jsonError(w, http.StatusBadRequest, errors.New("missing addr"))
+		return
+	}
+	if err := f.col.RemoveNode(addr); err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, map[string]any{"status": "removed", "addr": addr})
 }
 
 // handleFleet serves the latest fleet round as JSON.

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -267,6 +268,136 @@ func TestBridgeMetricsRegistration(t *testing.T) {
 		`powerapi_bridge_conn_dropped_batches_total{publisher="fleet-publish",remote=`,
 		`powerapi_bridge_decode_errors_total{receiver="guest-power",codec="binary"} 0`,
 		`powerapi_bridge_receiver_dropped_frames_total{receiver="guest-power",codec="binary"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestFleetObservabilityEndpoints covers the fleet-wide observability
+// surface: health and event documents, dynamic membership over HTTP, and the
+// new metric families they feed.
+func TestFleetObservabilityEndpoints(t *testing.T) {
+	pub, col, srv := newServedFleet(t)
+	publishNodeRound(t, pub, col, 1)
+	col.Rollup().Release()
+	waitLatest(t, srv, 1)
+
+	rec, body := get(t, srv.Handler(), "/api/v1/health")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/api/v1/health status %d: %s", rec.Code, body)
+	}
+	var hv collector.HealthView
+	if err := json.Unmarshal([]byte(body), &hv); err != nil {
+		t.Fatal(err)
+	}
+	if len(hv.Nodes) != 1 || hv.Nodes[0].Name != "node-a" || hv.Nodes[0].State != "healthy" {
+		t.Fatalf("health view = %+v, want one healthy node-a", hv)
+	}
+	if hv.States["healthy"] != 1 {
+		t.Fatalf("health tally = %+v", hv.States)
+	}
+
+	// Membership: add a second (never-answering) address, then remove it.
+	// Both moves must land in the node set and the event journal.
+	spare, err := vmbridge.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { spare.Close() })
+	addr := spare.Addr().String()
+
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/nodes", strings.NewReader(`{"addr":"`+addr+`"}`))
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("POST /api/v1/nodes status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := len(col.Stats().Nodes); got != 2 {
+		t.Fatalf("node set holds %d nodes after add, want 2", got)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/api/v1/nodes", strings.NewReader(`{"addr":"`+addr+`"}`))
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate add status %d, want 409", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/api/v1/nodes", strings.NewReader(`{"addr":""}`))
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty addr status %d, want 400", rec.Code)
+	}
+
+	req = httptest.NewRequest(http.MethodDelete, "/api/v1/nodes?addr="+addr, nil)
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE /api/v1/nodes status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := len(col.Stats().Nodes); got != 1 {
+		t.Fatalf("node set holds %d nodes after remove, want 1", got)
+	}
+	req = httptest.NewRequest(http.MethodDelete, "/api/v1/nodes?addr=no-such-node:1", nil)
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("removing an unknown node status %d, want 404", rec.Code)
+	}
+
+	// The journal heard the membership churn and the health transition; the
+	// events endpoint serves it with resume semantics.
+	rec, body = get(t, srv.Handler(), "/api/v1/events")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/api/v1/events status %d: %s", rec.Code, body)
+	}
+	var events struct {
+		Events []collector.EventView `json:"events"`
+		Last   uint64                `json:"lastSeq"`
+	}
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, e := range events.Events {
+		kinds[e.Type]++
+	}
+	if kinds["node_join"] < 2 || kinds["node_leave"] < 1 || kinds["node_state_change"] < 1 {
+		t.Fatalf("event kinds = %v, want joins, a leave and a state change in:\n%s", kinds, body)
+	}
+	if events.Last == 0 || events.Events[len(events.Events)-1].Seq != events.Last {
+		t.Fatalf("lastSeq=%d does not match the tail of %v", events.Last, events.Events)
+	}
+	rec, body = get(t, srv.Handler(), fmt.Sprintf("/api/v1/events?since=%d", events.Last))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resumed /api/v1/events status %d: %s", rec.Code, body)
+	}
+	var tail struct {
+		Events []collector.EventView `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Events) != 0 {
+		t.Fatalf("resume from the tail returned %d events, want 0", len(tail.Events))
+	}
+
+	// The new metric families ride the same exposition.
+	rec, body = get(t, srv.Handler(), "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	for _, want := range []string{
+		`powerapi_fleet_node_state{addr=`,
+		`state="healthy"} 1`,
+		`powerapi_fleet_events_total{type="node_join"}`,
+		`powerapi_fleet_events_total{type="node_state_change"}`,
+		"powerapi_fleet_events_dropped_total 0",
+		`powerapi_node_link_lag_seconds{`,
+		`powerapi_node_link_skew_seconds{`,
+		`powerapi_node_link_seq_gaps_total{`,
+		`powerapi_node_link_violations_total{`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, body)

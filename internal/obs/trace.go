@@ -400,6 +400,14 @@ type StageStats struct {
 	Buckets    []BucketCount `json:"buckets"`
 }
 
+// StatsFromHistogram summarises any standalone Histogram under a caller-chosen
+// name, in the same shape the tracer reports its stage histograms — so ad-hoc
+// distributions (the collector's end-to-end fleet latency, say) surface through
+// the same JSON and Prometheus plumbing as pipeline stages.
+func StatsFromHistogram(name string, h *Histogram) StageStats {
+	return statsFrom(name, h)
+}
+
 func statsFrom(name string, h *Histogram) StageStats {
 	snap := h.Snapshot()
 	st := StageStats{

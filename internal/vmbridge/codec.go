@@ -43,8 +43,28 @@ func (c Codec) String() string {
 }
 
 // helloLine is the exact line a receiver writes as its very first bytes to
-// switch its connection to the binary codec.
+// switch its connection to the binary codec. It never changes across wire
+// versions: an old publisher peeks exactly these bytes, so any extension must
+// ride AFTER them (capsLine) where a peer that does not expect it simply never
+// reads it.
 const helloLine = "powerapi-codec binary\n"
+
+// capsLine is the optional capability line a receiver writes immediately after
+// the hello to request provenance-stamped binary messages (wire version 2).
+// Old publishers stop reading after the hello, so the line is harmless to
+// them; new publishers peek for it within the same negotiation deadline and
+// fall back to version 1 when it does not arrive.
+const capsLine = "powerapi-caps provenance\n"
+
+// Binary wire versions. The version is carried per message in the magic
+// (PWB1/PWB2), so a decoder never guesses from negotiation state alone.
+const (
+	// BinaryVersionBase is the original layout: no provenance fields.
+	BinaryVersionBase = 1
+	// BinaryVersionProvenance adds three uvarints per frame (EmitMono, Round,
+	// TraceID) between the source mode and the row count.
+	BinaryVersionProvenance = 2
+)
 
 // RequestBinary asks the publisher on the other end of the connection to
 // speak the binary codec. It must be the first thing the receiver writes,
@@ -54,10 +74,23 @@ func RequestBinary(w io.Writer) error {
 	return err
 }
 
+// RequestBinaryProvenance asks for the binary codec with provenance stamps
+// (wire version 2). Hello and capability go out as one write so the
+// publisher's negotiation peek sees them together; an old publisher reads only
+// the hello and keeps speaking version 1, which the receiver must still accept.
+func RequestBinaryProvenance(w io.Writer) error {
+	_, err := io.WriteString(w, helloLine+capsLine)
+	return err
+}
+
 // binaryMagic opens every binary message, so a receiver that accidentally
 // points at a JSON publisher (or vice versa) fails loudly instead of decoding
-// garbage.
-var binaryMagic = [4]byte{'P', 'W', 'B', '1'}
+// garbage. binaryMagicV2 marks a provenance-stamped message; carrying the
+// version in the magic keeps every message self-describing.
+var (
+	binaryMagic   = [4]byte{'P', 'W', 'B', '1'}
+	binaryMagicV2 = [4]byte{'P', 'W', 'B', '2'}
+)
 
 // BinaryMessageHeader is the size of the fixed message prefix (magic plus
 // uint32 payload length). AppendBinaryBatch emits it; ReadBinaryMessage
@@ -92,11 +125,28 @@ const minRowBytes = 9
 // uvarint frame count, then per frame: uvarint-prefixed VM name, uvarint Seq,
 // uvarint Timestamp (ns), float64 LE Watts, float64 LE HostTotalWatts,
 // uvarint-prefixed SourceMode, uvarint row count, then per row a
-// uvarint-prefixed key and a float64 LE watts.
+// uvarint-prefixed key and a float64 LE watts. AppendBinaryBatch always emits
+// wire version 1 (provenance fields dropped) — the encoding an old receiver
+// negotiated; AppendBinaryBatchVersion emits a chosen version.
 //
 //powerapi:hotpath
 func AppendBinaryBatch(dst []byte, frames []VMPowerFrame) []byte {
-	dst = append(dst, binaryMagic[:]...)
+	return AppendBinaryBatchVersion(dst, frames, BinaryVersionBase)
+}
+
+// AppendBinaryBatchVersion appends one binary wire message at the given wire
+// version. Version 2 (BinaryVersionProvenance) inserts three uvarints per
+// frame — EmitMono, Round, TraceID — between the source mode and the row
+// count; version 1 drops those fields, which is exactly what an old peer
+// expects.
+//
+//powerapi:hotpath
+func AppendBinaryBatchVersion(dst []byte, frames []VMPowerFrame, version int) []byte {
+	if version >= BinaryVersionProvenance {
+		dst = append(dst, binaryMagicV2[:]...)
+	} else {
+		dst = append(dst, binaryMagic[:]...)
+	}
 	lenAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // payload length backfilled below
 	dst = binary.AppendUvarint(dst, uint64(len(frames)))
@@ -108,6 +158,11 @@ func AppendBinaryBatch(dst []byte, frames []VMPowerFrame) []byte {
 		dst = appendFloat(dst, f.Watts)
 		dst = appendFloat(dst, f.HostTotalWatts)
 		dst = appendString(dst, f.SourceMode)
+		if version >= BinaryVersionProvenance {
+			dst = binary.AppendUvarint(dst, uint64(f.EmitMono))
+			dst = binary.AppendUvarint(dst, f.Round)
+			dst = binary.AppendUvarint(dst, f.TraceID)
+		}
 		dst = binary.AppendUvarint(dst, uint64(len(f.Rows)))
 		for _, row := range f.Rows {
 			dst = appendString(dst, row.Key)
@@ -129,23 +184,40 @@ func appendFloat(dst []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 }
 
-// ReadBinaryMessage reads one binary message from r and returns its payload,
-// reusing buf's backing array when it is large enough. The returned slice is
-// only valid until the next call with the same buffer.
+// ReadBinaryMessage reads one version-1 binary message from r and returns its
+// payload, reusing buf's backing array when it is large enough. The returned
+// slice is only valid until the next call with the same buffer. A version-2
+// message is a bad magic here — version-aware readers use
+// ReadBinaryMessageVersion.
 //
 //powerapi:hotpath
 func ReadBinaryMessage(r io.Reader, buf []byte) ([]byte, error) {
+	payload, version, err := ReadBinaryMessageVersion(r, buf)
+	if err == nil && version != BinaryVersionBase {
+		return nil, errBadMagic
+	}
+	return payload, err
+}
+
+// ReadBinaryMessageVersion reads one binary message of either wire version
+// from r, returning the bare payload and the version its magic declared. The
+// payload reuses buf's backing array when it is large enough and is only valid
+// until the next call with the same buffer.
+//
+//powerapi:hotpath
+func ReadBinaryMessageVersion(r io.Reader, buf []byte) ([]byte, int, error) {
 	var head [BinaryMessageHeader]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if [4]byte(head[:4]) != binaryMagic {
-		return nil, errBadMagic
+	version, ok := magicVersion([4]byte(head[:4]))
+	if !ok {
+		return nil, 0, errBadMagic
 	}
 	n := binary.LittleEndian.Uint32(head[4:])
 	if n > maxBinaryPayload {
 		//powerapi:allow hotpath error path: only a malformed or hostile header reaches this
-		return nil, fmt.Errorf("vmbridge: binary payload of %d bytes exceeds the %d limit", n, maxBinaryPayload)
+		return nil, 0, fmt.Errorf("vmbridge: binary payload of %d bytes exceeds the %d limit", n, maxBinaryPayload)
 	}
 	if uint32(cap(buf)) < n {
 		//powerapi:allow hotpath amortized growth: the caller reuses the returned buffer across reads
@@ -153,9 +225,38 @@ func ReadBinaryMessage(r io.Reader, buf []byte) ([]byte, error) {
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return buf, nil
+	return buf, version, nil
+}
+
+// SplitBinaryMessage validates one complete in-memory wire message (header
+// plus payload, as a feeder hands collector.FeedPayload) and returns its bare
+// payload view and wire version without copying.
+func SplitBinaryMessage(msg []byte) (payload []byte, version int, err error) {
+	if len(msg) < BinaryMessageHeader {
+		return nil, 0, errMalformed
+	}
+	version, ok := magicVersion([4]byte(msg[:4]))
+	if !ok {
+		return nil, 0, errBadMagic
+	}
+	n := binary.LittleEndian.Uint32(msg[4:])
+	if n > maxBinaryPayload || uint64(n) != uint64(len(msg)-BinaryMessageHeader) {
+		return nil, 0, errMalformed
+	}
+	return msg[BinaryMessageHeader:], version, nil
+}
+
+//powerapi:hotpath
+func magicVersion(magic [4]byte) (int, bool) {
+	switch magic {
+	case binaryMagic:
+		return BinaryVersionBase, true
+	case binaryMagicV2:
+		return BinaryVersionProvenance, true
+	}
+	return 0, false
 }
 
 // FrameHeader is the fixed part of one binary frame as the streaming decoder
@@ -169,17 +270,32 @@ type FrameHeader struct {
 	HostTotalWatts float64
 	SourceMode     []byte
 	Rows           int
+	// EmitMono/Round/TraceID are the provenance stamps of a version-2 frame;
+	// all zero when the message was wire version 1.
+	EmitMono time.Duration
+	Round    uint64
+	TraceID  uint64
 }
 
-// DecodeBinaryBatch walks one binary payload, calling frame once per frame
-// and row once per row of that frame, in wire order. All byte slices handed
-// to the callbacks alias the payload — the zero-copy contract that lets the
-// collector fold a million rows per second into its slot maps without
+// DecodeBinaryBatch walks one version-1 binary payload, calling frame once per
+// frame and row once per row of that frame, in wire order. All byte slices
+// handed to the callbacks alias the payload — the zero-copy contract that lets
+// the collector fold a million rows per second into its slot maps without
 // allocating per row. If frame returns false the frame's rows are skipped
 // (decoded to advance, not reported). A nil row callback skips all rows.
 //
 //powerapi:hotpath
 func DecodeBinaryBatch(payload []byte, frame func(h FrameHeader) bool, row func(key []byte, watts float64)) error {
+	return DecodeBinaryBatchVersion(payload, BinaryVersionBase, frame, row)
+}
+
+// DecodeBinaryBatchVersion walks one binary payload of the given wire version
+// (as ReadBinaryMessageVersion or SplitBinaryMessage reported it) with
+// DecodeBinaryBatch's callback and aliasing contract. Version-1 payloads yield
+// zero provenance fields.
+//
+//powerapi:hotpath
+func DecodeBinaryBatchVersion(payload []byte, version int, frame func(h FrameHeader) bool, row func(key []byte, watts float64)) error {
 	count, payload, ok := takeUvarint(payload)
 	if !ok {
 		return errMalformed
@@ -204,6 +320,19 @@ func DecodeBinaryBatch(payload []byte, frame func(h FrameHeader) bool, row func(
 		}
 		if h.SourceMode, payload, ok = takeBytes(payload); !ok {
 			return errMalformed
+		}
+		if version >= BinaryVersionProvenance {
+			var emit, traceID uint64
+			if emit, payload, ok = takeUvarint(payload); !ok {
+				return errMalformed
+			}
+			if h.Round, payload, ok = takeUvarint(payload); !ok {
+				return errMalformed
+			}
+			if traceID, payload, ok = takeUvarint(payload); !ok {
+				return errMalformed
+			}
+			h.EmitMono, h.TraceID = time.Duration(emit), traceID
 		}
 		if rows, payload, ok = takeUvarint(payload); !ok {
 			return errMalformed
@@ -233,10 +362,17 @@ func DecodeBinaryBatch(payload []byte, frame func(h FrameHeader) bool, row func(
 	return nil
 }
 
-// decodeBinaryFrames decodes a payload into owned VMPowerFrame values — the
-// guest receiver's channel path, where per-frame allocation is fine.
+// decodeBinaryFrames decodes a version-1 payload into owned VMPowerFrame
+// values — the guest receiver's channel path, where per-frame allocation is
+// fine.
 func decodeBinaryFrames(payload []byte, dst []VMPowerFrame) ([]VMPowerFrame, error) {
-	err := DecodeBinaryBatch(payload,
+	return decodeBinaryFramesVersion(payload, BinaryVersionBase, dst)
+}
+
+// decodeBinaryFramesVersion decodes a payload of the given wire version into
+// owned VMPowerFrame values.
+func decodeBinaryFramesVersion(payload []byte, version int, dst []VMPowerFrame) ([]VMPowerFrame, error) {
+	err := DecodeBinaryBatchVersion(payload, version,
 		func(h FrameHeader) bool {
 			f := VMPowerFrame{
 				VM:             string(h.VM),
@@ -245,6 +381,9 @@ func decodeBinaryFrames(payload []byte, dst []VMPowerFrame) ([]VMPowerFrame, err
 				Watts:          h.Watts,
 				HostTotalWatts: h.HostTotalWatts,
 				SourceMode:     string(h.SourceMode),
+				EmitMono:       h.EmitMono,
+				Round:          h.Round,
+				TraceID:        h.TraceID,
 			}
 			if h.Rows > 0 {
 				f.Rows = make([]TargetRow, 0, h.Rows)
@@ -295,4 +434,18 @@ func readHello(r *bufio.Reader) Codec {
 	}
 	r.Discard(len(helloLine))
 	return CodecBinary
+}
+
+// readCaps consumes the provenance capability line if the receiver sent one
+// after its hello. A receiver that does not (an old peer, or one that stopped
+// at the hello) never writes again, so the peek runs out the negotiation
+// deadline and the connection stays on wire version 1 — the once-per-connection
+// cost the hello wait already established.
+func readCaps(r *bufio.Reader) bool {
+	peek, err := r.Peek(len(capsLine))
+	if err != nil || string(peek) != capsLine {
+		return false
+	}
+	r.Discard(len(capsLine))
+	return true
 }

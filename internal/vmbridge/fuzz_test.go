@@ -91,6 +91,56 @@ func FuzzDecodeBatch(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBatchV2 is FuzzDecodeBatch for the provenance wire version: the
+// streaming and owning decoders must agree on version-2 payloads, stamps must
+// survive the owning decode, and a decodable payload must round-trip to the
+// same bytes through a version-2 re-encode.
+func FuzzDecodeBatchV2(f *testing.F) {
+	frames := fuzzSeedFrames()
+	for i := range frames {
+		frames[i].EmitMono = time.Duration(1+i) * time.Second
+		frames[i].Round = uint64(40 + i)
+		frames[i].TraceID = FrameTraceID(frames[i].VM, frames[i].Round)
+	}
+	msg := AppendBinaryBatchVersion(nil, frames, BinaryVersionProvenance)
+	f.Add(msg[BinaryMessageHeader:]) // well-formed v2 payload
+	f.Add(msg[BinaryMessageHeader : len(msg)-5])
+	// A version-1 payload read as version 2: the decoder must reject or
+	// misparse it loudly, never panic.
+	f.Add(AppendBinaryBatch(nil, fuzzSeedFrames())[BinaryMessageHeader:])
+	f.Add([]byte{})
+	f.Add(hostileRowsPayload())
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var streamRows int
+		streamErr := DecodeBinaryBatchVersion(payload, BinaryVersionProvenance,
+			func(h FrameHeader) bool { return true },
+			func(key []byte, watts float64) { streamRows++ })
+		frames, ownErr := decodeBinaryFramesVersion(payload, BinaryVersionProvenance, nil)
+		if (streamErr == nil) != (ownErr == nil) {
+			t.Fatalf("decoders disagree: stream=%v own=%v", streamErr, ownErr)
+		}
+		if streamErr != nil {
+			return
+		}
+		var ownRows int
+		for i := range frames {
+			ownRows += len(frames[i].Rows)
+		}
+		if ownRows != streamRows {
+			t.Fatalf("row counts disagree: stream=%d own=%d", streamRows, ownRows)
+		}
+		enc := AppendBinaryBatchVersion(nil, frames, BinaryVersionProvenance)[BinaryMessageHeader:]
+		again, err := decodeBinaryFramesVersion(enc, BinaryVersionProvenance, nil)
+		if err != nil {
+			t.Fatalf("re-encoded payload does not decode: %v", err)
+		}
+		enc2 := AppendBinaryBatchVersion(nil, again, BinaryVersionProvenance)[BinaryMessageHeader:]
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip changed the encoding:\n  first:  %x\n  second: %x", enc, enc2)
+		}
+	})
+}
+
 // hostileRowsPayload builds a tiny payload whose one frame claims 2^32 rows —
 // the input that made decodeBinaryFrames presize gigabytes before the row
 // count was bounded by the remaining payload.

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"powerapi/internal/core"
 	"powerapi/internal/obs"
@@ -33,8 +34,18 @@ type NodePublisher struct {
 	sendErrs  atomic.Uint64
 	lastErr   atomic.Value // error
 
+	// noProvenance suppresses the emit-time stamps — the escape hatch that
+	// lets a daemon emulate a pre-provenance peer (mixed-fleet testing, or a
+	// consumer that chokes on the new JSON fields).
+	noProvenance atomic.Bool
+
 	closeOnce sync.Once
 }
+
+// SetProvenance enables or disables the provenance stamps (EmitMono, Round,
+// TraceID) on the publisher's frames. Stamps are on by default; disabling them
+// makes the publisher wire-identical to a pre-provenance daemon.
+func (p *NodePublisher) SetProvenance(on bool) { p.noProvenance.Store(!on) }
 
 // NewNodePublisher subscribes a node-frame publisher to the monitor's report
 // fanout and starts streaming one frame per round. The publisher owns the
@@ -75,14 +86,23 @@ func (p *NodePublisher) run() {
 			rows = append(rows, TargetRow{Key: "cgroup:" + path, Watts: w})
 		}
 		sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+		seq := p.seq.Add(1)
 		frame := VMPowerFrame{
 			VM:             p.node,
-			Seq:            p.seq.Add(1),
+			Seq:            seq,
 			Timestamp:      report.Timestamp,
 			Watts:          report.TotalWatts,
 			HostTotalWatts: report.TotalWatts,
 			SourceMode:     report.SourceMode,
 			Rows:           rows,
+		}
+		if !p.noProvenance.Load() {
+			// One frame per round, so the round number IS the frame sequence.
+			// EmitMono is the daemon's tracer clock: the collector differences
+			// it against arrival stamps for lag/skew estimates.
+			frame.EmitMono = time.Duration(p.tracer.Now())
+			frame.Round = seq
+			frame.TraceID = FrameTraceID(p.node, seq)
 		}
 		report.Release()
 		if err := p.tr.SendBatch([]VMPowerFrame{frame}); err != nil {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"powerapi/internal/core"
 	"powerapi/internal/obs"
@@ -26,6 +27,7 @@ type Publisher struct {
 	wg     sync.WaitGroup
 
 	seq       atomic.Uint64
+	rounds    atomic.Uint64
 	published atomic.Uint64
 	sendErrs  atomic.Uint64
 	lastErr   atomic.Value // error
@@ -77,6 +79,11 @@ func (p *Publisher) run() {
 			names = append(names, name)
 		}
 		sort.Strings(names)
+		// Provenance: every frame of the round shares one round number and
+		// trace id (Seq stays per-frame), emitted at one clock stamp.
+		round := p.rounds.Add(1)
+		emit := time.Duration(p.tracer.Now())
+		traceID := FrameTraceID("vmbridge", round)
 		batch := make([]VMPowerFrame, 0, len(names))
 		for _, name := range names {
 			batch = append(batch, VMPowerFrame{
@@ -86,6 +93,9 @@ func (p *Publisher) run() {
 				Watts:          report.PerVM[name],
 				HostTotalWatts: report.TotalWatts,
 				SourceMode:     report.SourceMode,
+				EmitMono:       emit,
+				Round:          round,
+				TraceID:        traceID,
 			})
 		}
 		report.Release()

@@ -53,6 +53,7 @@ type tcpConn struct {
 	remote  string
 	batches *frameChan[[]VMPowerFrame] // batches pending for this connection, drop-oldest
 	codec   atomic.Int32               // Codec, set once negotiated
+	wire    atomic.Int32               // binary wire version, set once negotiated
 	sent    atomic.Uint64              // frames written to the wire
 }
 
@@ -63,6 +64,10 @@ type ConnStats struct {
 	Remote string
 	// Codec is the negotiated wire encoding ("json", "binary").
 	Codec Codec
+	// WireVersion is the negotiated binary wire version (0 on JSON-lines):
+	// BinaryVersionProvenance when the receiver requested provenance stamps,
+	// BinaryVersionBase for an old peer.
+	WireVersion int
 	// SentFrames counts frames written to this connection's wire.
 	SentFrames uint64
 	// DroppedBatches counts whole batches shed drop-oldest because the
@@ -101,6 +106,7 @@ func (p *TCPPublisher) ConnStats() []ConnStats {
 		stats = append(stats, ConnStats{
 			Remote:         c.remote,
 			Codec:          Codec(c.codec.Load()),
+			WireVersion:    int(c.wire.Load()),
 			SentFrames:     c.sent.Load(),
 			DroppedBatches: c.batches.evicted.Load(),
 		})
@@ -143,11 +149,22 @@ func (p *TCPPublisher) acceptLoop() {
 }
 
 // negotiate waits briefly for the receiver's codec hello; no hello (a legacy
-// receiver's first bytes, or silence until the deadline) keeps JSON-lines.
-func negotiate(conn net.Conn) Codec {
+// receiver's first bytes, or silence until the deadline) keeps JSON-lines. A
+// binary hello may be followed by the provenance capability line, upgrading
+// the connection to wire version 2; an old receiver stops at the hello, so the
+// capability peek runs out the same deadline and version 1 stands. The
+// publisher never reads the connection again after this.
+func negotiate(conn net.Conn) (Codec, int) {
 	conn.SetReadDeadline(time.Now().Add(codecHelloWait))
 	defer conn.SetReadDeadline(time.Time{})
-	return readHello(bufio.NewReaderSize(conn, len(helloLine)))
+	br := bufio.NewReaderSize(conn, len(helloLine)+len(capsLine))
+	if readHello(br) == CodecJSON {
+		return CodecJSON, 0
+	}
+	if readCaps(br) {
+		return CodecBinary, BinaryVersionProvenance
+	}
+	return CodecBinary, BinaryVersionBase
 }
 
 // writeLoop drains one connection's batch queue onto the wire — one buffered
@@ -156,15 +173,16 @@ func negotiate(conn net.Conn) Codec {
 func (p *TCPPublisher) writeLoop(id uint64, c *tcpConn) {
 	defer p.wg.Done()
 	defer c.conn.Close()
-	codec := negotiate(c.conn)
+	codec, wire := negotiate(c.conn)
 	c.codec.Store(int32(codec))
+	c.wire.Store(int32(wire))
 	w := bufio.NewWriterSize(c.conn, 32*1024)
 	var scratch []byte // binary encoding buffer, reused across batches
 	for batch := range c.batches.ch {
 		var err error
 		written := len(batch)
 		if codec == CodecBinary {
-			scratch = AppendBinaryBatch(scratch[:0], batch)
+			scratch = AppendBinaryBatchVersion(scratch[:0], batch, wire)
 			_, err = w.Write(scratch)
 		} else {
 			for _, frame := range batch {
@@ -281,15 +299,17 @@ func DialTCP(addr string) (*TCPReceiver, error) {
 }
 
 // DialTCPCodec connects to a TCPPublisher at addr on the given codec. Binary
-// connections open with the codec hello, so the publisher switches before its
-// first write.
+// connections open with the codec hello plus the provenance capability, so a
+// current publisher switches to wire version 2 before its first write; an old
+// publisher reads only the hello and answers in version 1, which the read loop
+// accepts per message.
 func DialTCPCodec(addr string, codec Codec) (*TCPReceiver, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("vmbridge: dial %s: %w", addr, err)
 	}
 	if codec == CodecBinary {
-		if err := RequestBinary(conn); err != nil {
+		if err := RequestBinaryProvenance(conn); err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("vmbridge: dial %s: send codec hello: %w", addr, err)
 		}
@@ -328,7 +348,7 @@ func (r *TCPReceiver) readBinary() {
 	var buf []byte
 	var frames []VMPowerFrame
 	for {
-		payload, err := ReadBinaryMessage(br, buf[:0])
+		payload, version, err := ReadBinaryMessageVersion(br, buf[:0])
 		if err != nil {
 			// Binary framing cannot resync mid-stream: any read or framing
 			// error is link loss. Only a malformed message counts as a decode
@@ -339,7 +359,7 @@ func (r *TCPReceiver) readBinary() {
 			return
 		}
 		buf = payload
-		frames, err = decodeBinaryFrames(payload, frames[:0])
+		frames, err = decodeBinaryFramesVersion(payload, version, frames[:0])
 		if err != nil {
 			r.decodeErrs.Add(1)
 			return

@@ -49,6 +49,37 @@ type VMPowerFrame struct {
 	// with VM set to its node name and one row per attributed target. Frames
 	// on the host↔guest VM bridge carry no rows.
 	Rows []TargetRow `json:"rows,omitempty"`
+
+	// EmitMono is the publisher's monotonic clock at emit time (nanoseconds
+	// since its tracer epoch) — the provenance stamp a collector differences
+	// against its own clock to estimate per-node ingest lag and clock skew.
+	// Emit and arrival clocks share no epoch, so only deltas are meaningful.
+	// Zero means the peer predates provenance (or disabled it); consumers
+	// must treat the frame as unstamped, not as emitted at the epoch.
+	EmitMono time.Duration `json:"emitMono,omitempty"`
+	// Round is the publisher's round sequence the frame belongs to. For node
+	// frames it equals Seq (one frame per round); for VM-bridge frames every
+	// frame of one round shares the round number while Seq stays per-frame.
+	Round uint64 `json:"round,omitempty"`
+	// TraceID correlates every frame of one publisher round across process
+	// boundaries (FrameTraceID derives it from the publisher name and round).
+	TraceID uint64 `json:"traceId,omitempty"`
+}
+
+// FrameTraceID derives the stable trace id publishers stamp on a round's
+// frames: FNV-1a over the publisher name folded with the round number. Two
+// daemons never share an id stream, and a round's id is reproducible from its
+// provenance fields alone.
+func FrameTraceID(name string, round uint64) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	h ^= round
+	h *= prime
+	return h
 }
 
 // TargetRow is one entry of a frame's per-target breakdown: the target's
